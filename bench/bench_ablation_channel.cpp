@@ -1,0 +1,52 @@
+// Ablation: which acquisition-channel terms produce the non-monotone
+// bioimpedance-vs-frequency shape of Figs 6-7 (rise to 10 kHz, then
+// fall). Pure Cole-Cole tissue dispersion is monotone decreasing; the
+// electrode-polarization high-pass alone is monotone increasing on top of
+// it at low f; only the combination of both channel terms peaks at
+// ~10 kHz the way the paper measured.
+#include "report/table.h"
+#include "synth/cole.h"
+
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+  synth::ColeModel tissue; // representative thorax
+
+  struct Variant {
+    const char* name;
+    bool hp, lp;
+  };
+  const Variant variants[] = {
+      {"tissue only (no channel)", false, false},
+      {"+ polarization high-pass", true, false},
+      {"+ stray-capacitance low-pass", false, true},
+      {"full channel (both)", true, true},
+  };
+
+  report::banner(std::cout, "Ablation: channel terms vs Fig 6/7 shape");
+  report::Table table({"Variant", "Z(2k)", "Z(10k)", "Z(50k)", "Z(100k)", "shape"});
+  bool full_ok = false;
+  for (const auto& v : variants) {
+    synth::InstrumentationResponse ch;
+    ch.enable_hp = v.hp;
+    ch.enable_lp = v.lp;
+    const double z2 = measured_bioimpedance(tissue, ch, 2e3);
+    const double z10 = measured_bioimpedance(tissue, ch, 10e3);
+    const double z50 = measured_bioimpedance(tissue, ch, 50e3);
+    const double z100 = measured_bioimpedance(tissue, ch, 100e3);
+    const bool peak10 = z10 > z2 && z10 > z50 && z50 > z100;
+    table.row()
+        .add(std::string(v.name))
+        .add(z2, 2)
+        .add(z10, 2)
+        .add(z50, 2)
+        .add(z100, 2)
+        .add(std::string(peak10 ? "peak @10kHz (paper)" : "monotone"));
+    if (v.hp && v.lp) full_ok = peak10;
+  }
+  table.print(std::cout);
+  std::cout << "\n(Only the full channel reproduces the paper's measured shape; the\n"
+               " substitution table in DESIGN.md documents this modelling choice.)\n";
+  return full_ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Ablation/extension: single-beat delineation (the paper's mode) vs
+// ensemble-averaged delineation (the classical ICG practice and a natural
+// extension for the noisy touch scenario). Reports median B/C/X errors vs
+// ground truth across noise levels, plus the fixed-point filtering cost of
+// the speedup an FPU-less MCU would take (Q31 vs double).
+#include "core/delineator.h"
+#include "core/ensemble.h"
+#include "core/icg_filter.h"
+#include "dsp/butterworth.h"
+#include "dsp/fixed_point.h"
+#include "dsp/stats.h"
+#include "report/table.h"
+#include "synth/artifacts.h"
+#include "synth/icg_synth.h"
+
+#include <cmath>
+#include <iostream>
+
+namespace {
+using namespace icgkit;
+constexpr double kFs = 250.0;
+} // namespace
+
+int main() {
+  report::banner(std::cout,
+                 "Ablation: single-beat vs ensemble-averaged delineation (median ms error)");
+  report::Table table({"noise RMS", "single B", "single X", "ensemble B", "ensemble X",
+                       "single invalid (%)"});
+
+  bool ensemble_wins_at_high_noise = false;
+  for (const double sigma : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    synth::Rng rng(900 + static_cast<std::uint64_t>(sigma * 100));
+    synth::IcgSynthConfig cfg;
+    std::vector<double> r_times;
+    std::vector<std::size_t> r_idx;
+    for (int i = 0; i < 40; ++i) {
+      r_times.push_back(0.6 + 0.85 * i);
+      r_idx.push_back(static_cast<std::size_t>(r_times.back() * kFs));
+    }
+    auto syn = synth::synthesize_icg(r_times, 0.6 + 0.85 * 40 + 1.0, kFs, cfg, rng);
+    const dsp::Signal noise = synth::white_noise(syn.icg.size(), sigma, rng);
+    for (std::size_t i = 0; i < noise.size(); ++i) syn.icg[i] += noise[i];
+    const core::IcgFilter filter(kFs);
+    const dsp::Signal icg = filter.apply(syn.icg);
+
+    const core::IcgDelineator delineator(kFs);
+    core::EnsembleAverager averager(kFs, {.window_beats = 12, .min_template_corr = 0.3});
+
+    dsp::Signal sb, sx, eb, ex;
+    int invalid = 0, total = 0;
+    for (std::size_t i = 0; i + 1 < syn.beats.size(); ++i) {
+      const auto& truth = syn.beats[i];
+      ++total;
+      const auto d = delineator.delineate(icg, r_idx[i], r_idx[i + 1]);
+      if (d.valid) {
+        sb.push_back(std::abs(static_cast<double>(d.b) / kFs - truth.b_time_s) * 1e3);
+        sx.push_back(std::abs(static_cast<double>(d.x) / kFs - truth.x_time_s) * 1e3);
+      } else {
+        ++invalid;
+      }
+      averager.add_beat(icg, r_idx[i]);
+      const auto da = averager.delineate_average(delineator);
+      if (da.has_value()) {
+        // Compare the template's intervals against this beat's truth.
+        const double pep = static_cast<double>(da->b - da->r) / kFs;
+        const double bx = static_cast<double>(da->x - da->b) / kFs;
+        eb.push_back(std::abs(pep - truth.pep_s) * 1e3);
+        ex.push_back(std::abs(pep + bx - (truth.pep_s + truth.lvet_s)) * 1e3);
+      }
+    }
+    table.row()
+        .add(sigma, 2)
+        .add(sb.empty() ? 999.0 : dsp::median(sb), 1)
+        .add(sx.empty() ? 999.0 : dsp::median(sx), 1)
+        .add(eb.empty() ? 999.0 : dsp::median(eb), 1)
+        .add(ex.empty() ? 999.0 : dsp::median(ex), 1)
+        .add(100.0 * invalid / std::max(1, total), 1);
+    if (sigma >= 0.35 && !eb.empty() && !sb.empty() &&
+        dsp::median(eb) < dsp::median(sb))
+      ensemble_wins_at_high_noise = true;
+  }
+  table.print(std::cout);
+  std::cout << "(Beat-to-beat mode preserves per-beat variability -- the paper's\n"
+               " choice; the ensemble trades one-beat latency for noise immunity.)\n";
+
+  report::banner(std::cout, "Fixed-point (Q31) vs double filtering accuracy");
+  {
+    const dsp::SosFilter lp = dsp::butterworth_lowpass(4, 20.0, kFs);
+    dsp::Signal x(5000);
+    synth::Rng rng(17);
+    for (auto& v : x) v = 0.4 * rng.normal();
+    std::cout << "worst |double - Q31| over 20 s of noise: " << dsp::fixed_point_error(lp, x)
+              << " of full scale\n(a ~17x MAC-cost reduction on the FPU-less Cortex-M3; "
+                 "see platform::McuConfig)\n";
+  }
+  return ensemble_wins_at_high_noise ? 0 : 1;
+}

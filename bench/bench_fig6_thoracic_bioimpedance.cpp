@@ -1,0 +1,40 @@
+// Reproduces Fig 6: mean thoracic bioimpedance (traditional electrode
+// setup) versus injection frequency. The paper's observed shape -- Z0
+// rises from 2 kHz to a maximum at 10 kHz and then falls through 50 and
+// 100 kHz -- reproduces from Cole-Cole tissue dispersion seen through the
+// electrode/front-end channel response (see synth/cole.h).
+#include "report/table.h"
+#include "repro_common.h"
+
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+  const auto sessions = bench::study_sessions();
+
+  report::banner(std::cout, "Fig 6: Thoracic bioimpedance vs injection frequency");
+  std::vector<std::string> headers{"f (kHz)"};
+  for (const auto& s : sessions) headers.push_back(s.subject.name);
+  headers.push_back("Mean");
+  report::Table table(headers);
+
+  std::vector<double> means;
+  for (const double f : synth::kInjectionFrequenciesHz) {
+    table.row().add(f / 1e3, 0);
+    double acc = 0.0;
+    for (const auto& s : sessions) {
+      const synth::Recording rec = measure_thoracic(s.subject, s.source, f);
+      const double z = mean_bioimpedance(rec);
+      table.add(z, 2);
+      acc += z;
+    }
+    means.push_back(acc / static_cast<double>(sessions.size()));
+    table.add(means.back(), 2);
+  }
+  table.print(std::cout);
+
+  const bool shape_ok = means[1] > means[0] && means[1] > means[2] && means[2] > means[3];
+  std::cout << "\nShape check (paper: rises to 10 kHz, then decreases): "
+            << (shape_ok ? "REPRODUCED" : "MISMATCH") << '\n';
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig 7a-c: mean bioimpedance measured by the touch device
+// versus injection frequency, for the three arm positions. The paper
+// notes the same non-monotone shape as the traditional setup (Fig 6) --
+// rising to 10 kHz, then falling -- and a position-dependent level.
+#include "report/table.h"
+#include "repro_common.h"
+
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+  const auto sessions = bench::study_sessions();
+
+  bool all_ok = true;
+  for (const auto pos : synth::kAllPositions) {
+    const auto idx = synth::index_of(pos);
+    report::banner(std::cout, "Fig 7: Device bioimpedance, Position " +
+                                  std::to_string(idx + 1));
+    std::vector<std::string> headers{"f (kHz)"};
+    for (const auto& s : sessions) headers.push_back(s.subject.name);
+    headers.push_back("Mean");
+    report::Table table(headers);
+
+    std::vector<double> means;
+    for (const double f : synth::kInjectionFrequenciesHz) {
+      table.row().add(f / 1e3, 0);
+      double acc = 0.0;
+      for (const auto& s : sessions) {
+        const synth::Recording rec = measure_device(s.subject, s.source, f, pos);
+        const double z = mean_bioimpedance(rec);
+        table.add(z, 1);
+        acc += z;
+      }
+      means.push_back(acc / static_cast<double>(sessions.size()));
+      table.add(means.back(), 1);
+    }
+    table.print(std::cout);
+    const bool shape_ok =
+        means[1] > means[0] && means[1] > means[2] && means[2] > means[3];
+    std::cout << "Shape (rise to 10 kHz then fall): "
+              << (shape_ok ? "REPRODUCED" : "MISMATCH") << '\n';
+    all_ok = all_ok && shape_ok;
+  }
+
+  std::cout << "\n(The hand-to-hand path impedance is an order of magnitude higher\n"
+               " than the thoracic path, and Position 2 > Position 3 > Position 1\n"
+               " in mean level -- the orderings behind Fig 8.)\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Reproduces Fig 8a-c: relative error of the mean bioimpedance between
+// arm positions (paper equations 1-3):
+//   e21 = (Z2 - Z1)/Z2,  e23 = (Z2 - Z3)/Z2,  e31 = (Z3 - Z1)/Z3.
+// Paper findings: the largest overall error is e21, the smallest e31, and
+// the worst case stays below 20 %.
+#include "report/table.h"
+#include "repro_common.h"
+
+#include <cmath>
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+  const auto sessions = bench::study_sessions();
+
+  struct ErrorSet {
+    const char* name;
+    synth::Position num;   // numerator reference position
+    synth::Position sub;   // subtracted position
+  };
+  const ErrorSet sets[] = {
+      {"e21 = (Z2-Z1)/Z2", synth::Position::ArmsOutstretched, synth::Position::HoldToChest},
+      {"e23 = (Z2-Z3)/Z2", synth::Position::ArmsOutstretched, synth::Position::ArmsDown},
+      {"e31 = (Z3-Z1)/Z3", synth::Position::ArmsDown, synth::Position::HoldToChest},
+  };
+
+  double overall[3] = {0.0, 0.0, 0.0};
+  double worst = 0.0;
+  int set_idx = 0;
+  for (const auto& set : sets) {
+    report::banner(std::cout, std::string("Fig 8: ") + set.name);
+    std::vector<std::string> headers{"f (kHz)"};
+    for (const auto& s : sessions) headers.push_back(s.subject.name);
+    report::Table table(headers);
+    for (const double f : synth::kInjectionFrequenciesHz) {
+      table.row().add(f / 1e3, 0);
+      for (const auto& s : sessions) {
+        const double z_ref =
+            mean_bioimpedance(measure_device(s.subject, s.source, f, set.num));
+        const double z_sub =
+            mean_bioimpedance(measure_device(s.subject, s.source, f, set.sub));
+        const double e = dsp::relative_error(z_ref, z_sub);
+        overall[set_idx] += std::abs(e);
+        worst = std::max(worst, std::abs(e));
+        table.add(e, 4);
+      }
+    }
+    table.print(std::cout);
+    ++set_idx;
+  }
+
+  std::cout << "\nMean |error|: e21=" << overall[0] / 20.0 << "  e23=" << overall[1] / 20.0
+            << "  e31=" << overall[2] / 20.0 << "\nWorst-case |error| = " << worst
+            << (worst < 0.20 ? "  (< 20 %, as the paper reports)" : "  (EXCEEDS 20 %!)")
+            << '\n';
+  const bool ordering = overall[0] > overall[1] && overall[1] > overall[2];
+  std::cout << "Ordering (paper: e21 largest, e31 smallest): "
+            << (ordering ? "REPRODUCED" : "MISMATCH") << '\n';
+  return (worst < 0.20 && ordering) ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks of the DSP kernels and the full
+// pipeline. These support the embedded feasibility claim: the per-second
+// workload at fs = 250 Hz must complete in a small fraction of a second
+// even on a laptop-class core, and the measured op ratios sanity-check
+// the analytic cycle model in platform/mcu.h.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "dsp/butterworth.h"
+#include "dsp/fft.h"
+#include "dsp/filtfilt.h"
+#include "dsp/fir_design.h"
+#include "dsp/morphology.h"
+#include "ecg/pan_tompkins.h"
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+namespace {
+
+using namespace icgkit;
+
+constexpr double kFs = 250.0;
+
+dsp::Signal test_signal(std::size_t n) {
+  dsp::Signal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / kFs;
+    x[i] = std::sin(2.0 * 3.14159 * 1.2 * t) + 0.4 * std::sin(2.0 * 3.14159 * 9.0 * t);
+  }
+  return x;
+}
+
+void BM_FirBandpass32(benchmark::State& state) {
+  const auto fir = dsp::design_bandpass(32, 0.05, 40.0, kFs);
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::filtfilt_fir(fir, x));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FirBandpass32)->Arg(250)->Arg(2500)->Arg(7500);
+
+void BM_ButterworthLp20(benchmark::State& state) {
+  const auto lp = dsp::butterworth_lowpass(4, 20.0, kFs);
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::filtfilt_sos(lp, x));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ButterworthLp20)->Arg(250)->Arg(2500)->Arg(7500);
+
+void BM_MorphologicalBaseline(benchmark::State& state) {
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::remove_baseline(x, kFs));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MorphologicalBaseline)->Arg(2500)->Arg(7500);
+
+void BM_Fft(benchmark::State& state) {
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::magnitude_spectrum(x));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(4096);
+
+void BM_PanTompkins30s(benchmark::State& state) {
+  const auto roster = synth::paper_roster();
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  const auto src = generate_source(roster[0], cfg);
+  const ecg::PanTompkins pt(kFs);
+  for (auto _ : state) benchmark::DoNotOptimize(pt.detect(src.ecg_mv));
+}
+BENCHMARK(BM_PanTompkins30s);
+
+void BM_FullPipeline30s(benchmark::State& state) {
+  const auto roster = synth::paper_roster();
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  const auto src = generate_source(roster[0], cfg);
+  const auto rec = measure_device(roster[0], src, 50e3, synth::Position::HoldToChest);
+  const core::BeatPipeline pipeline(kFs);
+  for (auto _ : state) benchmark::DoNotOptimize(pipeline.process(rec.ecg_mv, rec.z_ohm));
+}
+BENCHMARK(BM_FullPipeline30s);
+
+void BM_Synthesis30s(benchmark::State& state) {
+  const auto roster = synth::paper_roster();
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  for (auto _ : state) benchmark::DoNotOptimize(generate_source(roster[1], cfg));
+}
+BENCHMARK(BM_Synthesis30s);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Reproduces Table II: device-vs-thoracic bioimpedance correlation per
+// subject, Position 1 (device held up to the chest).
+#include "repro_common.h"
+
+int main() {
+  icgkit::bench::print_correlation_table(
+      icgkit::synth::Position::HoldToChest,
+      "Table II: Correlation Position 1 VS Thoracic bioimpedance", "Table II");
+  return 0;
+}

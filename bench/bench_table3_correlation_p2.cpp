@@ -1,0 +1,10 @@
+// Reproduces Table III: device-vs-thoracic bioimpedance correlation per
+// subject, Position 2 (arms outstretched, parallel to the floor).
+#include "repro_common.h"
+
+int main() {
+  icgkit::bench::print_correlation_table(
+      icgkit::synth::Position::ArmsOutstretched,
+      "Table III: Correlation Position 2 VS Thoracic bioimpedance", "Table III");
+  return 0;
+}

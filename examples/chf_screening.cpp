@@ -1,0 +1,96 @@
+// CHF-screening scenario -- the paper's motivating application
+// (Section I): congestive heart failure decompensation is preceded by
+// thoracic fluid accumulation, which *lowers* the base impedance Z0 and
+// raises the thoracic fluid content TFC = 1000/Z0, while systolic time
+// intervals shift (PEP lengthens, LVET shortens) as contractility falls.
+//
+// This example simulates a week of daily 30 s touch measurements during
+// which the subject gradually decompensates, runs each session through
+// the pipeline, and applies a simple trend rule on the streamed
+// parameters -- the kind of early-warning review a physician would do on
+// the transmitted data.
+#include "core/pipeline.h"
+#include "report/table.h"
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+
+  synth::SubjectProfile subject = synth::paper_roster()[3];
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  core::PipelineConfig pipe_cfg;
+  // Calibrate once against the healthy baseline posture; the follow-up
+  // sessions reuse the factors, exactly as a deployed device would.
+  const synth::TouchCalibration cal =
+      touch_calibration(subject, 50e3, synth::Position::HoldToChest);
+  pipe_cfg.body.z0_to_thoracic = cal.z0_scale;
+  pipe_cfg.body.dzdt_to_thoracic = cal.dzdt_scale;
+  const core::BeatPipeline pipeline(cfg.fs, pipe_cfg);
+
+  std::cout << "Daily touch measurements during simulated decompensation ("
+            << subject.name << ")\n\n";
+
+  report::Table table({"day", "Z0 (Ohm)", "TFC (1/kOhm)", "PEP (ms)", "LVET (ms)",
+                       "HR (bpm)", "SV (ml)", "flag"});
+
+  double baseline_tfc = 0.0;
+  double baseline_ratio = 0.0;
+  int alarms = 0;
+  for (int day = 0; day < 7; ++day) {
+    // Decompensation trajectory: fluid accumulates (tissue resistance
+    // falls), contractility drops (longer PEP, shorter LVET, smaller
+    // dZ/dt max), sympathetic drive raises HR.
+    const double severity = static_cast<double>(day) / 6.0;
+    synth::SubjectProfile today = subject;
+    today.arm_path.r0_ohm = subject.arm_path.r0_ohm * (1.0 - 0.18 * severity);
+    today.arm_path.rinf_ohm = subject.arm_path.rinf_ohm * (1.0 - 0.18 * severity);
+    today.icg.pep_s = subject.icg.pep_s * (1.0 + 0.25 * severity);
+    today.icg.lvet_s = subject.icg.lvet_s * (1.0 - 0.15 * severity);
+    today.icg.dzdt_max = subject.icg.dzdt_max * (1.0 - 0.25 * severity);
+    today.rr.mean_hr_bpm = subject.rr.mean_hr_bpm * (1.0 + 0.10 * severity);
+    today.seed = subject.seed + static_cast<std::uint64_t>(day) * 17;
+
+    const synth::SourceActivity source = generate_source(today, cfg);
+    const synth::Recording rec =
+        measure_device(today, source, 50e3, synth::Position::HoldToChest);
+    const core::PipelineResult res = pipeline.process(rec.ecg_mv, rec.z_ohm);
+    const auto& s = res.summary;
+
+    // Trend rule: alarm when TFC rises > 8 % over the day-0 baseline AND
+    // the PEP/LVET ratio (inverse contractility index) rises > 20 %.
+    const double ratio = s.lvet_s > 0.0 ? s.pep_s / s.lvet_s : 0.0;
+    if (day == 0) {
+      baseline_tfc = s.tfc_per_kohm;
+      baseline_ratio = ratio;
+    }
+    const bool fluid_up = s.tfc_per_kohm > 1.08 * baseline_tfc;
+    const bool contractility_down = ratio > 1.20 * baseline_ratio;
+    const char* flag = (fluid_up && contractility_down) ? "ALERT"
+                       : (fluid_up || contractility_down) ? "watch"
+                                                          : "";
+    if (fluid_up && contractility_down) ++alarms;
+
+    table.row()
+        .add(static_cast<long long>(day))
+        .add(res.z0_mean_ohm, 1)
+        .add(s.tfc_per_kohm, 3)
+        .add(s.pep_s * 1000.0, 0)
+        .add(s.lvet_s * 1000.0, 0)
+        .add(s.hr_bpm, 1)
+        .add(s.sv_kubicek_ml, 1)
+        .add(std::string(flag));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n"
+            << (alarms > 0 ? "Decompensation trend detected before day 7 -- the"
+                             " early-onset window\nin which the paper argues CHF can"
+                             " still be prevented by medication change."
+                           : "No alert raised (unexpected for this trajectory).")
+            << '\n';
+  return alarms > 0 ? 0 : 1;
+}

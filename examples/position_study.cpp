@@ -1,0 +1,51 @@
+// Position-susceptibility study (Section V of the paper) on one subject:
+// records 30 s in each of the three arm positions at each injection
+// frequency, then reports (a) device-vs-thoracic correlation, (b) mean
+// bioimpedance per position, and (c) the worst-case relative error a
+// user would incur by moving the device mid-measurement.
+#include "dsp/stats.h"
+#include "report/table.h"
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+
+  const synth::SubjectProfile subject = synth::paper_roster()[2];
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  const synth::SourceActivity source = generate_source(subject, cfg);
+
+  std::cout << "Position study -- " << subject.name << "\n";
+
+  report::Table table({"f (kHz)", "Z thorax", "Z pos1", "Z pos2", "Z pos3", "r pos1",
+                       "r pos2", "r pos3"});
+  double worst_error = 0.0;
+  for (const double f : synth::kInjectionFrequenciesHz) {
+    const synth::Recording thorax = measure_thoracic(subject, source, f);
+    table.row().add(f / 1e3, 0).add(mean_bioimpedance(thorax), 2);
+    double z[3];
+    for (const auto pos : synth::kAllPositions) {
+      const synth::Recording dev = measure_device(subject, source, f, pos);
+      z[synth::index_of(pos)] = mean_bioimpedance(dev);
+      table.add(z[synth::index_of(pos)], 1);
+    }
+    for (const auto pos : synth::kAllPositions) {
+      const synth::Recording dev = measure_device(subject, source, f, pos);
+      table.add(dsp::pearson(thorax.z_ohm, dev.z_ohm), 4);
+    }
+    // Worst pairwise relative error at this frequency (paper eq. 1-3).
+    worst_error = std::max({worst_error, std::abs((z[1] - z[0]) / z[1]),
+                            std::abs((z[1] - z[2]) / z[1]), std::abs((z[2] - z[0]) / z[2])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWorst-case relative error across positions: " << worst_error * 100.0
+            << " % (paper: always below 20 % -- slight displacement from hand\n"
+               " shaking does not impact the measurement much)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: synthesize a 30 s touch-device recording, run the full
+// beat-to-beat pipeline, and print the hemodynamic parameters the device
+// would stream to a physician (Z0, LVET, PEP, HR -- Section V of the
+// paper), plus the derived stroke volume and cardiac output.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include "core/pipeline.h"
+#include "report/table.h"
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+#include <iostream>
+
+int main() {
+  using namespace icgkit;
+
+  // 1. A subject and a 30 s session at the paper's evaluation rate.
+  const synth::SubjectProfile subject = synth::paper_roster()[0];
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.fs = 250.0;
+  const synth::SourceActivity source = generate_source(subject, cfg);
+
+  // 2. "Touch" measurement: device held to the chest, 50 kHz injection
+  //    (the frequency the paper uses for systolic-interval estimation).
+  const synth::Recording rec =
+      measure_device(subject, source, 50e3, synth::Position::HoldToChest);
+
+  // 3. The full pipeline: ECG cleaning -> Pan-Tompkins R peaks -> ICG
+  //    filtering -> C/B/X delineation -> quality gate -> hemodynamics.
+  //    The SV estimators are defined for thoracic quantities, so the
+  //    touch path carries a per-posture calibration (a real device gets
+  //    these factors from a one-time comparison against a reference).
+  core::PipelineConfig pipe_cfg;
+  const synth::TouchCalibration cal =
+      touch_calibration(subject, 50e3, synth::Position::HoldToChest);
+  pipe_cfg.body.z0_to_thoracic = cal.z0_scale;
+  pipe_cfg.body.dzdt_to_thoracic = cal.dzdt_scale;
+  const core::BeatPipeline pipeline(cfg.fs, pipe_cfg);
+  const core::PipelineResult res = pipeline.process(rec.ecg_mv, rec.z_ohm);
+
+  std::cout << "icgkit quickstart -- " << subject.name << ", 30 s touch recording\n\n";
+
+  report::Table beat_table({"beat", "RR (s)", "PEP (ms)", "LVET (ms)", "SV Kubicek (ml)",
+                            "status"});
+  int shown = 0;
+  for (std::size_t i = 0; i < res.beats.size() && shown < 8; ++i) {
+    const auto& b = res.beats[i];
+    beat_table.row()
+        .add(static_cast<long long>(i))
+        .add(b.rr_s, 2)
+        .add(b.hemo.pep_s * 1000.0, 0)
+        .add(b.hemo.lvet_s * 1000.0, 0)
+        .add(b.hemo.sv_kubicek_ml, 1)
+        .add(core::describe_flaws(b.flaws));
+    ++shown;
+  }
+  beat_table.print(std::cout);
+
+  const auto& s = res.summary;
+  std::cout << "\nSession summary (" << s.beats_used << " usable beats, "
+            << s.beats_rejected << " rejected):\n"
+            << "  Z0   = " << res.z0_mean_ohm << " Ohm\n"
+            << "  HR   = " << s.hr_bpm << " bpm\n"
+            << "  PEP  = " << s.pep_s * 1000.0 << " ms\n"
+            << "  LVET = " << s.lvet_s * 1000.0 << " ms\n"
+            << "  SV   = " << s.sv_kubicek_ml << " ml (Kubicek), " << s.sv_sramek_ml
+            << " ml (Sramek-Bernstein)\n"
+            << "  CO   = " << s.co_kubicek_l_min << " l/min\n"
+            << "  TFC  = " << s.tfc_per_kohm << " 1/kOhm\n";
+  return 0;
+}

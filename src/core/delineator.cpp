@@ -1,0 +1,208 @@
+#include "core/delineator.h"
+
+#include "dsp/derivative.h"
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace icgkit::core {
+
+namespace {
+
+std::size_t to_samples(double seconds, dsp::SampleRate fs) {
+  return static_cast<std::size_t>(std::max(0.0, seconds) * fs);
+}
+
+// First local minimum of `d` scanning left from `start` down to `floor`
+// (exclusive of the endpoints where the test needs both neighbours).
+std::optional<std::size_t> first_local_min_left(dsp::SignalView d, std::size_t start,
+                                                std::size_t floor) {
+  if (start == 0) return std::nullopt;
+  for (std::size_t i = std::min(start, d.size() - 2); i > floor && i >= 1; --i) {
+    if (d[i] < d[i - 1] && d[i] <= d[i + 1]) return i;
+  }
+  return std::nullopt;
+}
+
+// First index, scanning left from `start` down to `floor`, where the
+// first derivative crosses zero (the ICG local minimum / flat point).
+std::optional<std::size_t> first_zero_crossing_left(dsp::SignalView d1, std::size_t start,
+                                                    std::size_t floor) {
+  for (std::size_t i = std::min(start, d1.size() - 1); i > floor && i >= 1; --i) {
+    if ((d1[i] >= 0.0 && d1[i - 1] < 0.0) || (d1[i] <= 0.0 && d1[i - 1] > 0.0)) return i;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+IcgDelineator::IcgDelineator(dsp::SampleRate fs, const DelineationConfig& cfg)
+    : fs_(fs), cfg_(cfg) {
+  if (fs <= 0.0) throw std::invalid_argument("IcgDelineator: fs must be positive");
+  if (!(cfg.b_line_low_frac < cfg.b_line_high_frac) || cfg.b_line_high_frac >= 1.0)
+    throw std::invalid_argument("IcgDelineator: bad line-fit fractions");
+}
+
+BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
+                                         std::size_t next_r_idx,
+                                         std::optional<double> rt_s) const {
+  BeatDelineation out;
+  out.r = r_idx;
+  if (next_r_idx <= r_idx + 10 || next_r_idx > icg.size()) return out;
+
+  // ---- per-beat detrend (see DelineationConfig::detrend) --------------
+  // Anchors: median of the samples just after R and just before next R
+  // (both diastolic); the line through them is the local baseline.
+  dsp::Signal work(icg.begin() + static_cast<dsp::Index>(r_idx),
+                   icg.begin() + static_cast<dsp::Index>(next_r_idx));
+  if (cfg_.detrend && work.size() > 20) {
+    const std::size_t anchor = std::max<std::size_t>(2, to_samples(0.03, fs_));
+    const dsp::Signal head(work.begin(), work.begin() + static_cast<dsp::Index>(anchor));
+    const dsp::Signal tail(work.end() - static_cast<dsp::Index>(anchor), work.end());
+    const double y0 = dsp::median(head);
+    const double y1 = dsp::median(tail);
+    const double slope = (y1 - y0) / static_cast<double>(work.size() - anchor);
+    for (std::size_t i = 0; i < work.size(); ++i)
+      work[i] -= y0 + slope * static_cast<double>(i);
+  }
+  // From here on, all amplitude logic uses the detrended beat; `at(i)`
+  // reads it by absolute index.
+  auto at = [&](std::size_t abs_idx) { return work[abs_idx - r_idx]; };
+
+  // ---- C point: maximum inside the physiological search window --------
+  const std::size_t c_lo = std::min(next_r_idx - 1, r_idx + to_samples(cfg_.c_search_min_s, fs_));
+  const std::size_t c_hi = std::min(next_r_idx - 1, r_idx + to_samples(cfg_.c_search_max_s, fs_));
+  if (c_lo >= c_hi) return out;
+  std::size_t c = c_lo;
+  for (std::size_t i = c_lo; i <= c_hi; ++i)
+    if (at(i) > at(c)) c = i;
+  if (at(c) <= 0.0) return out; // no ejection wave in this beat
+  out.c = c;
+  out.c_amplitude = at(c);
+
+  // ---- B0: line fit of the rising limb between 40 % and 80 % of C -----
+  const double lo_level = cfg_.b_line_low_frac * at(c);
+  const double hi_level = cfg_.b_line_high_frac * at(c);
+  // The floor combines the look-back bound with the physiological PEP
+  // minimum: without the latter, an artifact-flattened notch lets the
+  // zero-crossing scan run all the way to R (PEP = 0).
+  const std::size_t b_floor =
+      std::max(r_idx + to_samples(cfg_.b_min_pep_s, fs_),
+               c > to_samples(cfg_.b_search_back_s, fs_)
+                   ? c - to_samples(cfg_.b_search_back_s, fs_)
+                   : std::size_t{0});
+  if (b_floor >= c) return out;
+  // Walk left from C to find where the rising limb passes the two levels.
+  std::size_t i_hi = c, i_lo = c;
+  for (std::size_t i = c; i > b_floor; --i) {
+    if (at(i) >= hi_level) i_hi = i;
+    if (at(i) >= lo_level) i_lo = i;
+    else break; // fell below the 40 % level: the limb segment is complete
+  }
+  if (i_lo >= i_hi || i_hi - i_lo < 2) return out; // limb too steep to fit at this fs
+  dsp::Signal ts, vs;
+  for (std::size_t i = i_lo; i <= i_hi; ++i) {
+    ts.push_back(static_cast<double>(i));
+    vs.push_back(at(i));
+  }
+  const dsp::LineFit fit = dsp::fit_line(ts, vs);
+  const std::optional<double> crossing = fit.zero_crossing();
+  if (!crossing.has_value()) return out;
+  const double b0_f = std::clamp(*crossing, static_cast<double>(b_floor),
+                                 static_cast<double>(c));
+  const std::size_t b0 = static_cast<std::size_t>(b0_f);
+  out.b0 = b0;
+
+  // ---- derivatives over the beat neighbourhood -------------------------
+  // Slice a window [b_floor-5, x_hi+5] (clamped to the beat) so derivative
+  // edge effects stay outside the decision region.
+  const std::size_t x_hi_limit =
+      std::min(next_r_idx - 1, c + to_samples(cfg_.x_search_max_s, fs_));
+  const std::size_t w_lo = std::max(r_idx, b_floor > 5 ? b_floor - 5 : 0);
+  const std::size_t w_hi = std::min(next_r_idx - 1, x_hi_limit + 5);
+  dsp::Signal seg(work.begin() + static_cast<dsp::Index>(w_lo - r_idx),
+                  work.begin() + static_cast<dsp::Index>(w_hi + 1 - r_idx));
+  const dsp::Signal d1 = dsp::derivative(seg, fs_);
+  const dsp::Signal d2 = dsp::second_derivative(seg, fs_);
+  const dsp::Signal d3 = dsp::third_derivative(seg, fs_);
+  auto local = [&](std::size_t abs_idx) { return abs_idx - w_lo; };
+  auto absolute = [&](std::size_t loc_idx) { return loc_idx + w_lo; };
+
+  // ---- B point ---------------------------------------------------------
+  // Look for the (+,-,+,-) sign pattern of d2 on the *rising limb*,
+  // scanning left from C down to B0. The pattern signals an inflection-
+  // type B (a curvature wiggle on the upstroke with no local minimum);
+  // scanning further left would always pick up the A wave's curvature
+  // and falsely trigger the rule on every beat.
+  double d2_max = 0.0;
+  for (std::size_t i = local(b_floor); i <= local(c); ++i)
+    d2_max = std::max(d2_max, std::abs(d2[i]));
+  const double tol = cfg_.d2_tolerance_frac * d2_max;
+  std::vector<int> sign_runs;
+  for (std::size_t i = local(c);; --i) {
+    const int s = dsp::sign_with_tolerance(d2[i], tol);
+    if (s != 0 && (sign_runs.empty() || sign_runs.back() != s)) sign_runs.push_back(s);
+    if (i == local(b0) || i == 0) break;
+  }
+  // Reading right-to-left from C, the pattern (+,-,+,-) appears as the
+  // sequence encountered while scanning left: (-,+,-,+) in scan order --
+  // equivalently the left-to-right runs end with +,-,+,- at C. Compare
+  // both phases conservatively: require at least 4 runs with the last
+  // four alternating starting on -1 in scan order.
+  bool has_pattern = false;
+  if (sign_runs.size() >= 4) {
+    has_pattern = sign_runs[0] == -1 && sign_runs[1] == 1 && sign_runs[2] == -1 &&
+                  sign_runs[3] == 1;
+  }
+
+  std::optional<std::size_t> b_local;
+  if (has_pattern) {
+    out.b_method = BPointMethod::SignPattern;
+    b_local = first_local_min_left(d3, local(b0), local(b_floor) > 0 ? local(b_floor) : 0);
+  }
+  if (!b_local.has_value()) {
+    if (!has_pattern) out.b_method = BPointMethod::ZeroCrossing;
+    b_local = first_zero_crossing_left(d1, local(b0), local(b_floor) > 0 ? local(b_floor) : 0);
+  }
+  if (!b_local.has_value()) {
+    // Degenerate rise with no minimum: take B0 itself.
+    b_local = local(b0);
+  }
+  out.b = absolute(*b_local);
+  if (out.b >= out.c) out.b = b0 < c ? b0 : c - 1;
+
+  // ---- X point ---------------------------------------------------------
+  std::size_t x_lo = c + 1;
+  std::size_t x_hi = x_hi_limit;
+  if (cfg_.x_rule == XPointRule::CarvalhoRtWindow && rt_s.has_value() && *rt_s > 0.0) {
+    const std::size_t rt = to_samples(*rt_s, fs_);
+    x_lo = std::max(x_lo, r_idx + rt);
+    x_hi = std::min(x_hi, r_idx + to_samples(1.75 * *rt_s, fs_));
+  }
+  if (x_lo >= x_hi || x_hi >= icg.size()) return out;
+  std::size_t x0 = x_lo;
+  for (std::size_t i = x_lo; i <= x_hi; ++i)
+    if (at(i) < at(x0)) x0 = i;
+  // X0 must be a negative trough; otherwise the beat has no usable X.
+  if (at(x0) >= 0.0) return out;
+
+  // Refinement: local minimum of the 3rd derivative left of X0, bounded
+  // to a physiological window (valve closure precedes the trough bottom
+  // by at most a few tens of ms; an unbounded search would wander onto
+  // the decay limb on smooth signals).
+  const std::size_t x_floor =
+      std::max(local(c), local(x0) > to_samples(cfg_.x_refine_max_s, fs_)
+                             ? local(x0) - to_samples(cfg_.x_refine_max_s, fs_)
+                             : local(c));
+  const std::optional<std::size_t> x_local = first_local_min_left(d3, local(x0), x_floor);
+  out.x = x_local.has_value() ? absolute(*x_local) : x0;
+  if (out.x <= out.c) out.x = x0;
+
+  out.valid = out.b < out.c && out.c < out.x;
+  return out;
+}
+
+} // namespace icgkit::core

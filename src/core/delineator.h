@@ -1,0 +1,98 @@
+// ICG characteristic-point detection (Section IV-C of the paper), after
+// Carvalho et al., "Robust Characteristic Points for ICG: Definition and
+// Comparative Analysis", with the paper's two modifications.
+//
+// Operating on the ICG between two consecutive ECG R peaks:
+//
+//  C point -- the maximum of the ICG within the beat (peak aortic flow).
+//
+//  B point (aortic valve opening):
+//    1. Estimate B0: fit a least-squares line through the ICG samples on
+//       the rising limb between 40 % and 80 % of the C amplitude; B0 is
+//       where that line crosses the time axis (amplitude zero).
+//    2. If the second derivative of the ICG left of C shows the
+//       (+,-,+,-) sign pattern, B is the first minimum of the third
+//       derivative to the left of B0.
+//    3. Otherwise B is the first zero crossing of the first derivative
+//       (i.e. the local minimum of the ICG) to the left of B0.
+//
+//  X point (aortic valve closure):
+//    Paper rule -- X0 is the lowest negative ICG minimum to the right of
+//    C; X is the local minimum of the third derivative to the left of X0.
+//    Carvalho rule (kept as a comparison baseline; the paper argues the
+//    T-wave end is unreliable) -- X0 is the lowest negative ICG minimum
+//    inside [RT, 1.75 RT] after the R peak, where RT is the R-to-T
+//    interval measured on the ECG; the refinement is the same.
+#pragma once
+
+#include "dsp/types.h"
+
+#include <cstddef>
+#include <optional>
+
+namespace icgkit::core {
+
+/// Which initial X-point estimate to use (see header comment).
+enum class XPointRule {
+  PaperGlobalMin,   ///< the paper's modification (no T-wave dependence)
+  CarvalhoRtWindow, ///< the original RT-window rule
+};
+
+/// Which B-point refinement fired.
+enum class BPointMethod {
+  SignPattern,   ///< (+,-,+,-) found: third-derivative minimum rule
+  ZeroCrossing,  ///< fallback: first derivative zero crossing
+};
+
+struct DelineationConfig {
+  double c_search_min_s = 0.06; ///< C search window start, after R
+  double c_search_max_s = 0.45; ///< and end
+  double b_line_low_frac = 0.40;
+  double b_line_high_frac = 0.80;
+  double b_search_back_s = 0.25;  ///< how far left of C the B search may go
+  double b_min_pep_s = 0.04;      ///< B may not precede R + this (physiological floor)
+  double x_search_max_s = 0.45;   ///< X search window after C
+  double x_refine_max_s = 0.040;  ///< how far left of X0 the d3 refinement may move X
+  double d2_tolerance_frac = 0.02;///< dead zone for d2 sign, fraction of max |d2|
+  XPointRule x_rule = XPointRule::PaperGlobalMin;
+  /// Per-beat linear detrend anchored on the diastolic samples adjacent
+  /// to the two R peaks. Removes the respiratory baseline (0.04-2 Hz,
+  /// Section II) that the 20 Hz low-pass cannot touch; without it the
+  /// amplitude-referenced rules (B0 axis crossing, X0 negativity) break
+  /// whenever respiration shifts a beat away from zero.
+  bool detrend = true;
+};
+
+/// One delineated beat; indices are absolute sample positions in the
+/// signal passed to `delineate`.
+struct BeatDelineation {
+  std::size_t r = 0;
+  std::size_t b = 0;
+  std::size_t c = 0;
+  std::size_t x = 0;
+  std::size_t b0 = 0;          ///< initial B estimate (line-fit intersection)
+  BPointMethod b_method = BPointMethod::ZeroCrossing;
+  double c_amplitude = 0.0;    ///< ICG value at C, Ohm/s (the (dZ/dt)max)
+  bool valid = false;
+};
+
+class IcgDelineator {
+ public:
+  explicit IcgDelineator(dsp::SampleRate fs, const DelineationConfig& cfg = {});
+
+  /// Delineates the beat whose R peak is at `r_idx`, bounded by the next
+  /// R at `next_r_idx`. `icg` is the full filtered ICG trace. `rt_s` is
+  /// the R-to-T-peak interval for the Carvalho X rule (ignored by the
+  /// paper rule; the rule falls back to the paper rule when absent).
+  [[nodiscard]] BeatDelineation delineate(dsp::SignalView icg, std::size_t r_idx,
+                                          std::size_t next_r_idx,
+                                          std::optional<double> rt_s = std::nullopt) const;
+
+  [[nodiscard]] const DelineationConfig& config() const { return cfg_; }
+
+ private:
+  dsp::SampleRate fs_;
+  DelineationConfig cfg_;
+};
+
+} // namespace icgkit::core

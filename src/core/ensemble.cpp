@@ -1,0 +1,65 @@
+#include "core/ensemble.h"
+
+#include "dsp/stats.h"
+
+#include <stdexcept>
+
+namespace icgkit::core {
+
+EnsembleAverager::EnsembleAverager(dsp::SampleRate fs, const EnsembleConfig& cfg)
+    : fs_(fs), cfg_(cfg),
+      pre_samples_(static_cast<std::size_t>(cfg.pre_r_s * fs)),
+      len_samples_(static_cast<std::size_t>((cfg.pre_r_s + cfg.post_r_s) * fs)) {
+  if (fs <= 0.0) throw std::invalid_argument("EnsembleAverager: fs must be positive");
+  if (cfg.window_beats == 0)
+    throw std::invalid_argument("EnsembleAverager: window must be >= 1 beat");
+  if (len_samples_ < 10)
+    throw std::invalid_argument("EnsembleAverager: segment too short");
+}
+
+bool EnsembleAverager::add_beat(dsp::SignalView icg, std::size_t r_idx) {
+  if (r_idx < pre_samples_) return false;
+  const std::size_t start = r_idx - pre_samples_;
+  if (start + len_samples_ > icg.size()) return false;
+
+  dsp::Signal beat(icg.begin() + static_cast<dsp::Index>(start),
+                   icg.begin() + static_cast<dsp::Index>(start + len_samples_));
+
+  if (window_.size() >= cfg_.min_beats_for_gate) {
+    const dsp::Signal tmpl = average();
+    if (dsp::pearson(tmpl, beat) < cfg_.min_template_corr) {
+      ++rejected_;
+      return false;
+    }
+  }
+
+  window_.push_back(std::move(beat));
+  if (window_.size() > cfg_.window_beats) window_.erase(window_.begin());
+  return true;
+}
+
+dsp::Signal EnsembleAverager::average() const {
+  if (window_.empty()) return {};
+  dsp::Signal avg(len_samples_, 0.0);
+  for (const auto& beat : window_)
+    for (std::size_t i = 0; i < len_samples_; ++i) avg[i] += beat[i];
+  const double inv = 1.0 / static_cast<double>(window_.size());
+  for (auto& v : avg) v *= inv;
+  return avg;
+}
+
+std::optional<BeatDelineation> EnsembleAverager::delineate_average(
+    const IcgDelineator& delineator) const {
+  if (window_.size() < cfg_.min_beats_for_gate) return std::nullopt;
+  const dsp::Signal avg = average();
+  BeatDelineation d = delineator.delineate(avg, pre_samples_, avg.size());
+  if (!d.valid) return std::nullopt;
+  return d;
+}
+
+void EnsembleAverager::reset() {
+  window_.clear();
+  rejected_ = 0;
+}
+
+} // namespace icgkit::core

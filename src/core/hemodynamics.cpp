@@ -1,0 +1,87 @@
+#include "core/hemodynamics.h"
+
+#include "dsp/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::core {
+
+BeatHemodynamics compute_beat_hemodynamics(const BeatDelineation& beat, double rr_s,
+                                           double z0_ohm, dsp::SampleRate fs,
+                                           const BodyParameters& body) {
+  if (fs <= 0.0) throw std::invalid_argument("compute_beat_hemodynamics: fs");
+  BeatHemodynamics h;
+  if (!beat.valid || rr_s <= 0.0 || z0_ohm <= 0.0) return h;
+
+  h.pep_s = static_cast<double>(beat.b - beat.r) / fs;
+  h.lvet_s = static_cast<double>(beat.x - beat.b) / fs;
+  h.hr_bpm = 60.0 / rr_s;
+  h.dzdt_max = beat.c_amplitude;
+
+  // Thoracic-equivalent quantities (identity for the traditional setup).
+  const double z0_th = z0_ohm * body.z0_to_thoracic;
+  const double dzdt_th = h.dzdt_max * body.dzdt_to_thoracic;
+
+  const double l_over_z0 = body.electrode_distance_cm / z0_th;
+  h.sv_kubicek_ml =
+      body.blood_resistivity_ohm_cm * l_over_z0 * l_over_z0 * h.lvet_s * dzdt_th;
+
+  const double vept = std::pow(0.17 * body.height_cm, 3.0) / 4.25; // volume of electrically
+  h.sv_sramek_ml = vept * (dzdt_th / z0_th) * h.lvet_s;            // participating tissue
+
+  h.co_kubicek_l_min = h.sv_kubicek_ml * h.hr_bpm / 1000.0;
+  h.tfc_per_kohm = 1000.0 / z0_th;
+  return h;
+}
+
+HemodynamicsSummary summarize_hemodynamics(const std::vector<BeatHemodynamics>& beats,
+                                           double mad_factor) {
+  HemodynamicsSummary s;
+  if (beats.empty()) return s;
+
+  dsp::Signal peps, lvets;
+  for (const auto& b : beats) {
+    peps.push_back(b.pep_s);
+    lvets.push_back(b.lvet_s);
+  }
+  const double pep_med = dsp::median(peps);
+  const double pep_mad = dsp::mad(peps);
+  const double lvet_med = dsp::median(lvets);
+  const double lvet_mad = dsp::mad(lvets);
+
+  auto inlier = [&](const BeatHemodynamics& b) {
+    // A zero MAD (identical beats) accepts everything at the median.
+    const double pep_tol = std::max(mad_factor * pep_mad, 1e-9);
+    const double lvet_tol = std::max(mad_factor * lvet_mad, 1e-9);
+    return std::abs(b.pep_s - pep_med) <= pep_tol &&
+           std::abs(b.lvet_s - lvet_med) <= lvet_tol;
+  };
+
+  dsp::Signal pep2, lvet2, hr2, svk, svs, co, tfc;
+  for (const auto& b : beats) {
+    if (!inlier(b)) {
+      ++s.beats_rejected;
+      continue;
+    }
+    pep2.push_back(b.pep_s);
+    lvet2.push_back(b.lvet_s);
+    hr2.push_back(b.hr_bpm);
+    svk.push_back(b.sv_kubicek_ml);
+    svs.push_back(b.sv_sramek_ml);
+    co.push_back(b.co_kubicek_l_min);
+    tfc.push_back(b.tfc_per_kohm);
+  }
+  s.beats_used = pep2.size();
+  if (s.beats_used == 0) return s;
+  s.pep_s = dsp::mean(pep2);
+  s.lvet_s = dsp::mean(lvet2);
+  s.hr_bpm = dsp::mean(hr2);
+  s.sv_kubicek_ml = dsp::mean(svk);
+  s.sv_sramek_ml = dsp::mean(svs);
+  s.co_kubicek_l_min = dsp::mean(co);
+  s.tfc_per_kohm = dsp::mean(tfc);
+  return s;
+}
+
+} // namespace icgkit::core

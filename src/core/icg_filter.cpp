@@ -1,0 +1,32 @@
+#include "core/icg_filter.h"
+
+#include "dsp/butterworth.h"
+#include "dsp/derivative.h"
+#include "dsp/filtfilt.h"
+
+#include <stdexcept>
+
+namespace icgkit::core {
+
+IcgFilter::IcgFilter(dsp::SampleRate fs, const IcgFilterConfig& cfg)
+    : fs_(fs), lp_(dsp::butterworth_lowpass(cfg.order, cfg.cutoff_hz, fs)) {
+  if (fs <= 0.0) throw std::invalid_argument("IcgFilter: fs must be positive");
+  if (cfg.highpass_hz > 0.0) {
+    has_hp_ = true;
+    hp_ = dsp::butterworth_highpass(cfg.highpass_order, cfg.highpass_hz, fs);
+  }
+}
+
+dsp::Signal IcgFilter::apply(dsp::SignalView icg) const {
+  dsp::Signal y = dsp::filtfilt_sos(lp_, icg);
+  if (has_hp_) y = dsp::filtfilt_sos(hp_, y);
+  return y;
+}
+
+dsp::Signal icg_from_impedance(dsp::SignalView z_ohm, dsp::SampleRate fs) {
+  dsp::Signal icg = dsp::derivative(z_ohm, fs);
+  for (auto& v : icg) v = -v;
+  return icg;
+}
+
+} // namespace icgkit::core

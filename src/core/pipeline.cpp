@@ -1,0 +1,100 @@
+#include "core/pipeline.h"
+
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icgkit::core {
+
+BeatPipeline::BeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg)
+    : fs_(fs), cfg_(cfg), ecg_filter_(fs, cfg.ecg_filter), qrs_(fs, cfg.qrs),
+      icg_filter_(fs, cfg.icg_filter), delineator_(fs, cfg.delineation) {}
+
+PipelineResult BeatPipeline::process(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) const {
+  if (ecg_mv.size() != z_ohm.size())
+    throw std::invalid_argument("BeatPipeline: ECG and Z traces must be equal length");
+
+  PipelineResult result;
+  if (ecg_mv.empty()) return result;
+
+  result.z0_mean_ohm = dsp::mean(z_ohm);
+  result.filtered_ecg = ecg_filter_.apply(ecg_mv);
+  result.filtered_icg = icg_filter_.apply(icg_from_impedance(z_ohm, fs_));
+
+  const ecg::QrsDetection det = qrs_.detect(result.filtered_ecg);
+  result.r_peak_count = det.r_samples.size();
+
+  std::vector<BeatHemodynamics> usable;
+  for (std::size_t i = 0; i + 1 < det.r_samples.size(); ++i) {
+    const std::size_t r = det.r_samples[i];
+    const std::size_t r_next = det.r_samples[i + 1];
+    BeatRecord rec;
+    rec.rr_s = static_cast<double>(r_next - r) / fs_;
+    rec.points = delineator_.delineate(result.filtered_icg, r, r_next);
+    rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
+    rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, result.z0_mean_ohm, fs_,
+                                         cfg_.body);
+    if (rec.usable()) usable.push_back(rec.hemo);
+    result.beats.push_back(std::move(rec));
+  }
+  result.summary = summarize_hemodynamics(usable);
+  return result;
+}
+
+StreamingBeatPipeline::StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg,
+                                             double window_s)
+    : fs_(fs), pipeline_(fs, cfg),
+      window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)) {}
+
+std::vector<BeatRecord> StreamingBeatPipeline::push(dsp::SignalView ecg_mv,
+                                                    dsp::SignalView z_ohm) {
+  if (ecg_mv.size() != z_ohm.size())
+    throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
+  ecg_buf_.insert(ecg_buf_.end(), ecg_mv.begin(), ecg_mv.end());
+  z_buf_.insert(z_buf_.end(), z_ohm.begin(), z_ohm.end());
+  consumed_ += ecg_mv.size();
+
+  // Trim the window from the front, keeping absolute indexing intact.
+  if (ecg_buf_.size() > window_samples_) {
+    const std::size_t drop = ecg_buf_.size() - window_samples_;
+    ecg_buf_.erase(ecg_buf_.begin(), ecg_buf_.begin() + static_cast<dsp::Index>(drop));
+    z_buf_.erase(z_buf_.begin(), z_buf_.begin() + static_cast<dsp::Index>(drop));
+    buf_start_ += drop;
+  }
+  return drain(/*final_flush=*/false);
+}
+
+std::vector<BeatRecord> StreamingBeatPipeline::finish() {
+  return drain(/*final_flush=*/true);
+}
+
+std::vector<BeatRecord> StreamingBeatPipeline::drain(bool final_flush) {
+  std::vector<BeatRecord> emitted;
+  if (ecg_buf_.size() < static_cast<std::size_t>(2.0 * fs_)) return emitted;
+
+  PipelineResult res = pipeline_.process(ecg_buf_, z_buf_);
+  // A beat is emitted once its *following* R peak is safely inside the
+  // window (one-beat latency) -- except on the final flush, where all
+  // remaining beats go out.
+  const double guard_s = final_flush ? 0.0 : 0.5;
+  const double window_end_s =
+      static_cast<double>(buf_start_ + ecg_buf_.size()) / fs_ - guard_s;
+  for (BeatRecord& rec : res.beats) {
+    const double r_abs_s = static_cast<double>(buf_start_ + rec.points.r) / fs_;
+    const double next_r_abs_s = r_abs_s + rec.rr_s;
+    if (r_abs_s <= last_emitted_r_s_ + 1e-9) continue; // already emitted
+    if (next_r_abs_s > window_end_s) continue;         // not complete yet
+    // Rebase indices to absolute sample positions.
+    rec.points.r += buf_start_;
+    rec.points.b += buf_start_;
+    rec.points.b0 += buf_start_;
+    rec.points.c += buf_start_;
+    rec.points.x += buf_start_;
+    last_emitted_r_s_ = r_abs_s;
+    emitted.push_back(rec);
+  }
+  return emitted;
+}
+
+} // namespace icgkit::core

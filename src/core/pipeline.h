@@ -1,0 +1,107 @@
+// The beat-to-beat processing engine: the composition the paper's Fig 3
+// flowchart describes. Raw ECG + impedance in; per-beat characteristic
+// points and hemodynamic parameters out.
+//
+//   ECG  -> morphological baseline removal -> zero-phase FIR band-pass
+//        -> Pan-Tompkins R peaks
+//   Z    -> ICG = -dZ/dt -> zero-phase Butterworth low-pass 20 Hz
+//   per R-R pair -> C/B/X delineation -> quality gate -> PEP/LVET/SV/CO
+//
+// Two entry points:
+//   - BeatPipeline::process           one recording, batch (offline)
+//   - StreamingBeatPipeline           chunked feed; emits each beat once,
+//     with one-beat latency, the way the embedded firmware reports
+//     results beat by beat over the radio.
+#pragma once
+
+#include "core/delineator.h"
+#include "core/hemodynamics.h"
+#include "core/icg_filter.h"
+#include "core/quality.h"
+#include "ecg/ecg_filter.h"
+#include "ecg/pan_tompkins.h"
+#include "dsp/types.h"
+
+#include <optional>
+#include <vector>
+
+namespace icgkit::core {
+
+struct PipelineConfig {
+  ecg::EcgFilterConfig ecg_filter{};
+  ecg::PanTompkinsConfig qrs{};
+  IcgFilterConfig icg_filter{};
+  DelineationConfig delineation{};
+  QualityConfig quality{};
+  BodyParameters body{};
+};
+
+/// One fully-processed beat.
+struct BeatRecord {
+  BeatDelineation points;
+  BeatHemodynamics hemo;
+  BeatFlaw flaws = BeatFlaw::None;
+  double rr_s = 0.0;
+  [[nodiscard]] bool usable() const { return flaws == BeatFlaw::None; }
+};
+
+struct PipelineResult {
+  std::vector<BeatRecord> beats;
+  HemodynamicsSummary summary;       ///< over usable beats only
+  double z0_mean_ohm = 0.0;          ///< mean of the impedance trace
+  std::size_t r_peak_count = 0;
+  dsp::Signal filtered_ecg;          ///< retained for inspection/benches
+  dsp::Signal filtered_icg;
+};
+
+class BeatPipeline {
+ public:
+  explicit BeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {});
+
+  /// Processes one synchronized recording (equal-length ECG mV and
+  /// impedance Ohm traces).
+  [[nodiscard]] PipelineResult process(dsp::SignalView ecg_mv,
+                                       dsp::SignalView z_ohm) const;
+
+  [[nodiscard]] dsp::SampleRate sample_rate() const { return fs_; }
+  [[nodiscard]] const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  dsp::SampleRate fs_;
+  PipelineConfig cfg_;
+  ecg::EcgFilter ecg_filter_;
+  ecg::PanTompkins qrs_;
+  IcgFilter icg_filter_;
+  IcgDelineator delineator_;
+};
+
+/// Chunk-fed wrapper with one-beat emission latency. Internally keeps a
+/// bounded window (default 12 s) and re-runs detection on it per chunk;
+/// each completed beat is emitted exactly once, in order.
+class StreamingBeatPipeline {
+ public:
+  StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
+                        double window_s = 12.0);
+
+  /// Feeds one synchronized chunk; returns the beats completed by it.
+  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+
+  /// Flushes the final pending beat (end of recording).
+  std::vector<BeatRecord> finish();
+
+  [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+
+ private:
+  std::vector<BeatRecord> drain(bool final_flush);
+
+  dsp::SampleRate fs_;
+  BeatPipeline pipeline_;
+  std::size_t window_samples_;
+  dsp::Signal ecg_buf_;
+  dsp::Signal z_buf_;
+  std::size_t buf_start_ = 0;   ///< absolute index of buffer sample 0
+  std::size_t consumed_ = 0;    ///< absolute samples fed so far
+  double last_emitted_r_s_ = -1.0; ///< absolute time of last emitted beat's R
+};
+
+} // namespace icgkit::core

@@ -1,0 +1,49 @@
+// Per-beat quality gating. The device is used unsupervised at the point
+// of care (Section I of the paper), so every beat is screened against
+// physiological plausibility before its parameters are reported.
+#pragma once
+
+#include "core/delineator.h"
+#include "dsp/types.h"
+
+#include <cstdint>
+#include <string>
+
+namespace icgkit::core {
+
+/// Reasons a beat can be rejected (bitmask).
+enum class BeatFlaw : std::uint32_t {
+  None = 0,
+  InvalidDelineation = 1u << 0,
+  PepOutOfRange = 1u << 1,      ///< outside [40, 200] ms
+  LvetOutOfRange = 1u << 2,     ///< outside [150, 500] ms
+  AmplitudeOutOfRange = 1u << 3,///< (dZ/dt)max implausible
+  RrOutOfRange = 1u << 4,       ///< outside [0.3, 2.0] s
+};
+
+constexpr BeatFlaw operator|(BeatFlaw a, BeatFlaw b) {
+  return static_cast<BeatFlaw>(static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b));
+}
+constexpr bool has_flaw(BeatFlaw set, BeatFlaw f) {
+  return (static_cast<std::uint32_t>(set) & static_cast<std::uint32_t>(f)) != 0;
+}
+
+struct QualityConfig {
+  double min_pep_s = 0.040;
+  double max_pep_s = 0.200;
+  double min_lvet_s = 0.150;
+  double max_lvet_s = 0.500;
+  double min_dzdt = 0.1;  ///< Ohm/s
+  double max_dzdt = 10.0;
+  double min_rr_s = 0.3;
+  double max_rr_s = 2.0;
+};
+
+/// Screens one delineated beat. BeatFlaw::None means the beat is usable.
+BeatFlaw assess_beat(const BeatDelineation& beat, double rr_s, dsp::SampleRate fs,
+                     const QualityConfig& cfg = {});
+
+/// Human-readable rendering of a flaw set ("pep-range|rr-range" etc.).
+std::string describe_flaws(BeatFlaw flaws);
+
+} // namespace icgkit::core

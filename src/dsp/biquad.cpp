@@ -1,0 +1,87 @@
+#include "dsp/biquad.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+Signal sos_apply(const SosFilter& filter, SignalView x) {
+  Signal y(x.begin(), x.end());
+  for (const Biquad& s : filter.sections) {
+    double s1 = 0.0, s2 = 0.0;
+    for (auto& v : y) {
+      const double in = v;
+      const double out = s.b0 * in + s1;
+      s1 = s.b1 * in - s.a1 * out + s2;
+      s2 = s.b2 * in - s.a2 * out;
+      v = out;
+    }
+  }
+  for (auto& v : y) v *= filter.gain;
+  return y;
+}
+
+Signal sos_apply_steady(const SosFilter& filter, SignalView x) {
+  if (x.empty()) return {};
+  Signal y(x.begin(), x.end());
+  double level = x[0]; // DC level entering the current section
+  for (const Biquad& s : filter.sections) {
+    // Steady state for constant input u (transposed direct form II):
+    //   out = g*u,  s1 = out - b0*u,  s2 = s1 - b1*u + a1*out
+    const double den = 1.0 + s.a1 + s.a2;
+    const double g = (std::abs(den) > 1e-300) ? (s.b0 + s.b1 + s.b2) / den : 0.0;
+    const double u = level;
+    const double out0 = g * u;
+    double s1 = out0 - s.b0 * u;
+    double s2 = s1 - s.b1 * u + s.a1 * out0;
+    for (auto& v : y) {
+      const double in = v;
+      const double out = s.b0 * in + s1;
+      s1 = s.b1 * in - s.a1 * out + s2;
+      s2 = s.b2 * in - s.a2 * out;
+      v = out;
+    }
+    level = out0;
+  }
+  for (auto& v : y) v *= filter.gain;
+  return y;
+}
+
+double sos_magnitude_at(const SosFilter& filter, double freq_hz, SampleRate fs) {
+  const double omega = 2.0 * std::numbers::pi * freq_hz / fs;
+  const std::complex<double> z_inv = std::polar(1.0, -omega);
+  const std::complex<double> z_inv2 = z_inv * z_inv;
+  std::complex<double> h{filter.gain, 0.0};
+  for (const Biquad& s : filter.sections) {
+    const std::complex<double> num = s.b0 + s.b1 * z_inv + s.b2 * z_inv2;
+    const std::complex<double> den = 1.0 + s.a1 * z_inv + s.a2 * z_inv2;
+    h *= num / den;
+  }
+  return std::abs(h);
+}
+
+StreamingSos::StreamingSos(SosFilter filter)
+    : filter_(std::move(filter)), states_(filter_.sections.size()) {
+  if (filter_.sections.empty()) throw std::invalid_argument("StreamingSos: empty cascade");
+}
+
+Sample StreamingSos::process(Sample x) {
+  double v = x;
+  for (std::size_t i = 0; i < filter_.sections.size(); ++i) {
+    const Biquad& s = filter_.sections[i];
+    State& st = states_[i];
+    const double out = s.b0 * v + st.s1;
+    st.s1 = s.b1 * v - s.a1 * out + st.s2;
+    st.s2 = s.b2 * v - s.a2 * out;
+    v = out;
+  }
+  return v * filter_.gain;
+}
+
+void StreamingSos::reset() {
+  for (auto& st : states_) st = State{};
+}
+
+} // namespace icgkit::dsp

@@ -1,0 +1,121 @@
+#include "dsp/butterworth.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+void check_args(std::size_t order, double cutoff_hz, SampleRate fs) {
+  if (order == 0) throw std::invalid_argument("butterworth: order must be >= 1");
+  if (fs <= 0.0) throw std::invalid_argument("butterworth: fs must be positive");
+  if (cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0)
+    throw std::invalid_argument("butterworth: cutoff must lie in (0, fs/2)");
+}
+
+// Bilinear transform of an analog second-order section
+//   H(s) = (B0 + B1 s + B2 s^2) / (A0 + A1 s + A2 s^2)
+// with s = K (1 - z^-1)/(1 + z^-1), K = 2*fs.
+Biquad bilinear(double B0, double B1, double B2, double A0, double A1, double A2, double K) {
+  const double K2 = K * K;
+  const double a0 = A0 + A1 * K + A2 * K2;
+  Biquad s;
+  s.b0 = (B0 + B1 * K + B2 * K2) / a0;
+  s.b1 = (2.0 * B0 - 2.0 * B2 * K2) / a0;
+  s.b2 = (B0 - B1 * K + B2 * K2) / a0;
+  s.a1 = (2.0 * A0 - 2.0 * A2 * K2) / a0;
+  s.a2 = (A0 - A1 * K + A2 * K2) / a0;
+  return s;
+}
+
+// Angles of the left-half-plane Butterworth prototype poles that form
+// conjugate pairs, plus whether there is a single real pole (odd order).
+struct Prototype {
+  std::vector<double> pair_angles; // theta in (pi/2, pi); pole = exp(j*theta)
+  bool has_real_pole = false;
+};
+
+Prototype prototype_poles(std::size_t order) {
+  Prototype p;
+  for (std::size_t k = 0; k < order / 2; ++k) {
+    const double theta =
+        kPi * (2.0 * static_cast<double>(k) + 1.0) / (2.0 * static_cast<double>(order)) +
+        kPi / 2.0;
+    p.pair_angles.push_back(theta);
+  }
+  p.has_real_pole = (order % 2 == 1);
+  return p;
+}
+
+enum class Kind { Lowpass, Highpass };
+
+SosFilter design(Kind kind, std::size_t order, double cutoff_hz, SampleRate fs) {
+  check_args(order, cutoff_hz, fs);
+  const double K = 2.0 * fs;
+  // Pre-warp the cut-off so the digital filter's -3 dB point lands exactly
+  // at cutoff_hz after the bilinear transform.
+  const double wc = K * std::tan(kPi * cutoff_hz / fs);
+
+  const Prototype proto = prototype_poles(order);
+  SosFilter filter;
+  for (const double theta : proto.pair_angles) {
+    // Analog denominator for the scaled conjugate pair p = wc * e^{j theta}:
+    //   s^2 - 2 Re(p) s + |p|^2 = s^2 + (-2 wc cos theta) s + wc^2.
+    const double A0 = wc * wc;
+    const double A1 = -2.0 * wc * std::cos(theta);
+    const double A2 = 1.0;
+    if (kind == Kind::Lowpass) {
+      filter.sections.push_back(bilinear(wc * wc, 0.0, 0.0, A0, A1, A2, K));
+    } else {
+      filter.sections.push_back(bilinear(0.0, 0.0, 1.0, A0, A1, A2, K));
+    }
+  }
+  if (proto.has_real_pole) {
+    // First-order sections are built directly rather than through the
+    // quadratic bilinear formula: the quadratic form carries a common
+    // (1 + z^-1) factor in numerator and denominator, which makes the
+    // magnitude evaluation 0/0 at Nyquist and breaks gain normalization.
+    const double a0 = K + wc;
+    Biquad s;
+    if (kind == Kind::Lowpass) {
+      s.b0 = wc / a0;
+      s.b1 = wc / a0;
+    } else {
+      s.b0 = K / a0;
+      s.b1 = -K / a0;
+    }
+    s.b2 = 0.0;
+    s.a1 = (wc - K) / a0;
+    s.a2 = 0.0;
+    filter.sections.push_back(s);
+  }
+  // Exact unity passband gain: normalize at DC (low-pass) or Nyquist (high-pass).
+  const double ref_hz = (kind == Kind::Lowpass) ? 0.0 : fs / 2.0;
+  const double mag = sos_magnitude_at(filter, ref_hz, fs);
+  if (mag <= 0.0) throw std::logic_error("butterworth: degenerate design");
+  filter.gain = 1.0 / mag;
+  return filter;
+}
+} // namespace
+
+SosFilter butterworth_lowpass(std::size_t order, double cutoff_hz, SampleRate fs) {
+  return design(Kind::Lowpass, order, cutoff_hz, fs);
+}
+
+SosFilter butterworth_highpass(std::size_t order, double cutoff_hz, SampleRate fs) {
+  return design(Kind::Highpass, order, cutoff_hz, fs);
+}
+
+SosFilter butterworth_bandpass(std::size_t order, double f1_hz, double f2_hz, SampleRate fs) {
+  if (!(f1_hz < f2_hz)) throw std::invalid_argument("butterworth: band-pass requires f1 < f2");
+  SosFilter hp = butterworth_highpass(order, f1_hz, fs);
+  const SosFilter lp = butterworth_lowpass(order, f2_hz, fs);
+  hp.sections.insert(hp.sections.end(), lp.sections.begin(), lp.sections.end());
+  hp.gain *= lp.gain;
+  return hp;
+}
+
+} // namespace icgkit::dsp

@@ -1,0 +1,30 @@
+// Butterworth IIR design via analog prototype + bilinear transform.
+//
+// The paper's ICG chain uses a zero-phase low-pass Butterworth with cut-off
+// 20 Hz (Section IV-A, "ICG filtering"). `butterworth_lowpass(4, 20, fs)`
+// plus `filtfilt_sos` reproduces that chain (the paper does not state the
+// order; 4 is the common choice for ICG smoothing and is what we calibrate
+// against — the effective zero-phase attenuation is then 8th order).
+#pragma once
+
+#include "dsp/biquad.h"
+#include "dsp/types.h"
+
+#include <cstddef>
+
+namespace icgkit::dsp {
+
+/// Designs an `order`-pole Butterworth low-pass as an SOS cascade.
+/// `order` >= 1; odd orders place one real pole in a degenerate section.
+SosFilter butterworth_lowpass(std::size_t order, double cutoff_hz, SampleRate fs);
+
+/// Designs an `order`-pole Butterworth high-pass as an SOS cascade.
+SosFilter butterworth_highpass(std::size_t order, double cutoff_hz, SampleRate fs);
+
+/// Band-pass as a cascade of an `order`-pole high-pass at f1 and an
+/// `order`-pole low-pass at f2 (total 2*order poles). This is not the
+/// classical LP->BP pole transform but is simpler, well-conditioned, and
+/// adequate when f2/f1 is large, as in all biosignal bands used here.
+SosFilter butterworth_bandpass(std::size_t order, double f1_hz, double f2_hz, SampleRate fs);
+
+} // namespace icgkit::dsp

@@ -1,0 +1,58 @@
+#include "dsp/derivative.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+Signal derivative(SignalView x, SampleRate fs) {
+  if (fs <= 0.0) throw std::invalid_argument("derivative: fs must be positive");
+  const std::size_t n = x.size();
+  Signal y(n, 0.0);
+  if (n < 2) return y;
+  y[0] = (x[1] - x[0]) * fs;
+  for (std::size_t i = 1; i + 1 < n; ++i) y[i] = (x[i + 1] - x[i - 1]) * fs * 0.5;
+  y[n - 1] = (x[n - 1] - x[n - 2]) * fs;
+  return y;
+}
+
+Signal second_derivative(SignalView x, SampleRate fs) {
+  if (fs <= 0.0) throw std::invalid_argument("second_derivative: fs must be positive");
+  const std::size_t n = x.size();
+  Signal y(n, 0.0);
+  if (n < 3) return y;
+  const double fs2 = fs * fs;
+  for (std::size_t i = 1; i + 1 < n; ++i)
+    y[i] = (x[i + 1] - 2.0 * x[i] + x[i - 1]) * fs2;
+  y[0] = y[1];
+  y[n - 1] = y[n - 2];
+  return y;
+}
+
+Signal third_derivative(SignalView x, SampleRate fs) {
+  return derivative(second_derivative(x, fs), fs);
+}
+
+Signal five_point_derivative(SignalView x, SampleRate fs) {
+  if (fs <= 0.0) throw std::invalid_argument("five_point_derivative: fs must be positive");
+  const std::size_t n = x.size();
+  if (n < 5) return derivative(x, fs);
+  Signal y(n, 0.0);
+  // Aligned form: y[n] corresponds to the PT output at delay-compensated
+  // position, i.e. uses x[n-2..n+2].
+  for (std::size_t i = 2; i + 2 < n; ++i)
+    y[i] = (2.0 * x[i + 2] + x[i + 1] - x[i - 1] - 2.0 * x[i - 2]) * fs / 8.0;
+  const Signal fallback = derivative(x, fs);
+  y[0] = fallback[0];
+  y[1] = fallback[1];
+  y[n - 2] = fallback[n - 2];
+  y[n - 1] = fallback[n - 1];
+  return y;
+}
+
+int sign_with_tolerance(double v, double eps) {
+  if (std::abs(v) <= eps) return 0;
+  return v > 0.0 ? 1 : -1;
+}
+
+} // namespace icgkit::dsp

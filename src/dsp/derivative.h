@@ -1,0 +1,33 @@
+// Discrete derivative operators.
+//
+// The ICG delineator (Section IV-C) relies on the 1st, 2nd and 3rd
+// derivatives of the ICG waveform and their sign patterns; Pan-Tompkins
+// uses the classic 5-point derivative. All operators scale by fs so the
+// output is in signal-units per second.
+#pragma once
+
+#include "dsp/types.h"
+
+namespace icgkit::dsp {
+
+/// Central-difference first derivative: y[n] = (x[n+1] - x[n-1]) * fs / 2,
+/// one-sided at the edges. Output length equals input length.
+Signal derivative(SignalView x, SampleRate fs);
+
+/// Second derivative: y[n] = (x[n+1] - 2 x[n] + x[n-1]) * fs^2; edges copy
+/// their neighbours.
+Signal second_derivative(SignalView x, SampleRate fs);
+
+/// Third derivative via derivative(second_derivative(x)).
+Signal third_derivative(SignalView x, SampleRate fs);
+
+/// The Pan-Tompkins 5-point derivative,
+/// y[n] = (2 x[n] + x[n-1] - x[n-3] - 2 x[n-4]) * fs / 8, delay 2 samples
+/// (compensated: output is aligned with the input). Edges use the
+/// central-difference fallback.
+Signal five_point_derivative(SignalView x, SampleRate fs);
+
+/// Sign of v with a dead zone: -1, 0 or +1, where |v| <= eps maps to 0.
+int sign_with_tolerance(double v, double eps);
+
+} // namespace icgkit::dsp

@@ -1,0 +1,124 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+} // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(Spectrum& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  if (!is_pow2(n)) throw std::invalid_argument("fft: length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const std::complex<double> wlen = std::polar(1.0, ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+Spectrum rfft(SignalView x) {
+  if (x.empty()) return {};
+  Spectrum c(next_pow2(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = {x[i], 0.0};
+  fft_inplace(c);
+  return c;
+}
+
+Signal magnitude_spectrum(SignalView x) {
+  const Spectrum c = rfft(x);
+  Signal mag(c.size() / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(c[k]);
+  return mag;
+}
+
+Psd welch_psd(SignalView x, SampleRate fs, const WelchConfig& cfg) {
+  if (fs <= 0.0) throw std::invalid_argument("welch_psd: fs must be positive");
+  if (x.empty()) return {};
+  const std::size_t nseg = std::min(next_pow2(cfg.segment_length), next_pow2(x.size()));
+  const std::size_t hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(nseg) * (1.0 - cfg.overlap)));
+
+  const Signal w = make_window(cfg.window, nseg);
+  double wpow = 0.0;
+  for (const double v : w) wpow += v * v;
+
+  Signal acc(nseg / 2 + 1, 0.0);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + nseg <= x.size(); start += hop) {
+    Spectrum seg(nseg);
+    for (std::size_t i = 0; i < nseg; ++i) seg[i] = {x[start + i] * w[i], 0.0};
+    fft_inplace(seg);
+    for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += std::norm(seg[k]);
+    ++count;
+  }
+  if (count == 0) {
+    // Signal shorter than one segment: single zero-padded periodogram.
+    Spectrum seg(nseg);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      seg[i] = {x[i] * w[i % w.size()], 0.0};
+    fft_inplace(seg);
+    for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += std::norm(seg[k]);
+    count = 1;
+  }
+
+  Psd psd;
+  psd.freq_hz.resize(acc.size());
+  psd.power.resize(acc.size());
+  const double scale = 1.0 / (static_cast<double>(count) * fs * wpow);
+  for (std::size_t k = 0; k < acc.size(); ++k) {
+    psd.freq_hz[k] = static_cast<double>(k) * fs / static_cast<double>(nseg);
+    // One-sided density: double everything except DC and Nyquist.
+    const bool interior = (k != 0) && (k != acc.size() - 1);
+    psd.power[k] = acc[k] * scale * (interior ? 2.0 : 1.0);
+  }
+  return psd;
+}
+
+double band_power(const Psd& psd, double f_lo, double f_hi) {
+  double total = 0.0;
+  for (std::size_t k = 0; k + 1 < psd.freq_hz.size(); ++k) {
+    const double f0 = psd.freq_hz[k];
+    const double f1 = psd.freq_hz[k + 1];
+    if (f1 < f_lo || f0 > f_hi) continue;
+    total += 0.5 * (psd.power[k] + psd.power[k + 1]) * (f1 - f0);
+  }
+  return total;
+}
+
+} // namespace icgkit::dsp

@@ -1,0 +1,51 @@
+// Radix-2 FFT and Welch power-spectral-density estimation.
+//
+// Used by the synthesizer calibration and by the ICG filtering rationale
+// bench (the paper chose the 20 Hz cut-off "after looking at the frequency
+// spectrum of the signal", Section IV-A.2).
+#pragma once
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+#include <complex>
+#include <vector>
+
+namespace icgkit::dsp {
+
+using Spectrum = std::vector<std::complex<double>>;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `x.size()` must be a power
+/// of two. `inverse` applies the conjugate transform including the 1/N
+/// scaling.
+void fft_inplace(Spectrum& x, bool inverse = false);
+
+/// FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum of length >= x.size().
+Spectrum rfft(SignalView x);
+
+/// Magnitude spectrum |X[k]| for k in [0, N/2], with the frequency of bin
+/// k equal to k * fs / N.
+Signal magnitude_spectrum(SignalView x);
+
+/// Next power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+struct WelchConfig {
+  std::size_t segment_length = 1024; // rounded up to a power of two
+  double overlap = 0.5;              // fraction of segment_length
+  WindowKind window = WindowKind::Hann;
+};
+
+struct Psd {
+  Signal freq_hz; // bin centers
+  Signal power;   // power density, one-sided
+};
+
+/// Welch's averaged-periodogram PSD estimate (one-sided, density scaling).
+Psd welch_psd(SignalView x, SampleRate fs, const WelchConfig& cfg = {});
+
+/// Total power of a PSD restricted to [f_lo, f_hi] (trapezoidal sum).
+double band_power(const Psd& psd, double f_lo, double f_hi);
+
+} // namespace icgkit::dsp

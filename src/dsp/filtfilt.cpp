@@ -1,0 +1,57 @@
+#include "dsp/filtfilt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+namespace {
+Signal reversed(Signal x) {
+  std::reverse(x.begin(), x.end());
+  return x;
+}
+
+std::size_t clamp_pad(std::size_t want, std::size_t n) {
+  if (n <= 1) return 0;
+  return std::min(want, n - 1);
+}
+
+template <typename ApplyFn>
+Signal forward_backward(SignalView x, std::size_t pad, ApplyFn&& apply) {
+  if (x.empty()) return {};
+  const Signal padded = odd_reflect_pad(x, pad);
+  Signal y = apply(padded);
+  y = reversed(std::move(y));
+  y = apply(y);
+  y = reversed(std::move(y));
+  return Signal(y.begin() + static_cast<Index>(pad),
+                y.begin() + static_cast<Index>(pad + x.size()));
+}
+} // namespace
+
+Signal odd_reflect_pad(SignalView x, std::size_t pad) {
+  if (x.empty()) return {};
+  if (pad >= x.size())
+    throw std::invalid_argument("odd_reflect_pad: pad must be < signal length");
+  Signal out;
+  out.reserve(x.size() + 2 * pad);
+  const double first = x.front();
+  const double last = x.back();
+  for (std::size_t k = pad; k >= 1; --k) out.push_back(2.0 * first - x[k]);
+  out.insert(out.end(), x.begin(), x.end());
+  for (std::size_t k = 1; k <= pad; ++k) out.push_back(2.0 * last - x[x.size() - 1 - k]);
+  return out;
+}
+
+Signal filtfilt_sos(const SosFilter& filter, SignalView x) {
+  const std::size_t pad = clamp_pad(3 * filter.order() + 1, x.size());
+  return forward_backward(x, pad,
+                          [&](SignalView v) { return sos_apply_steady(filter, v); });
+}
+
+Signal filtfilt_fir(const FirCoefficients& fir, SignalView x) {
+  const std::size_t pad = clamp_pad(3 * fir.taps.size(), x.size());
+  return forward_backward(x, pad, [&](SignalView v) { return fir_apply(fir, v); });
+}
+
+} // namespace icgkit::dsp

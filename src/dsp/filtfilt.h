@@ -1,0 +1,31 @@
+// Zero-phase (forward-backward) filtering.
+//
+// Both of the paper's cleaning chains are explicitly *zero-phase*
+// (Section IV-A): B, C and X are timing features, so any group delay
+// biases PEP and LVET directly. Forward-backward application squares the
+// magnitude response and cancels the phase exactly.
+//
+// Edge handling follows the standard practice (MATLAB filtfilt): the
+// signal is extended at both ends by `pad` samples of odd reflection
+// (2*x[0] - x[k]) so the filter state is warmed up before the true data
+// begins, then the extension is discarded.
+#pragma once
+
+#include "dsp/biquad.h"
+#include "dsp/fir_design.h"
+#include "dsp/types.h"
+
+namespace icgkit::dsp {
+
+/// Zero-phase application of an SOS cascade. `pad` defaults to
+/// 3 * order + 1 samples (clamped to the signal length - 1).
+Signal filtfilt_sos(const SosFilter& filter, SignalView x);
+
+/// Zero-phase application of an FIR filter. Pad defaults to 3 * taps.
+Signal filtfilt_fir(const FirCoefficients& fir, SignalView x);
+
+/// Odd-reflection padding used by the filtfilt implementations; exposed
+/// for testing. Returns pad + x + pad samples.
+Signal odd_reflect_pad(SignalView x, std::size_t pad);
+
+} // namespace icgkit::dsp

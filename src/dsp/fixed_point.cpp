@@ -1,0 +1,70 @@
+#include "dsp/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+namespace {
+constexpr double kQ30 = 1073741824.0; // 2^30
+
+std::int32_t to_q30(double v) {
+  if (v < -2.0 || v >= 2.0)
+    throw std::invalid_argument("fixed_point: coefficient outside Q2.30 range");
+  return static_cast<std::int32_t>(std::llround(v * kQ30));
+}
+
+// Q2.30 coefficient x Q1.31-ish state held in double-width accumulator.
+inline std::int64_t mac(std::int64_t acc, std::int32_t coeff, std::int64_t value) {
+  return acc + ((static_cast<std::int64_t>(coeff) * value) >> 30);
+}
+} // namespace
+
+FixedBiquad FixedBiquad::from(const Biquad& s) {
+  return {to_q30(s.b0), to_q30(s.b1), to_q30(s.b2), to_q30(s.a1), to_q30(s.a2)};
+}
+
+FixedSosFilter::FixedSosFilter(const SosFilter& design) {
+  sections_.reserve(design.sections.size());
+  for (std::size_t i = 0; i < design.sections.size(); ++i) {
+    Biquad s = design.sections[i];
+    if (i == 0) {
+      s.b0 *= design.gain;
+      s.b1 *= design.gain;
+      s.b2 *= design.gain;
+    }
+    sections_.push_back(FixedBiquad::from(s));
+  }
+}
+
+Signal FixedSosFilter::apply(SignalView x) const {
+  // State in Q31 relative to unit full scale; transposed direct form II.
+  constexpr double kQ31 = 2147483648.0; // 2^31
+  std::vector<std::int64_t> s1(sections_.size(), 0), s2(sections_.size(), 0);
+  Signal y(x.size());
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    std::int64_t v = static_cast<std::int64_t>(std::llround(x[n] * kQ31));
+    for (std::size_t k = 0; k < sections_.size(); ++k) {
+      const FixedBiquad& c = sections_[k];
+      const std::int64_t in = v;
+      const std::int64_t out = mac(s1[k], c.b0, in);
+      s1[k] = mac(mac(s2[k], c.b1, in), -c.a1, out);
+      s2[k] = mac(mac(0, c.b2, in), -c.a2, out);
+      v = out;
+    }
+    y[n] = static_cast<double>(v) / kQ31;
+  }
+  return y;
+}
+
+double fixed_point_error(const SosFilter& design, SignalView x) {
+  const FixedSosFilter fixed(design);
+  const Signal yd = sos_apply(design, x);
+  const Signal yf = fixed.apply(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    worst = std::max(worst, std::abs(yd[i] - yf[i]));
+  return worst;
+}
+
+} // namespace icgkit::dsp

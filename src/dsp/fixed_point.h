@@ -1,0 +1,53 @@
+// Q-format fixed-point biquad filtering.
+//
+// The STM32L151's Cortex-M3 has no FPU: double-precision software floats
+// cost ~70 cycles per multiply-accumulate, while a Q31 MAC costs ~4 (see
+// platform::McuConfig). This module provides the fixed-point counterpart
+// of the SOS cascade so the accuracy cost of that 17x speedup can be
+// measured (tests assert the Q31 path tracks the double path to ~1e-6 of
+// full scale for the paper's filters).
+//
+// Format: Q1.31-style signed accumulation with per-section coefficient
+// scaling. Coefficients with |a1| up to 2 (common for low cut-offs) are
+// stored in Q2.30.
+#pragma once
+
+#include "dsp/biquad.h"
+#include "dsp/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace icgkit::dsp {
+
+/// One biquad with Q2.30 coefficients and Q1.31 state.
+struct FixedBiquad {
+  std::int32_t b0, b1, b2, a1, a2; // Q2.30
+
+  static FixedBiquad from(const Biquad& s);
+};
+
+/// Fixed-point SOS cascade. Input samples are expected in [-1, 1) (caller
+/// scales); output is in the same normalized range.
+class FixedSosFilter {
+ public:
+  /// Quantizes a double-precision design. The overall `gain` is folded
+  /// into the first section's numerator. Throws if any coefficient falls
+  /// outside the Q2.30 range [-2, 2).
+  explicit FixedSosFilter(const SosFilter& design);
+
+  /// Processes a normalized signal through the cascade.
+  [[nodiscard]] Signal apply(SignalView x) const;
+
+  /// One sample, streaming.
+  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+
+ private:
+  std::vector<FixedBiquad> sections_;
+};
+
+/// Convenience: worst-case absolute deviation between the double and the
+/// fixed-point implementation over a signal (both fed the same input).
+double fixed_point_error(const SosFilter& design, SignalView x);
+
+} // namespace icgkit::dsp

@@ -1,0 +1,84 @@
+#include "dsp/morphology.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+namespace {
+enum class Extremum { Min, Max };
+
+// Sliding window min/max over a centered window in O(n) using a monotonic
+// deque. Window shrinks near the edges (equivalent to padding with the
+// identity element).
+Signal sliding_extremum(SignalView x, std::size_t width, Extremum kind) {
+  if (width % 2 == 0 || width == 0)
+    throw std::invalid_argument("morphology: structuring element width must be odd");
+  const Index n = static_cast<Index>(x.size());
+  const Index half = static_cast<Index>(width / 2);
+  Signal out(x.size());
+  std::deque<Index> dq; // indices, values monotone (front = current extremum)
+
+  auto better = [&](double a, double b) {
+    return kind == Extremum::Min ? a <= b : a >= b;
+  };
+
+  Index next_in = 0;
+  for (Index center = 0; center < n; ++center) {
+    const Index win_end = std::min<Index>(center + half, n - 1);
+    const Index win_begin = std::max<Index>(center - half, 0);
+    while (next_in <= win_end) {
+      while (!dq.empty() && better(x[static_cast<std::size_t>(next_in)],
+                                   x[static_cast<std::size_t>(dq.back())]))
+        dq.pop_back();
+      dq.push_back(next_in);
+      ++next_in;
+    }
+    while (!dq.empty() && dq.front() < win_begin) dq.pop_front();
+    out[static_cast<std::size_t>(center)] = x[static_cast<std::size_t>(dq.front())];
+  }
+  return out;
+}
+
+std::size_t make_odd(std::size_t w) { return (w % 2 == 0) ? w + 1 : w; }
+} // namespace
+
+Signal erode(SignalView x, std::size_t width) {
+  return sliding_extremum(x, width, Extremum::Min);
+}
+
+Signal dilate(SignalView x, std::size_t width) {
+  return sliding_extremum(x, width, Extremum::Max);
+}
+
+Signal morph_open(SignalView x, std::size_t width) {
+  const Signal e = erode(x, width);
+  return dilate(e, width);
+}
+
+Signal morph_close(SignalView x, std::size_t width) {
+  const Signal d = dilate(x, width);
+  return erode(d, width);
+}
+
+Signal estimate_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg) {
+  if (fs <= 0.0) throw std::invalid_argument("estimate_baseline: fs must be positive");
+  if (x.empty()) return {};
+  const std::size_t w1 =
+      make_odd(std::max<std::size_t>(3, static_cast<std::size_t>(cfg.qrs_window_s * fs)));
+  const std::size_t w2 = make_odd(
+      std::max<std::size_t>(w1, static_cast<std::size_t>(cfg.wave_window_factor *
+                                                         static_cast<double>(w1))));
+  const Signal opened = morph_open(x, w1);
+  return morph_close(opened, w2);
+}
+
+Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg) {
+  const Signal baseline = estimate_baseline(x, fs, cfg);
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - baseline[i];
+  return out;
+}
+
+} // namespace icgkit::dsp

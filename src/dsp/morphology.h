@@ -1,0 +1,49 @@
+// 1-D grayscale morphology with flat structuring elements, and the
+// morphological ECG baseline-wander estimator of Sun, Chan & Krishnan
+// ("ECG signal conditioning by morphological filtering", Comput. Biol.
+// Med. 2002) that the paper adopts in Section IV-A.
+//
+// The estimator applies an opening (erosion then dilation, removes peaks)
+// followed by a closing (dilation then erosion, removes pits) with two
+// structuring elements sized relative to the cardiac cycle; the result
+// tracks the baseline drift, which is then subtracted from the signal.
+#pragma once
+
+#include "dsp/types.h"
+
+#include <cstddef>
+
+namespace icgkit::dsp {
+
+/// Erosion with a flat structuring element of `width` samples (centered,
+/// width must be odd and >= 1). Edges use shrinking windows.
+Signal erode(SignalView x, std::size_t width);
+
+/// Dilation with a flat structuring element of `width` samples.
+Signal dilate(SignalView x, std::size_t width);
+
+/// Opening = erosion followed by dilation. Removes positive peaks narrower
+/// than the structuring element.
+Signal morph_open(SignalView x, std::size_t width);
+
+/// Closing = dilation followed by erosion. Removes negative pits narrower
+/// than the structuring element.
+Signal morph_close(SignalView x, std::size_t width);
+
+/// Parameters of the Sun et al. baseline estimator. The widths are derived
+/// from the sampling rate: the first structuring element must exceed the
+/// QRS width (default 0.2 s), the second must exceed the T-wave width
+/// (default 1.5x the first).
+struct BaselineEstimatorConfig {
+  double qrs_window_s = 0.2;
+  double wave_window_factor = 1.5;
+};
+
+/// Estimates the baseline wander of an ECG-like signal:
+/// open with w1 = odd(qrs_window_s * fs), then close with w2 = odd(1.5*w1).
+Signal estimate_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg = {});
+
+/// Convenience: x - estimate_baseline(x).
+Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg = {});
+
+} // namespace icgkit::dsp

@@ -1,0 +1,37 @@
+// Moving-window operators: average, integration (Pan-Tompkins MWI) and
+// exponential smoothing.
+#pragma once
+
+#include "dsp/types.h"
+
+#include <cstddef>
+#include <deque>
+
+namespace icgkit::dsp {
+
+/// Centered moving average over `width` samples (odd width; shrinking
+/// windows at the edges).
+Signal moving_average(SignalView x, std::size_t width);
+
+/// Causal moving-window integration as used by Pan-Tompkins:
+/// y[n] = mean(x[n-width+1 .. n]) with a growing window at the start.
+Signal moving_window_integrate(SignalView x, std::size_t width);
+
+/// First-order exponential moving average, y[n] = a*x[n] + (1-a)*y[n-1].
+Signal ema(SignalView x, double alpha);
+
+/// Streaming causal moving average (used by the embedded-style pipeline).
+class StreamingMovingAverage {
+ public:
+  explicit StreamingMovingAverage(std::size_t width);
+
+  Sample process(Sample x);
+  void reset();
+
+ private:
+  std::size_t width_;
+  std::deque<Sample> buf_;
+  double sum_ = 0.0;
+};
+
+} // namespace icgkit::dsp

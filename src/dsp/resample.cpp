@@ -1,0 +1,42 @@
+#include "dsp/resample.h"
+
+#include "dsp/butterworth.h"
+#include "dsp/filtfilt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::dsp {
+
+Signal resample_linear(SignalView x, SampleRate fs_in, SampleRate fs_out) {
+  if (fs_in <= 0.0 || fs_out <= 0.0)
+    throw std::invalid_argument("resample_linear: rates must be positive");
+  if (x.empty()) return {};
+  if (x.size() == 1) return Signal(1, x[0]);
+
+  const double duration = static_cast<double>(x.size() - 1) / fs_in;
+  const std::size_t n_out = static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
+  Signal y(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double t = static_cast<double>(i) / fs_out;
+    const double pos = t * fs_in;
+    const std::size_t lo = std::min(static_cast<std::size_t>(pos), x.size() - 2);
+    const double frac = pos - static_cast<double>(lo);
+    y[i] = x[lo] + frac * (x[lo + 1] - x[lo]);
+  }
+  return y;
+}
+
+Signal decimate(SignalView x, std::size_t factor, SampleRate fs_in) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be >= 1");
+  if (factor == 1) return Signal(x.begin(), x.end());
+  const double fs_out = fs_in / static_cast<double>(factor);
+  const SosFilter aa = butterworth_lowpass(4, 0.4 * fs_out, fs_in);
+  const Signal filtered = filtfilt_sos(aa, x);
+  Signal y;
+  y.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += factor) y.push_back(filtered[i]);
+  return y;
+}
+
+} // namespace icgkit::dsp

@@ -1,0 +1,21 @@
+// Sample-rate conversion.
+//
+// The device ADC samples from 125 Hz to 16 kHz (Section III-A); the
+// evaluation uses fs = 250 Hz. The resampler lets the synthesizer run at a
+// high internal rate (for clean ground truth) and then decimate to any
+// device rate.
+#pragma once
+
+#include "dsp/types.h"
+
+namespace icgkit::dsp {
+
+/// Linear-interpolation resampling from fs_in to fs_out. The output covers
+/// the same time span [0, (n-1)/fs_in].
+Signal resample_linear(SignalView x, SampleRate fs_in, SampleRate fs_out);
+
+/// Integer-factor decimation with an anti-alias Butterworth low-pass
+/// (zero-phase) at 0.4 * fs_out.
+Signal decimate(SignalView x, std::size_t factor, SampleRate fs_in);
+
+} // namespace icgkit::dsp

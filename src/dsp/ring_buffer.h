@@ -1,0 +1,76 @@
+// Fixed-capacity ring buffer for the streaming pipeline.
+//
+// Mirrors the bounded sample FIFO an embedded firmware would keep between
+// the ADC ISR and the processing loop. Header-only; trivially copyable
+// element types expected.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace icgkit::dsp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity must be >= 1");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Appends a value; overwrites the oldest element when full (the
+  /// firmware drop policy: newest data wins).
+  void push(const T& v) {
+    buf_[(head_ + size_) % buf_.size()] = v;
+    if (full()) {
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Removes and returns the oldest element.
+  T pop() {
+    if (empty()) throw std::out_of_range("RingBuffer: pop from empty");
+    T v = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return v;
+  }
+
+  /// Element i positions from the oldest (0 = oldest).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer: index out of range");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Newest element.
+  [[nodiscard]] const T& back() const { return at(size_ - 1); }
+  /// Oldest element.
+  [[nodiscard]] const T& front() const { return at(0); }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies the content oldest-to-newest into a vector.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+} // namespace icgkit::dsp

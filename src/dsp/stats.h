@@ -1,0 +1,58 @@
+// Descriptive statistics and small regression helpers.
+//
+// Pearson correlation is the paper's headline metric (Tables II-IV);
+// the least-squares line fit is used by the B-point detector (the B0
+// estimate intersects a line fit of the ICG rise with the time axis,
+// Section IV-C).
+#pragma once
+
+#include "dsp/types.h"
+
+#include <cstddef>
+#include <optional>
+
+namespace icgkit::dsp {
+
+double mean(SignalView x);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(SignalView x);
+double stddev(SignalView x);
+double rms(SignalView x);
+
+/// Pearson correlation coefficient. Returns 0 when either input is
+/// constant (correlation undefined). Sizes must match.
+double pearson(SignalView x, SignalView y);
+
+/// Median (copies and partially sorts). NaN-free input assumed.
+double median(SignalView x);
+
+/// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
+/// Gaussian data.
+double mad(SignalView x);
+
+/// Linear percentile interpolation, p in [0, 100].
+double percentile(SignalView x, double p);
+
+std::size_t argmax(SignalView x);
+std::size_t argmin(SignalView x);
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  [[nodiscard]] double at(double t) const { return slope * t + intercept; }
+  /// The abscissa where the line crosses zero; nullopt if the line is flat.
+  [[nodiscard]] std::optional<double> zero_crossing() const;
+};
+
+/// Least-squares fit of y over x (sizes must match, >= 2 points).
+LineFit fit_line(SignalView x, SignalView y);
+
+/// Least-squares fit of y over sample indices [0, n).
+LineFit fit_line_indexed(SignalView y);
+
+/// Relative error (a - b)/a as used in the paper's equations (1)-(3).
+/// Returns 0 when a == 0.
+double relative_error(double a, double b);
+
+} // namespace icgkit::dsp

@@ -1,0 +1,26 @@
+// Common scalar/sequence aliases for the whole toolkit.
+//
+// All continuous-valued signal processing is done in double precision: the
+// target MCU (STM32L151) quantizes at 12-16 bits, so double leaves the
+// algorithm error far below the acquisition error and keeps the offline
+// reference implementation bit-stable across platforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace icgkit::dsp {
+
+using Sample = double;
+using Signal = std::vector<Sample>;
+using SignalView = std::span<const Sample>;
+
+/// Sampling rate in Hz. Kept as its own type name so call sites read
+/// `SampleRate fs` rather than a bare double.
+using SampleRate = double;
+
+/// Index into a Signal. Signed so that differences of indices are safe.
+using Index = std::ptrdiff_t;
+
+} // namespace icgkit::dsp

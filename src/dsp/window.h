@@ -1,0 +1,24 @@
+// Window functions for FIR design and spectral estimation.
+#pragma once
+
+#include "dsp/types.h"
+
+#include <cstddef>
+
+namespace icgkit::dsp {
+
+enum class WindowKind {
+  Rectangular,
+  Hamming,
+  Hann,
+  Blackman,
+};
+
+/// Returns an n-point symmetric window of the given kind.
+/// n == 0 returns an empty signal; n == 1 returns {1.0}.
+Signal make_window(WindowKind kind, std::size_t n);
+
+/// Multiplies `x` by the window in place. Window length must equal x.size().
+void apply_window(Signal& x, SignalView window);
+
+} // namespace icgkit::dsp

@@ -1,0 +1,30 @@
+#include "ecg/ecg_filter.h"
+
+#include "dsp/filtfilt.h"
+
+#include <stdexcept>
+
+namespace icgkit::ecg {
+
+EcgFilter::EcgFilter(dsp::SampleRate fs, const EcgFilterConfig& cfg)
+    : fs_(fs), cfg_(cfg),
+      fir_(dsp::design_bandpass(cfg.fir_order, cfg.f1_hz, cfg.f2_hz, fs)) {
+  if (fs <= 0.0) throw std::invalid_argument("EcgFilter: fs must be positive");
+}
+
+dsp::Signal EcgFilter::baseline_estimate(dsp::SignalView ecg) const {
+  return dsp::estimate_baseline(ecg, fs_, cfg_.baseline);
+}
+
+dsp::Signal EcgFilter::apply(dsp::SignalView ecg) const {
+  dsp::Signal y(ecg.begin(), ecg.end());
+  if (cfg_.enable_morphological_stage) {
+    y = dsp::remove_baseline(y, fs_, cfg_.baseline);
+  }
+  if (cfg_.enable_fir_stage) {
+    y = dsp::filtfilt_fir(fir_, y);
+  }
+  return y;
+}
+
+} // namespace icgkit::ecg

@@ -1,0 +1,49 @@
+#include "ecg/heart_rate.h"
+
+#include "dsp/stats.h"
+
+#include <cmath>
+
+namespace icgkit::ecg {
+
+namespace {
+std::vector<double> valid_rr(const std::vector<double>& rr, double lo, double hi) {
+  std::vector<double> out;
+  out.reserve(rr.size());
+  for (const double v : rr)
+    if (v >= lo && v <= hi) out.push_back(v);
+  return out;
+}
+} // namespace
+
+HeartRateStats heart_rate_stats(const std::vector<double>& rr_intervals_s, double min_rr_s,
+                                double max_rr_s) {
+  HeartRateStats stats;
+  const std::vector<double> rr = valid_rr(rr_intervals_s, min_rr_s, max_rr_s);
+  stats.beat_count = rr.size();
+  if (rr.empty()) return stats;
+
+  stats.mean_bpm = 60.0 / dsp::mean(rr);
+  stats.median_bpm = 60.0 / dsp::median(rr);
+  stats.sdnn_ms = 1000.0 * dsp::stddev(rr);
+
+  if (rr.size() >= 2) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < rr.size(); ++i) {
+      const double d = rr[i] - rr[i - 1];
+      acc += d * d;
+    }
+    stats.rmssd_ms = 1000.0 * std::sqrt(acc / static_cast<double>(rr.size() - 1));
+  }
+  return stats;
+}
+
+std::vector<double> instantaneous_hr(const std::vector<double>& rr_intervals_s,
+                                     double min_rr_s, double max_rr_s) {
+  std::vector<double> hr;
+  for (const double v : rr_intervals_s)
+    if (v >= min_rr_s && v <= max_rr_s) hr.push_back(60.0 / v);
+  return hr;
+}
+
+} // namespace icgkit::ecg

@@ -1,0 +1,29 @@
+// Heart-rate statistics from RR intervals. HR is one of the four
+// quantities the device streams over the radio (Z0, LVET, PEP, HR --
+// Section V of the paper).
+#pragma once
+
+#include "dsp/types.h"
+
+#include <vector>
+
+namespace icgkit::ecg {
+
+struct HeartRateStats {
+  double mean_bpm = 0.0;
+  double median_bpm = 0.0;
+  double sdnn_ms = 0.0;   ///< standard deviation of NN (RR) intervals
+  double rmssd_ms = 0.0;  ///< root-mean-square of successive differences
+  std::size_t beat_count = 0;
+};
+
+/// Summary statistics over an RR series. RR intervals outside
+/// [min_rr_s, max_rr_s] are treated as detection artifacts and excluded.
+HeartRateStats heart_rate_stats(const std::vector<double>& rr_intervals_s,
+                                double min_rr_s = 0.3, double max_rr_s = 2.0);
+
+/// Instantaneous beat-to-beat HR series (bpm), same filtering rule.
+std::vector<double> instantaneous_hr(const std::vector<double>& rr_intervals_s,
+                                     double min_rr_s = 0.3, double max_rr_s = 2.0);
+
+} // namespace icgkit::ecg

@@ -1,0 +1,55 @@
+#include "ecg/hrv.h"
+
+#include "dsp/fft.h"
+#include "dsp/stats.h"
+
+#include <cmath>
+
+namespace icgkit::ecg {
+
+HrvSpectrum hrv_spectrum(const std::vector<double>& rr_intervals_s, const HrvConfig& cfg) {
+  HrvSpectrum out;
+
+  // Artifact gating + tachogram construction: RR value at cumulative time.
+  std::vector<double> t, rr_ms;
+  double now = 0.0;
+  for (const double rr : rr_intervals_s) {
+    if (rr < cfg.min_rr_s || rr > cfg.max_rr_s) continue;
+    now += rr;
+    t.push_back(now);
+    rr_ms.push_back(rr * 1000.0);
+  }
+  if (t.size() < 20 || now < 30.0) return out; // too short for LF resolution
+
+  // Uniform resampling by linear interpolation at cfg.resample_hz.
+  const std::size_t n =
+      static_cast<std::size_t>((t.back() - t.front()) * cfg.resample_hz) + 1;
+  dsp::Signal uniform(n);
+  std::size_t k = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ti = t.front() + static_cast<double>(i) / cfg.resample_hz;
+    while (k + 1 < t.size() && t[k] < ti) ++k;
+    const double t0 = t[k - 1], t1 = t[k];
+    const double frac = (t1 > t0) ? (ti - t0) / (t1 - t0) : 0.0;
+    uniform[i] = rr_ms[k - 1] + frac * (rr_ms[k] - rr_ms[k - 1]);
+  }
+
+  // Mean removal (the DC term would otherwise dwarf every band).
+  const double m = dsp::mean(uniform);
+  for (auto& v : uniform) v -= m;
+
+  dsp::WelchConfig welch;
+  welch.segment_length = 256; // 64 s segments at 4 Hz: resolves 0.04 Hz
+  const dsp::Psd psd = dsp::welch_psd(uniform, cfg.resample_hz, welch);
+
+  out.vlf_power_ms2 = dsp::band_power(psd, 0.003, 0.04);
+  out.lf_power_ms2 = dsp::band_power(psd, 0.04, 0.15);
+  out.hf_power_ms2 = dsp::band_power(psd, 0.15, 0.40);
+  out.total_power_ms2 = out.vlf_power_ms2 + out.lf_power_ms2 + out.hf_power_ms2;
+  out.lf_hf_ratio = (out.hf_power_ms2 > 0.0) ? out.lf_power_ms2 / out.hf_power_ms2 : 0.0;
+  out.freq_hz = psd.freq_hz;
+  out.psd_ms2_hz = psd.power;
+  return out;
+}
+
+} // namespace icgkit::ecg

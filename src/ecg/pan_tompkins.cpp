@@ -1,0 +1,184 @@
+#include "ecg/pan_tompkins.h"
+
+#include "dsp/butterworth.h"
+#include "dsp/derivative.h"
+#include "dsp/filtfilt.h"
+#include "dsp/moving.h"
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::ecg {
+
+namespace {
+
+// Local maxima of x with a minimum separation; a peak is a sample strictly
+// greater than its neighbours (plateaus take the first sample).
+std::vector<std::size_t> local_maxima(dsp::SignalView x, std::size_t min_separation) {
+  std::vector<std::size_t> peaks;
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    if (x[i] > x[i - 1] && x[i] >= x[i + 1]) {
+      if (!peaks.empty() && i - peaks.back() < min_separation) {
+        if (x[i] > x[peaks.back()]) peaks.back() = i; // keep the larger
+      } else {
+        peaks.push_back(i);
+      }
+    }
+  }
+  return peaks;
+}
+
+std::size_t argmax_window(dsp::SignalView x, std::size_t lo, std::size_t hi) {
+  std::size_t best = lo;
+  for (std::size_t i = lo; i <= hi && i < x.size(); ++i)
+    if (x[i] > x[best]) best = i;
+  return best;
+}
+
+} // namespace
+
+PanTompkins::PanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg)
+    : fs_(fs), cfg_(cfg) {
+  if (fs <= 0.0) throw std::invalid_argument("PanTompkins: fs must be positive");
+  if (cfg.bandpass_low_hz >= cfg.bandpass_high_hz)
+    throw std::invalid_argument("PanTompkins: band-pass edges inverted");
+}
+
+dsp::Signal PanTompkins::feature_signal(dsp::SignalView ecg) const {
+  const dsp::SosFilter bp =
+      dsp::butterworth_bandpass(2, cfg_.bandpass_low_hz, cfg_.bandpass_high_hz, fs_);
+  dsp::Signal y = dsp::filtfilt_sos(bp, ecg);
+  y = dsp::five_point_derivative(y, fs_);
+  for (auto& v : y) v *= v;
+  const std::size_t win =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cfg_.integration_window_s * fs_));
+  return dsp::moving_window_integrate(y, win);
+}
+
+QrsDetection PanTompkins::detect(dsp::SignalView ecg) const {
+  QrsDetection det;
+  if (ecg.size() < static_cast<std::size_t>(fs_)) return det; // need >= 1 s
+
+  const dsp::Signal mwi = feature_signal(ecg);
+  const std::size_t refractory = static_cast<std::size_t>(cfg_.refractory_s * fs_);
+  const std::size_t t_wave_win = static_cast<std::size_t>(cfg_.t_wave_window_s * fs_);
+  const std::size_t mwi_win =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cfg_.integration_window_s * fs_));
+
+  // Slope reference for T-wave discrimination: max |d(MWI)/dt| around a peak.
+  const dsp::Signal mwi_slope = dsp::derivative(mwi, fs_);
+  auto peak_slope = [&](std::size_t idx) {
+    const std::size_t lo = idx > mwi_win ? idx - mwi_win : 0;
+    double best = 0.0;
+    for (std::size_t i = lo; i <= idx && i < mwi_slope.size(); ++i)
+      best = std::max(best, std::abs(mwi_slope[i]));
+    return best;
+  };
+
+  // Threshold initialization from a two-second learning phase.
+  const std::size_t learn = std::min<std::size_t>(mwi.size(), static_cast<std::size_t>(2.0 * fs_));
+  dsp::SignalView learn_view(mwi.data(), learn);
+  double spki = 0.25 * mwi[dsp::argmax(learn_view)];
+  double npki = 0.5 * dsp::mean(learn_view);
+
+  const std::vector<std::size_t> candidates = local_maxima(mwi, refractory / 2);
+
+  std::vector<std::size_t> accepted_mwi;    // accepted peaks (MWI indices)
+  std::vector<double> accepted_slope;
+  std::vector<double> rr_history;           // for the running RR average
+  std::vector<std::size_t> rejected_since;  // candidates rejected since last accept
+
+  auto rr_average = [&]() {
+    if (rr_history.empty()) return 0.8 * fs_; // prior: 75 bpm, in samples
+    const std::size_t n = std::min<std::size_t>(8, rr_history.size());
+    double acc = 0.0;
+    for (std::size_t i = rr_history.size() - n; i < rr_history.size(); ++i)
+      acc += rr_history[i];
+    return acc / static_cast<double>(n);
+  };
+
+  auto accept = [&](std::size_t idx, bool searchback) {
+    if (!accepted_mwi.empty()) {
+      rr_history.push_back(static_cast<double>(idx - accepted_mwi.back()));
+    }
+    accepted_mwi.push_back(idx);
+    accepted_slope.push_back(peak_slope(idx));
+    const double w = searchback ? 0.25 : 0.125;
+    spki = w * mwi[idx] + (1.0 - w) * spki;
+    rejected_since.clear();
+  };
+
+  for (const std::size_t idx : candidates) {
+    const double threshold1 = npki + 0.25 * (spki - npki);
+    const bool after_refractory =
+        accepted_mwi.empty() || idx - accepted_mwi.back() >= refractory;
+
+    bool is_qrs = after_refractory && mwi[idx] > threshold1;
+
+    // T-wave discrimination: a candidate 200-360 ms after the previous
+    // QRS whose slope is less than half of that QRS's slope is a T wave.
+    if (is_qrs && !accepted_mwi.empty()) {
+      const std::size_t since = idx - accepted_mwi.back();
+      if (since < t_wave_win && peak_slope(idx) < 0.5 * accepted_slope.back()) {
+        is_qrs = false;
+      }
+    }
+
+    if (is_qrs) {
+      accept(idx, /*searchback=*/false);
+    } else {
+      npki = 0.125 * mwi[idx] + 0.875 * npki;
+      rejected_since.push_back(idx);
+    }
+
+    // Search-back: if the gap since the last QRS exceeds 1.66x the RR
+    // average, re-examine rejected candidates against the lower threshold.
+    if (!accepted_mwi.empty() && !rejected_since.empty()) {
+      const double gap = static_cast<double>(idx - accepted_mwi.back());
+      if (gap > cfg_.searchback_rr_factor * rr_average()) {
+        const double threshold2 = 0.5 * (npki + 0.25 * (spki - npki));
+        std::size_t best = 0;
+        double best_val = threshold2;
+        for (const std::size_t cand : rejected_since) {
+          if (cand <= accepted_mwi.back() + refractory) continue;
+          if (mwi[cand] > best_val) {
+            best_val = mwi[cand];
+            best = cand;
+          }
+        }
+        if (best != 0) accept(best, /*searchback=*/true);
+      }
+    }
+  }
+
+  // Refine each accepted MWI peak onto the raw ECG. The zero-phase
+  // band-pass introduces no delay, but the causal MWI shifts energy right
+  // by up to the window length, so search left of the MWI peak.
+  const std::size_t refine = static_cast<std::size_t>(cfg_.refine_window_s * fs_);
+  std::vector<std::size_t> r_samples;
+  for (const std::size_t idx : accepted_mwi) {
+    const std::size_t lo = idx > mwi_win + refine ? idx - mwi_win - refine : 0;
+    const std::size_t hi = std::min(ecg.size() - 1, idx + refine);
+    const std::size_t r = argmax_window(ecg, lo, hi);
+    if (r_samples.empty() || r - r_samples.back() >= refractory) {
+      r_samples.push_back(r);
+    }
+  }
+
+  det.r_samples = std::move(r_samples);
+  for (std::size_t i = 1; i < det.r_samples.size(); ++i)
+    det.rr_intervals_s.push_back(
+        static_cast<double>(det.r_samples[i] - det.r_samples[i - 1]) / fs_);
+  return det;
+}
+
+std::vector<double> r_peak_times(const QrsDetection& det, dsp::SampleRate fs) {
+  std::vector<double> t;
+  t.reserve(det.r_samples.size());
+  for (const std::size_t s : det.r_samples) t.push_back(static_cast<double>(s) / fs);
+  return t;
+}
+
+} // namespace icgkit::ecg

@@ -1,0 +1,38 @@
+#include "platform/adc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::platform {
+
+double AdcConfig::lsb() const {
+  return (full_scale_max - full_scale_min) / static_cast<double>(std::int64_t{1} << bits);
+}
+
+Adc::Adc(const AdcConfig& cfg) : cfg_(cfg) {
+  if (cfg.bits < 2 || cfg.bits > 24) throw std::invalid_argument("Adc: bits in [2,24]");
+  if (!(cfg.full_scale_min < cfg.full_scale_max))
+    throw std::invalid_argument("Adc: full-scale range inverted");
+}
+
+std::int64_t Adc::quantize(double v) const {
+  const double clipped = std::clamp(v, cfg_.full_scale_min, cfg_.full_scale_max);
+  const double code = std::floor((clipped - cfg_.full_scale_min) / cfg_.lsb());
+  return std::clamp(static_cast<std::int64_t>(code), cfg_.code_min(), cfg_.code_max());
+}
+
+double Adc::reconstruct(std::int64_t code) const {
+  const std::int64_t c = std::clamp(code, cfg_.code_min(), cfg_.code_max());
+  return cfg_.full_scale_min + (static_cast<double>(c) + 0.5) * cfg_.lsb();
+}
+
+dsp::Signal Adc::digitize(dsp::SignalView x) const {
+  dsp::Signal y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = reconstruct(quantize(x[i]));
+  return y;
+}
+
+double Adc::ideal_snr_db() const { return 6.02 * static_cast<double>(cfg_.bits) + 1.76; }
+
+} // namespace icgkit::platform

@@ -1,0 +1,50 @@
+// ADC quantization model (Section III-A: sampling 125 Hz - 16 kHz, up to
+// 16-bit resolution; the STM32L151's own ADC is 12-bit).
+//
+// Used to verify that the processing chain's accuracy survives the
+// device's quantization, and by the PMU trade-off study (resolution and
+// rate vs. power).
+#pragma once
+
+#include "dsp/types.h"
+
+#include <cstdint>
+
+namespace icgkit::platform {
+
+struct AdcConfig {
+  unsigned bits = 12;         ///< 2..24
+  double full_scale_min = -2.5;
+  double full_scale_max = 2.5;
+
+  [[nodiscard]] double lsb() const;
+  [[nodiscard]] std::int64_t code_min() const { return 0; }
+  [[nodiscard]] std::int64_t code_max() const {
+    return (std::int64_t{1} << bits) - 1;
+  }
+};
+
+class Adc {
+ public:
+  explicit Adc(const AdcConfig& cfg = {});
+
+  /// Quantizes one sample to an output code (clipped to the range).
+  [[nodiscard]] std::int64_t quantize(double v) const;
+
+  /// Reconstructs the analog value at a code's center.
+  [[nodiscard]] double reconstruct(std::int64_t code) const;
+
+  /// Round-trip: quantize then reconstruct a whole signal.
+  [[nodiscard]] dsp::Signal digitize(dsp::SignalView x) const;
+
+  /// Theoretical full-scale SNR of an ideal N-bit quantizer (dB):
+  /// 6.02 N + 1.76.
+  [[nodiscard]] double ideal_snr_db() const;
+
+  [[nodiscard]] const AdcConfig& config() const { return cfg_; }
+
+ private:
+  AdcConfig cfg_;
+};
+
+} // namespace icgkit::platform

@@ -1,0 +1,31 @@
+#include "platform/components.h"
+
+namespace icgkit::platform {
+
+double component_current_ma(Component c) {
+  switch (c) {
+    case Component::EcgChip: return 0.400;
+    case Component::IcgChip: return 0.900;
+    case Component::McuActive: return 10.500;
+    case Component::McuStandby: return 0.020;
+    case Component::RadioTx: return 11.000;
+    case Component::RadioStandby: return 0.002;
+    case Component::MotionSensors: return 3.800;
+  }
+  return 0.0; // unreachable for valid enum values
+}
+
+std::string_view component_name(Component c) {
+  switch (c) {
+    case Component::EcgChip: return "ECG chip";
+    case Component::IcgChip: return "ICG chip";
+    case Component::McuActive: return "STM32L151 (active)";
+    case Component::McuStandby: return "STM32L151 (standby)";
+    case Component::RadioTx: return "Radio (TX)";
+    case Component::RadioStandby: return "Radio (standby)";
+    case Component::MotionSensors: return "Gyroscope + Accelerometer";
+  }
+  return "?";
+}
+
+} // namespace icgkit::platform

@@ -1,0 +1,42 @@
+// Hardware component catalogue of the touch device (Table I of the
+// paper) and the power-state abstraction used by the duty-cycle model.
+//
+// Average current per component, as measured by the authors:
+//   ECG chip (ADS1291)            0.400 mA
+//   ICG chip (proprietary)        0.900 mA
+//   STM32L151 active             10.500 mA
+//   STM32L151 standby             0.020 mA
+//   Radio TX (nRF8001)           11.000 mA
+//   Radio standby                 0.002 mA
+//   Gyroscope + accelerometer     3.800 mA
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace icgkit::platform {
+
+enum class Component {
+  EcgChip,
+  IcgChip,
+  McuActive,
+  McuStandby,
+  RadioTx,
+  RadioStandby,
+  MotionSensors, // gyroscope + accelerometer
+};
+
+inline constexpr std::size_t kComponentCount = 7;
+
+/// Average current draw in mA (Table I).
+double component_current_ma(Component c);
+
+std::string_view component_name(Component c);
+
+inline constexpr std::array<Component, kComponentCount> kAllComponents = {
+    Component::EcgChip,    Component::IcgChip,      Component::McuActive,
+    Component::McuStandby, Component::RadioTx,      Component::RadioStandby,
+    Component::MotionSensors,
+};
+
+} // namespace icgkit::platform

@@ -1,0 +1,63 @@
+#include "platform/mcu.h"
+
+#include <stdexcept>
+
+namespace icgkit::platform {
+
+CpuLoadReport estimate_cpu_load(const core::PipelineConfig& cfg, double fs_hz,
+                                double hr_bpm, const McuConfig& mcu) {
+  if (fs_hz <= 0.0 || hr_bpm <= 0.0 || mcu.clock_hz <= 0.0)
+    throw std::invalid_argument("estimate_cpu_load: rates must be positive");
+
+  CpuLoadReport report;
+  const double beats_per_s = hr_bpm / 60.0;
+  auto add = [&](std::string name, double macs, double compares) {
+    report.stages.push_back({std::move(name), macs, compares});
+  };
+
+  // Acquisition + decimation: ISR per raw sample per channel, and a
+  // polyphase FIR whose arithmetic runs at the *output* rate (each output
+  // sample needs `taps` MACs regardless of the decimation factor).
+  const double ch = static_cast<double>(mcu.channels);
+  add("acquisition ISR", 0.0,
+      mcu.acquisition_fs_hz * ch * mcu.isr_cycles_per_sample / mcu.cycles_per_compare);
+  add("decimation FIR", static_cast<double>(mcu.decimator_taps) * fs_hz * ch, 0.0);
+
+  // ECG chain. Morphology: monotonic-deque sliding min/max, 4 passes
+  // (open = erode+dilate, close = dilate+erode), ~2 comparisons per
+  // sample per pass. FIR band-pass: (order+1) MACs per sample per pass,
+  // 2 passes for zero phase.
+  add("ECG morphology", 0.0, fs_hz * 4.0 * 2.0);
+  add("ECG FIR band-pass",
+      static_cast<double>(cfg.ecg_filter.fir_order + 1) * 2.0 * fs_hz, 0.0);
+
+  // Pan-Tompkins: band-pass (2x biquad cascade, 5 MACs each), 5-point
+  // derivative, squaring, moving-window integration, threshold logic.
+  add("Pan-Tompkins", (2.0 * 5.0 * 2.0 + 5.0 + 1.0 + 2.0) * fs_hz, 6.0 * fs_hz);
+
+  // ICG chain: derivative + Butterworth low-pass (order/2 biquads, 5 MACs,
+  // 2 passes) + per-beat linear detrend.
+  const double icg_biquads = static_cast<double>((cfg.icg_filter.order + 1) / 2);
+  add("ICG filter", (2.0 + icg_biquads * 5.0 * 2.0) * fs_hz + 3.0 * fs_hz, 0.0);
+
+  // Delineation: derivative triple over ~half a beat window, window scans
+  // and the line fit; executed once per beat.
+  const double beat_window = 0.5 * fs_hz; // samples examined per beat
+  add("delineation", (3.0 * 2.0 * beat_window + 40.0) * beats_per_s,
+      3.0 * beat_window * beats_per_s);
+
+  // Hemodynamics + quality + report assembly: constant small cost per beat.
+  add("hemodynamics", 60.0 * beats_per_s, 20.0 * beats_per_s);
+
+  double cycles = 0.0;
+  for (const StageCost& s : report.stages) {
+    report.total_macs_per_second += s.macs_per_second;
+    cycles += s.macs_per_second * mcu.cycles_per_mac +
+              s.compares_per_second * mcu.cycles_per_compare;
+  }
+  report.total_cycles_per_second = cycles;
+  report.duty_cycle = cycles / mcu.clock_hz;
+  return report;
+}
+
+} // namespace icgkit::platform

@@ -1,0 +1,55 @@
+// Cycle-budget model of the STM32L151 running the beat-to-beat pipeline.
+//
+// Section V: "we need just between 40 % and 50 % of the duty cycle of the
+// CPU power in the STM32 micro-controller". This model reproduces that
+// estimate analytically: each pipeline stage's per-sample (or per-beat)
+// arithmetic cost is counted in multiply-accumulate operations, converted
+// to cycles with a Cortex-M3 cost factor, and divided by the clock rate.
+#pragma once
+
+#include "core/pipeline.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icgkit::platform {
+
+struct McuConfig {
+  double clock_hz = 32e6;          ///< STM32L151 maximum clock
+  /// The Cortex-M3 has no FPU; a double-precision multiply-add in
+  /// software costs on the order of 70 cycles. (With fixed-point
+  /// arithmetic this would drop to ~4; see bench_cpu_duty_cycle.)
+  double cycles_per_mac = 70.0;
+  double cycles_per_compare = 3.0; ///< branches/compares in peak logic
+
+  // Acquisition front-end: the ADC runs faster than the processing rate
+  // (Section III-A: 125 Hz - 16 kHz) and the MCU decimates to fs. These
+  // terms dominate the duty cycle at high acquisition rates.
+  double acquisition_fs_hz = 2000.0;
+  std::size_t channels = 2;            ///< ECG + ICG
+  std::size_t decimator_taps = 32;     ///< polyphase anti-alias FIR
+  double isr_cycles_per_sample = 300.0;///< ADC ISR + buffering overhead
+};
+
+/// Arithmetic cost of one pipeline configuration at a sampling rate.
+struct StageCost {
+  std::string stage;
+  double macs_per_second = 0.0;
+  double compares_per_second = 0.0;
+};
+
+struct CpuLoadReport {
+  std::vector<StageCost> stages;
+  double total_macs_per_second = 0.0;
+  double total_cycles_per_second = 0.0;
+  double duty_cycle = 0.0; ///< fraction of the MCU clock consumed
+};
+
+/// Analytic per-stage cost of the paper's pipeline at sampling rate fs
+/// and heart rate hr. Costs follow the filter orders and window sizes in
+/// `cfg` (see the .cpp for the per-stage formulas).
+CpuLoadReport estimate_cpu_load(const core::PipelineConfig& cfg, double fs_hz,
+                                double hr_bpm, const McuConfig& mcu = {});
+
+} // namespace icgkit::platform

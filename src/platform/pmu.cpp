@@ -1,0 +1,65 @@
+#include "platform/pmu.h"
+
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+namespace icgkit::platform {
+
+DutyCycleProfile OperatingPoint::duty_profile(double hr_bpm) const {
+  DutyCycleProfile duty;
+  // MCU duty from the cycle-budget model at this operating point.
+  McuConfig mcu;
+  mcu.acquisition_fs_hz = std::max(fs_hz * 4.0, 1000.0);
+  const CpuLoadReport load = estimate_cpu_load(core::PipelineConfig{}, fs_hz, hr_bpm, mcu);
+  duty.mcu_active = std::min(1.0, load.duty_cycle);
+
+  // Radio duty: one 16-byte beat report per report interval.
+  const BleRadio radio;
+  duty.radio_tx = radio.duty_cycle(16, report_interval_s);
+  duty.motion_sensors = motion_sensing ? 1.0 : 0.0;
+  return duty;
+}
+
+std::vector<OperatingPoint> standard_operating_points() {
+  return {
+      {"full-monitoring", 500.0, 60.0 / 70.0, true, 1.00},
+      {"continuous", 250.0, 60.0 / 70.0, false, 0.97},
+      {"relaxed-reporting", 250.0, 10.0, false, 0.95},
+      {"low-rate", 125.0, 10.0, false, 0.85},
+      {"survival", 125.0, 60.0, false, 0.75},
+  };
+}
+
+Pmu::Pmu(double battery_capacity_mah) : capacity_mah_(battery_capacity_mah) {
+  if (battery_capacity_mah <= 0.0) throw std::invalid_argument("Pmu: capacity must be > 0");
+}
+
+double Pmu::projected_runtime_h(const OperatingPoint& p, double battery_fraction,
+                                double hr_bpm) const {
+  if (battery_fraction < 0.0 || battery_fraction > 1.0)
+    throw std::invalid_argument("Pmu: battery fraction in [0,1]");
+  const PowerModel model(p.duty_profile(hr_bpm));
+  return model.battery_life_hours(capacity_mah_ * battery_fraction);
+}
+
+PmuDecision Pmu::choose(double battery_fraction, double required_runtime_h,
+                        double hr_bpm) const {
+  const auto points = standard_operating_points();
+  PmuDecision best;
+  for (const OperatingPoint& p : points) { // highest quality first
+    const double runtime = projected_runtime_h(p, battery_fraction, hr_bpm);
+    if (runtime >= required_runtime_h) {
+      best.point = p;
+      best.projected_runtime_h = runtime;
+      best.meets_requirement = true;
+      return best;
+    }
+  }
+  best.point = points.back();
+  best.projected_runtime_h = projected_runtime_h(best.point, battery_fraction, hr_bpm);
+  best.meets_requirement = false;
+  return best;
+}
+
+} // namespace icgkit::platform

@@ -1,0 +1,58 @@
+// Power Management Unit policy (Section III-A): "dynamically tunes the
+// system to achieve the best trade-off between energy consumption and
+// performance, taking into account the available energy in the battery
+// and requirements (accuracy, latency, etc.) of the target application."
+//
+// The policy chooses an operating point (sampling rate, beat-report rate,
+// motion sensing) given the battery state and a required remaining
+// runtime; `operating_points()` exposes the whole trade-off curve for the
+// ablation bench.
+#pragma once
+
+#include "platform/mcu.h"
+#include "platform/power_model.h"
+#include "platform/radio.h"
+
+#include <string>
+#include <vector>
+
+namespace icgkit::platform {
+
+struct OperatingPoint {
+  std::string name;
+  double fs_hz = 250.0;            ///< processing sampling rate
+  double report_interval_s = 1.0;  ///< how often beat results are sent
+  bool motion_sensing = false;     ///< IMU on (position discrimination)
+  double quality_score = 1.0;      ///< relative parameter-estimation quality
+
+  DutyCycleProfile duty_profile(double hr_bpm) const;
+};
+
+/// The device's selectable operating points, highest quality first.
+std::vector<OperatingPoint> standard_operating_points();
+
+struct PmuDecision {
+  OperatingPoint point;
+  double projected_runtime_h = 0.0;
+  bool meets_requirement = false;
+};
+
+class Pmu {
+ public:
+  explicit Pmu(double battery_capacity_mah = kPaperBatteryMah);
+
+  /// Picks the highest-quality operating point whose projected runtime
+  /// (at the given battery charge fraction) covers `required_runtime_h`.
+  /// Falls back to the most frugal point when none qualifies.
+  [[nodiscard]] PmuDecision choose(double battery_fraction, double required_runtime_h,
+                                   double hr_bpm = 70.0) const;
+
+  /// Projected runtime of one operating point at a battery fraction.
+  [[nodiscard]] double projected_runtime_h(const OperatingPoint& p, double battery_fraction,
+                                           double hr_bpm = 70.0) const;
+
+ private:
+  double capacity_mah_;
+};
+
+} // namespace icgkit::platform

@@ -1,0 +1,46 @@
+#include "platform/power_model.h"
+
+#include <stdexcept>
+
+namespace icgkit::platform {
+
+namespace {
+void check_fraction(double v, const char* what) {
+  if (v < 0.0 || v > 1.0) throw std::invalid_argument(std::string("PowerModel: ") + what);
+}
+} // namespace
+
+PowerModel::PowerModel(DutyCycleProfile profile) : profile_(profile) {
+  check_fraction(profile.mcu_active, "mcu_active must be in [0,1]");
+  check_fraction(profile.radio_tx, "radio_tx must be in [0,1]");
+  check_fraction(profile.motion_sensors, "motion_sensors must be in [0,1]");
+}
+
+double PowerModel::component_average_ma(Component c) const {
+  const double i = component_current_ma(c);
+  switch (c) {
+    case Component::EcgChip: return profile_.ecg_on ? i : 0.0;
+    case Component::IcgChip: return profile_.icg_on ? i : 0.0;
+    case Component::McuActive: return profile_.mcu_active * i;
+    case Component::McuStandby: return (1.0 - profile_.mcu_active) * i;
+    case Component::RadioTx: return profile_.radio_tx * i;
+    case Component::RadioStandby: return (1.0 - profile_.radio_tx) * i;
+    case Component::MotionSensors: return profile_.motion_sensors * i;
+  }
+  return 0.0;
+}
+
+double PowerModel::average_current_ma() const {
+  double total = 0.0;
+  for (const Component c : kAllComponents) total += component_average_ma(c);
+  return total;
+}
+
+double PowerModel::battery_life_hours(double battery_mah) const {
+  if (battery_mah <= 0.0) throw std::invalid_argument("PowerModel: battery_mah must be > 0");
+  const double i = average_current_ma();
+  if (i <= 0.0) throw std::logic_error("PowerModel: zero average current");
+  return battery_mah / i;
+}
+
+} // namespace icgkit::platform

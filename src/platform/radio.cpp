@@ -1,0 +1,38 @@
+#include "platform/radio.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::platform {
+
+BleRadio::BleRadio(const BleConfig& cfg) : cfg_(cfg) {
+  if (cfg.bitrate_bps <= 0.0) throw std::invalid_argument("BleRadio: bitrate must be > 0");
+  if (cfg.payload_bytes == 0) throw std::invalid_argument("BleRadio: payload must be > 0");
+}
+
+double BleRadio::airtime_s(std::size_t bytes) const {
+  if (bytes == 0) return 0.0;
+  const std::size_t packets = (bytes + cfg_.payload_bytes - 1) / cfg_.payload_bytes;
+  const std::size_t on_air_bytes = bytes + packets * cfg_.overhead_bytes;
+  return static_cast<double>(on_air_bytes) * 8.0 / cfg_.bitrate_bps +
+         static_cast<double>(packets) * cfg_.connection_overhead_s;
+}
+
+double BleRadio::duty_cycle(std::size_t bytes_per_report, double interval_s) const {
+  if (interval_s <= 0.0) throw std::invalid_argument("BleRadio: interval must be > 0");
+  return std::min(1.0, airtime_s(bytes_per_report) / interval_s);
+}
+
+double BleRadio::beat_report_duty_cycle(double hr_bpm, std::size_t bytes_per_value) const {
+  if (hr_bpm <= 0.0) throw std::invalid_argument("BleRadio: hr must be > 0");
+  const double beat_interval_s = 60.0 / hr_bpm;
+  return duty_cycle(4 * bytes_per_value, beat_interval_s); // Z0, LVET, PEP, HR
+}
+
+double BleRadio::raw_streaming_duty_cycle(double fs_hz) const {
+  if (fs_hz <= 0.0) throw std::invalid_argument("BleRadio: fs must be > 0");
+  const double bytes_per_s = fs_hz * 2.0 * 2.0; // 2 channels x 16-bit
+  return std::min(1.0, airtime_s(static_cast<std::size_t>(bytes_per_s)) / 1.0);
+}
+
+} // namespace icgkit::platform

@@ -1,0 +1,47 @@
+// Bluetooth Low Energy airtime model for the nRF8001 radio.
+//
+// The firmware streams per-beat results (Z0, LVET, PEP, HR -- Section V),
+// not raw samples, which is why the radio duty cycle stays near 0.1 %.
+// This model turns a reporting policy into a TX duty cycle that feeds the
+// PowerModel, and quantifies the alternative (raw streaming) that the
+// paper's design deliberately avoids.
+#pragma once
+
+#include <cstddef>
+
+namespace icgkit::platform {
+
+struct BleConfig {
+  double bitrate_bps = 1e6;        ///< BLE 4.x PHY
+  std::size_t payload_bytes = 20;  ///< usable payload per packet (ATT default)
+  std::size_t overhead_bytes = 17; ///< preamble+addr+header+CRC+IFS equivalent
+  double connection_overhead_s = 0.0005; ///< per-event radio on-time overhead
+};
+
+class BleRadio {
+ public:
+  explicit BleRadio(const BleConfig& cfg = {});
+
+  /// Airtime to move `bytes` of application payload (s), including
+  /// per-packet overhead and connection-event overhead.
+  [[nodiscard]] double airtime_s(std::size_t bytes) const;
+
+  /// TX duty cycle for sending `bytes_per_report` every `interval_s`.
+  [[nodiscard]] double duty_cycle(std::size_t bytes_per_report, double interval_s) const;
+
+  /// Duty cycle for the paper's policy: one beat report (4 values,
+  /// `bytes_per_value` each) per heart beat at the given heart rate.
+  [[nodiscard]] double beat_report_duty_cycle(double hr_bpm,
+                                              std::size_t bytes_per_value = 4) const;
+
+  /// Duty cycle for streaming raw samples (2 channels x 2 bytes) at fs --
+  /// the design the paper avoids.
+  [[nodiscard]] double raw_streaming_duty_cycle(double fs_hz) const;
+
+  [[nodiscard]] const BleConfig& config() const { return cfg_; }
+
+ private:
+  BleConfig cfg_;
+};
+
+} // namespace icgkit::platform

@@ -1,0 +1,76 @@
+#include "synth/artifacts.h"
+
+#include "dsp/butterworth.h"
+#include "dsp/filtfilt.h"
+#include "dsp/stats.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::synth {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+dsp::Signal respiration_artifact(std::size_t n, dsp::SampleRate fs,
+                                 const RespirationConfig& cfg, Rng& rng) {
+  if (fs <= 0.0) throw std::invalid_argument("respiration_artifact: fs must be positive");
+  dsp::Signal x(n);
+  // Slow amplitude drift: random walk low-passed by an EMA.
+  double drift = 0.0;
+  const double drift_alpha = 1.0 / (10.0 * fs); // ~10 s time constant
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    drift += drift_alpha * (rng.normal(0.0, 0.3) - drift);
+    const double amp = cfg.amplitude * (1.0 + drift);
+    x[i] = amp * (std::sin(kTwoPi * cfg.freq_hz * t + cfg.phase_rad) +
+                  cfg.second_harmonic *
+                      std::sin(2.0 * kTwoPi * cfg.freq_hz * t + 2.0 * cfg.phase_rad));
+  }
+  return x;
+}
+
+dsp::Signal motion_artifact(std::size_t n, dsp::SampleRate fs, const MotionConfig& cfg,
+                            Rng& rng) {
+  if (fs <= 0.0) throw std::invalid_argument("motion_artifact: fs must be positive");
+  if (n == 0) return {};
+  dsp::Signal white(n);
+  for (auto& v : white) v = rng.normal();
+  const double high = std::min(cfg.high_hz, 0.45 * fs);
+  const dsp::SosFilter band = dsp::butterworth_bandpass(2, cfg.low_hz, high, fs);
+  dsp::Signal shaped = dsp::filtfilt_sos(band, white);
+  // Spectral tilt: first-order low-pass at the corner gives the ~1/f^2
+  // power roll-off of bulk motion.
+  const dsp::SosFilter tilt = dsp::butterworth_lowpass(1, cfg.corner_hz, fs);
+  shaped = dsp::filtfilt_sos(tilt, shaped);
+  const double r = dsp::rms(shaped);
+  if (r > 1e-12) {
+    const double scale = cfg.amplitude / r;
+    for (auto& v : shaped) v *= scale;
+  }
+  return shaped;
+}
+
+dsp::Signal powerline_artifact(std::size_t n, dsp::SampleRate fs, double amplitude,
+                               double mains_hz, Rng& rng) {
+  if (fs <= 0.0) throw std::invalid_argument("powerline_artifact: fs must be positive");
+  dsp::Signal x(n);
+  const double phase = rng.uniform(0.0, kTwoPi);
+  double wobble = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    wobble += 0.001 * (rng.normal(0.0, 0.2) - wobble);
+    x[i] = amplitude * (1.0 + wobble) * std::sin(kTwoPi * mains_hz * t + phase);
+  }
+  return x;
+}
+
+dsp::Signal white_noise(std::size_t n, double sigma, Rng& rng) {
+  dsp::Signal x(n);
+  for (auto& v : x) v = rng.normal(0.0, sigma);
+  return x;
+}
+
+} // namespace icgkit::synth

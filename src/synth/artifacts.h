@@ -1,0 +1,50 @@
+// Artifact generators for the acquisition simulation.
+//
+// Section II of the paper: the ICG is contaminated mainly by respiratory
+// artifacts (0.04-2 Hz) and motion artifacts (0.1-10 Hz); finger contact
+// adds powerline pickup and broadband sensor noise. Each generator
+// produces an additive trace of a given length.
+#pragma once
+
+#include "dsp/types.h"
+#include "synth/rng.h"
+
+namespace icgkit::synth {
+
+struct RespirationConfig {
+  double freq_hz = 0.25;     ///< breathing rate
+  double amplitude = 0.3;    ///< fundamental amplitude (units of the host signal)
+  double second_harmonic = 0.3; ///< relative amplitude of the 2nd harmonic
+  double phase_rad = 0.0;
+};
+
+/// Quasi-sinusoidal respiratory baseline modulation with a second
+/// harmonic (breathing is not sinusoidal) and slow random amplitude drift.
+dsp::Signal respiration_artifact(std::size_t n, dsp::SampleRate fs,
+                                 const RespirationConfig& cfg, Rng& rng);
+
+struct MotionConfig {
+  double amplitude = 0.1;  ///< RMS of the artifact
+  double low_hz = 0.1;     ///< band edges per the paper: 0.1-10 Hz
+  double high_hz = 10.0;
+  /// Spectral tilt corner: motion energy rolls off ~1/f^2 above this.
+  /// Bulk limb/body motion (postural sway, slow arm drift) is sub-Hz;
+  /// flat-band noise would grossly overweight 5-10 Hz and (because d/dt
+  /// scales with f) swamp the ICG derivative with energy real motion
+  /// does not have.
+  double corner_hz = 0.5;
+};
+
+/// Low-frequency-weighted Gaussian noise in the motion band (0.1-10 Hz,
+/// ~1/f^2 above corner_hz), normalized to the requested RMS.
+dsp::Signal motion_artifact(std::size_t n, dsp::SampleRate fs, const MotionConfig& cfg,
+                            Rng& rng);
+
+/// Powerline interference (50 Hz by default) with slight amplitude wobble.
+dsp::Signal powerline_artifact(std::size_t n, dsp::SampleRate fs, double amplitude,
+                               double mains_hz, Rng& rng);
+
+/// White Gaussian sensor noise.
+dsp::Signal white_noise(std::size_t n, double sigma, Rng& rng);
+
+} // namespace icgkit::synth

@@ -1,0 +1,53 @@
+#include "synth/cole.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::synth {
+
+std::complex<double> ColeModel::impedance(double f_hz) const {
+  if (f_hz < 0.0) throw std::invalid_argument("ColeModel: negative frequency");
+  if (f_hz == 0.0) return {r0_ohm, 0.0};
+  // (j f/fc)^alpha = (f/fc)^alpha * e^{j alpha pi/2}
+  const double ratio = std::pow(f_hz / fc_hz, alpha);
+  const std::complex<double> jw_alpha =
+      ratio * std::polar(1.0, alpha * std::numbers::pi / 2.0);
+  return rinf_ohm + (r0_ohm - rinf_ohm) / (1.0 + jw_alpha);
+}
+
+double ColeModel::magnitude(double f_hz) const { return std::abs(impedance(f_hz)); }
+
+double InstrumentationResponse::raw(double f_hz) const {
+  if (f_hz <= 0.0) return 0.0;
+  double h = 1.0;
+  if (enable_hp) {
+    const double r = f_hz / hp_corner_hz;
+    h *= r / std::sqrt(1.0 + r * r);
+  }
+  if (enable_lp) {
+    const double r = f_hz / lp_corner_hz;
+    h *= 1.0 / std::sqrt(1.0 + r * r);
+  }
+  return h;
+}
+
+double InstrumentationResponse::peak_frequency_hz() const {
+  if (enable_hp && enable_lp) return std::sqrt(hp_corner_hz * lp_corner_hz);
+  if (enable_hp) return 1e9; // monotone rising: peak at the top of the range
+  return 1e-9;               // monotone falling (or flat): peak at the bottom
+}
+
+double InstrumentationResponse::normalized(double f_hz) const {
+  if (!enable_hp && !enable_lp) return 1.0;
+  const double peak = raw(peak_frequency_hz());
+  if (peak <= 0.0) return 0.0;
+  return raw(f_hz) / peak;
+}
+
+double measured_bioimpedance(const ColeModel& tissue, const InstrumentationResponse& channel,
+                             double f_hz) {
+  return tissue.magnitude(f_hz) * channel.normalized(f_hz);
+}
+
+} // namespace icgkit::synth

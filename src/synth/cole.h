@@ -1,0 +1,65 @@
+// Tissue impedance dispersion (Cole-Cole) and the acquisition-channel
+// frequency response of the touch device.
+//
+// Physics background (Section IV-B of the paper and Kyle et al. 2004): at
+// low injection frequency the current is confined to extracellular fluid
+// (higher resistance R0); as frequency rises the cell membranes conduct
+// and the impedance falls towards Rinf. The Cole-Cole model captures this:
+//
+//   Z(f) = Rinf + (R0 - Rinf) / (1 + (j f / fc)^alpha)
+//
+// A bare Cole magnitude is monotone *decreasing* in f, yet the paper's
+// Figs 6-7 show the measured bioimpedance *rising* up to 10 kHz and only
+// then falling. That shape is an instrumentation artifact, which we model
+// explicitly (and ablate in bench_ablation_channel):
+//   - electrode polarization / AC coupling of the current source makes the
+//     effective injected current roll off below a corner f_hp (high-pass),
+//   - stray capacitance across the sense path shunts the signal above a
+//     corner f_lp (low-pass).
+// The measured curve is |Z_tissue(f)| * H_channel(f), which peaks near
+// sqrt(f_hp * f_lp) ~ 10 kHz for the defaults used here.
+#pragma once
+
+#include <complex>
+
+namespace icgkit::synth {
+
+/// Cole-Cole dispersion parameters for one body path.
+struct ColeModel {
+  double r0_ohm = 30.0;   ///< resistance at DC (extracellular only)
+  double rinf_ohm = 18.0; ///< resistance at infinite frequency
+  double fc_hz = 30e3;    ///< characteristic frequency
+  double alpha = 0.7;     ///< dispersion broadness, (0, 1]
+
+  /// Complex impedance at frequency f (Hz). f == 0 returns r0.
+  [[nodiscard]] std::complex<double> impedance(double f_hz) const;
+
+  /// |Z(f)|.
+  [[nodiscard]] double magnitude(double f_hz) const;
+};
+
+/// First-order high-pass x first-order low-pass channel response, unity at
+/// its peak.
+struct InstrumentationResponse {
+  double hp_corner_hz = 3.0e3;  ///< electrode polarization / AC coupling
+  double lp_corner_hz = 60.0e3; ///< stray capacitance across sense path
+  bool enable_hp = true;        ///< ablation switches
+  bool enable_lp = true;
+
+  /// Raw (un-normalized) response at f.
+  [[nodiscard]] double raw(double f_hz) const;
+
+  /// Response normalized so the peak over (0, inf) equals 1.
+  [[nodiscard]] double normalized(double f_hz) const;
+
+  /// Frequency of the response maximum (geometric mean of the corners when
+  /// both are enabled).
+  [[nodiscard]] double peak_frequency_hz() const;
+};
+
+/// The quantity the device reports as "bioimpedance at f": tissue
+/// dispersion seen through the channel response.
+double measured_bioimpedance(const ColeModel& tissue, const InstrumentationResponse& channel,
+                             double f_hz);
+
+} // namespace icgkit::synth

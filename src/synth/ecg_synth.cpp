@@ -1,0 +1,125 @@
+#include "synth/ecg_synth.h"
+
+#include "dsp/stats.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::synth {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+double wrap_phase(double theta) {
+  while (theta > kPi) theta -= 2.0 * kPi;
+  while (theta <= -kPi) theta += 2.0 * kPi;
+  return theta;
+}
+
+// dz/dt of the ECGSYN model at phase theta (baseline term handled by the
+// caller).
+double wave_drive(const std::vector<EcgWave>& waves, double theta) {
+  double dz = 0.0;
+  for (const EcgWave& w : waves) {
+    const double dth = wrap_phase(theta - w.phase_rad);
+    dz -= w.amplitude * dth * std::exp(-dth * dth / (2.0 * w.width_rad * w.width_rad));
+  }
+  return dz;
+}
+} // namespace
+
+std::vector<EcgWave> EcgSynthConfig::default_waves() {
+  // Phases/amplitudes/widths from the ECGSYN paper (Table 1).
+  return {
+      {-kPi / 3.0, 1.2, 0.25},  // P
+      {-kPi / 12.0, -5.0, 0.1}, // Q
+      {0.0, 30.0, 0.1},         // R
+      {kPi / 12.0, -7.5, 0.1},  // S
+      {kPi / 2.0, 0.75, 0.4},   // T
+  };
+}
+
+EcgSynthesis synthesize_ecg(const std::vector<double>& rr_intervals_s, dsp::SampleRate fs,
+                            const EcgSynthConfig& cfg) {
+  if (rr_intervals_s.empty())
+    throw std::invalid_argument("synthesize_ecg: empty RR series");
+  if (fs <= 0.0) throw std::invalid_argument("synthesize_ecg: fs must be positive");
+  for (const double rr : rr_intervals_s)
+    if (rr <= 0.0) throw std::invalid_argument("synthesize_ecg: RR intervals must be positive");
+
+  double total_s = 0.0;
+  for (const double rr : rr_intervals_s) total_s += rr;
+  const std::size_t n = static_cast<std::size_t>(std::ceil(total_s * fs));
+
+  EcgSynthesis out;
+  out.ecg_mv.resize(n, 0.0);
+
+  const double dt = 1.0 / fs;
+  // Start mid-diastole (phase pi) so the first R peak is a full crossing,
+  // not a boundary artifact.
+  double theta = -kPi + 1e-9;
+  double z = 0.0;
+  std::size_t beat = 0;
+  double beat_elapsed = 0.0;
+
+  auto omega = [&](std::size_t b) {
+    return 2.0 * kPi / rr_intervals_s[std::min(b, rr_intervals_s.size() - 1)];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.ecg_mv[i] = z;
+    const double w = omega(beat);
+
+    // RK4 on z; theta advances linearly within a step.
+    const double k1 = wave_drive(cfg.waves, theta) * w - cfg.baseline_restore * z;
+    const double th2 = wrap_phase(theta + 0.5 * w * dt);
+    const double k2 =
+        wave_drive(cfg.waves, th2) * w - cfg.baseline_restore * (z + 0.5 * dt * k1);
+    const double k3 =
+        wave_drive(cfg.waves, th2) * w - cfg.baseline_restore * (z + 0.5 * dt * k2);
+    const double th4 = wrap_phase(theta + w * dt);
+    const double k4 = wave_drive(cfg.waves, th4) * w - cfg.baseline_restore * (z + dt * k3);
+    z += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+
+    // R-peak ground truth: phase crosses 0 from below during this step.
+    const double theta_next_unwrapped = theta + w * dt;
+    if (theta < 0.0 && theta_next_unwrapped >= 0.0) {
+      const double frac = -theta / (w * dt);
+      out.r_times_s.push_back((static_cast<double>(i) + frac) * dt);
+    }
+
+    theta = wrap_phase(theta_next_unwrapped);
+    beat_elapsed += dt;
+    if (beat_elapsed >= rr_intervals_s[std::min(beat, rr_intervals_s.size() - 1)] &&
+        beat + 1 < rr_intervals_s.size()) {
+      // Phase naturally wraps once per RR because omega = 2 pi / RR; the
+      // beat index only selects which RR sets the current phase velocity.
+      beat_elapsed = 0.0;
+      ++beat;
+    }
+  }
+
+  // Scale so the median R amplitude matches the configured value.
+  dsp::Signal peaks;
+  for (const double tr : out.r_times_s) {
+    const std::size_t idx = static_cast<std::size_t>(tr * fs);
+    if (idx < n) {
+      double peak = out.ecg_mv[idx];
+      // The sampled maximum can be one sample off the exact crossing.
+      for (std::size_t j = (idx > 2 ? idx - 2 : 0); j < std::min(n, idx + 3); ++j)
+        peak = std::max(peak, out.ecg_mv[j]);
+      peaks.push_back(peak);
+    }
+  }
+  if (!peaks.empty()) {
+    const double med = dsp::median(peaks);
+    if (med > 1e-12) {
+      const double scale = cfg.r_amplitude_mv / med;
+      for (auto& v : out.ecg_mv) v *= scale;
+    }
+  }
+  return out;
+}
+
+} // namespace icgkit::synth

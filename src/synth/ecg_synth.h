@@ -1,0 +1,47 @@
+// Dynamical ECG synthesizer after McSharry, Clifford, Tarassenko &
+// Smith, "A dynamical model for generating synthetic electrocardiogram
+// signals" (IEEE TBME 2003) -- the standard ECGSYN model.
+//
+// Each cardiac cycle is a rotation of a phase variable theta through
+// (-pi, pi]; the P, Q, R, S and T waves are Gaussian events attached to
+// fixed phases. The phase velocity is set per beat from an RR-interval
+// series, so the synthesizer produces exact, per-beat R-peak ground truth
+// -- which recorded traces cannot provide. This is the ECG substrate used
+// in place of live finger/chest electrodes (see DESIGN.md section 2).
+#pragma once
+
+#include "dsp/types.h"
+#include "synth/rng.h"
+
+#include <vector>
+
+namespace icgkit::synth {
+
+/// One Gaussian wave event on the phase circle.
+struct EcgWave {
+  double phase_rad; ///< event center, relative to R at phase 0
+  double amplitude; ///< a_i in the ECGSYN equation (arbitrary units)
+  double width_rad; ///< b_i
+};
+
+struct EcgSynthConfig {
+  /// Standard ECGSYN morphology: P, Q, R, S, T.
+  std::vector<EcgWave> waves = default_waves();
+
+  double r_amplitude_mv = 1.0; ///< output scaled so the median R peak is this
+  double baseline_restore = 1.0; ///< pull of z towards baseline (1/s)
+
+  static std::vector<EcgWave> default_waves();
+};
+
+struct EcgSynthesis {
+  dsp::Signal ecg_mv;            ///< clean ECG (no artifacts), in mV
+  std::vector<double> r_times_s; ///< exact R-peak times (phase-zero crossings)
+};
+
+/// Synthesizes an ECG at sampling rate `fs` following the given RR
+/// series. Output length = ceil(sum(rr) * fs).
+EcgSynthesis synthesize_ecg(const std::vector<double>& rr_intervals_s, dsp::SampleRate fs,
+                            const EcgSynthConfig& cfg = {});
+
+} // namespace icgkit::synth

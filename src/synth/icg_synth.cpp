@@ -1,0 +1,174 @@
+#include "synth/icg_synth.h"
+
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::synth {
+
+namespace {
+
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+double sq(double v) { return v * v; }
+
+// One beat's clean dZ/dt template, evaluated at time t (seconds).
+//
+// Piecewise-C1 morphology (see header):
+//   A wave:        Gaussian bump peaking 70 ms before B
+//   B..C upstroke: amp * sin^2  -- near-linear mid-rise with a knee at B
+//   C..X decay:    amp * ((1+xd) cos^2 - xd) -- crosses zero ~60 % into
+//                  the decay and bottoms out at -xd*amp exactly at X
+//   X..O recovery: cosine blend up to the O-wave amplitude
+//   after O:       Gaussian right-half decay back to baseline
+struct BeatShape {
+  double t_b, t_c, t_x, t_o;
+  double amp;       // C amplitude
+  double a_amp;     // A-wave amplitude
+  double xd;        // X depth fraction
+  double o_amp;     // O-wave amplitude
+  double a_center;  // A-wave center
+  double a_sigma = 0.022;
+  double o_sigma = 0.040;
+
+  [[nodiscard]] double eval(double t) const {
+    double v = a_amp * std::exp(-0.5 * sq((t - a_center) / a_sigma));
+    if (t <= t_b) {
+      // A wave only
+    } else if (t <= t_c) {
+      const double u = (t - t_b) / (t_c - t_b);
+      v += amp * sq(std::sin(kHalfPi * u));
+    } else if (t <= t_x) {
+      const double u = (t - t_c) / (t_x - t_c);
+      v += amp * ((1.0 + xd) * sq(std::cos(kHalfPi * u)) - xd);
+    } else if (t <= t_o) {
+      const double u = (t - t_x) / (t_o - t_x);
+      v += -xd * amp + (xd * amp + o_amp) * sq(std::sin(kHalfPi * u));
+    } else {
+      v += o_amp * std::exp(-0.5 * sq((t - t_o) / o_sigma));
+    }
+    return v;
+  }
+};
+
+std::size_t clamp_index(double t, dsp::SampleRate fs, std::size_t n) {
+  const double idx = std::max(0.0, t * fs);
+  return std::min(n - 1, static_cast<std::size_t>(idx));
+}
+
+std::size_t window_argmin(const dsp::Signal& x, std::size_t lo, std::size_t hi) {
+  std::size_t best = lo;
+  for (std::size_t i = lo; i <= hi; ++i)
+    if (x[i] < x[best]) best = i;
+  return best;
+}
+
+std::size_t window_argmax(const dsp::Signal& x, std::size_t lo, std::size_t hi) {
+  std::size_t best = lo;
+  for (std::size_t i = lo; i <= hi; ++i)
+    if (x[i] > x[best]) best = i;
+  return best;
+}
+
+} // namespace
+
+IcgSynthesis synthesize_icg(const std::vector<double>& r_times_s, double duration_s,
+                            dsp::SampleRate fs, const IcgSynthConfig& cfg, Rng& rng) {
+  if (fs <= 0.0) throw std::invalid_argument("synthesize_icg: fs must be positive");
+  if (duration_s <= 0.0) throw std::invalid_argument("synthesize_icg: duration must be positive");
+
+  const std::size_t n = static_cast<std::size_t>(std::ceil(duration_s * fs));
+  IcgSynthesis out;
+  out.icg.assign(n, 0.0);
+
+  for (std::size_t bi = 0; bi < r_times_s.size(); ++bi) {
+    const double r = r_times_s[bi];
+    const double pep = std::max(0.05, cfg.pep_s + rng.normal(0.0, cfg.pep_jitter_s));
+    const double lvet = std::max(0.15, cfg.lvet_s + rng.normal(0.0, cfg.lvet_jitter_s));
+    const double amp =
+        std::max(0.3, cfg.dzdt_max * (1.0 + rng.normal(0.0, cfg.amp_jitter_frac)));
+
+    BeatShape shape;
+    shape.t_b = r + pep;
+    shape.t_x = shape.t_b + lvet;
+    shape.t_c = shape.t_b + cfg.c_rise_fraction * lvet;
+    shape.t_o = shape.t_x + 0.10;
+    shape.amp = amp;
+    shape.a_amp = cfg.a_wave_depth_frac * amp;
+    shape.xd = cfg.x_depth_frac;
+    shape.o_amp = cfg.o_wave_frac * amp;
+    shape.a_center = shape.t_b - 0.07;
+    if (shape.t_o + 0.3 > duration_s) break; // beat would be truncated; stop cleanly
+
+    // Render the beat into a scratch buffer over its support.
+    dsp::Signal beat(n, 0.0);
+    const std::size_t lo = clamp_index(shape.a_center - 4.0 * shape.a_sigma, fs, n);
+    const std::size_t hi = clamp_index(shape.t_o + 4.0 * shape.o_sigma, fs, n);
+    for (std::size_t i = lo; i <= hi; ++i)
+      beat[i] = shape.eval(static_cast<double>(i) / fs);
+
+    // Baseline compensation: a shallow negative offset across the whole
+    // beat cancels its net integral, so the impedance returns to baseline
+    // each cycle. Spreading the return over the entire cycle (rather than
+    // a post-diastolic trough) matches real averaged dZ/dt waveforms --
+    // which sit slightly below zero between beats -- and keeps the X
+    // trough the deepest minimum so the X0 search is not hijacked.
+    double integral = 0.0;
+    for (const double v : beat) integral += v;
+    integral /= fs;
+    const double comp0 = shape.a_center - 0.06;
+    const double next_limit =
+        (bi + 1 < r_times_s.size()) ? r_times_s[bi + 1] - 0.03 : duration_s - 0.05;
+    const double comp1 = std::max(next_limit, shape.t_o + 0.25);
+    const double ramp = 0.05;
+    if (comp1 > comp0 + 4.0 * ramp) {
+      // sin^2 ramps at both ends; effective area = offset * (span - ramp).
+      const double offset = integral / (comp1 - comp0 - ramp);
+      const std::size_t c0 = clamp_index(comp0, fs, n);
+      const std::size_t c1 = clamp_index(comp1, fs, n);
+      for (std::size_t i = c0; i <= c1; ++i) {
+        const double t = static_cast<double>(i) / fs;
+        double w = 1.0;
+        if (t < comp0 + ramp) w = sq(std::sin(kHalfPi * (t - comp0) / ramp));
+        else if (t > comp1 - ramp) w = sq(std::sin(kHalfPi * (comp1 - t) / ramp));
+        beat[i] -= offset * w;
+      }
+    }
+
+    // Ground truth from the rendered beat (the reference a delineator is
+    // judged against): C = max between B and X; B = local minimum at the
+    // foot of the upstroke; X = minimum around aortic closure.
+    BeatTruth truth;
+    truth.r_time_s = r;
+    const std::size_t c_idx =
+        window_argmax(beat, clamp_index(shape.t_b, fs, n), clamp_index(shape.t_x, fs, n));
+    const std::size_t b_idx = window_argmin(beat, clamp_index(shape.t_b - 0.055, fs, n),
+                                            clamp_index(shape.t_b + 0.02, fs, n));
+    const std::size_t x_idx =
+        window_argmin(beat, c_idx, clamp_index(shape.t_x + 0.03, fs, n));
+    truth.b_time_s = static_cast<double>(b_idx) / fs;
+    truth.c_time_s = static_cast<double>(c_idx) / fs;
+    truth.x_time_s = static_cast<double>(x_idx) / fs;
+    truth.pep_s = truth.b_time_s - r;
+    truth.lvet_s = truth.x_time_s - truth.b_time_s;
+    truth.dzdt_max = beat[c_idx];
+    out.beats.push_back(truth);
+
+    for (std::size_t i = 0; i < n; ++i) out.icg[i] += beat[i];
+  }
+
+  // ICG = -dZ/dt  =>  delta_z = -integral(ICG) dt.
+  out.delta_z.assign(n, 0.0);
+  double acc = 0.0;
+  const double dt = 1.0 / fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc -= out.icg[i] * dt;
+    out.delta_z[i] = acc;
+  }
+  return out;
+}
+
+} // namespace icgkit::synth

@@ -1,0 +1,67 @@
+// Per-beat ICG (dZ/dt) waveform synthesis with exact characteristic-point
+// ground truth.
+//
+// Each beat is a parametric template tied to the ECG R peak of the same
+// beat (the coupling the paper's beat-to-beat algorithm exploits,
+// Section IV-C):
+//
+//     R ---PEP---> B (aortic valve opens) ---> C (peak flow)
+//                  |<------------- LVET ------------->| X (valve closes)
+//
+// The template is a sum of smooth components: a small negative atrial
+// (A) wave before B, the dominant C wave (asymmetric Gaussian rising from
+// B), the X trough at aortic closure, the O wave of early diastole, and a
+// slow diastolic recovery term that zeroes the beat's net integral so the
+// impedance returns to baseline every cycle. Ground-truth B/C/X sample
+// positions are emitted per beat; downstream tests measure delineation
+// error against them.
+//
+// The impedance contribution is recovered as  dZ_cardiac = -integral(ICG),
+// honouring the paper's convention ICG = -dZ/dt.
+#pragma once
+
+#include "dsp/types.h"
+#include "synth/rng.h"
+
+#include <vector>
+
+namespace icgkit::synth {
+
+/// Ground truth for one synthesized beat. Times are in seconds from the
+/// start of the recording.
+struct BeatTruth {
+  double r_time_s = 0.0;
+  double b_time_s = 0.0;
+  double c_time_s = 0.0;
+  double x_time_s = 0.0;
+  double pep_s = 0.0;     ///< b - r
+  double lvet_s = 0.0;    ///< x - b
+  double dzdt_max = 0.0;  ///< C-wave amplitude, Ohm/s
+};
+
+struct IcgSynthConfig {
+  double pep_s = 0.10;          ///< mean pre-ejection period
+  double lvet_s = 0.30;         ///< mean left-ventricular ejection time
+  double dzdt_max = 1.8;        ///< mean C amplitude, Ohm/s
+  double pep_jitter_s = 0.004;  ///< per-beat s.d.
+  double lvet_jitter_s = 0.008; ///< per-beat s.d.
+  double amp_jitter_frac = 0.05;
+
+  double c_rise_fraction = 0.40; ///< position of C between B and X, as a fraction of LVET
+  double a_wave_depth_frac = 0.12;
+  double x_depth_frac = 0.35;
+  double o_wave_frac = 0.15;
+};
+
+struct IcgSynthesis {
+  dsp::Signal icg;           ///< clean ICG (-dZ/dt), Ohm/s
+  dsp::Signal delta_z;       ///< cardiac impedance component, Ohm (zero mean per beat)
+  std::vector<BeatTruth> beats;
+};
+
+/// Synthesizes the ICG aligned to the given R-peak times. `duration_s`
+/// fixes the output length (samples = ceil(duration * fs)).
+IcgSynthesis synthesize_icg(const std::vector<double>& r_times_s, double duration_s,
+                            dsp::SampleRate fs, const IcgSynthConfig& cfg, Rng& rng);
+
+} // namespace icgkit::synth

@@ -1,0 +1,172 @@
+#include "synth/recording.h"
+
+#include "dsp/stats.h"
+#include "synth/artifacts.h"
+#include "synth/ecg_synth.h"
+#include "synth/rr_process.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icgkit::synth {
+
+namespace {
+
+// Dynamic (cardiac + respiratory) impedance components scale with the
+// tissue dispersion the same way the baseline does; normalize to the
+// 50 kHz reference the paper uses for the systolic-interval study.
+double dispersion_scale(const ColeModel& tissue, double f_hz) {
+  const double ref = tissue.magnitude(50e3);
+  if (ref <= 0.0) return 1.0;
+  return tissue.magnitude(f_hz) / ref;
+}
+
+} // namespace
+
+SourceActivity generate_source(const SubjectProfile& subject, const RecordingConfig& cfg) {
+  if (cfg.duration_s <= 0.0) throw std::invalid_argument("generate_source: duration");
+  if (cfg.fs <= 0.0) throw std::invalid_argument("generate_source: fs");
+
+  Rng rng(subject.seed * 0x9E3779B9ULL + cfg.session_seed);
+
+  SourceActivity src;
+  src.fs = cfg.fs;
+
+  const std::vector<double> rr = generate_rr_intervals(subject.rr, cfg.duration_s, rng);
+  EcgSynthesis ecg = synthesize_ecg(rr, cfg.fs);
+  const std::size_t n = static_cast<std::size_t>(std::ceil(cfg.duration_s * cfg.fs));
+  ecg.ecg_mv.resize(n, 0.0);
+  src.ecg_mv = std::move(ecg.ecg_mv);
+
+  IcgSynthesis icg = synthesize_icg(ecg.r_times_s, cfg.duration_s, cfg.fs, subject.icg, rng);
+  src.icg_clean = std::move(icg.icg);
+  src.delta_z_cardiac = std::move(icg.delta_z);
+  src.beats = std::move(icg.beats);
+
+  RespirationConfig resp;
+  resp.freq_hz = subject.rr.resp_freq_hz;
+  resp.amplitude = subject.resp_amp_ohm;
+  resp.phase_rad = rng.uniform(0.0, 6.28318);
+  src.respiration = respiration_artifact(n, cfg.fs, resp, rng);
+
+  return src;
+}
+
+Recording measure_thoracic(const SubjectProfile& subject, const SourceActivity& source,
+                           double injection_freq_hz) {
+  Recording rec;
+  rec.fs = source.fs;
+  rec.beats = source.beats;
+  rec.z0_mean_ohm =
+      measured_bioimpedance(subject.thorax, subject.channel, injection_freq_hz);
+
+  const double dyn = dispersion_scale(subject.thorax, injection_freq_hz);
+  const std::size_t n = source.delta_z_cardiac.size();
+  rec.z_ohm.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    rec.z_ohm[i] =
+        rec.z0_mean_ohm + dyn * (source.delta_z_cardiac[i] + source.respiration[i]);
+
+  // Hospital-grade noise floor: variance a fixed small ratio of the
+  // dynamic signal's variance. The broadband (white) share is capped at
+  // an absolute level typical of a lab front-end -- broadband impedance
+  // noise differentiates into ICG-band noise with gain 2*pi*f, so an
+  // uncapped share would be physically wrong (see MotionConfig).
+  dsp::Signal dynamic(n);
+  for (std::size_t i = 0; i < n; ++i) dynamic[i] = rec.z_ohm[i] - rec.z0_mean_ohm;
+  const double sig_var = dsp::variance(dynamic);
+  Rng rng(subject.seed * 7919ULL + static_cast<std::uint64_t>(injection_freq_hz));
+  const double noise_var = subject.thoracic_noise_ratio * sig_var;
+  const double white_sigma = std::min(std::sqrt(0.15 * noise_var), 0.002);
+  const double motion_var = std::max(0.0, noise_var - white_sigma * white_sigma);
+  MotionConfig mcfg;
+  mcfg.amplitude = std::sqrt(motion_var);
+  const dsp::Signal cable_motion = motion_artifact(n, source.fs, mcfg, rng);
+  const dsp::Signal noise = white_noise(n, white_sigma, rng);
+  for (std::size_t i = 0; i < n; ++i) rec.z_ohm[i] += noise[i] + cable_motion[i];
+
+  rec.ecg_mv = source.ecg_mv;
+  const dsp::Signal ecg_noise = white_noise(n, subject.ecg_noise_mv, rng);
+  for (std::size_t i = 0; i < n; ++i) rec.ecg_mv[i] += ecg_noise[i];
+  return rec;
+}
+
+Recording measure_device(const SubjectProfile& subject, const SourceActivity& source,
+                         double injection_freq_hz, Position position) {
+  const std::size_t pos = index_of(position);
+  Recording rec;
+  rec.fs = source.fs;
+  rec.beats = source.beats;
+
+  const double gain = subject.position_gain[pos];
+  rec.z0_mean_ohm =
+      gain * measured_bioimpedance(subject.arm_path, subject.channel, injection_freq_hz);
+
+  // Shared physiology as seen hand-to-hand: attenuated by the body
+  // transfer and by the position's coupling gain.
+  const double dyn = dispersion_scale(subject.arm_path, injection_freq_hz);
+  const std::size_t n = source.delta_z_cardiac.size();
+  dsp::Signal dynamic(n);
+  for (std::size_t i = 0; i < n; ++i)
+    dynamic[i] = gain * dyn *
+                 (subject.cardiac_transfer * source.delta_z_cardiac[i] +
+                  subject.resp_transfer * source.respiration[i]);
+
+  // Noise calibrated from the per-position correlation target: for two
+  // noisy views of a shared signal, r = 1/sqrt((1+v_t)(1+v_d)) with v the
+  // noise/signal variance ratios, so
+  //   v_d = 1 / (r^2 (1 + v_t)) - 1.
+  const double r_target = subject.target_corr[pos];
+  const double v_t = subject.thoracic_noise_ratio;
+  const double v_d = std::max(0.0, 1.0 / (r_target * r_target * (1.0 + v_t)) - 1.0);
+  const double sig_var = dsp::variance(dynamic);
+  const double noise_var = v_d * sig_var;
+
+  Rng rng(subject.seed * 104729ULL + static_cast<std::uint64_t>(injection_freq_hz) +
+          1000003ULL * pos);
+
+  // Split the noise budget: almost all of it is motion-band (the
+  // position's motion severity is already encoded in the correlation
+  // target), plus a small absolute-capped broadband contact-noise floor
+  // (see the cap rationale in measure_thoracic).
+  const double white_sigma = std::min(std::sqrt(0.15 * noise_var), 0.002);
+  MotionConfig motion;
+  motion.amplitude = std::sqrt(std::max(0.0, noise_var - white_sigma * white_sigma));
+  const dsp::Signal motion_trace = motion_artifact(n, source.fs, motion, rng);
+  const dsp::Signal contact = white_noise(n, white_sigma, rng);
+
+  rec.z_ohm.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    rec.z_ohm[i] = rec.z0_mean_ohm + dynamic[i] + motion_trace[i] + contact[i];
+
+  rec.ecg_mv = source.ecg_mv;
+  const dsp::Signal ecg_noise = white_noise(n, subject.ecg_touch_noise_mv, rng);
+  const dsp::Signal ecg_motion =
+      motion_artifact(n, source.fs,
+                      MotionConfig{.amplitude = 0.02 * subject.motion_level[pos]}, rng);
+  for (std::size_t i = 0; i < n; ++i) rec.ecg_mv[i] += ecg_noise[i] + ecg_motion[i];
+  return rec;
+}
+
+double mean_bioimpedance(const Recording& rec) { return dsp::mean(rec.z_ohm); }
+
+TouchCalibration touch_calibration(const SubjectProfile& subject, double injection_freq_hz,
+                                   Position position) {
+  const std::size_t pos = index_of(position);
+  TouchCalibration cal;
+  const double z0_dev = subject.position_gain[pos] *
+                        measured_bioimpedance(subject.arm_path, subject.channel,
+                                              injection_freq_hz);
+  // The SV estimators' Z0 means *tissue* impedance, so the calibration
+  // target is the thoracic Cole magnitude itself, not the channel-shaped
+  // reading (the channel gain cancels out of a real device's one-time
+  // calibration against a reference system).
+  const double z0_th = subject.thorax.magnitude(injection_freq_hz);
+  if (z0_dev > 0.0) cal.z0_scale = z0_th / z0_dev;
+  const double transfer = subject.position_gain[pos] * subject.cardiac_transfer *
+                          dispersion_scale(subject.arm_path, injection_freq_hz);
+  if (transfer > 0.0) cal.dzdt_scale = 1.0 / transfer;
+  return cal;
+}
+
+} // namespace icgkit::synth

@@ -1,0 +1,76 @@
+// Recording orchestration: one subject's underlying physiology measured
+// either through the traditional thoracic electrode setup (Fig 1 of the
+// paper) or through the touch device in one of the three arm positions.
+//
+// The key design point is that the *same* SourceActivity (cardiac
+// impedance dynamics, respiration, ECG) feeds both measurement paths, so
+// device-vs-thoracic correlations (Tables II-IV) measure exactly what the
+// paper measured: how much of the shared physiology survives the device's
+// coupling and noise.
+#pragma once
+
+#include "dsp/types.h"
+#include "synth/icg_synth.h"
+#include "synth/subject.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace icgkit::synth {
+
+struct RecordingConfig {
+  double duration_s = 30.0;       ///< the paper records 30 s per condition
+  dsp::SampleRate fs = 250.0;     ///< the paper's evaluation sampling rate
+  std::uint64_t session_seed = 0; ///< varies artifacts between sessions
+};
+
+/// The subject's physiology for one session, at thoracic reference scale.
+struct SourceActivity {
+  dsp::SampleRate fs = 250.0;
+  dsp::Signal ecg_mv;          ///< clean ECG
+  dsp::Signal delta_z_cardiac; ///< cardiac impedance component, Ohm
+  dsp::Signal respiration;     ///< respiratory impedance component, Ohm
+  dsp::Signal icg_clean;       ///< clean thoracic ICG = -d(delta_z)/dt, Ohm/s
+  std::vector<BeatTruth> beats;
+};
+
+/// One acquired recording (either setup).
+struct Recording {
+  dsp::SampleRate fs = 250.0;
+  dsp::Signal ecg_mv;  ///< ECG with channel noise
+  dsp::Signal z_ohm;   ///< impedance signal: Z0(f) + dynamics + artifacts
+  double z0_mean_ohm = 0.0; ///< the Z0(f) set-point used
+  std::vector<BeatTruth> beats; ///< ground truth (shared with the source)
+};
+
+/// Synthesizes the session physiology for a subject.
+SourceActivity generate_source(const SubjectProfile& subject, const RecordingConfig& cfg);
+
+/// Measures the source through the traditional chest/thorax electrodes at
+/// injection frequency f.
+Recording measure_thoracic(const SubjectProfile& subject, const SourceActivity& source,
+                           double injection_freq_hz);
+
+/// Measures the source through the touch device at injection frequency f
+/// in the given arm position. Device noise is calibrated against the
+/// subject's per-position correlation target (see subject.h).
+Recording measure_device(const SubjectProfile& subject, const SourceActivity& source,
+                         double injection_freq_hz, Position position);
+
+/// Convenience: mean of the impedance trace (the paper's "Z_position_x").
+double mean_bioimpedance(const Recording& rec);
+
+/// Path-to-thoracic calibration factors for the SV estimators (see
+/// core::BodyParameters). A real device obtains these once per posture
+/// against a reference system; here they follow from the channel model:
+///   z0_scale   = Z0_thorax(f) / Z0_device(f, position)
+///   dzdt_scale = 1 / (position gain * cardiac transfer * dispersion ratio)
+struct TouchCalibration {
+  double z0_scale = 1.0;
+  double dzdt_scale = 1.0;
+};
+
+TouchCalibration touch_calibration(const SubjectProfile& subject, double injection_freq_hz,
+                                   Position position);
+
+} // namespace icgkit::synth

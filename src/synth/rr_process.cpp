@@ -1,0 +1,34 @@
+#include "synth/rr_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgkit::synth {
+
+std::vector<double> generate_rr_intervals(const RrConfig& cfg, double duration_s, Rng& rng) {
+  if (cfg.mean_hr_bpm <= 20.0 || cfg.mean_hr_bpm > 240.0)
+    throw std::invalid_argument("generate_rr_intervals: implausible heart rate");
+  if (duration_s <= 0.0)
+    throw std::invalid_argument("generate_rr_intervals: duration must be positive");
+
+  const double mean_rr = 60.0 / cfg.mean_hr_bpm;
+  std::vector<double> rr;
+  double t = 0.0;
+  while (t < duration_s) {
+    const double mayer = cfg.mayer_fraction * mean_rr *
+                         std::sin(2.0 * std::numbers::pi * cfg.mayer_freq_hz * t);
+    const double rsa = cfg.rsa_fraction * mean_rr *
+                       std::sin(2.0 * std::numbers::pi * cfg.resp_freq_hz * t);
+    const double jitter = rng.normal(0.0, cfg.jitter_fraction * mean_rr);
+    // Clamp to a physiological floor so pathological jitter draws can
+    // never produce a non-positive interval.
+    const double interval = std::max(0.3, mean_rr + mayer + rsa + jitter);
+    rr.push_back(interval);
+    t += interval;
+  }
+  return rr;
+}
+
+} // namespace icgkit::synth

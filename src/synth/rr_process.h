@@ -1,0 +1,26 @@
+// Beat-to-beat RR-interval generator with physiological heart-rate
+// variability: a Mayer-wave component (~0.1 Hz, sympathetic) and a
+// respiratory sinus arrhythmia component locked to the breathing rate,
+// plus white jitter.
+#pragma once
+
+#include "synth/rng.h"
+
+#include <vector>
+
+namespace icgkit::synth {
+
+struct RrConfig {
+  double mean_hr_bpm = 65.0;
+  double mayer_fraction = 0.03;   ///< Mayer-wave amplitude as a fraction of mean RR
+  double mayer_freq_hz = 0.1;
+  double rsa_fraction = 0.04;     ///< respiratory sinus arrhythmia amplitude fraction
+  double resp_freq_hz = 0.25;     ///< breathing rate the RSA locks to
+  double jitter_fraction = 0.01;  ///< white beat-to-beat jitter fraction
+};
+
+/// Generates RR intervals (seconds) until their sum covers `duration_s`
+/// (the last interval may overshoot). At least one interval is returned.
+std::vector<double> generate_rr_intervals(const RrConfig& cfg, double duration_s, Rng& rng);
+
+} // namespace icgkit::synth

@@ -1,0 +1,66 @@
+#include "synth/subject.h"
+
+namespace icgkit::synth {
+
+namespace {
+
+// Builds one subject. The correlation targets come verbatim from the
+// paper's Tables II (Position 1), III (Position 2) and IV (Position 3);
+// position gains are chosen so the Fig 8 error ordering holds per subject
+// (e21 largest, e31 smallest, all below 20 %).
+SubjectProfile make_subject(const std::string& name, double hr_bpm, double pep_s,
+                            double lvet_s, double dzdt_max, double thorax_r0,
+                            double arm_r0, std::array<double, 3> gains,
+                            std::array<double, 3> corr, std::uint64_t seed) {
+  SubjectProfile s;
+  s.name = name;
+
+  s.thorax.r0_ohm = thorax_r0;
+  s.thorax.rinf_ohm = 0.55 * thorax_r0;
+  s.thorax.fc_hz = 35e3;
+  s.thorax.alpha = 0.68;
+
+  s.arm_path.r0_ohm = arm_r0;
+  s.arm_path.rinf_ohm = 0.60 * arm_r0;
+  s.arm_path.fc_hz = 40e3;
+  s.arm_path.alpha = 0.70;
+
+  s.channel.hp_corner_hz = 3.0e3;
+  s.channel.lp_corner_hz = 60.0e3;
+
+  s.rr.mean_hr_bpm = hr_bpm;
+
+  s.icg.pep_s = pep_s;
+  s.icg.lvet_s = lvet_s;
+  s.icg.dzdt_max = dzdt_max;
+
+  s.position_gain = gains;
+  s.target_corr = corr;
+  // Motion severity: Position 1 (braced against the chest) is steadiest;
+  // Position 2 (arms outstretched) shakes most; Position 3 in between.
+  s.motion_level = {1.0, 1.6, 1.25};
+
+  s.seed = seed;
+  return s;
+}
+
+} // namespace
+
+std::vector<SubjectProfile> paper_roster() {
+  std::vector<SubjectProfile> roster;
+  // name, HR, PEP, LVET, dZ/dt max, thorax R0, arm R0,
+  // position gains {P1, P2, P3}, correlation targets {P1, P2, P3}, seed.
+  roster.push_back(make_subject("Subject 1", 72.0, 0.105, 0.295, 1.9, 27.0, 420.0,
+                                {0.86, 1.0, 0.875}, {0.9081, 0.9747, 0.9737}, 101));
+  roster.push_back(make_subject("Subject 2", 64.0, 0.098, 0.310, 1.7, 30.0, 465.0,
+                                {0.89, 1.0, 0.905}, {0.9471, 0.9497, 0.9377}, 202));
+  roster.push_back(make_subject("Subject 3", 58.0, 0.092, 0.325, 2.1, 25.0, 390.0,
+                                {0.92, 1.0, 0.93}, {0.9827, 0.9938, 0.9908}, 303));
+  roster.push_back(make_subject("Subject 4", 78.0, 0.112, 0.280, 1.5, 33.0, 510.0,
+                                {0.83, 1.0, 0.85}, {0.8451, 0.9033, 0.8531}, 404));
+  roster.push_back(make_subject("Subject 5", 69.0, 0.101, 0.300, 1.8, 29.0, 445.0,
+                                {0.87, 1.0, 0.89}, {0.9251, 0.8461, 0.6919}, 505));
+  return roster;
+}
+
+} // namespace icgkit::synth

@@ -1,0 +1,100 @@
+#include "dsp/derivative.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace icgkit::dsp {
+namespace {
+
+constexpr double kFs = 250.0;
+
+Signal ramp(std::size_t n, double slope_per_s, double fs) {
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = slope_per_s * static_cast<double>(i) / fs;
+  return x;
+}
+
+TEST(DerivativeTest, RampHasConstantDerivative) {
+  const Signal x = ramp(100, 3.0, kFs);
+  const Signal d = derivative(x, kFs);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_NEAR(d[i], 3.0, 1e-9) << i;
+}
+
+TEST(DerivativeTest, SineDerivativeIsCosine) {
+  const double f0 = 2.0;
+  const double w = 2.0 * std::numbers::pi * f0;
+  Signal x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(w * static_cast<double>(i) / kFs);
+  const Signal d = derivative(x, kFs);
+  for (std::size_t i = 5; i + 5 < x.size(); ++i) {
+    const double expect = w * std::cos(w * static_cast<double>(i) / kFs);
+    EXPECT_NEAR(d[i], expect, 0.01 * w) << i;
+  }
+}
+
+TEST(DerivativeTest, SecondDerivativeOfParabola) {
+  Signal x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / kFs;
+    x[i] = 4.0 * t * t;
+  }
+  const Signal d2 = second_derivative(x, kFs);
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) EXPECT_NEAR(d2[i], 8.0, 1e-6) << i;
+}
+
+TEST(DerivativeTest, ThirdDerivativeOfCubic) {
+  Signal x(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / kFs;
+    x[i] = 2.0 * t * t * t;
+  }
+  const Signal d3 = third_derivative(x, kFs);
+  for (std::size_t i = 4; i + 4 < x.size(); ++i) EXPECT_NEAR(d3[i], 12.0, 1e-4) << i;
+}
+
+TEST(DerivativeTest, ConstantSignalZeroDerivatives) {
+  const Signal x(50, 7.0);
+  for (const double v : derivative(x, kFs)) EXPECT_NEAR(v, 0.0, 1e-12);
+  for (const double v : second_derivative(x, kFs)) EXPECT_NEAR(v, 0.0, 1e-12);
+  for (const double v : third_derivative(x, kFs)) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(DerivativeTest, FivePointDerivativeOnRamp) {
+  // The Pan-Tompkins 5-point operator has an inherent low-frequency gain
+  // of 1.25 ((2*2 + 1 + 1 + 2*2)/8); the QRS detector is scale-invariant
+  // so the gain is kept rather than hidden.
+  const Signal x = ramp(100, 5.0, kFs);
+  const Signal d = five_point_derivative(x, kFs);
+  for (std::size_t i = 2; i + 2 < d.size(); ++i) EXPECT_NEAR(d[i], 6.25, 1e-9) << i;
+}
+
+TEST(DerivativeTest, FivePointFallsBackForShortSignals) {
+  const Signal x{0.0, 1.0, 2.0};
+  const Signal d = five_point_derivative(x, kFs);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_NEAR(d[1], kFs, 1e-9); // central difference of unit steps
+}
+
+TEST(DerivativeTest, ShortAndEmptyInputs) {
+  EXPECT_TRUE(derivative(Signal{}, kFs).empty());
+  EXPECT_EQ(derivative(Signal{1.0}, kFs).size(), 1u);
+  EXPECT_EQ(second_derivative(Signal{1.0, 2.0}, kFs).size(), 2u);
+}
+
+TEST(DerivativeTest, InvalidFsThrows) {
+  EXPECT_THROW(derivative(Signal{1.0, 2.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(second_derivative(Signal{1.0, 2.0}, -5.0), std::invalid_argument);
+}
+
+TEST(DerivativeTest, SignWithTolerance) {
+  EXPECT_EQ(sign_with_tolerance(0.5, 0.1), 1);
+  EXPECT_EQ(sign_with_tolerance(-0.5, 0.1), -1);
+  EXPECT_EQ(sign_with_tolerance(0.05, 0.1), 0);
+  EXPECT_EQ(sign_with_tolerance(-0.1, 0.1), 0);
+}
+
+} // namespace
+} // namespace icgkit::dsp

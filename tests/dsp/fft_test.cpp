@@ -1,0 +1,132 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace icgkit::dsp {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  Spectrum x(3);
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(FftTest, DeltaHasFlatSpectrum) {
+  Spectrum x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft_inplace(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Spectrum x(64);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = {std::sin(0.3 * static_cast<double>(i)), std::cos(0.11 * static_cast<double>(i))};
+  Spectrum y = x;
+  fft_inplace(y);
+  fft_inplace(y, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10) << i;
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10) << i;
+  }
+}
+
+TEST(FftTest, SingleToneBinPeak) {
+  // A sine at exactly bin k peaks there with amplitude N/2.
+  const std::size_t n = 256;
+  const std::size_t k = 19;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(kTwoPi * static_cast<double>(k) * static_cast<double>(i) /
+                    static_cast<double>(n));
+  const Signal mag = magnitude_spectrum(x);
+  EXPECT_NEAR(mag[k], static_cast<double>(n) / 2.0, 1e-9);
+  // All other bins (except conjugate, not in one-sided range) near zero.
+  for (std::size_t b = 0; b < mag.size(); ++b) {
+    if (b == k) continue;
+    EXPECT_LT(mag[b], 1e-8) << "bin " << b;
+  }
+}
+
+TEST(FftTest, ParsevalTheorem) {
+  const std::size_t n = 128;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(0.5 * static_cast<double>(i)) + 0.25 * static_cast<double>(i % 5);
+  Spectrum c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = {x[i], 0.0};
+  fft_inplace(c);
+  double time_energy = 0.0;
+  for (const double v : x) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (const auto& v : c) freq_energy += std::norm(v);
+  freq_energy /= static_cast<double>(n);
+  EXPECT_NEAR(time_energy, freq_energy, 1e-8);
+}
+
+TEST(FftTest, WelchPeakAtToneFrequency) {
+  const double fs = 250.0;
+  const double f0 = 12.0;
+  Signal x(5000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(kTwoPi * f0 * static_cast<double>(i) / fs);
+  WelchConfig cfg;
+  cfg.segment_length = 1024;
+  const Psd psd = welch_psd(x, fs, cfg);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < psd.power.size(); ++k)
+    if (psd.power[k] > psd.power[peak]) peak = k;
+  EXPECT_NEAR(psd.freq_hz[peak], f0, fs / 1024.0 * 1.5);
+}
+
+TEST(FftTest, WelchPowerScaling) {
+  // A unit-amplitude sine has total power 0.5; Welch band power around the
+  // tone should recover it within window-leakage error.
+  const double fs = 250.0;
+  Signal x(20000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(kTwoPi * 20.0 * static_cast<double>(i) / fs);
+  const Psd psd = welch_psd(x, fs);
+  EXPECT_NEAR(band_power(psd, 15.0, 25.0), 0.5, 0.05);
+  EXPECT_LT(band_power(psd, 40.0, 100.0), 0.01);
+}
+
+TEST(FftTest, WelchHandlesShortSignal) {
+  Signal x(100, 1.0);
+  const Psd psd = welch_psd(x, 250.0);
+  EXPECT_FALSE(psd.power.empty());
+}
+
+TEST(FftTest, IcgBandDominatesAbove20Hz) {
+  // Reproduces the paper's rationale for the 20 Hz cutoff: an ICG-like
+  // signal (smooth ~1-8 Hz content) has negligible power above 20 Hz.
+  const double fs = 250.0;
+  Signal x(25000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = std::sin(kTwoPi * 1.2 * t) + 0.5 * std::sin(kTwoPi * 4.0 * t) +
+           0.2 * std::sin(kTwoPi * 8.0 * t);
+  }
+  const Psd psd = welch_psd(x, fs);
+  const double low = band_power(psd, 0.5, 20.0);
+  const double high = band_power(psd, 20.0, 125.0);
+  EXPECT_GT(low / (high + 1e-12), 100.0);
+}
+
+} // namespace
+} // namespace icgkit::dsp

@@ -1,0 +1,163 @@
+#include "dsp/filtfilt.h"
+
+#include "dsp/butterworth.h"
+#include "dsp/fir_design.h"
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace icgkit::dsp {
+namespace {
+
+constexpr double kFs = 250.0;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+Signal sine(double freq, std::size_t n, double phase = 0.0) {
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(kTwoPi * freq * static_cast<double>(i) / kFs + phase);
+  return x;
+}
+
+// Estimates the delay (in samples) of y relative to x by maximizing the
+// cross-correlation over lags in [-maxlag, maxlag]. Positive result means
+// y lags x (y[n] ~ x[n - delay]).
+int delay_by_xcorr(SignalView x, SignalView y, int maxlag) {
+  double best = -1e300;
+  int best_lag = 0;
+  const int n = static_cast<int>(x.size());
+  for (int lag = -maxlag; lag <= maxlag; ++lag) {
+    double acc = 0.0;
+    for (int i = std::max(0, lag); i < std::min(n, n + lag); ++i)
+      acc += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i - lag)];
+    if (acc > best) {
+      best = acc;
+      best_lag = lag;
+    }
+  }
+  // y[i - lag] aligns with x[i] at lag = -delay, so flip the sign.
+  return -best_lag;
+}
+
+TEST(FiltfiltTest, OddReflectPadStructure) {
+  const Signal x{1.0, 2.0, 3.0, 4.0};
+  const Signal p = odd_reflect_pad(x, 2);
+  ASSERT_EQ(p.size(), 8u);
+  // Left: 2*x[0]-x[2], 2*x[0]-x[1] = -1, 0
+  EXPECT_DOUBLE_EQ(p[0], -1.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  EXPECT_DOUBLE_EQ(p[5], 4.0);
+  // Right: 2*x[3]-x[2], 2*x[3]-x[1] = 5, 6
+  EXPECT_DOUBLE_EQ(p[6], 5.0);
+  EXPECT_DOUBLE_EQ(p[7], 6.0);
+}
+
+TEST(FiltfiltTest, PadTooLargeThrows) {
+  const Signal x{1.0, 2.0, 3.0};
+  EXPECT_THROW(odd_reflect_pad(x, 3), std::invalid_argument);
+}
+
+TEST(FiltfiltTest, EmptyInputGivesEmptyOutput) {
+  const SosFilter f = butterworth_lowpass(4, 20.0, kFs);
+  EXPECT_TRUE(filtfilt_sos(f, Signal{}).empty());
+}
+
+TEST(FiltfiltTest, ZeroPhaseSosPassbandSine) {
+  // A passband sine must come out with no measurable delay.
+  const SosFilter f = butterworth_lowpass(4, 20.0, kFs);
+  const Signal x = sine(5.0, 2000);
+  const Signal y = filtfilt_sos(f, x);
+  EXPECT_EQ(delay_by_xcorr(x, y, 25), 0);
+  // and amplitude preserved (squared response at 5 Hz is ~1).
+  Signal xc(x.begin() + 200, x.end() - 200);
+  Signal yc(y.begin() + 200, y.end() - 200);
+  EXPECT_NEAR(rms(yc) / rms(xc), 1.0, 0.01);
+}
+
+TEST(FiltfiltTest, CausalFilterHasDelayFiltfiltDoesNot) {
+  const SosFilter f = butterworth_lowpass(4, 10.0, kFs);
+  const Signal x = sine(4.0, 2000);
+  const Signal causal = sos_apply(f, x);
+  const Signal zero_phase = filtfilt_sos(f, x);
+  EXPECT_GT(delay_by_xcorr(x, causal, 30), 1);
+  EXPECT_EQ(delay_by_xcorr(x, zero_phase, 30), 0);
+}
+
+TEST(FiltfiltTest, ZeroPhaseFirPaperEcgFilter) {
+  const auto fir = design_bandpass(32, 0.05, 40.0, kFs);
+  const Signal x = sine(10.0, 3000);
+  const Signal y = filtfilt_fir(fir, x);
+  EXPECT_EQ(delay_by_xcorr(x, y, 40), 0);
+}
+
+TEST(FiltfiltTest, SquaredMagnitudeResponse) {
+  // Forward-backward filtering squares |H|: a sine at the -3 dB point
+  // comes out at 1/2 amplitude.
+  const SosFilter f = butterworth_lowpass(4, 20.0, kFs);
+  const Signal x = sine(20.0, 4000);
+  const Signal y = filtfilt_sos(f, x);
+  Signal xc(x.begin() + 500, x.end() - 500);
+  Signal yc(y.begin() + 500, y.end() - 500);
+  EXPECT_NEAR(rms(yc) / rms(xc), 0.5, 0.02);
+}
+
+TEST(FiltfiltTest, PreservesConstantSignal) {
+  const SosFilter f = butterworth_lowpass(4, 20.0, kFs);
+  const Signal x(500, 3.25);
+  const Signal y = filtfilt_sos(f, x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], 3.25, 1e-6) << i;
+}
+
+TEST(FiltfiltTest, NoEdgeBlowup) {
+  // Edge handling must keep the boundary samples within the signal range
+  // (the naive zero-padded version overshoots wildly on a DC-offset sine).
+  const SosFilter f = butterworth_lowpass(4, 20.0, kFs);
+  Signal x = sine(3.0, 1000);
+  for (auto& v : x) v += 10.0;
+  const Signal y = filtfilt_sos(f, x);
+  for (const double v : y) {
+    EXPECT_GT(v, 8.5);
+    EXPECT_LT(v, 11.5);
+  }
+}
+
+TEST(FiltfiltTest, ShortSignalsDoNotThrow) {
+  const SosFilter f = butterworth_lowpass(4, 20.0, kFs);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 10u}) {
+    const Signal x(n, 1.0);
+    EXPECT_NO_THROW({
+      const Signal y = filtfilt_sos(f, x);
+      EXPECT_EQ(y.size(), n);
+    });
+  }
+}
+
+struct PhaseCase {
+  double freq;
+  double phase;
+};
+
+class ZeroPhaseSweep : public ::testing::TestWithParam<PhaseCase> {};
+
+TEST_P(ZeroPhaseSweep, PassbandSinePhasePreserved) {
+  // Property: filtfilt output correlates with the input at lag 0 for any
+  // passband frequency and any initial phase.
+  const auto [freq, phase] = GetParam();
+  const SosFilter f = butterworth_lowpass(6, 30.0, kFs);
+  const Signal x = sine(freq, 2500, phase);
+  const Signal y = filtfilt_sos(f, x);
+  EXPECT_EQ(delay_by_xcorr(x, y, 20), 0) << "freq=" << freq << " phase=" << phase;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FreqPhaseGrid, ZeroPhaseSweep,
+    ::testing::Values(PhaseCase{1.0, 0.0}, PhaseCase{1.0, 1.0}, PhaseCase{5.0, 0.5},
+                      PhaseCase{10.0, 2.0}, PhaseCase{15.0, 0.0}, PhaseCase{20.0, 1.5},
+                      PhaseCase{25.0, 0.7}, PhaseCase{28.0, 2.5}));
+
+} // namespace
+} // namespace icgkit::dsp

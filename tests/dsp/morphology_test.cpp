@@ -1,0 +1,145 @@
+#include "dsp/morphology.h"
+
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace icgkit::dsp {
+namespace {
+
+TEST(MorphologyTest, ErodeIsSlidingMin) {
+  const Signal x{5.0, 1.0, 3.0, 4.0, 2.0};
+  const Signal e = erode(x, 3);
+  const Signal expect{1.0, 1.0, 1.0, 2.0, 2.0};
+  ASSERT_EQ(e.size(), expect.size());
+  for (std::size_t i = 0; i < e.size(); ++i) EXPECT_DOUBLE_EQ(e[i], expect[i]) << i;
+}
+
+TEST(MorphologyTest, DilateIsSlidingMax) {
+  const Signal x{5.0, 1.0, 3.0, 4.0, 2.0};
+  const Signal d = dilate(x, 3);
+  const Signal expect{5.0, 5.0, 4.0, 4.0, 4.0};
+  ASSERT_EQ(d.size(), expect.size());
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_DOUBLE_EQ(d[i], expect[i]) << i;
+}
+
+TEST(MorphologyTest, EvenWidthThrows) {
+  const Signal x{1.0, 2.0, 3.0};
+  EXPECT_THROW(erode(x, 2), std::invalid_argument);
+  EXPECT_THROW(dilate(x, 4), std::invalid_argument);
+}
+
+TEST(MorphologyTest, OpeningRemovesNarrowPeak) {
+  Signal x(51, 0.0);
+  x[25] = 10.0; // single-sample spike
+  const Signal o = morph_open(x, 5);
+  for (const double v : o) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MorphologyTest, ClosingRemovesNarrowPit) {
+  Signal x(51, 1.0);
+  x[25] = -10.0;
+  const Signal c = morph_close(x, 5);
+  for (const double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MorphologyTest, OpeningPreservesWidePlateau) {
+  Signal x(100, 0.0);
+  for (std::size_t i = 30; i < 70; ++i) x[i] = 5.0; // 40-wide plateau
+  const Signal o = morph_open(x, 9);
+  EXPECT_DOUBLE_EQ(o[50], 5.0);
+}
+
+TEST(MorphologyTest, IdempotenceOfOpening) {
+  // Opening is idempotent: open(open(x)) == open(x).
+  Signal x(200);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.1 * static_cast<double>(i)) +
+           ((i % 17 == 0) ? 2.0 : 0.0); // spiky
+  const Signal o1 = morph_open(x, 7);
+  const Signal o2 = morph_open(o1, 7);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(o1[i], o2[i], 1e-12) << i;
+}
+
+TEST(MorphologyTest, AntiExtensivity) {
+  // open(x) <= x <= close(x) pointwise.
+  Signal x(300);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.07 * static_cast<double>(i)) + 0.3 * std::cos(0.31 * static_cast<double>(i));
+  const Signal o = morph_open(x, 11);
+  const Signal c = morph_close(x, 11);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(o[i], x[i] + 1e-12) << i;
+    EXPECT_GE(c[i], x[i] - 1e-12) << i;
+  }
+}
+
+// Synthetic "ECG": narrow spikes on a slow sinusoidal baseline. The
+// estimator must track the baseline and ignore the spikes.
+TEST(MorphologyTest, BaselineEstimatorTracksDrift) {
+  const double fs = 250.0;
+  const std::size_t n = 2500; // 10 s
+  Signal x(n);
+  Signal truth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    truth[i] = 0.4 * std::sin(2.0 * std::numbers::pi * 0.25 * t); // 0.25 Hz wander
+    x[i] = truth[i];
+  }
+  // Add QRS-like spikes every second (width ~ 20 ms << 0.2 s window).
+  for (std::size_t beat = 0; beat < 10; ++beat) {
+    const std::size_t center = 125 + beat * 250;
+    for (int k = -2; k <= 2; ++k)
+      x[center + static_cast<std::size_t>(k + 2)] += 1.0 * (1.0 - 0.4 * std::abs(k));
+  }
+  const Signal est = estimate_baseline(x, fs);
+  double err = 0.0;
+  for (std::size_t i = 100; i + 100 < n; ++i) err = std::max(err, std::abs(est[i] - truth[i]));
+  EXPECT_LT(err, 0.12);
+}
+
+TEST(MorphologyTest, RemoveBaselineLeavesSpikes) {
+  const double fs = 250.0;
+  const std::size_t n = 2500;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = 0.5 * std::sin(2.0 * std::numbers::pi * 0.2 * t);
+  }
+  for (std::size_t beat = 0; beat < 9; ++beat) x[200 + beat * 250] += 1.0;
+  const Signal y = remove_baseline(x, fs);
+  // Baseline energy (measured away from spikes) should drop a lot.
+  double resid = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 100; i + 100 < n; ++i) {
+    bool near_spike = false;
+    for (std::size_t beat = 0; beat < 9; ++beat) {
+      const std::size_t c = 200 + beat * 250;
+      if (i + 30 > c && i < c + 30) near_spike = true;
+    }
+    if (!near_spike) {
+      resid += y[i] * y[i];
+      ++count;
+    }
+  }
+  EXPECT_LT(std::sqrt(resid / static_cast<double>(count)), 0.1);
+  // Spikes survive.
+  EXPECT_GT(y[200 + 2 * 250], 0.6);
+}
+
+TEST(MorphologyTest, ConstantSignalHasConstantBaseline) {
+  const Signal x(1000, 2.0);
+  const Signal b = estimate_baseline(x, 250.0);
+  for (const double v : b) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(MorphologyTest, EmptySignal) {
+  EXPECT_TRUE(estimate_baseline(Signal{}, 250.0).empty());
+  EXPECT_TRUE(remove_baseline(Signal{}, 250.0).empty());
+}
+
+} // namespace
+} // namespace icgkit::dsp

@@ -1,0 +1,86 @@
+#include "dsp/resample.h"
+
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace icgkit::dsp {
+namespace {
+
+TEST(ResampleTest, IdentityWhenRatesEqual) {
+  const Signal x{1.0, 2.0, 3.0, 4.0};
+  const Signal y = resample_linear(x, 100.0, 100.0);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(ResampleTest, UpsampleDoublesLength) {
+  const Signal x{0.0, 1.0, 2.0};
+  const Signal y = resample_linear(x, 100.0, 200.0);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[3], 1.5, 1e-12);
+}
+
+TEST(ResampleTest, DownsamplePreservesSine) {
+  const double fs_in = 2000.0;
+  const double fs_out = 250.0;
+  Signal x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) / fs_in);
+  const Signal y = resample_linear(x, fs_in, fs_out);
+  // Check the value at t = 0.1 s.
+  const std::size_t idx = static_cast<std::size_t>(0.1 * fs_out);
+  EXPECT_NEAR(y[idx], std::sin(2.0 * std::numbers::pi * 5.0 * 0.1), 1e-3);
+}
+
+TEST(ResampleTest, EmptyAndSingleton) {
+  EXPECT_TRUE(resample_linear(Signal{}, 100.0, 50.0).empty());
+  const Signal y = resample_linear(Signal{2.5}, 100.0, 50.0);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+}
+
+TEST(ResampleTest, RejectsBadRates) {
+  EXPECT_THROW(resample_linear(Signal{1.0}, 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(resample_linear(Signal{1.0}, 100.0, -1.0), std::invalid_argument);
+}
+
+TEST(ResampleTest, DecimateFactorOneCopies) {
+  const Signal x{1.0, 2.0, 3.0};
+  const Signal y = decimate(x, 1, 250.0);
+  ASSERT_EQ(y.size(), x.size());
+}
+
+TEST(ResampleTest, DecimateSuppressesAlias) {
+  // A 90 Hz tone at fs=1000 decimated by 4 (fs=250) would alias to 90 Hz
+  // (still below new Nyquist) -- use 190 Hz which would alias to 60 Hz.
+  const double fs = 1000.0;
+  Signal x(8000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * 190.0 * static_cast<double>(i) / fs);
+  const Signal y = decimate(x, 4, fs);
+  // The anti-alias filter (cut 0.4*250=100 Hz) must remove the 190 Hz tone.
+  Signal mid(y.begin() + 100, y.end() - 100);
+  EXPECT_LT(rms(mid), 0.05);
+}
+
+TEST(ResampleTest, DecimatePreservesInBandTone) {
+  const double fs = 1000.0;
+  Signal x(8000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * 10.0 * static_cast<double>(i) / fs);
+  const Signal y = decimate(x, 4, fs);
+  Signal mid(y.begin() + 100, y.end() - 100);
+  EXPECT_NEAR(rms(mid), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(ResampleTest, DecimateRejectsZeroFactor) {
+  EXPECT_THROW(decimate(Signal{1.0}, 0, 100.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace icgkit::dsp

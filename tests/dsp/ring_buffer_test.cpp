@@ -1,0 +1,85 @@
+#include "dsp/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace icgkit::dsp {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBufferTest, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, PushPopFifoOrder) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, OverwriteOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_EQ(rb.pop(), 5);
+}
+
+TEST(RingBufferTest, PopEmptyThrows) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW(rb.pop(), std::out_of_range);
+}
+
+TEST(RingBufferTest, AtIndexesFromOldest) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(20);
+  rb.push(30);
+  EXPECT_EQ(rb.at(0), 10);
+  EXPECT_EQ(rb.at(2), 30);
+  EXPECT_THROW([[maybe_unused]] auto v = rb.at(3), std::out_of_range);
+}
+
+TEST(RingBufferTest, SnapshotOrder) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  const auto v = rb.snapshot();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[1], 4);
+  EXPECT_EQ(v[2], 5);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<double> rb(2);
+  rb.push(1.0);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(2.0);
+  EXPECT_DOUBLE_EQ(rb.front(), 2.0);
+}
+
+TEST(RingBufferTest, WrapsManyTimes) {
+  RingBuffer<std::size_t> rb(7);
+  for (std::size_t i = 0; i < 1000; ++i) rb.push(i);
+  EXPECT_EQ(rb.front(), 993u);
+  EXPECT_EQ(rb.back(), 999u);
+}
+
+} // namespace
+} // namespace icgkit::dsp

@@ -1,0 +1,90 @@
+#include "ecg/hrv.h"
+
+#include "synth/rng.h"
+#include "synth/rr_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace icgkit::ecg {
+namespace {
+
+// RR series with a single sinusoidal modulation at `freq` Hz.
+std::vector<double> modulated_rr(double mean_rr, double mod_freq, double mod_amp,
+                                 double duration_s) {
+  std::vector<double> rr;
+  double t = 0.0;
+  while (t < duration_s) {
+    const double v = mean_rr + mod_amp * std::sin(2.0 * std::numbers::pi * mod_freq * t);
+    rr.push_back(v);
+    t += v;
+  }
+  return rr;
+}
+
+TEST(HrvTest, TooShortSeriesIsInvalid) {
+  const HrvSpectrum s = hrv_spectrum(std::vector<double>(10, 0.8));
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(HrvTest, ConstantRrHasNegligiblePower) {
+  const HrvSpectrum s = hrv_spectrum(std::vector<double>(300, 0.8));
+  ASSERT_TRUE(s.freq_hz.size() > 0);
+  EXPECT_LT(s.total_power_ms2, 1.0); // < 1 ms^2 residual (interpolation noise)
+}
+
+TEST(HrvTest, PureLfModulationLandsInLfBand) {
+  const auto rr = modulated_rr(0.8, 0.095, 0.04, 300.0);
+  const HrvSpectrum s = hrv_spectrum(rr);
+  ASSERT_TRUE(s.valid());
+  EXPECT_GT(s.lf_power_ms2, 10.0 * s.hf_power_ms2);
+  EXPECT_GT(s.lf_hf_ratio, 10.0);
+}
+
+TEST(HrvTest, PureHfModulationLandsInHfBand) {
+  const auto rr = modulated_rr(0.8, 0.25, 0.04, 300.0);
+  const HrvSpectrum s = hrv_spectrum(rr);
+  ASSERT_TRUE(s.valid());
+  EXPECT_GT(s.hf_power_ms2, 10.0 * s.lf_power_ms2);
+  EXPECT_LT(s.lf_hf_ratio, 0.1);
+}
+
+TEST(HrvTest, PowerScalesWithModulationDepth) {
+  const auto small = hrv_spectrum(modulated_rr(0.8, 0.25, 0.02, 300.0));
+  const auto large = hrv_spectrum(modulated_rr(0.8, 0.25, 0.04, 300.0));
+  // Doubling amplitude quadruples power.
+  EXPECT_NEAR(large.hf_power_ms2 / small.hf_power_ms2, 4.0, 0.8);
+}
+
+TEST(HrvTest, ArtifactsGatedOut) {
+  auto rr = modulated_rr(0.8, 0.25, 0.03, 300.0);
+  rr[50] = 4.0;  // dropout
+  rr[150] = 0.1; // double-detection
+  const HrvSpectrum s = hrv_spectrum(rr);
+  ASSERT_TRUE(s.valid());
+  // Still HF-dominated; the spikes must not leak broadband power.
+  EXPECT_GT(s.hf_power_ms2, 3.0 * s.lf_power_ms2);
+}
+
+TEST(HrvTest, SynthRrProcessShowsBothPeaks) {
+  // End-to-end against the synthesizer: the RR process embeds a Mayer
+  // wave (0.1 Hz) and RSA at the breathing rate (0.25 Hz); both bands
+  // must carry clear power.
+  synth::Rng rng(42);
+  synth::RrConfig cfg;
+  cfg.mayer_fraction = 0.03;
+  cfg.rsa_fraction = 0.03;
+  cfg.jitter_fraction = 0.005;
+  const auto rr = synth::generate_rr_intervals(cfg, 300.0, rng);
+  const HrvSpectrum s = hrv_spectrum(rr);
+  ASSERT_TRUE(s.valid());
+  EXPECT_GT(s.lf_power_ms2, 20.0);
+  EXPECT_GT(s.hf_power_ms2, 20.0);
+  EXPECT_GT(s.lf_hf_ratio, 0.2);
+  EXPECT_LT(s.lf_hf_ratio, 5.0);
+}
+
+} // namespace
+} // namespace icgkit::ecg

@@ -1,0 +1,258 @@
+#include "platform/adc.h"
+#include "platform/components.h"
+#include "platform/mcu.h"
+#include "platform/pmu.h"
+#include "platform/power_model.h"
+#include "platform/radio.h"
+
+#include "dsp/stats.h"
+#include "synth/ecg_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icgkit::platform {
+namespace {
+
+TEST(ComponentsTest, TableOneCurrents) {
+  // Verbatim Table I values.
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::EcgChip), 0.400);
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::IcgChip), 0.900);
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::McuActive), 10.500);
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::McuStandby), 0.020);
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::RadioTx), 11.000);
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::RadioStandby), 0.002);
+  EXPECT_DOUBLE_EQ(component_current_ma(Component::MotionSensors), 3.800);
+}
+
+TEST(ComponentsTest, NamesNonEmpty) {
+  for (const Component c : kAllComponents) EXPECT_FALSE(component_name(c).empty());
+}
+
+TEST(PowerModelTest, PaperBatteryLifeClaim) {
+  // Section V / VI: 50 % MCU duty, 1 % radio duty, 710 mAh -> 106 hours.
+  DutyCycleProfile duty;
+  duty.mcu_active = 0.50;
+  duty.radio_tx = 0.01;
+  duty.motion_sensors = 0.0;
+  const PowerModel model(duty);
+  // 0.4 + 0.9 + 0.5*10.5 + 0.5*0.02 + 0.01*11 + 0.99*0.002 = 6.67198 mA
+  EXPECT_NEAR(model.average_current_ma(), 6.67198, 1e-9);
+  EXPECT_NEAR(model.battery_life_hours(kPaperBatteryMah), 106.0, 1.0);
+}
+
+TEST(PowerModelTest, FourDaysOfOperation) {
+  const PowerModel model(DutyCycleProfile{});
+  EXPECT_GT(model.battery_life_hours(kPaperBatteryMah), 4.0 * 24.0);
+}
+
+TEST(PowerModelTest, FortyPercentDutyLastsLonger) {
+  DutyCycleProfile d40, d50;
+  d40.mcu_active = 0.40;
+  d50.mcu_active = 0.50;
+  EXPECT_GT(PowerModel(d40).battery_life_hours(710.0),
+            PowerModel(d50).battery_life_hours(710.0));
+}
+
+TEST(PowerModelTest, MotionSensorsCostIsLarge) {
+  DutyCycleProfile with, without;
+  with.motion_sensors = 1.0;
+  const double delta =
+      PowerModel(with).average_current_ma() - PowerModel(without).average_current_ma();
+  EXPECT_NEAR(delta, 3.8, 1e-12);
+}
+
+TEST(PowerModelTest, ComponentBreakdownSumsToTotal) {
+  DutyCycleProfile duty;
+  duty.mcu_active = 0.45;
+  duty.radio_tx = 0.005;
+  duty.motion_sensors = 0.2;
+  const PowerModel model(duty);
+  double sum = 0.0;
+  for (const Component c : kAllComponents) sum += model.component_average_ma(c);
+  EXPECT_NEAR(sum, model.average_current_ma(), 1e-12);
+}
+
+TEST(PowerModelTest, RejectsBadInput) {
+  DutyCycleProfile duty;
+  duty.mcu_active = 1.5;
+  EXPECT_THROW(PowerModel{duty}, std::invalid_argument);
+  EXPECT_THROW(PowerModel{}.battery_life_hours(-1.0), std::invalid_argument);
+}
+
+TEST(AdcTest, QuantizeReconstructRoundTrip) {
+  const Adc adc;
+  for (double v : {-2.5, -1.0, 0.0, 0.7, 2.49}) {
+    const double rec = adc.reconstruct(adc.quantize(v));
+    EXPECT_NEAR(rec, v, adc.config().lsb());
+  }
+}
+
+TEST(AdcTest, ClipsOutOfRange) {
+  const Adc adc;
+  EXPECT_EQ(adc.quantize(100.0), adc.config().code_max());
+  EXPECT_EQ(adc.quantize(-100.0), 0);
+}
+
+TEST(AdcTest, MonotoneCodes) {
+  const Adc adc;
+  std::int64_t prev = adc.quantize(-2.5);
+  for (double v = -2.4; v < 2.5; v += 0.1) {
+    const std::int64_t code = adc.quantize(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(AdcTest, IdealSnrFormula) {
+  AdcConfig cfg;
+  cfg.bits = 12;
+  EXPECT_NEAR(Adc(cfg).ideal_snr_db(), 74.0, 0.1);
+  cfg.bits = 16;
+  EXPECT_NEAR(Adc(cfg).ideal_snr_db(), 98.1, 0.1);
+}
+
+TEST(AdcTest, TwelveBitsPreserveEcgMorphology) {
+  // End-to-end property: the STM32's 12-bit ADC must not distort the ECG
+  // in any way that matters (error << one LSB of signal content).
+  const auto gen = synth::synthesize_ecg(std::vector<double>(10, 0.8), 250.0);
+  AdcConfig cfg;
+  cfg.bits = 12;
+  cfg.full_scale_min = -2.5;
+  cfg.full_scale_max = 2.5;
+  const Adc adc(cfg);
+  const dsp::Signal digitized = adc.digitize(gen.ecg_mv);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < digitized.size(); ++i)
+    max_err = std::max(max_err, std::abs(digitized[i] - gen.ecg_mv[i]));
+  EXPECT_LT(max_err, cfg.lsb());
+}
+
+TEST(AdcTest, RejectsBadConfig) {
+  AdcConfig cfg;
+  cfg.bits = 1;
+  EXPECT_THROW(Adc{cfg}, std::invalid_argument);
+  cfg.bits = 12;
+  cfg.full_scale_min = 2.0;
+  cfg.full_scale_max = -2.0;
+  EXPECT_THROW(Adc{cfg}, std::invalid_argument);
+}
+
+TEST(RadioTest, AirtimeScalesWithBytes) {
+  const BleRadio radio;
+  EXPECT_DOUBLE_EQ(radio.airtime_s(0), 0.0);
+  EXPECT_GT(radio.airtime_s(40), radio.airtime_s(20));
+  // 16 bytes in one packet: (16+17)*8 bits at 1 Mbps + 0.5 ms overhead.
+  EXPECT_NEAR(radio.airtime_s(16), 33.0 * 8.0 / 1e6 + 0.0005, 1e-9);
+}
+
+TEST(RadioTest, BeatReportDutyCycleMatchesPaperOrder) {
+  // Section V: sending Z0/LVET/PEP/HR uses ~0.1 % of the radio duty.
+  const BleRadio radio;
+  const double duty = radio.beat_report_duty_cycle(70.0);
+  EXPECT_LT(duty, 0.005);
+  EXPECT_GT(duty, 1e-5);
+}
+
+TEST(RadioTest, RawStreamingIsOrdersOfMagnitudeWorse) {
+  const BleRadio radio;
+  const double reports = radio.beat_report_duty_cycle(70.0);
+  const double raw = radio.raw_streaming_duty_cycle(250.0);
+  EXPECT_GT(raw, 10.0 * reports);
+}
+
+TEST(RadioTest, RejectsBadArgs) {
+  const BleRadio radio;
+  EXPECT_THROW(radio.duty_cycle(16, 0.0), std::invalid_argument);
+  EXPECT_THROW(radio.beat_report_duty_cycle(0.0), std::invalid_argument);
+  BleConfig cfg;
+  cfg.bitrate_bps = 0.0;
+  EXPECT_THROW(BleRadio{cfg}, std::invalid_argument);
+}
+
+TEST(McuTest, DutyCycleScalesWithSamplingRate) {
+  const core::PipelineConfig cfg;
+  McuConfig mcu;
+  const double d250 = estimate_cpu_load(cfg, 250.0, 70.0, mcu).duty_cycle;
+  mcu.acquisition_fs_hz = 4000.0;
+  const double d500 = estimate_cpu_load(cfg, 500.0, 70.0, mcu).duty_cycle;
+  EXPECT_GT(d500, d250);
+}
+
+TEST(McuTest, PaperDutyBandReachable) {
+  // The paper reports 40-50 % CPU duty. With software floats on the
+  // FPU-less Cortex-M3 and a fast acquisition front end, the model lands
+  // in that band at fs ~ 750-1000 Hz.
+  const core::PipelineConfig cfg;
+  McuConfig mcu;
+  mcu.acquisition_fs_hz = 6000.0;
+  const double duty = estimate_cpu_load(cfg, 800.0, 70.0, mcu).duty_cycle;
+  EXPECT_GT(duty, 0.35);
+  EXPECT_LT(duty, 0.55);
+}
+
+TEST(McuTest, EvaluationRateIsComfortable) {
+  // At the evaluation rate (250 Hz) the pipeline fits with big margin.
+  const double duty =
+      estimate_cpu_load(core::PipelineConfig{}, 250.0, 70.0, McuConfig{}).duty_cycle;
+  EXPECT_LT(duty, 0.25);
+}
+
+TEST(McuTest, StageBreakdownSumsToTotal) {
+  const CpuLoadReport r = estimate_cpu_load(core::PipelineConfig{}, 250.0, 70.0);
+  double macs = 0.0;
+  for (const auto& s : r.stages) macs += s.macs_per_second;
+  EXPECT_NEAR(macs, r.total_macs_per_second, 1e-9);
+  EXPECT_GT(r.stages.size(), 5u);
+}
+
+TEST(McuTest, RejectsBadArgs) {
+  EXPECT_THROW(estimate_cpu_load(core::PipelineConfig{}, 0.0, 70.0), std::invalid_argument);
+  EXPECT_THROW(estimate_cpu_load(core::PipelineConfig{}, 250.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(PmuTest, FullBatteryAllowsContinuousMonitoring) {
+  const Pmu pmu;
+  const PmuDecision d = pmu.choose(1.0, 96.0);
+  EXPECT_TRUE(d.meets_requirement);
+  EXPECT_GE(d.projected_runtime_h, 96.0);
+  EXPECT_GE(d.point.quality_score, 0.9);
+}
+
+TEST(PmuTest, LowBatteryDegradesGracefully) {
+  const Pmu pmu;
+  const PmuDecision full = pmu.choose(1.0, 48.0);
+  const PmuDecision low = pmu.choose(0.10, 48.0);
+  EXPECT_LE(low.point.quality_score, full.point.quality_score);
+}
+
+TEST(PmuTest, ImpossibleRequirementFallsBackToSurvival) {
+  const Pmu pmu;
+  const PmuDecision d = pmu.choose(0.01, 1000.0);
+  EXPECT_FALSE(d.meets_requirement);
+  EXPECT_EQ(d.point.name, "survival");
+}
+
+TEST(PmuTest, OperatingPointsOrderedByQuality) {
+  const auto points = standard_operating_points();
+  ASSERT_GE(points.size(), 3u);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LE(points[i].quality_score, points[i - 1].quality_score);
+}
+
+TEST(PmuTest, RuntimeMonotoneInBattery) {
+  const Pmu pmu;
+  const auto p = standard_operating_points()[1];
+  EXPECT_GT(pmu.projected_runtime_h(p, 1.0), pmu.projected_runtime_h(p, 0.5));
+}
+
+TEST(PmuTest, RejectsBadArgs) {
+  EXPECT_THROW(Pmu(-1.0), std::invalid_argument);
+  const Pmu pmu;
+  EXPECT_THROW(pmu.choose(1.5, 10.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace icgkit::platform

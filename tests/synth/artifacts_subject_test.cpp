@@ -1,0 +1,205 @@
+#include "synth/artifacts.h"
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+#include "dsp/fft.h"
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icgkit::synth {
+namespace {
+
+constexpr double kFs = 250.0;
+
+TEST(ArtifactsTest, RespirationDominantAtBreathingRate) {
+  Rng rng(1);
+  RespirationConfig cfg;
+  cfg.freq_hz = 0.25;
+  const dsp::Signal x = respiration_artifact(15000, kFs, cfg, rng);
+  dsp::WelchConfig w;
+  w.segment_length = 4096;
+  const dsp::Psd psd = dsp::welch_psd(x, kFs, w);
+  const double in_band = dsp::band_power(psd, 0.15, 0.6);
+  const double out_band = dsp::band_power(psd, 1.5, 100.0);
+  EXPECT_GT(in_band, 20.0 * out_band);
+}
+
+TEST(ArtifactsTest, RespirationAmplitudeScales) {
+  Rng rng(2);
+  RespirationConfig cfg;
+  cfg.amplitude = 2.0;
+  const dsp::Signal x = respiration_artifact(10000, kFs, cfg, rng);
+  EXPECT_NEAR(dsp::rms(x), 2.0 * dsp::rms(respiration_artifact(10000, kFs, {}, rng)) / 0.3,
+              1.2);
+}
+
+TEST(ArtifactsTest, MotionIsBandLimited) {
+  Rng rng(3);
+  MotionConfig cfg;
+  cfg.amplitude = 1.0;
+  const dsp::Signal x = motion_artifact(20000, kFs, cfg, rng);
+  EXPECT_NEAR(dsp::rms(x), 1.0, 0.05);
+  const dsp::Psd psd = dsp::welch_psd(x, kFs);
+  const double in_band = dsp::band_power(psd, 0.1, 10.0);
+  const double out_band = dsp::band_power(psd, 25.0, 120.0);
+  EXPECT_GT(in_band, 20.0 * out_band);
+}
+
+TEST(ArtifactsTest, PowerlineAtMains) {
+  Rng rng(4);
+  const dsp::Signal x = powerline_artifact(20000, kFs, 0.5, 50.0, rng);
+  const dsp::Psd psd = dsp::welch_psd(x, kFs);
+  const double mains = dsp::band_power(psd, 48.0, 52.0);
+  const double rest = dsp::band_power(psd, 1.0, 40.0);
+  EXPECT_GT(mains, 50.0 * rest);
+}
+
+TEST(ArtifactsTest, WhiteNoiseMoments) {
+  Rng rng(5);
+  const dsp::Signal x = white_noise(50000, 0.3, rng);
+  EXPECT_NEAR(dsp::mean(x), 0.0, 0.01);
+  EXPECT_NEAR(dsp::stddev(x), 0.3, 0.01);
+}
+
+TEST(ArtifactsTest, EmptyRequestsAreSafe) {
+  Rng rng(6);
+  EXPECT_TRUE(motion_artifact(0, kFs, {}, rng).empty());
+  EXPECT_TRUE(white_noise(0, 1.0, rng).empty());
+}
+
+TEST(SubjectTest, RosterHasFiveCalibratedSubjects) {
+  const auto roster = paper_roster();
+  ASSERT_EQ(roster.size(), 5u);
+  for (const auto& s : roster) {
+    EXPECT_FALSE(s.name.empty());
+    // Tables II-IV targets are correlations in (0.6, 1).
+    for (const double r : s.target_corr) {
+      EXPECT_GT(r, 0.6);
+      EXPECT_LT(r, 1.0);
+    }
+    // Position gains must produce the Fig 8 ordering: Z2 > Z3 > Z1
+    // (so that e21 is the largest error and e31 the smallest).
+    const double g1 = s.position_gain[index_of(Position::HoldToChest)];
+    const double g2 = s.position_gain[index_of(Position::ArmsOutstretched)];
+    const double g3 = s.position_gain[index_of(Position::ArmsDown)];
+    EXPECT_GT(g2, g3);
+    EXPECT_GT(g3, g1);
+    // Worst-case error below 20 % (paper Section VI).
+    EXPECT_LT((g2 - g1) / g2, 0.20);
+    // Physiology in adult ranges.
+    EXPECT_GE(s.rr.mean_hr_bpm, 50.0);
+    EXPECT_LE(s.rr.mean_hr_bpm, 90.0);
+    EXPECT_GT(s.icg.lvet_s, 0.25);
+    EXPECT_LT(s.icg.lvet_s, 0.36);
+  }
+}
+
+TEST(SubjectTest, Table2To4TargetsMatchPaper) {
+  const auto roster = paper_roster();
+  // Spot-check the calibration constants against the paper's tables.
+  EXPECT_DOUBLE_EQ(roster[0].target_corr[0], 0.9081); // Table II, Subject 1
+  EXPECT_DOUBLE_EQ(roster[2].target_corr[1], 0.9938); // Table III, Subject 3
+  EXPECT_DOUBLE_EQ(roster[4].target_corr[2], 0.6919); // Table IV, Subject 5
+}
+
+TEST(RecordingTest, SourceSignalsShareLength) {
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 10.0;
+  const SourceActivity src = generate_source(roster[0], cfg);
+  const std::size_t n = static_cast<std::size_t>(10.0 * kFs);
+  EXPECT_EQ(src.ecg_mv.size(), n);
+  EXPECT_EQ(src.delta_z_cardiac.size(), n);
+  EXPECT_EQ(src.respiration.size(), n);
+  EXPECT_EQ(src.icg_clean.size(), n);
+  EXPECT_GT(src.beats.size(), 7u); // ~12 beats at 72 bpm in 10 s
+}
+
+TEST(RecordingTest, SourceIsDeterministicPerSeed) {
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 5.0;
+  const SourceActivity a = generate_source(roster[1], cfg);
+  const SourceActivity b = generate_source(roster[1], cfg);
+  ASSERT_EQ(a.ecg_mv.size(), b.ecg_mv.size());
+  for (std::size_t i = 0; i < a.ecg_mv.size(); i += 100)
+    EXPECT_DOUBLE_EQ(a.ecg_mv[i], b.ecg_mv[i]);
+  cfg.session_seed = 1;
+  const SourceActivity c = generate_source(roster[1], cfg);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.ecg_mv.size(); i += 10)
+    if (a.ecg_mv[i] != c.ecg_mv[i]) ++diff;
+  EXPECT_GT(diff, 10);
+}
+
+TEST(RecordingTest, ThoracicZ0TracksFrequency) {
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 5.0;
+  const SourceActivity src = generate_source(roster[0], cfg);
+  const Recording r10 = measure_thoracic(roster[0], src, 10e3);
+  const Recording r100 = measure_thoracic(roster[0], src, 100e3);
+  EXPECT_GT(r10.z0_mean_ohm, r100.z0_mean_ohm); // past the channel peak
+  EXPECT_NEAR(mean_bioimpedance(r10), r10.z0_mean_ohm, 0.5);
+}
+
+TEST(RecordingTest, DeviceMeanZ0OrderingAcrossPositions) {
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 5.0;
+  for (const auto& subject : roster) {
+    const SourceActivity src = generate_source(subject, cfg);
+    const double z1 =
+        measure_device(subject, src, 50e3, Position::HoldToChest).z0_mean_ohm;
+    const double z2 =
+        measure_device(subject, src, 50e3, Position::ArmsOutstretched).z0_mean_ohm;
+    const double z3 = measure_device(subject, src, 50e3, Position::ArmsDown).z0_mean_ohm;
+    EXPECT_GT(z2, z3) << subject.name;
+    EXPECT_GT(z3, z1) << subject.name;
+  }
+}
+
+TEST(RecordingTest, DeviceCorrelationNearTarget) {
+  // The headline calibration property: device-vs-thoracic correlation of
+  // the 30 s impedance traces lands near the subject's target.
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  const SubjectProfile& subject = roster[2]; // highest targets
+  const SourceActivity src = generate_source(subject, cfg);
+  const Recording thorax = measure_thoracic(subject, src, 50e3);
+  const Recording device = measure_device(subject, src, 50e3, Position::ArmsOutstretched);
+  const double r = dsp::pearson(thorax.z_ohm, device.z_ohm);
+  EXPECT_NEAR(r, subject.target_corr[index_of(Position::ArmsOutstretched)], 0.05);
+}
+
+TEST(RecordingTest, LowCorrelationSubjectIsLow) {
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  const SubjectProfile& subject = roster[4]; // Subject 5, P3 target 0.6919
+  const SourceActivity src = generate_source(subject, cfg);
+  const Recording thorax = measure_thoracic(subject, src, 50e3);
+  const Recording device = measure_device(subject, src, 50e3, Position::ArmsDown);
+  const double r = dsp::pearson(thorax.z_ohm, device.z_ohm);
+  EXPECT_LT(r, 0.85);
+  EXPECT_GT(r, 0.5);
+}
+
+TEST(RecordingTest, BeatsGroundTruthSharedBetweenSetups) {
+  const auto roster = paper_roster();
+  RecordingConfig cfg;
+  cfg.duration_s = 10.0;
+  const SourceActivity src = generate_source(roster[0], cfg);
+  const Recording thorax = measure_thoracic(roster[0], src, 50e3);
+  const Recording device = measure_device(roster[0], src, 50e3, Position::HoldToChest);
+  ASSERT_EQ(thorax.beats.size(), device.beats.size());
+  for (std::size_t i = 0; i < thorax.beats.size(); ++i)
+    EXPECT_DOUBLE_EQ(thorax.beats[i].b_time_s, device.beats[i].b_time_s);
+}
+
+} // namespace
+} // namespace icgkit::synth

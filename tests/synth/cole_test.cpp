@@ -1,0 +1,114 @@
+#include "synth/cole.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icgkit::synth {
+namespace {
+
+TEST(ColeTest, LimitsAtDcAndInfinity) {
+  ColeModel m;
+  m.r0_ohm = 30.0;
+  m.rinf_ohm = 18.0;
+  EXPECT_NEAR(m.magnitude(0.0), 30.0, 1e-12);
+  EXPECT_NEAR(m.magnitude(1e12), 18.0, 0.1);
+}
+
+TEST(ColeTest, MagnitudeMonotoneDecreasing) {
+  ColeModel m;
+  double prev = m.magnitude(10.0);
+  for (double f = 100.0; f <= 1e6; f *= 1.5) {
+    const double cur = m.magnitude(f);
+    EXPECT_LT(cur, prev + 1e-9) << "f=" << f;
+    prev = cur;
+  }
+}
+
+TEST(ColeTest, HalfwayNearCharacteristicFrequency) {
+  ColeModel m;
+  m.r0_ohm = 30.0;
+  m.rinf_ohm = 18.0;
+  m.fc_hz = 30e3;
+  m.alpha = 1.0; // pure Debye for the analytic check
+  // At f = fc: Z = Rinf + (R0-Rinf)/(1+j), |dispersive part| = 12/sqrt(2).
+  const double expected = std::abs(std::complex<double>(18.0, 0.0) +
+                                   std::complex<double>(12.0, 0.0) /
+                                       std::complex<double>(1.0, 1.0));
+  EXPECT_NEAR(m.magnitude(30e3), expected, 1e-9);
+}
+
+TEST(ColeTest, AlphaBroadensDispersion) {
+  ColeModel sharp, broad;
+  sharp.alpha = 1.0;
+  broad.alpha = 0.5;
+  // At one decade below fc, the broad model is further from R0.
+  EXPECT_LT(broad.magnitude(3e3), sharp.magnitude(3e3));
+}
+
+TEST(ColeTest, NegativeFrequencyThrows) {
+  ColeModel m;
+  EXPECT_THROW(m.impedance(-1.0), std::invalid_argument);
+}
+
+TEST(InstrumentationTest, PeakAtGeometricMean) {
+  InstrumentationResponse h;
+  h.hp_corner_hz = 3e3;
+  h.lp_corner_hz = 60e3;
+  EXPECT_NEAR(h.peak_frequency_hz(), std::sqrt(3e3 * 60e3), 1e-6);
+  EXPECT_NEAR(h.normalized(h.peak_frequency_hz()), 1.0, 1e-12);
+}
+
+TEST(InstrumentationTest, RisesThenFalls) {
+  InstrumentationResponse h;
+  const double peak = h.peak_frequency_hz();
+  EXPECT_LT(h.normalized(peak / 8.0), h.normalized(peak / 2.0));
+  EXPECT_LT(h.normalized(peak * 8.0), h.normalized(peak * 2.0));
+}
+
+TEST(InstrumentationTest, AblationSwitches) {
+  InstrumentationResponse h;
+  h.enable_hp = false;
+  // Low-pass only: monotone decreasing.
+  EXPECT_GT(h.normalized(1e3), h.normalized(1e5));
+  h.enable_hp = true;
+  h.enable_lp = false;
+  // High-pass only: monotone increasing.
+  EXPECT_LT(h.normalized(1e3), h.normalized(1e5));
+  h.enable_hp = false;
+  EXPECT_DOUBLE_EQ(h.normalized(123.0), 1.0); // both off: flat
+}
+
+TEST(InstrumentationTest, ZeroFrequencyIsZero) {
+  InstrumentationResponse h;
+  EXPECT_DOUBLE_EQ(h.raw(0.0), 0.0);
+}
+
+// The headline shape of the paper's Figs 6-7: measured bioimpedance rises
+// from 2 kHz to 10 kHz, then falls through 50 and 100 kHz.
+TEST(MeasuredBioimpedanceTest, PaperFrequencyOrdering) {
+  ColeModel tissue;
+  InstrumentationResponse channel;
+  const double z2 = measured_bioimpedance(tissue, channel, 2e3);
+  const double z10 = measured_bioimpedance(tissue, channel, 10e3);
+  const double z50 = measured_bioimpedance(tissue, channel, 50e3);
+  const double z100 = measured_bioimpedance(tissue, channel, 100e3);
+  EXPECT_GT(z10, z2);
+  EXPECT_GT(z10, z50);
+  EXPECT_GT(z50, z100);
+}
+
+TEST(MeasuredBioimpedanceTest, PureTissueIsMonotone) {
+  // Without the channel terms the non-monotone shape disappears -- the
+  // rationale for modelling the instrumentation explicitly.
+  ColeModel tissue;
+  InstrumentationResponse flat;
+  flat.enable_hp = false;
+  flat.enable_lp = false;
+  const double z2 = measured_bioimpedance(tissue, flat, 2e3);
+  const double z10 = measured_bioimpedance(tissue, flat, 10e3);
+  EXPECT_GT(z2, z10);
+}
+
+} // namespace
+} // namespace icgkit::synth

@@ -1,0 +1,229 @@
+#include "synth/ecg_synth.h"
+#include "synth/icg_synth.h"
+#include "synth/rr_process.h"
+
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icgkit::synth {
+namespace {
+
+constexpr double kFs = 250.0;
+
+std::vector<double> fixed_rr(std::size_t beats, double rr) {
+  return std::vector<double>(beats, rr);
+}
+
+TEST(RrProcessTest, CoversDuration) {
+  Rng rng(1);
+  RrConfig cfg;
+  const auto rr = generate_rr_intervals(cfg, 30.0, rng);
+  double total = 0.0;
+  for (const double v : rr) total += v;
+  EXPECT_GE(total, 30.0);
+  EXPECT_LT(total, 32.0);
+}
+
+TEST(RrProcessTest, MeanMatchesHeartRate) {
+  Rng rng(2);
+  RrConfig cfg;
+  cfg.mean_hr_bpm = 75.0;
+  const auto rr = generate_rr_intervals(cfg, 300.0, rng);
+  EXPECT_NEAR(dsp::mean(rr), 60.0 / 75.0, 0.02);
+}
+
+TEST(RrProcessTest, AllIntervalsPhysiological) {
+  Rng rng(3);
+  RrConfig cfg;
+  cfg.jitter_fraction = 0.2; // extreme jitter still clamps
+  const auto rr = generate_rr_intervals(cfg, 120.0, rng);
+  for (const double v : rr) {
+    EXPECT_GE(v, 0.3);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(RrProcessTest, RejectsBadArgs) {
+  Rng rng(4);
+  RrConfig cfg;
+  cfg.mean_hr_bpm = 5.0;
+  EXPECT_THROW(generate_rr_intervals(cfg, 10.0, rng), std::invalid_argument);
+  cfg.mean_hr_bpm = 60.0;
+  EXPECT_THROW(generate_rr_intervals(cfg, -1.0, rng), std::invalid_argument);
+}
+
+TEST(EcgSynthTest, RPeakCountMatchesRrSeries) {
+  const auto rr = fixed_rr(10, 0.8);
+  const EcgSynthesis out = synthesize_ecg(rr, kFs);
+  // 8 s of signal at RR = 0.8 -> one R per beat; boundary effects allow
+  // off-by-one.
+  EXPECT_GE(out.r_times_s.size(), 9u);
+  EXPECT_LE(out.r_times_s.size(), 10u);
+}
+
+TEST(EcgSynthTest, RPeaksEquispacedForConstantRr) {
+  const auto rr = fixed_rr(12, 0.75);
+  const EcgSynthesis out = synthesize_ecg(rr, kFs);
+  ASSERT_GE(out.r_times_s.size(), 3u);
+  for (std::size_t i = 1; i < out.r_times_s.size(); ++i)
+    EXPECT_NEAR(out.r_times_s[i] - out.r_times_s[i - 1], 0.75, 0.01) << i;
+}
+
+TEST(EcgSynthTest, RAmplitudeScaledAsConfigured) {
+  const auto rr = fixed_rr(10, 0.8);
+  EcgSynthConfig cfg;
+  cfg.r_amplitude_mv = 1.5;
+  const EcgSynthesis out = synthesize_ecg(rr, kFs, cfg);
+  const double peak = *std::max_element(out.ecg_mv.begin(), out.ecg_mv.end());
+  EXPECT_NEAR(peak, 1.5, 0.15);
+}
+
+TEST(EcgSynthTest, SignalPeaksAtRTimes) {
+  const auto rr = fixed_rr(8, 0.9);
+  const EcgSynthesis out = synthesize_ecg(rr, kFs);
+  for (const double tr : out.r_times_s) {
+    const std::size_t idx = static_cast<std::size_t>(tr * kFs);
+    if (idx + 5 >= out.ecg_mv.size() || idx < 5) continue;
+    // The R sample should dominate its +-100 ms neighbourhood.
+    double local_max = 0.0;
+    for (std::size_t j = idx - 5; j <= idx + 5; ++j)
+      local_max = std::max(local_max, out.ecg_mv[j]);
+    double far = 0.0;
+    for (std::size_t j = idx + 13; j < std::min(out.ecg_mv.size(), idx + 25); ++j)
+      far = std::max(far, out.ecg_mv[j]);
+    EXPECT_GT(local_max, far + 0.2) << "R at " << tr;
+  }
+}
+
+TEST(EcgSynthTest, HasPAndTWaves) {
+  // T wave: positive deflection after R. P wave: positive before QRS.
+  const auto rr = fixed_rr(6, 1.0);
+  const EcgSynthesis out = synthesize_ecg(rr, kFs);
+  ASSERT_GE(out.r_times_s.size(), 3u);
+  const double tr = out.r_times_s[1];
+  const std::size_t r_idx = static_cast<std::size_t>(tr * kFs);
+  // T region: R + 150..350 ms.
+  double t_max = -1.0;
+  for (std::size_t j = r_idx + 38; j < r_idx + 88; ++j) t_max = std::max(t_max, out.ecg_mv[j]);
+  EXPECT_GT(t_max, 0.05);
+  EXPECT_LT(t_max, 0.6);
+  // P region: R - 200..100 ms before.
+  double p_max = -1.0;
+  for (std::size_t j = r_idx - 50; j < r_idx - 12; ++j) p_max = std::max(p_max, out.ecg_mv[j]);
+  EXPECT_GT(p_max, 0.02);
+  EXPECT_LT(p_max, 0.4);
+}
+
+TEST(EcgSynthTest, RejectsBadInput) {
+  EXPECT_THROW(synthesize_ecg({}, kFs), std::invalid_argument);
+  EXPECT_THROW(synthesize_ecg({0.8, -0.1}, kFs), std::invalid_argument);
+  EXPECT_THROW(synthesize_ecg({0.8}, 0.0), std::invalid_argument);
+}
+
+TEST(IcgSynthTest, OneTruthPerCompleteBeat) {
+  Rng rng(5);
+  IcgSynthConfig cfg;
+  const std::vector<double> r_times{0.5, 1.3, 2.1, 2.9, 3.7};
+  const IcgSynthesis out = synthesize_icg(r_times, 5.0, kFs, cfg, rng);
+  EXPECT_EQ(out.beats.size(), 5u);
+}
+
+TEST(IcgSynthTest, TruncatedFinalBeatDropped) {
+  Rng rng(6);
+  IcgSynthConfig cfg;
+  const std::vector<double> r_times{0.5, 1.3, 4.8}; // last one would overrun 5 s
+  const IcgSynthesis out = synthesize_icg(r_times, 5.0, kFs, cfg, rng);
+  EXPECT_EQ(out.beats.size(), 2u);
+}
+
+TEST(IcgSynthTest, GroundTruthOrderingAndRanges) {
+  Rng rng(7);
+  IcgSynthConfig cfg;
+  const std::vector<double> r_times{0.5, 1.4, 2.3, 3.2};
+  const IcgSynthesis out = synthesize_icg(r_times, 5.0, kFs, cfg, rng);
+  for (const BeatTruth& b : out.beats) {
+    EXPECT_LT(b.r_time_s, b.b_time_s);
+    EXPECT_LT(b.b_time_s, b.c_time_s);
+    EXPECT_LT(b.c_time_s, b.x_time_s);
+    // PEP/LVET in physiological ranges (allowing the B-notch offset).
+    EXPECT_GT(b.pep_s, 0.04);
+    EXPECT_LT(b.pep_s, 0.18);
+    EXPECT_GT(b.lvet_s, 0.2);
+    EXPECT_LT(b.lvet_s, 0.45);
+    EXPECT_GT(b.dzdt_max, 0.5);
+  }
+}
+
+TEST(IcgSynthTest, CPointIsWaveformMaximumOfBeat) {
+  Rng rng(8);
+  IcgSynthConfig cfg;
+  cfg.amp_jitter_frac = 0.0;
+  const std::vector<double> r_times{1.0};
+  const IcgSynthesis out = synthesize_icg(r_times, 3.0, kFs, cfg, rng);
+  ASSERT_EQ(out.beats.size(), 1u);
+  const std::size_t c_idx = static_cast<std::size_t>(out.beats[0].c_time_s * kFs);
+  const std::size_t global_max = dsp::argmax(out.icg);
+  EXPECT_NEAR(static_cast<double>(c_idx), static_cast<double>(global_max), 1.5);
+}
+
+TEST(IcgSynthTest, DeltaZReturnsToBaselineAfterBeat) {
+  Rng rng(9);
+  IcgSynthConfig cfg;
+  const std::vector<double> r_times{0.6, 1.5};
+  const IcgSynthesis out = synthesize_icg(r_times, 3.5, kFs, cfg, rng);
+  // After the last beat's recovery the cumulative integral must be ~0
+  // relative to the C-wave swing.
+  const double swing = out.beats[0].dzdt_max;
+  EXPECT_LT(std::abs(out.delta_z.back()), 0.05 * swing);
+}
+
+TEST(IcgSynthTest, IcgIsMinusDzDt) {
+  Rng rng(10);
+  IcgSynthConfig cfg;
+  const std::vector<double> r_times{0.7};
+  const IcgSynthesis out = synthesize_icg(r_times, 2.5, kFs, cfg, rng);
+  // Check the derivative relationship numerically mid-beat.
+  for (std::size_t i = 200; i < 400; ++i) {
+    const double dz_dt = (out.delta_z[i] - out.delta_z[i - 1]) * kFs;
+    EXPECT_NEAR(-dz_dt, out.icg[i], 0.05 * cfg.dzdt_max + 1e-9) << i;
+  }
+}
+
+TEST(IcgSynthTest, AmplitudeTracksConfig) {
+  Rng rng(11);
+  IcgSynthConfig cfg;
+  cfg.dzdt_max = 2.5;
+  cfg.amp_jitter_frac = 0.0;
+  const std::vector<double> r_times{0.8};
+  const IcgSynthesis out = synthesize_icg(r_times, 2.5, kFs, cfg, rng);
+  ASSERT_EQ(out.beats.size(), 1u);
+  EXPECT_NEAR(out.beats[0].dzdt_max, 2.5, 0.25);
+}
+
+TEST(IcgSynthTest, PepLvetJitterIsBounded) {
+  Rng rng(12);
+  IcgSynthConfig cfg;
+  std::vector<double> r_times;
+  for (int i = 0; i < 40; ++i) r_times.push_back(0.5 + 0.9 * i);
+  const IcgSynthesis out = synthesize_icg(r_times, 38.0, kFs, cfg, rng);
+  dsp::Signal peps, lvets;
+  for (const auto& b : out.beats) {
+    peps.push_back(b.pep_s);
+    lvets.push_back(b.lvet_s);
+  }
+  EXPECT_LT(dsp::stddev(peps), 0.015);
+  EXPECT_LT(dsp::stddev(lvets), 0.02);
+}
+
+TEST(IcgSynthTest, RejectsBadArgs) {
+  Rng rng(13);
+  IcgSynthConfig cfg;
+  EXPECT_THROW(synthesize_icg({0.5}, -1.0, kFs, cfg, rng), std::invalid_argument);
+  EXPECT_THROW(synthesize_icg({0.5}, 2.0, 0.0, cfg, rng), std::invalid_argument);
+}
+
+} // namespace
+} // namespace icgkit::synth
