@@ -1,0 +1,70 @@
+#include "core/legacy_recompute.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icgkit::core {
+
+WindowedRecomputePipeline::WindowedRecomputePipeline(dsp::SampleRate fs,
+                                                     const PipelineConfig& cfg,
+                                                     double window_s)
+    : fs_(fs), pipeline_(fs, cfg),
+      window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)) {}
+
+std::vector<BeatRecord> WindowedRecomputePipeline::push(dsp::SignalView ecg_mv,
+                                                        dsp::SignalView z_ohm) {
+  if (ecg_mv.size() != z_ohm.size())
+    throw std::invalid_argument("WindowedRecomputePipeline: chunk length mismatch");
+  ecg_buf_.insert(ecg_buf_.end(), ecg_mv.begin(), ecg_mv.end());
+  z_buf_.insert(z_buf_.end(), z_ohm.begin(), z_ohm.end());
+  consumed_ += ecg_mv.size();
+
+  // Trim the window from the front, keeping absolute indexing intact.
+  if (ecg_buf_.size() > window_samples_) {
+    const std::size_t drop = ecg_buf_.size() - window_samples_;
+    ecg_buf_.erase(ecg_buf_.begin(), ecg_buf_.begin() + static_cast<dsp::Index>(drop));
+    z_buf_.erase(z_buf_.begin(), z_buf_.begin() + static_cast<dsp::Index>(drop));
+    buf_start_ += drop;
+  }
+  return drain(/*final_flush=*/false);
+}
+
+std::vector<BeatRecord> WindowedRecomputePipeline::finish() {
+  return drain(/*final_flush=*/true);
+}
+
+std::vector<BeatRecord> WindowedRecomputePipeline::drain(bool final_flush) {
+  std::vector<BeatRecord> emitted;
+  if (ecg_buf_.size() < static_cast<std::size_t>(2.0 * fs_)) return emitted;
+
+  PipelineResult res = pipeline_.process(ecg_buf_, z_buf_);
+  // A beat is emitted once its *following* R peak is safely inside the
+  // window (one-beat latency) -- except on the final flush, where all
+  // remaining beats go out.
+  const double guard_s = final_flush ? 0.0 : 0.5;
+  const double window_end_s =
+      static_cast<double>(buf_start_ + ecg_buf_.size()) / fs_ - guard_s;
+  for (BeatRecord& rec : res.beats) {
+    const double r_abs_s = static_cast<double>(buf_start_ + rec.points.r) / fs_;
+    const double next_r_abs_s = r_abs_s + rec.rr_s;
+    if (r_abs_s <= last_emitted_r_s_ + 1e-9) continue; // already emitted
+    if (next_r_abs_s > window_end_s) continue;         // not complete yet
+    // Rebase indices to absolute sample positions. Invalid delineations
+    // carry default-zero points; clamp them to the beat's R so a flushed
+    // window-edge beat can never reference trimmed samples.
+    rec.points.r += buf_start_;
+    if (rec.points.valid) {
+      rec.points.b += buf_start_;
+      rec.points.b0 += buf_start_;
+      rec.points.c += buf_start_;
+      rec.points.x += buf_start_;
+    } else {
+      rec.points.b = rec.points.b0 = rec.points.c = rec.points.x = rec.points.r;
+    }
+    last_emitted_r_s_ = r_abs_s;
+    emitted.push_back(rec);
+  }
+  return emitted;
+}
+
+} // namespace icgkit::core

@@ -1,0 +1,46 @@
+// The seed's windowed-recompute streaming adapter, retained as the
+// "old" reference for bench_cpu_duty_cycle's old-vs-new comparison.
+//
+// Every push() appends the chunk to a bounded sliding window (default
+// 12 s) and re-runs the entire batch pipeline -- filters, QRS detection,
+// delineation -- over that window, i.e. O(window) work per chunk
+// regardless of chunk size. StreamingBeatPipeline replaces this with
+// stateful O(chunk) stages; this class exists so the speedup stays
+// measurable (and regression-tested) against the architecture it
+// replaced. Do not use it in new code.
+#pragma once
+
+#include "core/pipeline.h"
+#include "dsp/types.h"
+
+#include <vector>
+
+namespace icgkit::core {
+
+class WindowedRecomputePipeline {
+ public:
+  WindowedRecomputePipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
+                            double window_s = 12.0);
+
+  /// Feeds one synchronized chunk; returns the beats completed by it.
+  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+
+  /// Flushes the final pending beat (end of recording).
+  std::vector<BeatRecord> finish();
+
+  [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+
+ private:
+  std::vector<BeatRecord> drain(bool final_flush);
+
+  dsp::SampleRate fs_;
+  BeatPipeline pipeline_;
+  std::size_t window_samples_;
+  dsp::Signal ecg_buf_;
+  dsp::Signal z_buf_;
+  std::size_t buf_start_ = 0;   ///< absolute index of buffer sample 0
+  std::size_t consumed_ = 0;    ///< absolute samples fed so far
+  double last_emitted_r_s_ = -1.0; ///< absolute time of last emitted beat's R
+};
+
+} // namespace icgkit::core

@@ -7,9 +7,156 @@
 
 namespace icgkit::core {
 
+// ---------------------------------------------------------------------------
+// StreamingBeatPipeline
+// ---------------------------------------------------------------------------
+
+StreamingBeatPipeline::StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg,
+                                             double window_s)
+    : fs_(fs), cfg_(cfg),
+      window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)),
+      ecg_stage_(fs, cfg.ecg_filter),
+      icg_stage_(fs, cfg.icg_filter),
+      qrs_(fs, cfg.qrs),
+      delineator_(fs, cfg.delineation),
+      icg_ring_(window_samples_),
+      z_ring_(window_samples_) {}
+
+std::vector<BeatRecord> StreamingBeatPipeline::push(dsp::SignalView ecg_mv,
+                                                    dsp::SignalView z_ohm) {
+  if (ecg_mv.size() != z_ohm.size())
+    throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
+  std::vector<BeatRecord> emitted;
+  for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], emitted);
+  return emitted;
+}
+
+void StreamingBeatPipeline::ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm,
+                                   std::vector<BeatRecord>& out) {
+  z_ring_.push(z_ohm);
+  z_sum_ += z_ohm;
+  ++consumed_;
+
+  icg_scratch_.clear();
+  icg_stage_.push(z_ohm, icg_scratch_);
+  for (const dsp::Sample v : icg_scratch_) {
+    icg_ring_.push(v);
+    ++icg_count_;
+    if (capture_) captured_icg_.push_back(v);
+  }
+
+  ecg_scratch_.clear();
+  ecg_stage_.push(ecg_mv, ecg_scratch_);
+  r_scratch_.clear();
+  for (const dsp::Sample v : ecg_scratch_) {
+    if (capture_) captured_ecg_.push_back(v);
+    qrs_.push(v, r_scratch_);
+  }
+  for (const std::size_t r : r_scratch_) {
+    ++r_peak_count_;
+    if (last_r_.has_value()) pending_beats_.emplace_back(*last_r_, r);
+    last_r_ = r;
+  }
+  // Emit every beat whose aligned ICG is now complete -- done per sample
+  // so the emission point (and thus the ring-buffer state it reads) is
+  // identical however the input was chunked.
+  drain_ready(out);
+}
+
+void StreamingBeatPipeline::drain_ready(std::vector<BeatRecord>& out) {
+  while (!pending_beats_.empty() && icg_count_ >= pending_beats_.front().second) {
+    const auto [r, r_next] = pending_beats_.front();
+    pending_beats_.pop_front();
+    out.push_back(make_beat(r, r_next));
+  }
+}
+
+BeatRecord StreamingBeatPipeline::make_beat(std::size_t r, std::size_t r_next) {
+  BeatRecord rec;
+  rec.rr_s = static_cast<double>(r_next - r) / fs_;
+
+  const std::size_t oldest_icg = icg_count_ - icg_ring_.size();
+  if (r < oldest_icg) {
+    // The look-back window no longer covers this beat (window smaller
+    // than the R-R interval plus stage latencies). Emit it flagged, with
+    // every point clamped to its R so no index references trimmed data.
+    rec.points.r = rec.points.b = rec.points.b0 = rec.points.c = rec.points.x = r;
+    rec.flaws = BeatFlaw::InvalidDelineation;
+    return rec;
+  }
+
+  beat_scratch_.clear();
+  for (std::size_t i = r; i < r_next; ++i)
+    beat_scratch_.push_back(icg_ring_.at(i - oldest_icg));
+  rec.points = delineator_.delineate(beat_scratch_, 0, beat_scratch_.size());
+  rec.points.r += r;
+  rec.points.b += r;
+  rec.points.b0 += r;
+  rec.points.c += r;
+  rec.points.x += r;
+  rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
+  rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, beat_z0(r, r_next), fs_,
+                                       cfg_.body);
+  return rec;
+}
+
+double StreamingBeatPipeline::beat_z0(std::size_t r, std::size_t r_next) const {
+  // Base impedance during the beat: mean of the raw trace over the R-R
+  // interval (the firmware analogue of the batch recording mean; local,
+  // deterministic, and available at emission time).
+  const std::size_t oldest_z = consumed_ - z_ring_.size();
+  const std::size_t lo = std::max(r, oldest_z);
+  const std::size_t hi = std::min(r_next, consumed_);
+  if (lo >= hi) return consumed_ > 0 ? z_sum_ / static_cast<double>(consumed_) : 0.0;
+  double acc = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) acc += z_ring_.at(i - oldest_z);
+  return acc / static_cast<double>(hi - lo);
+}
+
+std::vector<BeatRecord> StreamingBeatPipeline::finish() {
+  std::vector<BeatRecord> emitted;
+
+  icg_scratch_.clear();
+  icg_stage_.finish(icg_scratch_);
+  for (const dsp::Sample v : icg_scratch_) {
+    icg_ring_.push(v);
+    ++icg_count_;
+    if (capture_) captured_icg_.push_back(v);
+  }
+
+  ecg_scratch_.clear();
+  ecg_stage_.finish(ecg_scratch_);
+  r_scratch_.clear();
+  for (const dsp::Sample v : ecg_scratch_) {
+    if (capture_) captured_ecg_.push_back(v);
+    qrs_.push(v, r_scratch_);
+  }
+  qrs_.finish(r_scratch_);
+  for (const std::size_t r : r_scratch_) {
+    ++r_peak_count_;
+    if (last_r_.has_value()) pending_beats_.emplace_back(*last_r_, r);
+    last_r_ = r;
+  }
+  drain_ready(emitted);
+  return emitted;
+}
+
+double StreamingBeatPipeline::z_mean_ohm() const {
+  return consumed_ > 0 ? z_sum_ / static_cast<double>(consumed_) : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// BeatPipeline (thin batch wrapper)
+// ---------------------------------------------------------------------------
+
 BeatPipeline::BeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg)
-    : fs_(fs), cfg_(cfg), ecg_filter_(fs, cfg.ecg_filter), qrs_(fs, cfg.qrs),
-      icg_filter_(fs, cfg.icg_filter), delineator_(fs, cfg.delineation) {}
+    : fs_(fs), cfg_(cfg) {
+  // Cheap eager checks; anything subtler throws from the stage
+  // constructors on the first process() call.
+  if (fs <= 0.0) throw std::invalid_argument("BeatPipeline: fs must be positive");
+  if (cfg.qrs.bandpass_low_hz >= cfg.qrs.bandpass_high_hz)
+    throw std::invalid_argument("BeatPipeline: QRS band-pass edges inverted");
+}
 
 PipelineResult BeatPipeline::process(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) const {
   if (ecg_mv.size() != z_ohm.size())
@@ -18,83 +165,25 @@ PipelineResult BeatPipeline::process(dsp::SignalView ecg_mv, dsp::SignalView z_o
   PipelineResult result;
   if (ecg_mv.empty()) return result;
 
-  result.z0_mean_ohm = dsp::mean(z_ohm);
-  result.filtered_ecg = ecg_filter_.apply(ecg_mv);
-  result.filtered_icg = icg_filter_.apply(icg_from_impedance(z_ohm, fs_));
+  // One big chunk through the streaming engine (default window), so the
+  // records here are byte-identical to any chunked feed.
+  StreamingBeatPipeline engine(fs_, cfg_);
+  engine.enable_capture();
+  result.beats = engine.push(ecg_mv, z_ohm);
+  std::vector<BeatRecord> tail = engine.finish();
+  result.beats.insert(result.beats.end(), std::make_move_iterator(tail.begin()),
+                      std::make_move_iterator(tail.end()));
 
-  const ecg::QrsDetection det = qrs_.detect(result.filtered_ecg);
-  result.r_peak_count = det.r_samples.size();
+  result.z0_mean_ohm = engine.z_mean_ohm();
+  result.r_peak_count = engine.r_peak_count();
+  result.filtered_ecg = engine.captured_ecg();
+  result.filtered_icg = engine.captured_icg();
 
   std::vector<BeatHemodynamics> usable;
-  for (std::size_t i = 0; i + 1 < det.r_samples.size(); ++i) {
-    const std::size_t r = det.r_samples[i];
-    const std::size_t r_next = det.r_samples[i + 1];
-    BeatRecord rec;
-    rec.rr_s = static_cast<double>(r_next - r) / fs_;
-    rec.points = delineator_.delineate(result.filtered_icg, r, r_next);
-    rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
-    rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, result.z0_mean_ohm, fs_,
-                                         cfg_.body);
+  for (const BeatRecord& rec : result.beats)
     if (rec.usable()) usable.push_back(rec.hemo);
-    result.beats.push_back(std::move(rec));
-  }
   result.summary = summarize_hemodynamics(usable);
   return result;
-}
-
-StreamingBeatPipeline::StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg,
-                                             double window_s)
-    : fs_(fs), pipeline_(fs, cfg),
-      window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)) {}
-
-std::vector<BeatRecord> StreamingBeatPipeline::push(dsp::SignalView ecg_mv,
-                                                    dsp::SignalView z_ohm) {
-  if (ecg_mv.size() != z_ohm.size())
-    throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
-  ecg_buf_.insert(ecg_buf_.end(), ecg_mv.begin(), ecg_mv.end());
-  z_buf_.insert(z_buf_.end(), z_ohm.begin(), z_ohm.end());
-  consumed_ += ecg_mv.size();
-
-  // Trim the window from the front, keeping absolute indexing intact.
-  if (ecg_buf_.size() > window_samples_) {
-    const std::size_t drop = ecg_buf_.size() - window_samples_;
-    ecg_buf_.erase(ecg_buf_.begin(), ecg_buf_.begin() + static_cast<dsp::Index>(drop));
-    z_buf_.erase(z_buf_.begin(), z_buf_.begin() + static_cast<dsp::Index>(drop));
-    buf_start_ += drop;
-  }
-  return drain(/*final_flush=*/false);
-}
-
-std::vector<BeatRecord> StreamingBeatPipeline::finish() {
-  return drain(/*final_flush=*/true);
-}
-
-std::vector<BeatRecord> StreamingBeatPipeline::drain(bool final_flush) {
-  std::vector<BeatRecord> emitted;
-  if (ecg_buf_.size() < static_cast<std::size_t>(2.0 * fs_)) return emitted;
-
-  PipelineResult res = pipeline_.process(ecg_buf_, z_buf_);
-  // A beat is emitted once its *following* R peak is safely inside the
-  // window (one-beat latency) -- except on the final flush, where all
-  // remaining beats go out.
-  const double guard_s = final_flush ? 0.0 : 0.5;
-  const double window_end_s =
-      static_cast<double>(buf_start_ + ecg_buf_.size()) / fs_ - guard_s;
-  for (BeatRecord& rec : res.beats) {
-    const double r_abs_s = static_cast<double>(buf_start_ + rec.points.r) / fs_;
-    const double next_r_abs_s = r_abs_s + rec.rr_s;
-    if (r_abs_s <= last_emitted_r_s_ + 1e-9) continue; // already emitted
-    if (next_r_abs_s > window_end_s) continue;         // not complete yet
-    // Rebase indices to absolute sample positions.
-    rec.points.r += buf_start_;
-    rec.points.b += buf_start_;
-    rec.points.b0 += buf_start_;
-    rec.points.c += buf_start_;
-    rec.points.x += buf_start_;
-    last_emitted_r_s_ = r_abs_s;
-    emitted.push_back(rec);
-  }
-  return emitted;
 }
 
 } // namespace icgkit::core

@@ -5,24 +5,36 @@
 //   ECG  -> morphological baseline removal -> zero-phase FIR band-pass
 //        -> Pan-Tompkins R peaks
 //   Z    -> ICG = -dZ/dt -> zero-phase Butterworth low-pass 20 Hz
+//        -> zero-phase baseline high-pass
 //   per R-R pair -> C/B/X delineation -> quality gate -> PEP/LVET/SV/CO
 //
-// Two entry points:
-//   - BeatPipeline::process           one recording, batch (offline)
-//   - StreamingBeatPipeline           chunked feed; emits each beat once,
-//     with one-beat latency, the way the embedded firmware reports
-//     results beat by beat over the radio.
+// The engine is a true single-pass streaming system: every stage carries
+// persistent state (see core/stream.h), each push() does O(chunk) work,
+// and only the newly completed R-R intervals are delineated. The batch
+// entry point is a thin wrapper that feeds one big chunk:
+//
+//   - StreamingBeatPipeline   chunked feed; emits each beat exactly once,
+//     in order, with a fixed sub-window latency (the stage group delays
+//     plus the QRS confirmation latency), the way the embedded firmware
+//     reports results beat by beat over the radio.
+//   - BeatPipeline::process   one recording, offline; byte-identical
+//     BeatRecords to StreamingBeatPipeline at any chunking, because it
+//     *is* StreamingBeatPipeline fed a single chunk.
 #pragma once
 
 #include "core/delineator.h"
 #include "core/hemodynamics.h"
 #include "core/icg_filter.h"
 #include "core/quality.h"
+#include "core/stream.h"
 #include "ecg/ecg_filter.h"
 #include "ecg/pan_tompkins.h"
+#include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
+#include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace icgkit::core {
@@ -54,12 +66,87 @@ struct PipelineResult {
   dsp::Signal filtered_icg;
 };
 
+/// Chunk-fed incremental engine. Internals:
+///
+///  - the ECG cleaner, QRS detector and ICG conditioner advance sample by
+///    sample with carried state (O(chunk) work per push, no window
+///    recomputation);
+///  - cleaned ICG and raw impedance are retained in bounded ring buffers
+///    (default 12 s) purely as *look-back* for delineation -- they are
+///    never reprocessed;
+///  - a beat (R_i, R_{i+1}) is delineated exactly once, as soon as
+///    R_{i+1} is confirmed and the aligned ICG covers it. Its emitted
+///    indices are absolute sample positions in the fed stream.
+///
+/// The output is invariant to chunk size: any segmentation of the same
+/// recording yields byte-identical BeatRecords (the chunking only decides
+/// which push() call returns them). Beats whose samples have already left
+/// the look-back window (window smaller than an R-R interval plus the
+/// stage latencies) are emitted flagged InvalidDelineation with all
+/// points clamped to their R index, never referencing trimmed samples.
+class StreamingBeatPipeline {
+ public:
+  StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
+                        double window_s = 12.0);
+
+  /// Feeds one synchronized chunk; returns the beats completed by it.
+  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+
+  /// Flushes the stage tails and any pending beats (end of recording).
+  std::vector<BeatRecord> finish();
+
+  [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+  [[nodiscard]] std::size_t r_peak_count() const { return r_peak_count_; }
+  [[nodiscard]] std::size_t window_samples() const { return window_samples_; }
+  /// Running mean of the impedance trace consumed so far.
+  [[nodiscard]] double z_mean_ohm() const;
+
+  /// Records the aligned filtered ECG/ICG streams (used by the batch
+  /// wrapper to fill PipelineResult; off by default to keep streaming
+  /// memory bounded).
+  void enable_capture() { capture_ = true; }
+  [[nodiscard]] const dsp::Signal& captured_ecg() const { return captured_ecg_; }
+  [[nodiscard]] const dsp::Signal& captured_icg() const { return captured_icg_; }
+
+ private:
+  void ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm, std::vector<BeatRecord>& out);
+  void drain_ready(std::vector<BeatRecord>& out);
+  [[nodiscard]] BeatRecord make_beat(std::size_t r, std::size_t r_next);
+  [[nodiscard]] double beat_z0(std::size_t r, std::size_t r_next) const;
+
+  dsp::SampleRate fs_;
+  PipelineConfig cfg_;
+  std::size_t window_samples_;
+
+  EcgCleanerStage ecg_stage_;
+  IcgConditionerStage icg_stage_;
+  ecg::OnlinePanTompkins qrs_;
+  IcgDelineator delineator_;
+
+  dsp::RingBuffer<dsp::Sample> icg_ring_;  ///< aligned cleaned ICG look-back
+  dsp::RingBuffer<dsp::Sample> z_ring_;    ///< raw impedance look-back
+  std::size_t icg_count_ = 0;   ///< aligned ICG samples produced
+  std::size_t consumed_ = 0;    ///< absolute samples fed so far
+  double z_sum_ = 0.0;
+
+  std::optional<std::size_t> last_r_;
+  std::deque<std::pair<std::size_t, std::size_t>> pending_beats_;
+  std::size_t r_peak_count_ = 0;
+
+  bool capture_ = false;
+  dsp::Signal captured_ecg_, captured_icg_;
+  dsp::Signal ecg_scratch_, icg_scratch_, beat_scratch_;
+  std::vector<std::size_t> r_scratch_;
+};
+
 class BeatPipeline {
  public:
   explicit BeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {});
 
   /// Processes one synchronized recording (equal-length ECG mV and
-  /// impedance Ohm traces).
+  /// impedance Ohm traces). Thin wrapper: feeds the whole recording as a
+  /// single chunk through StreamingBeatPipeline and finish(), so batch
+  /// and streaming BeatRecords are byte-identical by construction.
   [[nodiscard]] PipelineResult process(dsp::SignalView ecg_mv,
                                        dsp::SignalView z_ohm) const;
 
@@ -69,39 +156,6 @@ class BeatPipeline {
  private:
   dsp::SampleRate fs_;
   PipelineConfig cfg_;
-  ecg::EcgFilter ecg_filter_;
-  ecg::PanTompkins qrs_;
-  IcgFilter icg_filter_;
-  IcgDelineator delineator_;
-};
-
-/// Chunk-fed wrapper with one-beat emission latency. Internally keeps a
-/// bounded window (default 12 s) and re-runs detection on it per chunk;
-/// each completed beat is emitted exactly once, in order.
-class StreamingBeatPipeline {
- public:
-  StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
-                        double window_s = 12.0);
-
-  /// Feeds one synchronized chunk; returns the beats completed by it.
-  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
-
-  /// Flushes the final pending beat (end of recording).
-  std::vector<BeatRecord> finish();
-
-  [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
-
- private:
-  std::vector<BeatRecord> drain(bool final_flush);
-
-  dsp::SampleRate fs_;
-  BeatPipeline pipeline_;
-  std::size_t window_samples_;
-  dsp::Signal ecg_buf_;
-  dsp::Signal z_buf_;
-  std::size_t buf_start_ = 0;   ///< absolute index of buffer sample 0
-  std::size_t consumed_ = 0;    ///< absolute samples fed so far
-  double last_emitted_r_s_ = -1.0; ///< absolute time of last emitted beat's R
 };
 
 } // namespace icgkit::core

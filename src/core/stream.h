@@ -1,0 +1,88 @@
+// Shared single-pass streaming infrastructure for the beat pipeline.
+//
+// Every stage consumes one sample per push() and appends zero or more
+// *delay-compensated* output samples: output index i always corresponds
+// to input index i, it is just emitted latency() samples later. finish()
+// flushes the tail so a stream of n inputs always yields exactly n
+// outputs. Because each stage's state advances one sample at a time, the
+// composed pipeline is chunk-size invariant: any segmentation of the
+// input produces bit-identical output, which is what lets
+// BeatPipeline::process be a thin one-big-chunk wrapper around
+// StreamingBeatPipeline (see pipeline.h).
+#pragma once
+
+#include "core/icg_filter.h"
+#include "dsp/filtfilt.h"
+#include "dsp/morphology.h"
+#include "dsp/types.h"
+#include "dsp/zero_phase_highpass.h"
+#include "ecg/ecg_filter.h"
+
+#include <cstddef>
+#include <optional>
+
+namespace icgkit::core {
+
+/// Interface shared by the pipeline's streaming stages.
+class StreamingStage {
+ public:
+  virtual ~StreamingStage() = default;
+
+  /// Feeds one input sample; appends newly completed (delay-compensated)
+  /// output samples to `out`.
+  virtual void push(dsp::Sample x, dsp::Signal& out) = 0;
+  /// End of stream: flushes the remaining latency() samples.
+  virtual void finish(dsp::Signal& out) = 0;
+  /// Returns the stage to its freshly constructed state.
+  virtual void reset() = 0;
+  /// Worst-case group delay in samples between input and aligned output.
+  [[nodiscard]] virtual std::size_t latency() const = 0;
+};
+
+/// Streaming twin of EcgFilter::apply: morphological baseline removal
+/// (bit-identical to the batch estimator) followed by the 0.05-40 Hz FIR
+/// band-pass as a causal symmetric kernel equal to the zero-phase
+/// filtfilt response. Honors the EcgFilterConfig ablation switches.
+class EcgCleanerStage final : public StreamingStage {
+ public:
+  EcgCleanerStage(dsp::SampleRate fs, const ecg::EcgFilterConfig& cfg = {});
+
+  void push(dsp::Sample x, dsp::Signal& out) override;
+  void finish(dsp::Signal& out) override;
+  void reset() override;
+  [[nodiscard]] std::size_t latency() const override;
+
+ private:
+  std::optional<dsp::StreamingBaselineRemover> morph_;
+  std::optional<dsp::StreamingZeroPhaseFir> fir_;
+  dsp::Signal scratch_;
+};
+
+/// Streaming twin of the ICG conditioning chain: impedance in, cleaned
+/// ICG (-dZ/dt, zero-phase 20 Hz low-pass, zero-phase baseline high-pass)
+/// out. The derivative uses the batch central-difference stencil (one
+/// sample of lookahead), the low-pass a symmetric kernel equal to the
+/// zero-phase Butterworth response, and the high-pass the decimated
+/// zero-phase baseline subtractor (see StreamingZeroPhaseHighpass).
+class IcgConditionerStage final : public StreamingStage {
+ public:
+  IcgConditionerStage(dsp::SampleRate fs, const IcgFilterConfig& cfg = {});
+
+  void push(dsp::Sample x, dsp::Signal& out) override;
+  void finish(dsp::Signal& out) override;
+  void reset() override;
+  [[nodiscard]] std::size_t latency() const override;
+
+ private:
+  void on_derivative(dsp::Sample d, dsp::Signal& out);
+  void on_lowpassed(dsp::Sample v, dsp::Signal& out);
+
+  dsp::SampleRate fs_;
+  dsp::StreamingZeroPhaseFir lp_;
+  std::optional<dsp::StreamingZeroPhaseHighpass> hp_;
+  dsp::Signal lp_scratch_, hp_scratch_;
+  double prev_[2] = {};        ///< last two impedance samples
+  std::size_t z_count_ = 0;
+};
+
+} // namespace icgkit::core

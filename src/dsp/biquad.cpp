@@ -67,7 +67,7 @@ StreamingSos::StreamingSos(SosFilter filter)
   if (filter_.sections.empty()) throw std::invalid_argument("StreamingSos: empty cascade");
 }
 
-Sample StreamingSos::process(Sample x) {
+Sample StreamingSos::tick(Sample x) {
   double v = x;
   for (std::size_t i = 0; i < filter_.sections.size(); ++i) {
     const Biquad& s = filter_.sections[i];
@@ -78,6 +78,11 @@ Sample StreamingSos::process(Sample x) {
     v = out;
   }
   return v * filter_.gain;
+}
+
+void StreamingSos::process_chunk(SignalView x, Signal& out) {
+  out.reserve(out.size() + x.size());
+  for (const Sample v : x) out.push_back(tick(v));
 }
 
 void StreamingSos::reset() {

@@ -41,12 +41,20 @@ Signal sos_apply_steady(const SosFilter& filter, SignalView x);
 /// Magnitude response |H(f)| of the cascade at a single frequency.
 double sos_magnitude_at(const SosFilter& filter, double freq_hz, SampleRate fs);
 
-/// Streaming stateful cascade for sample-by-sample processing.
+/// Streaming stateful cascade for sample-by-sample processing. The
+/// Direct Form II transposed state (s1, s2 per section) persists across
+/// calls, so a signal fed in chunks of any size produces bit-identical
+/// output to a single-shot application.
 class StreamingSos {
  public:
   explicit StreamingSos(SosFilter filter);
 
-  Sample process(Sample x);
+  /// One sample in, one sample out, state carried across calls.
+  Sample tick(Sample x);
+  /// Back-compat alias for tick().
+  Sample process(Sample x) { return tick(x); }
+  /// Filters a chunk, appending x.size() output samples to `out`.
+  void process_chunk(SignalView x, Signal& out);
   void reset();
 
   [[nodiscard]] const SosFilter& filter() const { return filter_; }

@@ -1,6 +1,7 @@
 #include "dsp/filtfilt.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace icgkit::dsp {
@@ -52,6 +53,167 @@ Signal filtfilt_sos(const SosFilter& filter, SignalView x) {
 Signal filtfilt_fir(const FirCoefficients& fir, SignalView x) {
   const std::size_t pad = clamp_pad(3 * fir.taps.size(), x.size());
   return forward_backward(x, pad, [&](SignalView v) { return fir_apply(fir, v); });
+}
+
+// ---------------------------------------------------------------------------
+// Streaming zero-phase filtering
+// ---------------------------------------------------------------------------
+
+FirCoefficients zero_phase_fir_kernel(const FirCoefficients& fir) {
+  const Signal& h = fir.taps;
+  if (h.empty()) throw std::invalid_argument("zero_phase_fir_kernel: empty taps");
+  const std::size_t taps = h.size();
+  Signal g(2 * taps - 1, 0.0);
+  // Full convolution of h with its reverse: g[m] = sum_j h[j] h[taps-1-m+j].
+  for (std::size_t m = 0; m < g.size(); ++m) {
+    const std::size_t shift = taps - 1 > m ? taps - 1 - m : m - (taps - 1);
+    double acc = 0.0;
+    for (std::size_t j = 0; j + shift < taps; ++j) acc += h[j] * h[j + shift];
+    g[m] = acc;
+  }
+  return FirCoefficients{std::move(g)};
+}
+
+FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol,
+                                      std::size_t max_half_len) {
+  if (filter.sections.empty())
+    throw std::invalid_argument("zero_phase_sos_kernel: empty cascade");
+  if (tol <= 0.0 || tol >= 1.0)
+    throw std::invalid_argument("zero_phase_sos_kernel: tol must be in (0, 1)");
+  // Impulse response of the causal cascade (gain included once; the
+  // autocorrelation below squares it, matching two filtfilt passes).
+  StreamingSos sim(filter);
+  Signal h;
+  double peak = 0.0;
+  std::size_t quiet = 0;
+  constexpr std::size_t kQuietNeeded = 64;
+  const std::size_t sim_cap = 4 * max_half_len + kQuietNeeded;
+  for (std::size_t n = 0; n < sim_cap; ++n) {
+    const double v = sim.tick(n == 0 ? 1.0 : 0.0);
+    if (!std::isfinite(v) || std::abs(v) > 1e9)
+      throw std::invalid_argument("zero_phase_sos_kernel: cascade is unstable");
+    h.push_back(v);
+    peak = std::max(peak, std::abs(v));
+    if (std::abs(v) < 0.01 * tol * peak) {
+      if (++quiet >= kQuietNeeded && h.size() > 16) break;
+    } else {
+      quiet = 0;
+    }
+  }
+  // Autocorrelation g[k] = sum_n h[n] h[n+k]; |G(f)| = |H(f)|^2.
+  const std::size_t n_h = h.size();
+  Signal g(std::min(n_h, max_half_len + 1), 0.0);
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t n = 0; n + k < n_h; ++n) acc += h[n] * h[n + k];
+    g[k] = acc;
+  }
+  std::size_t half = 0;
+  for (std::size_t k = 0; k < g.size(); ++k)
+    if (std::abs(g[k]) > tol * std::abs(g[0])) half = k;
+  FirCoefficients out;
+  out.taps.assign(2 * half + 1, 0.0);
+  for (std::size_t k = 0; k <= half; ++k) {
+    out.taps[half + k] = g[k];
+    out.taps[half - k] = g[k];
+  }
+  return out;
+}
+
+StreamingZeroPhaseFir::StreamingZeroPhaseFir(FirCoefficients kernel)
+    : kernel_(std::move(kernel)) {
+  const Signal& g = kernel_.taps;
+  if (g.empty() || g.size() % 2 == 0)
+    throw std::invalid_argument("StreamingZeroPhaseFir: kernel length must be odd");
+  double peak = 0.0;
+  for (const double v : g) peak = std::max(peak, std::abs(v));
+  for (std::size_t i = 0; i < g.size() / 2; ++i)
+    if (std::abs(g[i] - g[g.size() - 1 - i]) > 1e-9 * peak)
+      throw std::invalid_argument("StreamingZeroPhaseFir: kernel must be symmetric");
+  half_ = (g.size() - 1) / 2;
+  line_.assign(g.size(), 0.0);
+  tail_.assign(half_ + 1, 0.0);
+}
+
+void StreamingZeroPhaseFir::feed_extended(Sample z, Signal& out) {
+  line_[head_] = z;
+  const std::size_t len = line_.size();
+  head_ = (head_ + 1) % len;
+  ++fed_;
+  if (fed_ < len) return;
+  double acc = 0.0;
+  std::size_t idx = head_ == 0 ? len - 1 : head_ - 1; // newest sample
+  for (const double tap : kernel_.taps) {
+    acc += tap * line_[idx];
+    idx = (idx == 0) ? len - 1 : idx - 1;
+  }
+  out.push_back(acc);
+}
+
+void StreamingZeroPhaseFir::push(Sample x, Signal& out) {
+  const std::size_t raw = raw_count_++;
+  tail_[raw % tail_.size()] = x;
+  if (warm_) {
+    feed_extended(x, out);
+    return;
+  }
+  warmup_.push_back(x);
+  if (warmup_.size() < half_ + 1) return;
+  // Have x[0..half]: synthesize the odd-reflection prefix 2 x[0] - x[k]
+  // (k = half..1), then feed the buffered head. The last of these feeds
+  // emits out[0]; the stage is in steady state afterwards.
+  for (std::size_t k = half_; k >= 1; --k)
+    feed_extended(2.0 * warmup_[0] - warmup_[k], out);
+  for (const Sample v : warmup_) feed_extended(v, out);
+  warmup_.clear();
+  warmup_.shrink_to_fit();
+  warm_ = true;
+}
+
+void StreamingZeroPhaseFir::process_chunk(SignalView x, Signal& out) {
+  for (const Sample v : x) push(v, out);
+}
+
+void StreamingZeroPhaseFir::finish(Signal& out) {
+  if (raw_count_ == 0) return;
+  if (!warm_) {
+    // Short stream (n <= delay): emit the zero-phase output directly from
+    // the buffered samples with the clamped odd-reflection padding the
+    // batch filtfilt would use.
+    const std::size_t n = warmup_.size();
+    const std::size_t pad = std::min(half_, n - 1);
+    const Signal ext = pad > 0 ? odd_reflect_pad(warmup_, pad) : warmup_;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < kernel_.taps.size(); ++j) {
+        // Extended index of the sample hit by tap j for aligned output i.
+        const std::ptrdiff_t e = static_cast<std::ptrdiff_t>(i + half_ - j) +
+                                 static_cast<std::ptrdiff_t>(pad);
+        if (e < 0 || e >= static_cast<std::ptrdiff_t>(ext.size())) continue;
+        acc += kernel_.taps[j] * ext[static_cast<std::size_t>(e)];
+      }
+      out.push_back(acc);
+    }
+    warmup_.clear();
+    return;
+  }
+  // Steady state: synthesize the odd-reflection suffix 2 x[n-1] - x[n-1-k]
+  // (k = 1..half), flushing the remaining delay() aligned outputs.
+  const Sample last = tail_[(raw_count_ - 1) % tail_.size()];
+  for (std::size_t k = 1; k <= half_; ++k) {
+    const Sample mirrored = tail_[(raw_count_ - 1 - k) % tail_.size()];
+    feed_extended(2.0 * last - mirrored, out);
+  }
+}
+
+void StreamingZeroPhaseFir::reset() {
+  std::fill(line_.begin(), line_.end(), 0.0);
+  head_ = 0;
+  fed_ = 0;
+  raw_count_ = 0;
+  warmup_.clear();
+  std::fill(tail_.begin(), tail_.end(), 0.0);
+  warm_ = false;
 }
 
 } // namespace icgkit::dsp

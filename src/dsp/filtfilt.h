@@ -28,4 +28,76 @@ Signal filtfilt_fir(const FirCoefficients& fir, SignalView x);
 /// for testing. Returns pad + x + pad samples.
 Signal odd_reflect_pad(SignalView x, std::size_t pad);
 
+// ---------------------------------------------------------------------------
+// Streaming zero-phase filtering
+// ---------------------------------------------------------------------------
+//
+// filtfilt needs the whole signal (it runs backwards), so a streaming
+// engine cannot use it. The single-pass equivalent: convolve with the
+// *symmetric* kernel g = h (*) reverse(h), whose magnitude response is
+// |H(f)|^2 -- exactly the filtfilt magnitude -- and whose phase is exactly
+// linear with an integer group delay of half the kernel length. A causal
+// implementation therefore produces the zero-phase output delayed by a
+// known constant, which the caller compensates by re-indexing (out[i]
+// corresponds to input sample i; it is simply emitted delay() samples
+// later). That is the documented group-delay compensation used throughout
+// the streaming pipeline.
+
+/// Symmetric zero-phase-equivalent kernel of an FIR filter:
+/// g = h (*) reverse(h), length 2*taps-1, |G(f)| = |H(f)|^2. Interior
+/// samples of a causal convolution with g match filtfilt_fir exactly (up
+/// to floating-point summation order).
+FirCoefficients zero_phase_fir_kernel(const FirCoefficients& fir);
+
+/// Symmetric FIR approximation of the zero-phase response of an SOS
+/// cascade: g[k] = sum_n h[n] h[n+|k|], the autocorrelation of the causal
+/// impulse response (so |G(f)| = |H(f)|^2), truncated once the tail falls
+/// below `tol` times the peak. Longer cascades with slow poles produce
+/// longer kernels; `max_half_len` caps the half-length.
+FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol = 1e-6,
+                                      std::size_t max_half_len = 4096);
+
+/// Single-pass streaming filter for a symmetric (odd-length) kernel with
+/// group-delay compensation and filtfilt-style odd-reflection edges.
+///
+/// Feeding x[0..n) through push() and then finish() produces exactly n
+/// output samples, where out[i] is aligned with input x[i] (the constant
+/// group delay of (len-1)/2 samples is absorbed: out[i] is emitted once
+/// x[i + delay()] has been consumed, and finish() flushes the tail by
+/// synthesizing the same odd-reflection extension filtfilt uses). The
+/// result is chunk-size invariant: any segmentation of the input yields
+/// bit-identical output.
+class StreamingZeroPhaseFir {
+ public:
+  /// `kernel` must have odd length and be symmetric (as produced by
+  /// zero_phase_fir_kernel / zero_phase_sos_kernel).
+  explicit StreamingZeroPhaseFir(FirCoefficients kernel);
+
+  /// Feeds one sample; appends any newly aligned outputs to `out`.
+  void push(Sample x, Signal& out);
+  /// Feeds a chunk; appends newly aligned outputs to `out`.
+  void process_chunk(SignalView x, Signal& out);
+  /// End of stream: emits the remaining delay() samples (or, for streams
+  /// shorter than delay(), the best-effort short-signal output).
+  void finish(Signal& out);
+  void reset();
+
+  /// Group delay in samples: out[i] is emitted upon input i + delay().
+  [[nodiscard]] std::size_t delay() const { return half_; }
+  [[nodiscard]] const FirCoefficients& kernel() const { return kernel_; }
+
+ private:
+  void feed_extended(Sample z, Signal& out);
+
+  FirCoefficients kernel_;
+  std::size_t half_;          ///< (len - 1) / 2 == group delay
+  Signal line_;               ///< circular delay line, size == kernel length
+  std::size_t head_ = 0;      ///< next write slot in line_
+  std::size_t fed_ = 0;       ///< extended-stream samples consumed
+  std::size_t raw_count_ = 0; ///< raw input samples consumed
+  Signal warmup_;             ///< first half_+1 raw samples (prefix synthesis)
+  Signal tail_;               ///< last half_+1 raw samples (suffix synthesis)
+  bool warm_ = false;         ///< prefix emitted, steady state reached
+};
+
 } // namespace icgkit::dsp

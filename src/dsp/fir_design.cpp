@@ -118,7 +118,7 @@ StreamingFir::StreamingFir(FirCoefficients coeffs)
   if (coeffs_.taps.empty()) throw std::invalid_argument("StreamingFir: empty taps");
 }
 
-Sample StreamingFir::process(Sample x) {
+Sample StreamingFir::tick(Sample x) {
   delay_[head_] = x;
   double acc = 0.0;
   std::size_t idx = head_;
@@ -128,6 +128,11 @@ Sample StreamingFir::process(Sample x) {
   }
   head_ = (head_ + 1) % delay_.size();
   return acc;
+}
+
+void StreamingFir::process_chunk(SignalView x, Signal& out) {
+  out.reserve(out.size() + x.size());
+  for (const Sample v : x) out.push_back(tick(v));
 }
 
 void StreamingFir::reset() {

@@ -50,13 +50,19 @@ Signal fir_apply(const FirCoefficients& fir, SignalView x);
 double fir_magnitude_at(const FirCoefficients& fir, double freq_hz, SampleRate fs);
 
 /// Streaming FIR filter holding its own delay line; suitable for
-/// sample-by-sample embedded-style processing.
+/// sample-by-sample embedded-style processing. The circular delay line
+/// persists across calls, so chunked feeding is bit-identical to
+/// single-shot application.
 class StreamingFir {
  public:
   explicit StreamingFir(FirCoefficients coeffs);
 
-  /// Processes one input sample and returns one output sample.
-  Sample process(Sample x);
+  /// One sample in, one sample out, delay line carried across calls.
+  Sample tick(Sample x);
+  /// Back-compat alias for tick().
+  Sample process(Sample x) { return tick(x); }
+  /// Filters a chunk, appending x.size() output samples to `out`.
+  void process_chunk(SignalView x, Signal& out);
 
   /// Resets the delay line to zero.
   void reset();

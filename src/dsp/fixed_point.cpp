@@ -1,5 +1,6 @@
 #include "dsp/fixed_point.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,6 +19,21 @@ std::int32_t to_q30(double v) {
 inline std::int64_t mac(std::int64_t acc, std::int32_t coeff, std::int64_t value) {
   return acc + ((static_cast<std::int64_t>(coeff) * value) >> 30);
 }
+
+// One transposed-DF2 step of the whole cascade over the given state.
+inline std::int64_t cascade_step(const std::vector<FixedBiquad>& sections,
+                                 std::vector<std::int64_t>& s1,
+                                 std::vector<std::int64_t>& s2, std::int64_t v) {
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    const FixedBiquad& c = sections[k];
+    const std::int64_t in = v;
+    const std::int64_t out = mac(s1[k], c.b0, in);
+    s1[k] = mac(mac(s2[k], c.b1, in), -c.a1, out);
+    s2[k] = mac(mac(0, c.b2, in), -c.a2, out);
+    v = out;
+  }
+  return v;
+}
 } // namespace
 
 FixedBiquad FixedBiquad::from(const Biquad& s) {
@@ -35,6 +51,8 @@ FixedSosFilter::FixedSosFilter(const SosFilter& design) {
     }
     sections_.push_back(FixedBiquad::from(s));
   }
+  s1_.assign(sections_.size(), 0);
+  s2_.assign(sections_.size(), 0);
 }
 
 Signal FixedSosFilter::apply(SignalView x) const {
@@ -43,18 +61,23 @@ Signal FixedSosFilter::apply(SignalView x) const {
   std::vector<std::int64_t> s1(sections_.size(), 0), s2(sections_.size(), 0);
   Signal y(x.size());
   for (std::size_t n = 0; n < x.size(); ++n) {
-    std::int64_t v = static_cast<std::int64_t>(std::llround(x[n] * kQ31));
-    for (std::size_t k = 0; k < sections_.size(); ++k) {
-      const FixedBiquad& c = sections_[k];
-      const std::int64_t in = v;
-      const std::int64_t out = mac(s1[k], c.b0, in);
-      s1[k] = mac(mac(s2[k], c.b1, in), -c.a1, out);
-      s2[k] = mac(mac(0, c.b2, in), -c.a2, out);
-      v = out;
-    }
-    y[n] = static_cast<double>(v) / kQ31;
+    const std::int64_t v = static_cast<std::int64_t>(std::llround(x[n] * kQ31));
+    y[n] = static_cast<double>(cascade_step(sections_, s1, s2, v)) / kQ31;
   }
   return y;
+}
+
+std::int32_t FixedSosFilter::tick(std::int32_t x_q31) {
+  const std::int64_t out = cascade_step(sections_, s1_, s2_, x_q31);
+  // Saturate to Q1.31 the way the Cortex-M SSAT instruction would.
+  constexpr std::int64_t kMax = 2147483647;
+  constexpr std::int64_t kMin = -2147483648LL;
+  return static_cast<std::int32_t>(out > kMax ? kMax : (out < kMin ? kMin : out));
+}
+
+void FixedSosFilter::reset_state() {
+  std::fill(s1_.begin(), s1_.end(), 0);
+  std::fill(s2_.begin(), s2_.end(), 0);
 }
 
 double fixed_point_error(const SosFilter& design, SignalView x) {

@@ -36,14 +36,24 @@ class FixedSosFilter {
   /// outside the Q2.30 range [-2, 2).
   explicit FixedSosFilter(const SosFilter& design);
 
-  /// Processes a normalized signal through the cascade.
+  /// Processes a normalized signal through the cascade (stateless: uses a
+  /// local state, so repeated calls are independent).
   [[nodiscard]] Signal apply(SignalView x) const;
 
-  /// One sample, streaming.
+  /// One sample, streaming: input in Q1.31 full scale, output in Q1.31.
+  /// The per-section Q31 state persists across calls (reset with
+  /// reset_state()), so chunked feeding is bit-identical to apply() on
+  /// the concatenated signal.
+  [[nodiscard]] std::int32_t tick(std::int32_t x_q31);
+
+  /// Clears the streaming state carried by tick().
+  void reset_state();
+
   [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
 
  private:
   std::vector<FixedBiquad> sections_;
+  std::vector<std::int64_t> s1_, s2_; ///< tick() streaming state, Q31
 };
 
 /// Convenience: worst-case absolute deviation between the double and the

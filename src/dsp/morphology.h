@@ -9,6 +9,7 @@
 // tracks the baseline drift, which is then subtracted from the signal.
 #pragma once
 
+#include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
 #include <cstddef>
@@ -45,5 +46,66 @@ Signal estimate_baseline(SignalView x, SampleRate fs, const BaselineEstimatorCon
 
 /// Convenience: x - estimate_baseline(x).
 Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg = {});
+
+/// Streaming erosion/dilation with a centered flat structuring element.
+///
+/// Bit-identical to erode()/dilate() on the concatenated input (same
+/// monotonic-deque arithmetic, same shrinking edge windows), but fed one
+/// sample at a time: out[c] is emitted once input sample c + width/2 has
+/// arrived, i.e. the stage has a fixed group delay of width/2 samples.
+/// The deque lives in a fixed-capacity RingBuffer, so push() never
+/// allocates after construction. finish() emits the trailing width/2
+/// outputs with the batch right-edge shrinking windows.
+class StreamingExtremum {
+ public:
+  enum class Kind { Min, Max };
+
+  StreamingExtremum(std::size_t width, Kind kind);
+
+  /// Feeds one sample; appends 0 or 1 newly completed outputs to `out`.
+  void push(Sample x, Signal& out);
+  /// Emits the remaining delayed outputs (right edge of the signal).
+  void finish(Signal& out);
+  void reset();
+
+  [[nodiscard]] std::size_t delay() const { return half_; }
+
+ private:
+  struct Entry {
+    std::size_t idx;
+    Sample v;
+  };
+  void emit_center(std::size_t center, Signal& out);
+
+  std::size_t half_;
+  Kind kind_;
+  RingBuffer<Entry> dq_;      ///< monotonic deque over the current window
+  std::size_t pushed_ = 0;    ///< input samples consumed
+  std::size_t emitted_ = 0;   ///< output samples produced
+};
+
+/// Streaming counterpart of remove_baseline(): the Sun et al. estimator
+/// (open w1 then close w2) run as a cascade of four StreamingExtremum
+/// stages, with the input delayed alongside so cleaned[c] = x[c] -
+/// baseline[c]. Bit-identical to the batch remove_baseline() including
+/// both edges; fixed group delay of (w1 - 1) + (w2 - 1) samples.
+class StreamingBaselineRemover {
+ public:
+  StreamingBaselineRemover(SampleRate fs, const BaselineEstimatorConfig& cfg = {});
+
+  /// Feeds one raw sample; appends newly completed cleaned samples.
+  void push(Sample x, Signal& out);
+  /// Flushes the trailing delay (right edge), emitting all pending output.
+  void finish(Signal& out);
+  void reset();
+
+  [[nodiscard]] std::size_t delay() const { return delay_; }
+
+ private:
+  std::size_t w1_, w2_, delay_;
+  StreamingExtremum open_erode_, open_dilate_, close_dilate_, close_erode_;
+  RingBuffer<Sample> raw_delay_;  ///< input delayed by `delay_` samples
+  Signal scratch1_, scratch2_;    ///< per-push stage buffers (capacity reused)
+};
 
 } // namespace icgkit::dsp

@@ -2,10 +2,10 @@
 // exponential smoothing.
 #pragma once
 
+#include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
 #include <cstddef>
-#include <deque>
 
 namespace icgkit::dsp {
 
@@ -21,16 +21,21 @@ Signal moving_window_integrate(SignalView x, std::size_t width);
 Signal ema(SignalView x, double alpha);
 
 /// Streaming causal moving average (used by the embedded-style pipeline).
+/// Matches moving_window_integrate sample for sample: y[n] =
+/// mean(x[max(0, n-width+1) .. n]), growing window at the start. State
+/// lives in a fixed-capacity RingBuffer, so tick() never allocates.
 class StreamingMovingAverage {
  public:
   explicit StreamingMovingAverage(std::size_t width);
 
-  Sample process(Sample x);
+  /// One sample in, one averaged sample out.
+  Sample tick(Sample x);
+  /// Back-compat alias for tick().
+  Sample process(Sample x) { return tick(x); }
   void reset();
 
  private:
-  std::size_t width_;
-  std::deque<Sample> buf_;
+  RingBuffer<Sample> buf_;
   double sum_ = 0.0;
 };
 

@@ -43,6 +43,15 @@ class RingBuffer {
     return v;
   }
 
+  /// Removes and returns the newest element (deque-style back removal;
+  /// lets the streaming morphology kernels keep their monotonic deques in
+  /// fixed storage instead of a heap-allocating std::deque).
+  T pop_back() {
+    if (empty()) throw std::out_of_range("RingBuffer: pop_back from empty");
+    --size_;
+    return buf_[(head_ + size_) % buf_.size()];
+  }
+
   /// Element i positions from the oldest (0 = oldest).
   [[nodiscard]] const T& at(std::size_t i) const {
     if (i >= size_) throw std::out_of_range("RingBuffer: index out of range");

@@ -10,9 +10,13 @@
 // positions.
 #pragma once
 
+#include "dsp/filtfilt.h"
+#include "dsp/moving.h"
+#include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace icgkit::ecg {
@@ -35,14 +39,98 @@ struct QrsDetection {
   std::vector<double> rr_intervals_s;  ///< successive differences
 };
 
+/// Online (sample-by-sample) Pan-Tompkins detector.
+///
+/// All adaptive state -- signal/noise thresholds (SPKI/NPKI), the RR
+/// history driving search-back, the pending MWI candidate, and the
+/// refinement look-back buffers -- is carried across push() calls, so the
+/// detector does O(1) work per sample and its output is invariant to how
+/// the input is chunked.
+///
+/// The feature chain mirrors the batch one: the 5-15 Hz band-pass runs as
+/// a causal symmetric-kernel stage whose output equals the zero-phase
+/// filtfilt response (group delay absorbed internally; see
+/// StreamingZeroPhaseFir), followed by the aligned 5-point derivative,
+/// squaring and the 150 ms moving-window integration. Detection decisions
+/// are therefore made on (numerically) the same feature signal the batch
+/// detector sees, with a data-driven confirmation latency: an MWI
+/// candidate is final once the next MWI local maximum at least half a
+/// refractory later has been observed (or the stream ends).
+class OnlinePanTompkins {
+ public:
+  explicit OnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {});
+
+  /// Feeds one cleaned-ECG sample; appends the indices (absolute, in the
+  /// fed sample timeline) of any R peaks confirmed by it to `out`.
+  void push(dsp::Sample x, std::vector<std::size_t>& out);
+  void push_chunk(dsp::SignalView x, std::vector<std::size_t>& out);
+  /// End of stream: processes the pending candidate and flushes.
+  void finish(std::vector<std::size_t>& out);
+  void reset();
+
+  [[nodiscard]] std::size_t samples_consumed() const { return in_count_; }
+  [[nodiscard]] std::size_t peaks_emitted() const { return peaks_emitted_; }
+
+ private:
+  void on_bp_sample(dsp::Sample v, std::vector<std::size_t>& out);
+  void on_feature_sample(dsp::Sample v, std::vector<std::size_t>& out);
+  void on_local_max(std::size_t idx, std::vector<std::size_t>& out);
+  void finalize_candidate(std::size_t idx, std::vector<std::size_t>& out);
+  void learn_thresholds();
+  void process_candidate(std::size_t idx, std::vector<std::size_t>& out);
+  void accept(std::size_t idx, bool searchback, std::vector<std::size_t>& out);
+  void refine_and_emit(std::size_t idx, std::vector<std::size_t>& out);
+  [[nodiscard]] double rr_average_samples() const;
+  [[nodiscard]] bool mwi_available(std::size_t idx) const;
+  [[nodiscard]] double mwi_at(std::size_t idx) const;
+  [[nodiscard]] double slope_at(std::size_t idx) const;
+  [[nodiscard]] double peak_slope(std::size_t idx) const;
+
+  dsp::SampleRate fs_;
+  PanTompkinsConfig cfg_;
+  std::size_t refractory_, min_sep_, t_wave_win_, mwi_win_, refine_, learn_end_;
+
+  // Feature chain (input timeline == feature timeline; the band-pass
+  // stage absorbs its own group delay).
+  dsp::StreamingZeroPhaseFir bp_;
+  dsp::Signal bp_scratch_;
+  double bp_hist_[5] = {};          ///< last 5 band-passed samples
+  std::size_t bp_count_ = 0;
+  std::size_t d_emitted_ = 0;       ///< derivative samples emitted so far
+  dsp::StreamingMovingAverage mwi_;
+
+  // Feature history for thresholds, slopes and search-back.
+  dsp::RingBuffer<dsp::Sample> mwi_ring_;
+  std::size_t mwi_produced_ = 0;
+  dsp::RingBuffer<dsp::Sample> in_ring_;  ///< raw input for refinement
+  std::size_t in_count_ = 0;
+
+  // Candidate finalization (batch local_maxima semantics).
+  std::optional<std::size_t> pending_;
+  bool learned_ = false;
+  std::vector<std::size_t> prelearn_;     ///< candidates before thresholds exist
+
+  // Adaptive detector state.
+  double spki_ = 0.0, npki_ = 0.0;
+  std::optional<std::size_t> last_accepted_;
+  double last_accepted_slope_ = 0.0;
+  std::vector<double> rr_history_;        ///< trimmed to the last 8
+  std::vector<std::size_t> rejected_since_;
+  std::optional<std::size_t> last_r_;
+  std::size_t peaks_emitted_ = 0;
+};
+
 class PanTompkins {
  public:
   explicit PanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {});
 
-  /// Detects R peaks over a full recording segment.
+  /// Detects R peaks over a full recording segment. Thin wrapper: feeds
+  /// the whole segment through an OnlinePanTompkins and collects the
+  /// confirmed peaks, so batch and streaming detection cannot drift.
   [[nodiscard]] QrsDetection detect(dsp::SignalView ecg) const;
 
-  /// The integrated feature signal (exposed for tests/benches).
+  /// The integrated feature signal (exposed for tests/benches; batch
+  /// reference implementation with the zero-phase filtfilt band-pass).
   [[nodiscard]] dsp::Signal feature_signal(dsp::SignalView ecg) const;
 
  private:
