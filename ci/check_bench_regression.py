@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the Release CI job.
+
+Compares the JSON the benches just wrote (BENCH_streaming.json,
+BENCH_fleet.json) against the committed floors in
+bench/bench_baselines.json and exits non-zero on any regression, so a
+change that silently erodes the streaming speedup or fleet scaling
+fails the build instead of landing.
+
+The fleet scaling floor only arms when the bench itself reports
+scaling_enforced (>= 4 hardware threads on the runner); determinism
+across worker counts is enforced unconditionally.
+"""
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load(path: pathlib.Path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"FAIL: {path} not found — did the bench run before the gate?")
+
+
+def main() -> int:
+    baselines = load(ROOT / "bench" / "bench_baselines.json")
+    streaming = load(ROOT / "BENCH_streaming.json")
+    fleet = load(ROOT / "BENCH_fleet.json")
+    failures = []
+
+    speedup = streaming.get("speedup_at_64", 0.0)
+    floor = baselines["streaming_speedup_at_64_min"]
+    print(f"streaming speedup at 64-sample chunks: {speedup:.1f}x (floor {floor}x)")
+    if speedup < floor:
+        failures.append(f"streaming speedup {speedup:.1f}x below floor {floor}x")
+
+    sessions = fleet.get("sessions", 0)
+    min_sessions = baselines["fleet_min_sessions"]
+    print(f"fleet sessions: {sessions} (floor {min_sessions})")
+    if sessions < min_sessions:
+        failures.append(f"fleet bench ran {sessions} sessions, floor is {min_sessions}")
+
+    if not fleet.get("identical_across_workers", False):
+        failures.append("fleet beat streams differ across worker counts (determinism)")
+    else:
+        print("fleet determinism: byte-identical across worker counts")
+
+    scaling = fleet.get("scaling_1_to_4", 0.0)
+    scaling_floor = baselines["fleet_scaling_1_to_4_min"]
+    if fleet.get("scaling_enforced", False):
+        print(f"fleet scaling 1->4 workers: {scaling:.2f}x (floor {scaling_floor}x)")
+        if scaling < scaling_floor:
+            failures.append(
+                f"fleet 1->4 worker scaling {scaling:.2f}x below floor {scaling_floor}x")
+    else:
+        print(f"fleet scaling 1->4 workers: {scaling:.2f}x "
+              "(not enforced: runner has < 4 hardware threads)")
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench regression gate: all floors held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+#include "core/alloc_probe.h"
+
+namespace icgkit::core {
+
+std::atomic<std::uint64_t>& allocation_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+} // namespace icgkit::core

@@ -1,0 +1,33 @@
+// Allocation-counting test hook.
+//
+// The fleet hot path promises zero heap allocation per push once a
+// session's buffers have warmed up. The library never bumps this counter
+// itself: a test binary that wants to verify the promise replaces the
+// global operator new/delete with versions that increment
+// allocation_counter(), then reads the delta around the code under test
+// with an AllocationProbe (see tests/core/fleet_alloc_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace icgkit::core {
+
+/// Process-wide allocation counter for test instrumentation.
+std::atomic<std::uint64_t>& allocation_counter();
+
+/// Reads the counter at construction; delta() is the number of counted
+/// allocations since.
+class AllocationProbe {
+ public:
+  AllocationProbe() : start_(allocation_counter().load(std::memory_order_relaxed)) {}
+
+  [[nodiscard]] std::uint64_t delta() const {
+    return allocation_counter().load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+} // namespace icgkit::core

@@ -1,0 +1,35 @@
+// Deterministic BeatRecord byte serialization.
+//
+// The fleet's determinism contract is *byte* identity of per-session
+// beat streams across worker counts; this is the canonical byte form
+// both the fleet tests and bench_fleet_throughput compare. Serializes
+// field by field — never memcpy of the whole struct, whose padding
+// bytes are indeterminate.
+#pragma once
+
+#include "core/pipeline.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace icgkit::core {
+
+inline void serialize_beat(const BeatRecord& rec, std::vector<unsigned char>& out) {
+  const auto put = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  put(&rec.points.r, sizeof rec.points.r);
+  put(&rec.points.b, sizeof rec.points.b);
+  put(&rec.points.c, sizeof rec.points.c);
+  put(&rec.points.x, sizeof rec.points.x);
+  put(&rec.points.b0, sizeof rec.points.b0);
+  put(&rec.points.b_method, sizeof rec.points.b_method);
+  put(&rec.points.c_amplitude, sizeof rec.points.c_amplitude);
+  put(&rec.points.valid, sizeof rec.points.valid);
+  put(&rec.hemo, sizeof rec.hemo);  // all doubles, no padding
+  put(&rec.flaws, sizeof rec.flaws);
+  put(&rec.rr_s, sizeof rec.rr_s);
+}
+
+} // namespace icgkit::core

@@ -39,6 +39,19 @@ std::optional<std::size_t> first_zero_crossing_left(dsp::SignalView d1, std::siz
 
 } // namespace
 
+void DelineationScratch::reserve(std::size_t beat_samples) {
+  work.reserve(beat_samples);
+  anchor.reserve(beat_samples);
+  ts.reserve(beat_samples);
+  vs.reserve(beat_samples);
+  seg.reserve(beat_samples);
+  d1.reserve(beat_samples);
+  d2.reserve(beat_samples);
+  d3.reserve(beat_samples);
+  d3_tmp.reserve(beat_samples);
+  sign_runs.reserve(beat_samples);
+}
+
 IcgDelineator::IcgDelineator(dsp::SampleRate fs, const DelineationConfig& cfg)
     : fs_(fs), cfg_(cfg) {
   if (fs <= 0.0) throw std::invalid_argument("IcgDelineator: fs must be positive");
@@ -49,6 +62,13 @@ IcgDelineator::IcgDelineator(dsp::SampleRate fs, const DelineationConfig& cfg)
 BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
                                          std::size_t next_r_idx,
                                          std::optional<double> rt_s) const {
+  DelineationScratch scratch;
+  return delineate(icg, r_idx, next_r_idx, scratch, rt_s);
+}
+
+BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
+                                         std::size_t next_r_idx, DelineationScratch& scratch,
+                                         std::optional<double> rt_s) const {
   BeatDelineation out;
   out.r = r_idx;
   if (next_r_idx <= r_idx + 10 || next_r_idx > icg.size()) return out;
@@ -56,14 +76,15 @@ BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
   // ---- per-beat detrend (see DelineationConfig::detrend) --------------
   // Anchors: median of the samples just after R and just before next R
   // (both diastolic); the line through them is the local baseline.
-  dsp::Signal work(icg.begin() + static_cast<dsp::Index>(r_idx),
-                   icg.begin() + static_cast<dsp::Index>(next_r_idx));
+  dsp::Signal& work = scratch.work;
+  work.assign(icg.begin() + static_cast<dsp::Index>(r_idx),
+              icg.begin() + static_cast<dsp::Index>(next_r_idx));
   if (cfg_.detrend && work.size() > 20) {
     const std::size_t anchor = std::max<std::size_t>(2, to_samples(0.03, fs_));
-    const dsp::Signal head(work.begin(), work.begin() + static_cast<dsp::Index>(anchor));
-    const dsp::Signal tail(work.end() - static_cast<dsp::Index>(anchor), work.end());
-    const double y0 = dsp::median(head);
-    const double y1 = dsp::median(tail);
+    scratch.anchor.assign(work.begin(), work.begin() + static_cast<dsp::Index>(anchor));
+    const double y0 = dsp::median_inplace(scratch.anchor);
+    scratch.anchor.assign(work.end() - static_cast<dsp::Index>(anchor), work.end());
+    const double y1 = dsp::median_inplace(scratch.anchor);
     const double slope = (y1 - y0) / static_cast<double>(work.size() - anchor);
     for (std::size_t i = 0; i < work.size(); ++i)
       work[i] -= y0 + slope * static_cast<double>(i);
@@ -103,7 +124,10 @@ BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
     else break; // fell below the 40 % level: the limb segment is complete
   }
   if (i_lo >= i_hi || i_hi - i_lo < 2) return out; // limb too steep to fit at this fs
-  dsp::Signal ts, vs;
+  dsp::Signal& ts = scratch.ts;
+  dsp::Signal& vs = scratch.vs;
+  ts.clear();
+  vs.clear();
   for (std::size_t i = i_lo; i <= i_hi; ++i) {
     ts.push_back(static_cast<double>(i));
     vs.push_back(at(i));
@@ -123,11 +147,15 @@ BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
       std::min(next_r_idx - 1, c + to_samples(cfg_.x_search_max_s, fs_));
   const std::size_t w_lo = std::max(r_idx, b_floor > 5 ? b_floor - 5 : 0);
   const std::size_t w_hi = std::min(next_r_idx - 1, x_hi_limit + 5);
-  dsp::Signal seg(work.begin() + static_cast<dsp::Index>(w_lo - r_idx),
-                  work.begin() + static_cast<dsp::Index>(w_hi + 1 - r_idx));
-  const dsp::Signal d1 = dsp::derivative(seg, fs_);
-  const dsp::Signal d2 = dsp::second_derivative(seg, fs_);
-  const dsp::Signal d3 = dsp::third_derivative(seg, fs_);
+  dsp::Signal& seg = scratch.seg;
+  seg.assign(work.begin() + static_cast<dsp::Index>(w_lo - r_idx),
+             work.begin() + static_cast<dsp::Index>(w_hi + 1 - r_idx));
+  dsp::derivative_into(seg, fs_, scratch.d1);
+  dsp::second_derivative_into(seg, fs_, scratch.d2);
+  dsp::third_derivative_into(seg, fs_, scratch.d3_tmp, scratch.d3);
+  const dsp::Signal& d1 = scratch.d1;
+  const dsp::Signal& d2 = scratch.d2;
+  const dsp::Signal& d3 = scratch.d3;
   auto local = [&](std::size_t abs_idx) { return abs_idx - w_lo; };
   auto absolute = [&](std::size_t loc_idx) { return loc_idx + w_lo; };
 
@@ -141,7 +169,8 @@ BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,
   for (std::size_t i = local(b_floor); i <= local(c); ++i)
     d2_max = std::max(d2_max, std::abs(d2[i]));
   const double tol = cfg_.d2_tolerance_frac * d2_max;
-  std::vector<int> sign_runs;
+  std::vector<int>& sign_runs = scratch.sign_runs;
+  sign_runs.clear();
   for (std::size_t i = local(c);; --i) {
     const int s = dsp::sign_with_tolerance(d2[i], tol);
     if (s != 0 && (sign_runs.empty() || sign_runs.back() != s)) sign_runs.push_back(s);

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 namespace icgkit::core {
 
@@ -76,6 +77,24 @@ struct BeatDelineation {
   bool valid = false;
 };
 
+/// Reusable working buffers for delineate(). A caller that keeps one of
+/// these across beats (the streaming pipeline does) pays zero heap
+/// allocation per beat once the buffer capacities have warmed up.
+struct DelineationScratch {
+  dsp::Signal work;         ///< detrended beat samples
+  dsp::Signal anchor;       ///< diastolic anchor samples (median is destructive)
+  dsp::Signal ts, vs;       ///< rising-limb line-fit points
+  dsp::Signal seg;          ///< derivative slice
+  dsp::Signal d1, d2, d3;   ///< beat derivatives
+  dsp::Signal d3_tmp;       ///< intermediate for the third derivative
+  std::vector<int> sign_runs;
+
+  /// Pre-sizes every buffer for beats up to `beat_samples` long, so
+  /// delineating any such beat later allocates nothing (every buffer's
+  /// length is bounded by the beat length).
+  void reserve(std::size_t beat_samples);
+};
+
 class IcgDelineator {
  public:
   explicit IcgDelineator(dsp::SampleRate fs, const DelineationConfig& cfg = {});
@@ -86,6 +105,12 @@ class IcgDelineator {
   /// paper rule; the rule falls back to the paper rule when absent).
   [[nodiscard]] BeatDelineation delineate(dsp::SignalView icg, std::size_t r_idx,
                                           std::size_t next_r_idx,
+                                          std::optional<double> rt_s = std::nullopt) const;
+
+  /// Allocation-free form: identical result, but all intermediates live
+  /// in the caller-owned scratch whose capacity is reused across beats.
+  [[nodiscard]] BeatDelineation delineate(dsp::SignalView icg, std::size_t r_idx,
+                                          std::size_t next_r_idx, DelineationScratch& scratch,
                                           std::optional<double> rt_s = std::nullopt) const;
 
   [[nodiscard]] const DelineationConfig& config() const { return cfg_; }

@@ -1,0 +1,297 @@
+#include "core/fleet.h"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace icgkit::core {
+
+namespace {
+
+// Two-stage wait: stay on the cheap yield path while work is flowing,
+// back off to a short sleep once a queue stays blocked — so idle or
+// backpressure-parked threads do not pin cores (which matters exactly
+// when workers oversubscribe them).
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < 64) {
+      ++spins_;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  unsigned spins_ = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Session / Worker construction: every buffer the hot path will ever
+// touch is sized here, once.
+// ---------------------------------------------------------------------------
+
+SessionManager::Session::Session(std::uint32_t id_, dsp::SampleRate fs,
+                                 const FleetConfig& cfg)
+    : id(id_),
+      engine(fs, cfg.pipeline, cfg.window_s),
+      slab(cfg.chunk_slots_per_session * cfg.max_chunk * 2) {
+  beat_scratch.reserve(64);
+}
+
+SessionManager::Worker::Worker(const FleetConfig& cfg)
+    : in(cfg.submit_queue_capacity), out(cfg.result_queue_capacity) {
+  push_latency_us.reserve(cfg.latency_log_capacity);
+}
+
+SessionManager::SessionManager(dsp::SampleRate fs, const FleetConfig& cfg)
+    : fs_(fs), cfg_(cfg) {
+  if (cfg.workers == 0) throw std::invalid_argument("SessionManager: workers must be >= 1");
+  if (cfg.max_chunk == 0) throw std::invalid_argument("SessionManager: max_chunk must be >= 1");
+  if (cfg.chunk_slots_per_session == 0)
+    throw std::invalid_argument("SessionManager: chunk_slots_per_session must be >= 1");
+  workers_.reserve(cfg.workers);
+  for (std::size_t i = 0; i < cfg.workers; ++i)
+    workers_.push_back(std::make_unique<Worker>(cfg));
+}
+
+SessionManager::~SessionManager() {
+  if (!started_ || joined_) return;
+  if (!closed_) close();
+  join();
+}
+
+// ---------------------------------------------------------------------------
+// Pilot-side API
+// ---------------------------------------------------------------------------
+
+std::uint32_t SessionManager::add_session() {
+  const auto id = static_cast<std::uint32_t>(sessions_.size());
+  sessions_.push_back(std::make_unique<Session>(id, fs_, cfg_));
+  return id;
+}
+
+void SessionManager::start() {
+  if (started_) throw std::logic_error("SessionManager: start() called twice");
+  started_ = true;
+  active_workers_.store(workers_.size(), std::memory_order_release);
+  for (auto& w : workers_)
+    w->thread = std::thread([this, &w] {
+      worker_loop(*w);
+      active_workers_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+}
+
+bool SessionManager::enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+                                  bool finish) {
+  // After close() the shutdown sentinel is already queued; anything
+  // enqueued behind it would never be processed and idle() would hang.
+  if (closed_) throw std::logic_error("SessionManager: submit after close()");
+  if (s.finished) throw std::logic_error("SessionManager: session already finished");
+  if (s.submitted - s.completed.load(std::memory_order_acquire) >=
+      cfg_.chunk_slots_per_session)
+    return false;  // no free chunk slot yet
+  Worker& w = worker_of(s.id);
+  WorkItem item{&s, static_cast<std::uint32_t>(ecg_mv.size()), finish};
+  if (!finish) {
+    const std::size_t slot = s.submitted % cfg_.chunk_slots_per_session;
+    dsp::Sample* base = s.slab.data() + slot * cfg_.max_chunk * 2;
+    std::memcpy(base, ecg_mv.data(), ecg_mv.size() * sizeof(dsp::Sample));
+    std::memcpy(base + cfg_.max_chunk, z_ohm.data(), z_ohm.size() * sizeof(dsp::Sample));
+  }
+  if (!w.in.try_push(item)) return false;  // work queue full; slot copy is moot
+  ++s.submitted;
+  if (finish) s.finished = true;
+  return true;
+}
+
+bool SessionManager::try_submit(std::uint32_t session, dsp::SignalView ecg_mv,
+                                dsp::SignalView z_ohm) {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  if (ecg_mv.size() != z_ohm.size())
+    throw std::invalid_argument("SessionManager: chunk length mismatch");
+  if (ecg_mv.size() > cfg_.max_chunk)
+    throw std::invalid_argument("SessionManager: chunk exceeds max_chunk");
+  if (ecg_mv.empty()) return true;
+  return enqueue_item(*sessions_[session], ecg_mv, z_ohm, false);
+}
+
+void SessionManager::submit(std::uint32_t session, dsp::SignalView ecg_mv,
+                            dsp::SignalView z_ohm, std::vector<FleetBeat>& sink) {
+  Backoff backoff;
+  while (!try_submit(session, ecg_mv, z_ohm)) {
+    if (poll(sink) == 0) backoff.pause();
+    else backoff.reset();
+  }
+}
+
+bool SessionManager::try_finish_session(std::uint32_t session) {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return enqueue_item(*sessions_[session], {}, {}, true);
+}
+
+void SessionManager::finish_session(std::uint32_t session, std::vector<FleetBeat>& sink) {
+  Backoff backoff;
+  while (!try_finish_session(session)) {
+    if (poll(sink) == 0) backoff.pause();
+    else backoff.reset();
+  }
+}
+
+void SessionManager::run_to_completion(std::vector<FleetBeat>& sink) {
+  for (const auto& s : sessions_)
+    if (!s->finished) finish_session(s->id, sink);
+  close();
+  Backoff backoff;
+  while (!idle()) {
+    if (poll(sink) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  join();
+  poll(sink);
+}
+
+std::size_t SessionManager::drain_queues(std::vector<FleetBeat>& out,
+                                         std::size_t max_items) {
+  std::size_t moved = 0;
+  FleetBeat fb;
+  for (auto& w : workers_) {
+    while (moved < max_items && w->out.try_pop(fb)) {
+      out.push_back(fb);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::size_t SessionManager::poll(std::vector<FleetBeat>& out, std::size_t max_items) {
+  std::size_t moved = 0;
+  while (moved < max_items && overflow_pos_ < overflow_.size()) {
+    out.push_back(overflow_[overflow_pos_++]);
+    ++moved;
+  }
+  if (overflow_pos_ == overflow_.size() && overflow_pos_ > 0) {
+    overflow_.clear();
+    overflow_pos_ = 0;
+  }
+  return moved + drain_queues(out, max_items - moved);
+}
+
+void SessionManager::close() {
+  if (!started_) throw std::logic_error("SessionManager: close() before start()");
+  if (closed_) return;
+  closed_ = true;
+  for (auto& w : workers_) {
+    WorkItem stop{};
+    // A worker parked on a full result queue never pops its work queue;
+    // drain on its behalf so the sentinel always lands.
+    Backoff backoff;
+    while (!w->in.try_push(stop)) {
+      if (drain_queues(overflow_, static_cast<std::size_t>(-1)) == 0) backoff.pause();
+      else backoff.reset();
+    }
+  }
+}
+
+void SessionManager::join() {
+  if (!closed_) throw std::logic_error("SessionManager: join() before close()");
+  if (joined_) return;
+  Backoff backoff;
+  while (active_workers_.load(std::memory_order_acquire) > 0) {
+    if (drain_queues(overflow_, static_cast<std::size_t>(-1)) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  for (auto& w : workers_) w->thread.join();
+  joined_ = true;
+}
+
+bool SessionManager::idle() const {
+  for (const auto& s : sessions_)
+    if (s->completed.load(std::memory_order_acquire) != s->submitted) return false;
+  return true;
+}
+
+const std::vector<FleetWorkerStats>& SessionManager::worker_stats() const {
+  static const std::vector<FleetWorkerStats> empty;
+  if (!joined_) return empty;
+  stats_cache_.clear();
+  for (const auto& w : workers_) {
+    FleetWorkerStats s;
+    s.chunks = w->chunks.load(std::memory_order_relaxed);
+    s.samples = w->samples.load(std::memory_order_relaxed);
+    s.beats = w->beats.load(std::memory_order_relaxed);
+    s.push_latency_us = w->push_latency_us;
+    stats_cache_.push_back(std::move(s));
+  }
+  return stats_cache_;
+}
+
+std::uint64_t SessionManager::total_samples() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->samples.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t SessionManager::total_beats() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->beats.load(std::memory_order_relaxed);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop: the whole hot path. Single-threaded per session by
+// construction; zero steady-state allocation (push_into + reused
+// scratch + by-value POD results).
+// ---------------------------------------------------------------------------
+
+void SessionManager::worker_loop(Worker& w) {
+  WorkItem item;
+  Backoff idle_backoff;
+  for (;;) {
+    if (!w.in.try_pop(item)) {
+      idle_backoff.pause();
+      continue;
+    }
+    idle_backoff.reset();
+    if (item.session == nullptr) return;  // pool shutdown
+
+    Session& s = *item.session;
+    s.beat_scratch.clear();
+    if (item.finish) {
+      s.engine.finish_into(s.beat_scratch);
+    } else {
+      const std::size_t slot =
+          s.completed.load(std::memory_order_relaxed) % cfg_.chunk_slots_per_session;
+      const dsp::Sample* base = s.slab.data() + slot * cfg_.max_chunk * 2;
+      const bool log = w.push_latency_us.size() < w.push_latency_us.capacity();
+      const auto t0 = log ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+      s.engine.push_into(dsp::SignalView(base, item.len),
+                         dsp::SignalView(base + cfg_.max_chunk, item.len), s.beat_scratch);
+      if (log) {
+        const auto t1 = std::chrono::steady_clock::now();
+        w.push_latency_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+      w.samples.fetch_add(item.len, std::memory_order_relaxed);
+    }
+    // Release the chunk slot before publishing results: the slot's data
+    // is fully consumed, and a parked result push must not block reuse.
+    s.completed.fetch_add(1, std::memory_order_release);
+    w.chunks.fetch_add(1, std::memory_order_relaxed);
+    for (const BeatRecord& b : s.beat_scratch) {
+      FleetBeat fb{s.id, b};
+      Backoff park;  // pilot must poll; park instead of pinning a core
+      while (!w.out.try_push(fb)) park.pause();
+      w.beats.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+} // namespace icgkit::core

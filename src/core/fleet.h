@@ -1,0 +1,209 @@
+// Multi-session fleet engine: thousands of independent
+// StreamingBeatPipeline sessions on one host.
+//
+// The paper's firmware serves one wearer; the ROADMAP north star is a
+// backend serving millions of streams. This subsystem is the host-side
+// concurrency layer for that: a SessionManager owns N sessions keyed by
+// id and shards them across a fixed pool of worker threads, round-robin
+// by id (worker = id % workers). Because a session lives on exactly one
+// worker and its chunks are processed in submission order, every
+// session's hot path stays single-threaded and lock-free — per-session
+// output is byte-identical whatever the worker count, which is the
+// determinism contract the fleet tests pin down.
+//
+// Threading model (strict, by construction):
+//   - ONE pilot thread calls add_session / try_submit / finish_session /
+//     poll / close. All cross-thread channels are SPSC queues whose
+//     producer/consumer roles follow from that: pilot -> worker for work
+//     items, worker -> pilot for completed beats.
+//   - Workers never touch the session table, only the Session* carried
+//     by their work items.
+//
+// Memory pooling (zero steady-state allocation on the hot path):
+//   - each session pre-sizes its StreamingBeatPipeline (ring buffers,
+//     delineation scratch) at add_session time;
+//   - submitted chunks are copied into a per-session slab of
+//     chunk_slots_per_session fixed slots, recycled in FIFO order — the
+//     producer claims slot (submitted % slots) only when
+//     submitted - completed < slots, the worker releases it by bumping
+//     `completed` after the push;
+//   - completed beats travel by value (BeatRecord is POD) through
+//     pre-sized result queues.
+//
+// Backpressure is explicit and bounded end to end: no free chunk slot or
+// a full work queue fails try_submit (the pilot drains results and
+// retries); a full result queue parks the worker until the pilot polls.
+#pragma once
+
+#include "core/pipeline.h"
+#include "core/spsc_queue.h"
+#include "dsp/types.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace icgkit::core {
+
+struct FleetConfig {
+  std::size_t workers = 1;
+  /// Largest chunk (samples) a single submit may carry; sizes the slab slots.
+  std::size_t max_chunk = 256;
+  /// In-flight chunks per session (slab slots).
+  std::size_t chunk_slots_per_session = 4;
+  /// Work items per worker queue.
+  std::size_t submit_queue_capacity = 1024;
+  /// Completed beats per worker queue.
+  std::size_t result_queue_capacity = 8192;
+  /// Per-worker per-push latency log entries (0 disables recording).
+  std::size_t latency_log_capacity = 1 << 16;
+  /// Per-session look-back window, as in StreamingBeatPipeline.
+  double window_s = 12.0;
+  PipelineConfig pipeline{};
+};
+
+/// One completed beat, tagged with the session that produced it.
+struct FleetBeat {
+  std::uint32_t session = 0;
+  BeatRecord beat{};
+};
+
+/// Per-worker counters, valid to read after join().
+struct FleetWorkerStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t beats = 0;
+  std::vector<double> push_latency_us;  ///< first latency_log_capacity pushes
+};
+
+class SessionManager {
+ public:
+  SessionManager(dsp::SampleRate fs, const FleetConfig& cfg = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a new session and pre-allocates everything it will ever
+  /// need (pipeline state, chunk slab, beat scratch). Returns its id.
+  /// Pilot thread only; legal before or after start().
+  std::uint32_t add_session();
+
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Spawns the worker pool. Call once.
+  void start();
+
+  /// Copies one synchronized chunk into the session's slab and hands it
+  /// to the owning worker. Returns false when backpressured (no free
+  /// slot or full work queue) — drain with poll() and retry. Chunks are
+  /// processed strictly in submission order per session.
+  bool try_submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+
+  /// Blocking submit for callers with a separate drain loop or enough
+  /// result-queue headroom: spins on try_submit, appending any beats
+  /// drained while waiting to `sink` so the wait can always make
+  /// progress.
+  void submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+              std::vector<FleetBeat>& sink);
+
+  /// Enqueues the end-of-stream flush for a session (emits its tail
+  /// beats). The session accepts no further submits.
+  bool try_finish_session(std::uint32_t session);
+  void finish_session(std::uint32_t session, std::vector<FleetBeat>& sink);
+
+  /// Moves up to max_items completed beats into `out` (appended, not
+  /// cleared). Pilot thread only. Returns the number moved.
+  std::size_t poll(std::vector<FleetBeat>& out,
+                   std::size_t max_items = static_cast<std::size_t>(-1));
+
+  /// The canonical end-of-input sequence in one call: finishes every
+  /// unfinished session, close()s the pool, polls into `sink` until all
+  /// submitted work is processed, join()s the workers, and performs the
+  /// final poll. After it returns, `sink` holds every remaining beat.
+  void run_to_completion(std::vector<FleetBeat>& sink);
+
+  /// Signals end of input: workers exit once their queues drain. Safe to
+  /// call once after the last submit/finish_session. Drains results into
+  /// an internal overflow (re-pollable) if it must wait for queue space.
+  void close();
+
+  /// Waits for all workers to exit (close() first), draining results
+  /// while waiting so backpressure-parked workers can finish. Everything
+  /// drained or still queued remains pollable after join().
+  void join();
+
+  /// True once every submitted chunk has been processed.
+  [[nodiscard]] bool idle() const;
+
+  /// Per-worker counters; stable after join().
+  [[nodiscard]] const std::vector<FleetWorkerStats>& worker_stats() const;
+
+  /// Running totals, safe to read from any thread while workers run
+  /// (relaxed atomic counters — a live dashboard surface).
+  [[nodiscard]] std::uint64_t total_samples() const;
+  [[nodiscard]] std::uint64_t total_beats() const;
+
+ private:
+  struct Session {
+    Session(std::uint32_t id, dsp::SampleRate fs, const FleetConfig& cfg);
+
+    std::uint32_t id;
+    StreamingBeatPipeline engine;
+    std::vector<dsp::Sample> slab;      ///< slots * max_chunk * 2 samples
+    std::uint64_t submitted = 0;        ///< pilot side
+    std::atomic<std::uint64_t> completed{0};  ///< worker side
+    bool finished = false;              ///< pilot side
+    std::vector<BeatRecord> beat_scratch;     ///< worker side, reused
+  };
+
+  /// session == nullptr is the pool-shutdown sentinel.
+  struct WorkItem {
+    Session* session = nullptr;
+    std::uint32_t len = 0;
+    bool finish = false;
+  };
+
+  struct Worker {
+    explicit Worker(const FleetConfig& cfg);
+    SpscQueue<WorkItem> in;
+    SpscQueue<FleetBeat> out;
+    /// Counters are atomic (relaxed) so the pilot can read live totals
+    /// while the worker runs; the latency log is worker-only until
+    /// join().
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> samples{0};
+    std::atomic<std::uint64_t> beats{0};
+    std::vector<double> push_latency_us;
+    std::thread thread;
+  };
+
+  [[nodiscard]] Worker& worker_of(std::uint32_t session_id) {
+    return *workers_[session_id % workers_.size()];
+  }
+  bool enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm, bool finish);
+  std::size_t drain_queues(std::vector<FleetBeat>& out, std::size_t max_items);
+  void worker_loop(Worker& w);
+
+  dsp::SampleRate fs_;
+  FleetConfig cfg_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> active_workers_{0};
+  /// Results drained while close()/join() waited; served by poll() ahead
+  /// of the live queues to preserve per-session order.
+  std::vector<FleetBeat> overflow_;
+  std::size_t overflow_pos_ = 0;
+  mutable std::vector<FleetWorkerStats> stats_cache_;
+  bool started_ = false;
+  bool closed_ = false;
+  bool joined_ = false;
+};
+
+/// The subsystem's working name in prose and benches.
+using Fleet = SessionManager;
+
+} // namespace icgkit::core

@@ -11,6 +11,23 @@ namespace icgkit::core {
 // StreamingBeatPipeline
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Pending beats are bounded by the configured Pan-Tompkins refractory
+// period: R peaks arrive at most once per refractory interval, and a
+// pending beat drains as soon as its aligned ICG catches up (a latency
+// of well under a second), so the depth is tiny in practice. Size the
+// fixed ring for the pathological ceiling — one beat per refractory
+// interval across the whole look-back window — plus headroom.
+std::size_t pending_capacity(std::size_t window_samples, dsp::SampleRate fs,
+                             double refractory_s) {
+  const std::size_t refractory =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::max(0.0, refractory_s) * fs));
+  return std::max<std::size_t>(64, window_samples / refractory + 16);
+}
+
+} // namespace
+
 StreamingBeatPipeline::StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg,
                                              double window_s)
     : fs_(fs), cfg_(cfg),
@@ -20,15 +37,33 @@ StreamingBeatPipeline::StreamingBeatPipeline(dsp::SampleRate fs, const PipelineC
       qrs_(fs, cfg.qrs),
       delineator_(fs, cfg.delineation),
       icg_ring_(window_samples_),
-      z_ring_(window_samples_) {}
+      z_ring_(window_samples_),
+      pending_beats_(pending_capacity(window_samples_, fs, cfg.qrs.refractory_s)) {
+  // Memory-pool invariant: pre-size the per-beat buffers for any
+  // physiologically plausible beat (3 s covers HR down to 20 bpm) so a
+  // warmed-up session never allocates on push. Longer beats — artifact
+  // dropouts — still work, at the cost of a one-off reallocation.
+  const std::size_t max_beat =
+      std::min(window_samples_, static_cast<std::size_t>(3.0 * fs));
+  beat_scratch_.reserve(max_beat);
+  delin_scratch_.reserve(max_beat);
+  ecg_scratch_.reserve(512);
+  icg_scratch_.reserve(512);
+  r_scratch_.reserve(64);
+}
 
 std::vector<BeatRecord> StreamingBeatPipeline::push(dsp::SignalView ecg_mv,
                                                     dsp::SignalView z_ohm) {
+  std::vector<BeatRecord> emitted;
+  push_into(ecg_mv, z_ohm, emitted);
+  return emitted;
+}
+
+void StreamingBeatPipeline::push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+                                      std::vector<BeatRecord>& out) {
   if (ecg_mv.size() != z_ohm.size())
     throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
-  std::vector<BeatRecord> emitted;
-  for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], emitted);
-  return emitted;
+  for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
 }
 
 void StreamingBeatPipeline::ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm,
@@ -54,7 +89,7 @@ void StreamingBeatPipeline::ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm,
   }
   for (const std::size_t r : r_scratch_) {
     ++r_peak_count_;
-    if (last_r_.has_value()) pending_beats_.emplace_back(*last_r_, r);
+    if (last_r_.has_value()) enqueue_beat(*last_r_, r);
     last_r_ = r;
   }
   // Emit every beat whose aligned ICG is now complete -- done per sample
@@ -63,10 +98,16 @@ void StreamingBeatPipeline::ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm,
   drain_ready(out);
 }
 
+void StreamingBeatPipeline::enqueue_beat(std::size_t r, std::size_t r_next) {
+  if (pending_beats_.full())
+    throw std::runtime_error("StreamingBeatPipeline: pending-beat ring overflow");
+  pending_beats_.push({r, r_next});
+}
+
 void StreamingBeatPipeline::drain_ready(std::vector<BeatRecord>& out) {
   while (!pending_beats_.empty() && icg_count_ >= pending_beats_.front().second) {
     const auto [r, r_next] = pending_beats_.front();
-    pending_beats_.pop_front();
+    pending_beats_.pop();
     out.push_back(make_beat(r, r_next));
   }
 }
@@ -88,7 +129,7 @@ BeatRecord StreamingBeatPipeline::make_beat(std::size_t r, std::size_t r_next) {
   beat_scratch_.clear();
   for (std::size_t i = r; i < r_next; ++i)
     beat_scratch_.push_back(icg_ring_.at(i - oldest_icg));
-  rec.points = delineator_.delineate(beat_scratch_, 0, beat_scratch_.size());
+  rec.points = delineator_.delineate(beat_scratch_, 0, beat_scratch_.size(), delin_scratch_);
   rec.points.r += r;
   rec.points.b += r;
   rec.points.b0 += r;
@@ -115,7 +156,11 @@ double StreamingBeatPipeline::beat_z0(std::size_t r, std::size_t r_next) const {
 
 std::vector<BeatRecord> StreamingBeatPipeline::finish() {
   std::vector<BeatRecord> emitted;
+  finish_into(emitted);
+  return emitted;
+}
 
+void StreamingBeatPipeline::finish_into(std::vector<BeatRecord>& emitted) {
   icg_scratch_.clear();
   icg_stage_.finish(icg_scratch_);
   for (const dsp::Sample v : icg_scratch_) {
@@ -134,11 +179,10 @@ std::vector<BeatRecord> StreamingBeatPipeline::finish() {
   qrs_.finish(r_scratch_);
   for (const std::size_t r : r_scratch_) {
     ++r_peak_count_;
-    if (last_r_.has_value()) pending_beats_.emplace_back(*last_r_, r);
+    if (last_r_.has_value()) enqueue_beat(*last_r_, r);
     last_r_ = r;
   }
   drain_ready(emitted);
-  return emitted;
 }
 
 double StreamingBeatPipeline::z_mean_ohm() const {

@@ -32,7 +32,6 @@
 #include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
-#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -92,8 +91,18 @@ class StreamingBeatPipeline {
   /// Feeds one synchronized chunk; returns the beats completed by it.
   std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
 
+  /// Allocation-free form of push(): appends completed beats to `out`
+  /// (which is not cleared). With a caller-reused `out`, a warmed-up
+  /// session does zero heap allocation per push — the property the fleet
+  /// hot path relies on (verified by the allocation-probe test).
+  void push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+                 std::vector<BeatRecord>& out);
+
   /// Flushes the stage tails and any pending beats (end of recording).
   std::vector<BeatRecord> finish();
+
+  /// Allocation-free form of finish(): appends to `out`.
+  void finish_into(std::vector<BeatRecord>& out);
 
   [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
   [[nodiscard]] std::size_t r_peak_count() const { return r_peak_count_; }
@@ -110,6 +119,7 @@ class StreamingBeatPipeline {
 
  private:
   void ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm, std::vector<BeatRecord>& out);
+  void enqueue_beat(std::size_t r, std::size_t r_next);
   void drain_ready(std::vector<BeatRecord>& out);
   [[nodiscard]] BeatRecord make_beat(std::size_t r, std::size_t r_next);
   [[nodiscard]] double beat_z0(std::size_t r, std::size_t r_next) const;
@@ -130,13 +140,18 @@ class StreamingBeatPipeline {
   double z_sum_ = 0.0;
 
   std::optional<std::size_t> last_r_;
-  std::deque<std::pair<std::size_t, std::size_t>> pending_beats_;
+  /// Beats awaiting their aligned ICG, in fixed storage (no per-push
+  /// allocation). Capacity covers the refractory-bounded R rate over the
+  /// full look-back window with headroom; exceeding it throws rather
+  /// than silently dropping a beat.
+  dsp::RingBuffer<std::pair<std::size_t, std::size_t>> pending_beats_;
   std::size_t r_peak_count_ = 0;
 
   bool capture_ = false;
   dsp::Signal captured_ecg_, captured_icg_;
   dsp::Signal ecg_scratch_, icg_scratch_, beat_scratch_;
   std::vector<std::size_t> r_scratch_;
+  DelineationScratch delin_scratch_;
 };
 
 class BeatPipeline {

@@ -1,0 +1,70 @@
+// Bounded lock-free single-producer/single-consumer FIFO.
+//
+// The fleet's only cross-thread channel: the ingest thread pushes work
+// items toward each worker, and each worker pushes completed beats back.
+// One producer thread and one consumer thread per queue is a hard
+// contract — it is what makes the implementation two relaxed indices
+// with acquire/release pairing and no CAS loops. Capacity is fixed at
+// construction; a full queue is the backpressure signal (try_push
+// returns false, the producer decides whether to spin, drain, or drop).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace icgkit::core {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : buf_(capacity + 1) {
+    if (capacity == 0) throw std::invalid_argument("SpscQueue: capacity must be >= 1");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size() - 1; }
+
+  /// Producer side. Returns false when the queue is full (backpressure).
+  bool try_push(const T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(t);
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    buf_[t] = v;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the queue is empty.
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = buf_[h];
+    head_.store(advance(h), std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot of the current depth; exact only on the calling side of
+  /// the producer/consumer pair, a lower/upper bound on the other.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return t >= h ? t - h : buf_.size() - (h - t);
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  [[nodiscard]] std::size_t advance(std::size_t i) const {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> buf_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer index
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer index
+};
+
+} // namespace icgkit::core

@@ -5,32 +5,49 @@
 
 namespace icgkit::dsp {
 
-Signal derivative(SignalView x, SampleRate fs) {
+void derivative_into(SignalView x, SampleRate fs, Signal& y) {
   if (fs <= 0.0) throw std::invalid_argument("derivative: fs must be positive");
   const std::size_t n = x.size();
-  Signal y(n, 0.0);
-  if (n < 2) return y;
+  y.assign(n, 0.0);
+  if (n < 2) return;
   y[0] = (x[1] - x[0]) * fs;
   for (std::size_t i = 1; i + 1 < n; ++i) y[i] = (x[i + 1] - x[i - 1]) * fs * 0.5;
   y[n - 1] = (x[n - 1] - x[n - 2]) * fs;
-  return y;
 }
 
-Signal second_derivative(SignalView x, SampleRate fs) {
+void second_derivative_into(SignalView x, SampleRate fs, Signal& y) {
   if (fs <= 0.0) throw std::invalid_argument("second_derivative: fs must be positive");
   const std::size_t n = x.size();
-  Signal y(n, 0.0);
-  if (n < 3) return y;
+  y.assign(n, 0.0);
+  if (n < 3) return;
   const double fs2 = fs * fs;
   for (std::size_t i = 1; i + 1 < n; ++i)
     y[i] = (x[i + 1] - 2.0 * x[i] + x[i - 1]) * fs2;
   y[0] = y[1];
   y[n - 1] = y[n - 2];
+}
+
+void third_derivative_into(SignalView x, SampleRate fs, Signal& scratch, Signal& y) {
+  second_derivative_into(x, fs, scratch);
+  derivative_into(scratch, fs, y);
+}
+
+Signal derivative(SignalView x, SampleRate fs) {
+  Signal y;
+  derivative_into(x, fs, y);
+  return y;
+}
+
+Signal second_derivative(SignalView x, SampleRate fs) {
+  Signal y;
+  second_derivative_into(x, fs, y);
   return y;
 }
 
 Signal third_derivative(SignalView x, SampleRate fs) {
-  return derivative(second_derivative(x, fs), fs);
+  Signal scratch, y;
+  third_derivative_into(x, fs, scratch, y);
+  return y;
 }
 
 Signal five_point_derivative(SignalView x, SampleRate fs) {

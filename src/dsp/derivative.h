@@ -21,6 +21,14 @@ Signal second_derivative(SignalView x, SampleRate fs);
 /// Third derivative via derivative(second_derivative(x)).
 Signal third_derivative(SignalView x, SampleRate fs);
 
+/// Allocation-free variants for the streaming hot path: write into a
+/// caller-owned buffer whose capacity is reused across calls. Values are
+/// bit-identical to the returning forms above.
+void derivative_into(SignalView x, SampleRate fs, Signal& y);
+void second_derivative_into(SignalView x, SampleRate fs, Signal& y);
+/// `scratch` holds the intermediate second derivative.
+void third_derivative_into(SignalView x, SampleRate fs, Signal& scratch, Signal& y);
+
 /// The Pan-Tompkins 5-point derivative,
 /// y[n] = (2 x[n] + x[n-1] - x[n-3] - 2 x[n-4]) * fs / 8, delay 2 samples
 /// (compensated: output is aligned with the input). Edges use the

@@ -47,16 +47,21 @@ double pearson(SignalView x, SignalView y) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+double median_inplace(std::span<Sample> x) {
+  if (x.empty()) return 0.0;
+  const std::size_t mid = x.size() / 2;
+  std::nth_element(x.begin(), x.begin() + static_cast<Index>(mid), x.end());
+  const double hi = x[mid];
+  if (x.size() % 2 == 1) return hi;
+  std::nth_element(x.begin(), x.begin() + static_cast<Index>(mid - 1),
+                   x.begin() + static_cast<Index>(mid));
+  return 0.5 * (x[mid - 1] + hi);
+}
+
 double median(SignalView x) {
   if (x.empty()) return 0.0;
   Signal tmp(x.begin(), x.end());
-  const std::size_t mid = tmp.size() / 2;
-  std::nth_element(tmp.begin(), tmp.begin() + static_cast<Index>(mid), tmp.end());
-  const double hi = tmp[mid];
-  if (tmp.size() % 2 == 1) return hi;
-  std::nth_element(tmp.begin(), tmp.begin() + static_cast<Index>(mid - 1),
-                   tmp.begin() + static_cast<Index>(mid));
-  return 0.5 * (tmp[mid - 1] + hi);
+  return median_inplace(tmp);
 }
 
 double mad(SignalView x) {

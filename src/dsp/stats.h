@@ -26,6 +26,11 @@ double pearson(SignalView x, SignalView y);
 /// Median (copies and partially sorts). NaN-free input assumed.
 double median(SignalView x);
 
+/// Same estimator as median(), but partially sorts the given buffer in
+/// place instead of copying — the allocation-free form for streaming hot
+/// paths that already hold the samples in a reusable scratch buffer.
+double median_inplace(std::span<Sample> x);
+
 /// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
 /// Gaussian data.
 double mad(SignalView x);

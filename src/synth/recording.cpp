@@ -150,6 +150,20 @@ Recording measure_device(const SubjectProfile& subject, const SourceActivity& so
 
 double mean_bioimpedance(const Recording& rec) { return dsp::mean(rec.z_ohm); }
 
+std::vector<Recording> make_fleet_workload(std::size_t count, const RecordingConfig& base) {
+  const std::vector<SubjectProfile> roster = paper_roster();
+  std::vector<Recording> workload;
+  workload.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SubjectProfile& subject = roster[i % roster.size()];
+    RecordingConfig cfg = base;
+    cfg.session_seed = base.session_seed + 1 + i;  // distinct artifacts per recording
+    const SourceActivity src = generate_source(subject, cfg);
+    workload.push_back(measure_thoracic(subject, src, 50e3));
+  }
+  return workload;
+}
+
 TouchCalibration touch_calibration(const SubjectProfile& subject, double injection_freq_hz,
                                    Position position) {
   const std::size_t pos = index_of(position);

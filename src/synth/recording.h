@@ -60,6 +60,14 @@ Recording measure_device(const SubjectProfile& subject, const SourceActivity& so
 /// Convenience: mean of the impedance trace (the paper's "Z_position_x").
 double mean_bioimpedance(const Recording& rec);
 
+/// Deterministic multi-subject workload for the fleet engine: `count`
+/// thoracic recordings cycling the paper roster, each with its own
+/// session seed so no two recordings are identical. A fleet of K
+/// sessions maps session i onto recording i % count, so a small distinct
+/// pool can feed thousands of sessions without the synthesis dominating
+/// benchmark setup time.
+std::vector<Recording> make_fleet_workload(std::size_t count, const RecordingConfig& base);
+
 /// Path-to-thoracic calibration factors for the SV estimators (see
 /// core::BodyParameters). A real device obtains these once per posture
 /// against a reference system; here they follow from the channel model:

@@ -1,0 +1,151 @@
+// Verifies the fleet memory-pool invariant: once a session's buffers
+// have warmed up, pushing chunks does ZERO heap allocation — in the bare
+// pipeline and through the whole fleet path (slab copy, SPSC handoff,
+// result drain).
+//
+// This binary replaces the global operator new/delete with counting
+// versions that bump core::allocation_counter() (the library-side test
+// hook); AllocationProbe reads the delta around the measured region.
+#include "core/alloc_probe.h"
+#include "core/fleet.h"
+#include "core/pipeline.h"
+#include "synth/recording.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Counting global allocator. Covers the plain, nothrow, and over-aligned
+// forms so nothing escapes the count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* counted_alloc(std::size_t n) {
+  icgkit::core::allocation_counter().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  icgkit::core::allocation_counter().fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n ? n : align) != 0)
+    return nullptr;
+  return p;
+}
+
+} // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept { return counted_alloc(n); }
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(n, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace icgkit;
+using core::AllocationProbe;
+using core::FleetBeat;
+
+constexpr std::size_t kChunk = 64;
+
+synth::Recording make_recording(double duration_s) {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.session_seed = 11;
+  return std::move(synth::make_fleet_workload(1, cfg)[0]);
+}
+
+TEST(FleetAllocTest, HookCountsAllocations) {
+  AllocationProbe probe;
+  auto* p = new int(42);
+  EXPECT_GE(probe.delta(), 1u);
+  delete p;
+}
+
+TEST(FleetAllocTest, WarmPipelinePushesAreAllocationFree) {
+  const synth::Recording rec = make_recording(40.0);
+  core::StreamingBeatPipeline engine(rec.fs, {});
+  std::vector<core::BeatRecord> out;
+  out.reserve(256);
+
+  const std::size_t n = rec.ecg_mv.size();
+  const std::size_t warmup_end = (n / 2 / kChunk) * kChunk;
+
+  for (std::size_t i = 0; i < warmup_end; i += kChunk) {
+    out.clear();
+    engine.push_into(dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                     dsp::SignalView(rec.z_ohm.data() + i, kChunk), out);
+  }
+
+  AllocationProbe probe;
+  std::size_t beats = 0;
+  for (std::size_t i = warmup_end; i + kChunk <= n; i += kChunk) {
+    out.clear();
+    engine.push_into(dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                     dsp::SignalView(rec.z_ohm.data() + i, kChunk), out);
+    beats += out.size();
+  }
+  EXPECT_GT(beats, 10u) << "measured region should emit beats (delineation exercised)";
+  EXPECT_EQ(probe.delta(), 0u)
+      << "warmed-up StreamingBeatPipeline::push_into must not allocate";
+}
+
+TEST(FleetAllocTest, WarmFleetPathIsAllocationFree) {
+  const synth::Recording rec = make_recording(40.0);
+  core::FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.max_chunk = kChunk;
+  core::SessionManager fleet(rec.fs, cfg);
+  const std::uint32_t a = fleet.add_session();
+  const std::uint32_t b = fleet.add_session();
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  sink.reserve(1024);
+  const std::size_t n = rec.ecg_mv.size();
+  const std::size_t warmup_end = (n / 2 / kChunk) * kChunk;
+
+  auto feed = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i + kChunk <= hi; i += kChunk) {
+      for (const std::uint32_t s : {a, b})
+        fleet.submit(s, dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                     dsp::SignalView(rec.z_ohm.data() + i, kChunk), sink);
+    }
+    while (!fleet.idle()) fleet.poll(sink);
+  };
+
+  feed(0, warmup_end);
+  sink.clear();
+
+  AllocationProbe probe;
+  feed(warmup_end, n);
+  EXPECT_GT(sink.size(), 20u) << "measured region should deliver beats";
+  EXPECT_EQ(probe.delta(), 0u)
+      << "warmed-up fleet submit/process/poll cycle must not allocate";
+
+  fleet.close();
+  fleet.join();
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+// Fleet determinism and plumbing.
+//
+// The contract under test: a fleet of K sessions fed identical chunk
+// schedules produces byte-identical per-session beat streams whatever
+// the worker count (1 vs 8), and each stream equals what a directly-fed
+// StreamingBeatPipeline emits. Runs under the Debug ASan/UBSan CI job,
+// which is what checks the SPSC handoffs for memory errors.
+#include "core/fleet.h"
+
+#include "core/beat_serializer.h"
+#include "core/pipeline.h"
+#include "synth/recording.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using core::BeatRecord;
+using core::FleetBeat;
+using core::FleetConfig;
+using core::SessionManager;
+using core::serialize_beat;
+
+constexpr std::size_t kChunk = 64;
+
+std::vector<synth::Recording> test_workload(std::size_t distinct, double duration_s) {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.session_seed = 7;
+  return synth::make_fleet_workload(distinct, cfg);
+}
+
+// Feeds `sessions` copies of the workload (session i -> recording
+// i % workload.size()) through a fleet with the given worker count and
+// returns each session's serialized beat stream.
+std::vector<std::vector<unsigned char>> run_fleet(
+    const std::vector<synth::Recording>& workload, std::size_t sessions,
+    std::size_t workers, std::size_t result_queue_capacity = 8192) {
+  FleetConfig cfg;
+  cfg.workers = workers;
+  cfg.max_chunk = kChunk;
+  cfg.result_queue_capacity = result_queue_capacity;
+  SessionManager fleet(workload[0].fs, cfg);
+  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  sink.reserve(1024);
+  const std::size_t n = workload[0].ecg_mv.size();
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    const std::size_t len = std::min(kChunk, n - i);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const synth::Recording& rec = workload[s % workload.size()];
+      fleet.submit(static_cast<std::uint32_t>(s),
+                   dsp::SignalView(rec.ecg_mv.data() + i, len),
+                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+    }
+  }
+  fleet.run_to_completion(sink);
+
+  std::vector<std::vector<unsigned char>> streams(sessions);
+  for (const FleetBeat& fb : sink) serialize_beat(fb.beat, streams[fb.session]);
+  return streams;
+}
+
+TEST(FleetTest, MatchesDirectlyFedPipeline) {
+  const auto workload = test_workload(2, 8.0);
+  const auto streams = run_fleet(workload, 4, 2);
+
+  for (std::size_t s = 0; s < 4; ++s) {
+    const synth::Recording& rec = workload[s % workload.size()];
+    core::StreamingBeatPipeline direct(rec.fs, {});
+    std::vector<BeatRecord> beats;
+    const std::size_t n = rec.ecg_mv.size();
+    for (std::size_t i = 0; i < n; i += kChunk) {
+      const std::size_t len = std::min(kChunk, n - i);
+      direct.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                       dsp::SignalView(rec.z_ohm.data() + i, len), beats);
+    }
+    direct.finish_into(beats);
+    ASSERT_FALSE(beats.empty()) << "test recording should contain beats";
+
+    std::vector<unsigned char> reference;
+    for (const BeatRecord& b : beats) serialize_beat(b, reference);
+    EXPECT_EQ(streams[s], reference) << "session " << s << " diverged from direct feed";
+  }
+}
+
+TEST(FleetTest, ByteIdenticalAcrossWorkerCounts) {
+  const auto workload = test_workload(3, 8.0);
+  constexpr std::size_t kSessions = 12;
+  const auto one = run_fleet(workload, kSessions, 1);
+  const auto eight = run_fleet(workload, kSessions, 8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_FALSE(one[s].empty()) << "session " << s << " produced no beats";
+    EXPECT_EQ(one[s], eight[s]) << "session " << s << ": 1-worker vs 8-worker mismatch";
+  }
+}
+
+TEST(FleetTest, SurvivesTinyResultQueueBackpressure) {
+  const auto workload = test_workload(1, 6.0);
+  const auto roomy = run_fleet(workload, 3, 2);
+  const auto cramped = run_fleet(workload, 3, 2, /*result_queue_capacity=*/2);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_FALSE(roomy[s].empty());
+    EXPECT_EQ(roomy[s], cramped[s]) << "backpressure altered session " << s;
+  }
+}
+
+TEST(FleetTest, ValidatesSubmissions) {
+  FleetConfig cfg;
+  cfg.max_chunk = 32;
+  SessionManager fleet(250.0, cfg);
+  const std::uint32_t id = fleet.add_session();
+  fleet.start();
+
+  const std::vector<double> a(16, 0.0), b(8, 0.0), big(64, 0.0);
+  EXPECT_THROW(fleet.try_submit(id + 1, a, a), std::out_of_range);
+  EXPECT_THROW(fleet.try_submit(id, a, b), std::invalid_argument);
+  EXPECT_THROW(fleet.try_submit(id, big, big), std::invalid_argument);
+
+  std::vector<FleetBeat> sink;
+  fleet.finish_session(id, sink);
+  EXPECT_THROW(fleet.try_submit(id, a, a), std::logic_error);
+  EXPECT_THROW(fleet.try_finish_session(id), std::logic_error);
+
+  // Work enqueued behind the shutdown sentinel would never be processed
+  // (idle() would hang), so submission after close() must throw.
+  const std::uint32_t open_id = fleet.add_session();
+  fleet.close();
+  EXPECT_THROW(fleet.try_submit(open_id, a, a), std::logic_error);
+  EXPECT_THROW(fleet.try_finish_session(open_id), std::logic_error);
+  fleet.join();
+}
+
+TEST(FleetTest, DestructorShutsDownCleanly) {
+  const auto workload = test_workload(1, 4.0);
+  FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.max_chunk = kChunk;
+  cfg.result_queue_capacity = 2;  // force backpressure at teardown
+  SessionManager fleet(workload[0].fs, cfg);
+  for (int s = 0; s < 3; ++s) fleet.add_session();
+  fleet.start();
+  std::vector<FleetBeat> sink;
+  const synth::Recording& rec = workload[0];
+  for (std::size_t i = 0; i + kChunk <= rec.ecg_mv.size(); i += kChunk)
+    for (std::uint32_t s = 0; s < 3; ++s)
+      fleet.submit(s, dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                   dsp::SignalView(rec.z_ohm.data() + i, kChunk), sink);
+  // No close/join: the destructor must drain and stop the pool itself.
+}
+
+} // namespace

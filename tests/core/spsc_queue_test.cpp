@@ -1,0 +1,82 @@
+// SpscQueue: FIFO semantics, capacity/backpressure behavior, and a
+// two-thread stress pass (the exact producer/consumer topology the
+// fleet uses) checking that every item arrives exactly once, in order.
+#include "core/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using icgkit::core::SpscQueue;
+
+TEST(SpscQueueTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscQueue<int>(0), std::invalid_argument);
+}
+
+TEST(SpscQueueTest, FifoOrderSingleThread) {
+  SpscQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "queue should report full at capacity";
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v)) << "queue should report empty after draining";
+}
+
+TEST(SpscQueueTest, WrapsAroundManyTimes) {
+  SpscQueue<std::uint64_t> q(3);
+  std::uint64_t next_push = 0, next_pop = 0, v = 0;
+  while (next_push < 1000) {
+    if (q.try_push(next_push)) {
+      ++next_push;
+    } else {
+      ASSERT_TRUE(q.try_pop(v));
+      EXPECT_EQ(v, next_pop++);
+    }
+  }
+  while (q.try_pop(v)) EXPECT_EQ(v, next_pop++);
+  EXPECT_EQ(next_pop, 1000u);
+}
+
+TEST(SpscQueueTest, SizeApproxTracksDepth) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.empty_approx());
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(q.size_approx(), 2u);
+  int v;
+  q.try_pop(v);
+  EXPECT_EQ(q.size_approx(), 1u);
+}
+
+TEST(SpscQueueTest, TwoThreadStressDeliversAllInOrder) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscQueue<std::uint64_t> q(64);
+
+  std::thread producer([&q] {
+    for (std::uint64_t i = 0; i < kItems; ++i)
+      while (!q.try_push(i)) std::this_thread::yield();
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t v = 0;
+  while (expected < kItems) {
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, expected) << "item lost, duplicated, or reordered";
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+} // namespace

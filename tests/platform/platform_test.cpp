@@ -78,7 +78,7 @@ TEST(PowerModelTest, RejectsBadInput) {
   DutyCycleProfile duty;
   duty.mcu_active = 1.5;
   EXPECT_THROW(PowerModel{duty}, std::invalid_argument);
-  EXPECT_THROW(PowerModel{}.battery_life_hours(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)PowerModel{}.battery_life_hours(-1.0), std::invalid_argument);
 }
 
 TEST(AdcTest, QuantizeReconstructRoundTrip) {
@@ -164,8 +164,8 @@ TEST(RadioTest, RawStreamingIsOrdersOfMagnitudeWorse) {
 
 TEST(RadioTest, RejectsBadArgs) {
   const BleRadio radio;
-  EXPECT_THROW(radio.duty_cycle(16, 0.0), std::invalid_argument);
-  EXPECT_THROW(radio.beat_report_duty_cycle(0.0), std::invalid_argument);
+  EXPECT_THROW((void)radio.duty_cycle(16, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)radio.beat_report_duty_cycle(0.0), std::invalid_argument);
   BleConfig cfg;
   cfg.bitrate_bps = 0.0;
   EXPECT_THROW(BleRadio{cfg}, std::invalid_argument);

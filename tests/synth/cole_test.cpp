@@ -48,7 +48,7 @@ TEST(ColeTest, AlphaBroadensDispersion) {
 
 TEST(ColeTest, NegativeFrequencyThrows) {
   ColeModel m;
-  EXPECT_THROW(m.impedance(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)m.impedance(-1.0), std::invalid_argument);
 }
 
 TEST(InstrumentationTest, PeakAtGeometricMean) {
