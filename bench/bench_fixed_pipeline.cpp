@@ -1,0 +1,155 @@
+// The numeric-backend trade-off the paper's firmware lives on: the same
+// streaming beat pipeline instantiated with the Q31 backend must agree
+// with the double reference beat for beat on the Section V study
+// protocol, while costing ~17x fewer MCU cycles per MAC on the FPU-less
+// STM32L151 (cycles_per_mac 70 -> ~4, platform::McuConfig). This bench
+// measures both sides -- worst-case PEP/LVET/SV deviation of the fixed
+// path, and the modeled duty cycle / battery life of each arithmetic --
+// and writes BENCH_fixed.json for the CI regression gate.
+#include "repro_common.h"
+
+#include "core/pipeline.h"
+#include "platform/mcu.h"
+#include "platform/power_model.h"
+#include "report/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+namespace {
+const char* position_name(icgkit::synth::Position p) {
+  switch (p) {
+    case icgkit::synth::Position::HoldToChest: return "hold-to-chest";
+    case icgkit::synth::Position::ArmsOutstretched: return "arms-out";
+    case icgkit::synth::Position::ArmsDown: return "arms-down";
+  }
+  return "?";
+}
+} // namespace
+
+int main() {
+  using namespace icgkit;
+  using namespace icgkit::bench;
+
+  report::banner(std::cout,
+                 "Fixed-point (Q31) pipeline vs double reference, study protocol");
+
+  const dsp::Q31ScalingPolicy policy; // the documented per-stage scaling
+
+  double worst_pep = 0.0, worst_lvet = 0.0, worst_sv = 0.0;
+  std::size_t beats_total = 0, flaw_mismatches = 0;
+  bool beat_parity = true;
+
+  report::Table table({"Subject", "Position", "beats dbl", "beats q31",
+                       "worst dPEP ms", "worst dLVET ms", "worst dSV ml"});
+  const auto sessions = study_sessions();
+  for (const auto& s : sessions) {
+    for (const auto pos : synth::kAllPositions) {
+      const synth::Recording rec = measure_device(s.subject, s.source, 50e3, pos);
+
+      core::StreamingBeatPipeline dbl(kFs);
+      std::vector<core::BeatRecord> db = dbl.push(rec.ecg_mv, rec.z_ohm);
+      dbl.finish_into(db);
+
+      core::FixedStreamingBeatPipeline fixed(kFs, {}, 12.0, policy);
+      std::vector<core::BeatRecord> fb = fixed.push(rec.ecg_mv, rec.z_ohm);
+      fixed.finish_into(fb);
+
+      double pep = 0.0, lvet = 0.0, sv = 0.0;
+      if (db.size() != fb.size()) {
+        beat_parity = false;
+      } else {
+        for (std::size_t i = 0; i < db.size(); ++i) {
+          pep = std::max(pep, std::abs(db[i].hemo.pep_s - fb[i].hemo.pep_s));
+          lvet = std::max(lvet, std::abs(db[i].hemo.lvet_s - fb[i].hemo.lvet_s));
+          if (db[i].usable())
+            sv = std::max(sv,
+                          std::abs(db[i].hemo.sv_kubicek_ml - fb[i].hemo.sv_kubicek_ml));
+          if (db[i].flaws != fb[i].flaws) ++flaw_mismatches;
+          ++beats_total;
+        }
+      }
+      worst_pep = std::max(worst_pep, pep);
+      worst_lvet = std::max(worst_lvet, lvet);
+      worst_sv = std::max(worst_sv, sv);
+      table.row()
+          .add(s.subject.name)
+          .add(position_name(pos))
+          .add(static_cast<double>(db.size()), 0)
+          .add(static_cast<double>(fb.size()), 0)
+          .add(pep * 1e3, 3)
+          .add(lvet * 1e3, 3)
+          .add(sv, 4);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "worst-case over " << beats_total << " beats: dPEP = " << worst_pep * 1e3
+            << " ms, dLVET = " << worst_lvet * 1e3 << " ms, dSV = " << worst_sv
+            << " ml, flaw mismatches = " << flaw_mismatches << "\n";
+
+  // ------------------------------------------------------------------
+  // Modeled MCU cost of each arithmetic (Section V / platform::McuConfig):
+  // identical MAC counts, ~70 cycles per software-double MAC vs ~4 per
+  // Q31 MAC, folded into duty cycle and battery life.
+  // ------------------------------------------------------------------
+  report::banner(std::cout, "Modeled STM32L151 cost: software double vs Q31");
+  const core::PipelineConfig pcfg;
+  const platform::McuConfig mcu_double;                    // 70 cycles/MAC (software double)
+  const platform::McuConfig mcu_fixed = platform::McuConfig::q31(); // ~4 cycles/MAC
+
+  const platform::CpuLoadReport load_double =
+      platform::estimate_cpu_load(pcfg, kFs, 70.0, mcu_double);
+  const platform::CpuLoadReport load_fixed =
+      platform::estimate_cpu_load(pcfg, kFs, 70.0, mcu_fixed);
+
+  const auto battery_h = [](double duty) {
+    platform::DutyCycleProfile profile;
+    profile.mcu_active = std::clamp(duty, 0.0, 1.0);
+    return platform::PowerModel(profile).battery_life_hours(platform::kPaperBatteryMah);
+  };
+  const double battery_double = battery_h(load_double.duty_cycle);
+  const double battery_fixed = battery_h(load_fixed.duty_cycle);
+
+  report::Table cost({"Arithmetic", "cycles/MAC", "duty cycle", "battery (h, 710 mAh)"});
+  cost.row().add("software double").add(70.0, 0).add(load_double.duty_cycle, 4).add(
+      battery_double, 1);
+  cost.row().add("Q31 fixed point").add(4.0, 0).add(load_fixed.duty_cycle, 4).add(
+      battery_fixed, 1);
+  cost.print(std::cout);
+  const double mac_speedup = load_fixed.duty_cycle > 0.0
+                                 ? load_double.duty_cycle / load_fixed.duty_cycle
+                                 : 0.0;
+  std::cout << "(duty-cycle ratio double/Q31 = " << mac_speedup
+            << "x; the paper's FPU-less MCU is why the firmware is fixed-point)\n";
+
+  // The bench gates only the structural invariants it owns (beat parity,
+  // quality-flag agreement); the numeric PEP/LVET deviation ceilings
+  // live solely in bench/bench_baselines.json, enforced by
+  // ci/check_bench_regression.py, so there is exactly one reviewed place
+  // to change them.
+  const bool pass = beat_parity && flaw_mismatches == 0;
+
+  std::ofstream json("BENCH_fixed.json");
+  json << "{\n  \"fs_hz\": " << kFs
+       << ",\n  \"beats_compared\": " << beats_total
+       << ",\n  \"beat_parity\": " << (beat_parity ? "true" : "false")
+       << ",\n  \"flaw_mismatches\": " << flaw_mismatches
+       << ",\n  \"worst_pep_dev_ms\": " << worst_pep * 1e3
+       << ",\n  \"worst_lvet_dev_ms\": " << worst_lvet * 1e3
+       << ",\n  \"worst_sv_dev_ml\": " << worst_sv
+       << ",\n  \"scaling\": {\"ecg_fullscale_mv\": " << policy.ecg_fullscale_mv
+       << ", \"z_fullscale_ohm\": " << policy.z_fullscale_ohm
+       << ", \"icg_gain_log2\": " << policy.icg_gain_log2
+       << ", \"icg_fullscale_ohm_per_s\": " << policy.icg_fullscale(kFs) << "}"
+       << ",\n  \"duty_cycle_double\": " << load_double.duty_cycle
+       << ",\n  \"duty_cycle_q31\": " << load_fixed.duty_cycle
+       << ",\n  \"duty_ratio\": " << mac_speedup
+       << ",\n  \"battery_hours_double\": " << battery_double
+       << ",\n  \"battery_hours_q31\": " << battery_fixed
+       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "(written to BENCH_fixed.json)\n";
+
+  return pass ? 0 : 1;
+}

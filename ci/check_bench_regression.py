@@ -2,14 +2,18 @@
 """Bench-regression gate for the Release CI job.
 
 Compares the JSON the benches just wrote (BENCH_streaming.json,
-BENCH_fleet.json) against the committed floors in
+BENCH_fleet.json, BENCH_fixed.json) against the committed floors in
 bench/bench_baselines.json and exits non-zero on any regression, so a
-change that silently erodes the streaming speedup or fleet scaling
-fails the build instead of landing.
+change that silently erodes the streaming speedup, fleet scaling, or
+the fixed-point pipeline's beat-level accuracy fails the build instead
+of landing.
 
 The fleet scaling floor only arms when the bench itself reports
 scaling_enforced (>= 4 hardware threads on the runner); determinism
-across worker counts is enforced unconditionally.
+across worker counts is enforced unconditionally. The fixed-point gate
+requires exact beat-count parity with the double engine, identical
+quality flags, and worst-case PEP/LVET deviation under the committed
+ceiling on the full study protocol.
 """
 import json
 import pathlib
@@ -30,6 +34,7 @@ def main() -> int:
     baselines = load(ROOT / "bench" / "bench_baselines.json")
     streaming = load(ROOT / "BENCH_streaming.json")
     fleet = load(ROOT / "BENCH_fleet.json")
+    fixed = load(ROOT / "BENCH_fixed.json")
     failures = []
 
     speedup = streaming.get("speedup_at_64", 0.0)
@@ -59,6 +64,32 @@ def main() -> int:
     else:
         print(f"fleet scaling 1->4 workers: {scaling:.2f}x "
               "(not enforced: runner has < 4 hardware threads)")
+
+    if not fixed.get("beat_parity", False):
+        failures.append("fixed pipeline lost beat-count parity with the double engine")
+    else:
+        print(f"fixed pipeline beat parity: {fixed.get('beats_compared', 0)} beats")
+    flaw_mismatches = fixed.get("flaw_mismatches", 1)
+    if flaw_mismatches != 0:
+        failures.append(
+            f"fixed pipeline quality gate disagrees on {flaw_mismatches} beats")
+    pep_dev = fixed.get("worst_pep_dev_ms", float("inf"))
+    lvet_dev = fixed.get("worst_lvet_dev_ms", float("inf"))
+    pep_ceiling = baselines["fixed_max_pep_dev_ms"]
+    lvet_ceiling = baselines["fixed_max_lvet_dev_ms"]
+    print(f"fixed pipeline worst dev: PEP {pep_dev:.3f} ms (ceiling {pep_ceiling}), "
+          f"LVET {lvet_dev:.3f} ms (ceiling {lvet_ceiling})")
+    if pep_dev >= pep_ceiling:
+        failures.append(f"fixed PEP deviation {pep_dev:.3f} ms >= ceiling {pep_ceiling}")
+    if lvet_dev >= lvet_ceiling:
+        failures.append(f"fixed LVET deviation {lvet_dev:.3f} ms >= ceiling {lvet_ceiling}")
+    duty_ratio = fixed.get("duty_ratio", 0.0)
+    duty_floor = baselines["fixed_min_duty_ratio"]
+    print(f"fixed pipeline modeled duty-cycle ratio double/Q31: {duty_ratio:.2f}x "
+          f"(floor {duty_floor}x)")
+    if duty_ratio < duty_floor:
+        failures.append(
+            f"fixed duty-cycle ratio {duty_ratio:.2f}x below floor {duty_floor}x")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:")

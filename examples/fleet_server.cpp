@@ -31,6 +31,10 @@ int main() {
   core::FleetConfig cfg;
   cfg.workers = std::max(1u, std::min(4u, std::thread::hardware_concurrency()));
   cfg.max_chunk = kChunk;
+  // Per-session ensemble averaging: every emitted beat also carries the
+  // delineation of the running R-aligned template (ensemble_points), the
+  // noise-robust timing estimate a monitoring backend would chart.
+  cfg.pipeline.enable_ensemble = true;
   core::SessionManager fleet(workload[0].fs, cfg);
   for (std::size_t s = 0; s < kSessions; ++s) fleet.add_session();
   fleet.start();
@@ -40,8 +44,9 @@ int main() {
                                 " workers");
 
   struct SessionTally {
-    std::size_t beats = 0, usable = 0;
+    std::size_t beats = 0, usable = 0, ens_beats = 0;
     double pep_s = 0.0, lvet_s = 0.0, hr_bpm = 0.0, co_l_min = 0.0;
+    double ens_pep_s = 0.0, ens_lvet_s = 0.0;
   };
   std::vector<SessionTally> tally(kSessions);
   std::vector<core::FleetBeat> sink;
@@ -62,9 +67,16 @@ int main() {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
+  const double fs = workload[0].fs;
   for (const core::FleetBeat& fb : sink) {
     SessionTally& t = tally[fb.session];
     ++t.beats;
+    if (fb.beat.ensemble_points.has_value()) {
+      ++t.ens_beats;
+      const auto& e = *fb.beat.ensemble_points;
+      t.ens_pep_s += static_cast<double>(e.b - e.r) / fs;
+      t.ens_lvet_s += static_cast<double>(e.x - e.b) / fs;
+    }
     if (!fb.beat.usable()) continue;
     ++t.usable;
     t.pep_s += fb.beat.hemo.pep_s;
@@ -74,10 +86,11 @@ int main() {
   }
 
   report::Table table({"session", "beats", "usable", "PEP ms", "LVET ms", "HR bpm",
-                       "CO l/min"});
+                       "CO l/min", "ens PEP ms", "ens LVET ms"});
   for (std::size_t s = 0; s < kSessions; ++s) {
     const SessionTally& t = tally[s];
     const double k = t.usable > 0 ? 1.0 / static_cast<double>(t.usable) : 0.0;
+    const double ke = t.ens_beats > 0 ? 1.0 / static_cast<double>(t.ens_beats) : 0.0;
     table.row()
         .add(static_cast<double>(s), 0)
         .add(static_cast<double>(t.beats), 0)
@@ -85,7 +98,9 @@ int main() {
         .add(t.pep_s * k * 1e3, 1)
         .add(t.lvet_s * k * 1e3, 1)
         .add(t.hr_bpm * k, 1)
-        .add(t.co_l_min * k, 2);
+        .add(t.co_l_min * k, 2)
+        .add(t.ens_pep_s * ke * 1e3, 1)
+        .add(t.ens_lvet_s * ke * 1e3, 1);
   }
   table.print(std::cout);
 

@@ -41,6 +41,8 @@ class EnsembleAverager {
   [[nodiscard]] dsp::Signal average() const;
 
   [[nodiscard]] std::size_t r_offset() const { return pre_samples_; }
+  /// Length of one R-aligned segment (pre + post window) in samples.
+  [[nodiscard]] std::size_t segment_samples() const { return len_samples_; }
   [[nodiscard]] std::size_t beats_in_window() const { return window_.size(); }
   [[nodiscard]] std::size_t beats_rejected() const { return rejected_; }
 

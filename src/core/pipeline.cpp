@@ -2,192 +2,15 @@
 
 #include "dsp/stats.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace icgkit::core {
 
-// ---------------------------------------------------------------------------
-// StreamingBeatPipeline
-// ---------------------------------------------------------------------------
-
-namespace {
-
-// Pending beats are bounded by the configured Pan-Tompkins refractory
-// period: R peaks arrive at most once per refractory interval, and a
-// pending beat drains as soon as its aligned ICG catches up (a latency
-// of well under a second), so the depth is tiny in practice. Size the
-// fixed ring for the pathological ceiling — one beat per refractory
-// interval across the whole look-back window — plus headroom.
-std::size_t pending_capacity(std::size_t window_samples, dsp::SampleRate fs,
-                             double refractory_s) {
-  const std::size_t refractory =
-      std::max<std::size_t>(1, static_cast<std::size_t>(std::max(0.0, refractory_s) * fs));
-  return std::max<std::size_t>(64, window_samples / refractory + 16);
-}
-
-} // namespace
-
-StreamingBeatPipeline::StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg,
-                                             double window_s)
-    : fs_(fs), cfg_(cfg),
-      window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)),
-      ecg_stage_(fs, cfg.ecg_filter),
-      icg_stage_(fs, cfg.icg_filter),
-      qrs_(fs, cfg.qrs),
-      delineator_(fs, cfg.delineation),
-      icg_ring_(window_samples_),
-      z_ring_(window_samples_),
-      pending_beats_(pending_capacity(window_samples_, fs, cfg.qrs.refractory_s)) {
-  // Memory-pool invariant: pre-size the per-beat buffers for any
-  // physiologically plausible beat (3 s covers HR down to 20 bpm) so a
-  // warmed-up session never allocates on push. Longer beats — artifact
-  // dropouts — still work, at the cost of a one-off reallocation.
-  const std::size_t max_beat =
-      std::min(window_samples_, static_cast<std::size_t>(3.0 * fs));
-  beat_scratch_.reserve(max_beat);
-  delin_scratch_.reserve(max_beat);
-  ecg_scratch_.reserve(512);
-  icg_scratch_.reserve(512);
-  r_scratch_.reserve(64);
-}
-
-std::vector<BeatRecord> StreamingBeatPipeline::push(dsp::SignalView ecg_mv,
-                                                    dsp::SignalView z_ohm) {
-  std::vector<BeatRecord> emitted;
-  push_into(ecg_mv, z_ohm, emitted);
-  return emitted;
-}
-
-void StreamingBeatPipeline::push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
-                                      std::vector<BeatRecord>& out) {
-  if (ecg_mv.size() != z_ohm.size())
-    throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
-  for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
-}
-
-void StreamingBeatPipeline::ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm,
-                                   std::vector<BeatRecord>& out) {
-  z_ring_.push(z_ohm);
-  z_sum_ += z_ohm;
-  ++consumed_;
-
-  icg_scratch_.clear();
-  icg_stage_.push(z_ohm, icg_scratch_);
-  for (const dsp::Sample v : icg_scratch_) {
-    icg_ring_.push(v);
-    ++icg_count_;
-    if (capture_) captured_icg_.push_back(v);
-  }
-
-  ecg_scratch_.clear();
-  ecg_stage_.push(ecg_mv, ecg_scratch_);
-  r_scratch_.clear();
-  for (const dsp::Sample v : ecg_scratch_) {
-    if (capture_) captured_ecg_.push_back(v);
-    qrs_.push(v, r_scratch_);
-  }
-  for (const std::size_t r : r_scratch_) {
-    ++r_peak_count_;
-    if (last_r_.has_value()) enqueue_beat(*last_r_, r);
-    last_r_ = r;
-  }
-  // Emit every beat whose aligned ICG is now complete -- done per sample
-  // so the emission point (and thus the ring-buffer state it reads) is
-  // identical however the input was chunked.
-  drain_ready(out);
-}
-
-void StreamingBeatPipeline::enqueue_beat(std::size_t r, std::size_t r_next) {
-  if (pending_beats_.full())
-    throw std::runtime_error("StreamingBeatPipeline: pending-beat ring overflow");
-  pending_beats_.push({r, r_next});
-}
-
-void StreamingBeatPipeline::drain_ready(std::vector<BeatRecord>& out) {
-  while (!pending_beats_.empty() && icg_count_ >= pending_beats_.front().second) {
-    const auto [r, r_next] = pending_beats_.front();
-    pending_beats_.pop();
-    out.push_back(make_beat(r, r_next));
-  }
-}
-
-BeatRecord StreamingBeatPipeline::make_beat(std::size_t r, std::size_t r_next) {
-  BeatRecord rec;
-  rec.rr_s = static_cast<double>(r_next - r) / fs_;
-
-  const std::size_t oldest_icg = icg_count_ - icg_ring_.size();
-  if (r < oldest_icg) {
-    // The look-back window no longer covers this beat (window smaller
-    // than the R-R interval plus stage latencies). Emit it flagged, with
-    // every point clamped to its R so no index references trimmed data.
-    rec.points.r = rec.points.b = rec.points.b0 = rec.points.c = rec.points.x = r;
-    rec.flaws = BeatFlaw::InvalidDelineation;
-    return rec;
-  }
-
-  beat_scratch_.clear();
-  for (std::size_t i = r; i < r_next; ++i)
-    beat_scratch_.push_back(icg_ring_.at(i - oldest_icg));
-  rec.points = delineator_.delineate(beat_scratch_, 0, beat_scratch_.size(), delin_scratch_);
-  rec.points.r += r;
-  rec.points.b += r;
-  rec.points.b0 += r;
-  rec.points.c += r;
-  rec.points.x += r;
-  rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
-  rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, beat_z0(r, r_next), fs_,
-                                       cfg_.body);
-  return rec;
-}
-
-double StreamingBeatPipeline::beat_z0(std::size_t r, std::size_t r_next) const {
-  // Base impedance during the beat: mean of the raw trace over the R-R
-  // interval (the firmware analogue of the batch recording mean; local,
-  // deterministic, and available at emission time).
-  const std::size_t oldest_z = consumed_ - z_ring_.size();
-  const std::size_t lo = std::max(r, oldest_z);
-  const std::size_t hi = std::min(r_next, consumed_);
-  if (lo >= hi) return consumed_ > 0 ? z_sum_ / static_cast<double>(consumed_) : 0.0;
-  double acc = 0.0;
-  for (std::size_t i = lo; i < hi; ++i) acc += z_ring_.at(i - oldest_z);
-  return acc / static_cast<double>(hi - lo);
-}
-
-std::vector<BeatRecord> StreamingBeatPipeline::finish() {
-  std::vector<BeatRecord> emitted;
-  finish_into(emitted);
-  return emitted;
-}
-
-void StreamingBeatPipeline::finish_into(std::vector<BeatRecord>& emitted) {
-  icg_scratch_.clear();
-  icg_stage_.finish(icg_scratch_);
-  for (const dsp::Sample v : icg_scratch_) {
-    icg_ring_.push(v);
-    ++icg_count_;
-    if (capture_) captured_icg_.push_back(v);
-  }
-
-  ecg_scratch_.clear();
-  ecg_stage_.finish(ecg_scratch_);
-  r_scratch_.clear();
-  for (const dsp::Sample v : ecg_scratch_) {
-    if (capture_) captured_ecg_.push_back(v);
-    qrs_.push(v, r_scratch_);
-  }
-  qrs_.finish(r_scratch_);
-  for (const std::size_t r : r_scratch_) {
-    ++r_peak_count_;
-    if (last_r_.has_value()) enqueue_beat(*last_r_, r);
-    last_r_ = r;
-  }
-  drain_ready(emitted);
-}
-
-double StreamingBeatPipeline::z_mean_ohm() const {
-  return consumed_ > 0 ? z_sum_ / static_cast<double>(consumed_) : 0.0;
-}
+// The streaming engine is a backend template; these definitions back the
+// `extern template` declarations in pipeline.h, so the engine is
+// instantiated exactly once.
+template class BasicStreamingBeatPipeline<dsp::DoubleBackend>;
+template class BasicStreamingBeatPipeline<dsp::Q31Backend>;
 
 // ---------------------------------------------------------------------------
 // BeatPipeline (thin batch wrapper)

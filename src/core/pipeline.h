@@ -10,29 +10,40 @@
 //
 // The engine is a true single-pass streaming system: every stage carries
 // persistent state (see core/stream.h), each push() does O(chunk) work,
-// and only the newly completed R-R intervals are delineated. The batch
-// entry point is a thin wrapper that feeds one big chunk:
+// and only the newly completed R-R intervals are delineated. It is also
+// generic over the numeric backend (dsp/backend.h):
 //
-//   - StreamingBeatPipeline   chunked feed; emits each beat exactly once,
-//     in order, with a fixed sub-window latency (the stage group delays
-//     plus the QRS confirmation latency), the way the embedded firmware
-//     reports results beat by beat over the radio.
-//   - BeatPipeline::process   one recording, offline; byte-identical
+//   - StreamingBeatPipeline        the double-precision reference engine
+//     (chunked feed; emits each beat exactly once, in order, with a fixed
+//     sub-window latency, the way the embedded firmware reports results
+//     beat by beat over the radio).
+//   - FixedStreamingBeatPipeline   the same engine instantiated with the
+//     Q31 backend: the whole sample-rate front end (ECG cleaning, QRS
+//     detection, ICG conditioning) runs in the firmware's Q1.31 integer
+//     arithmetic under a per-stage scaling policy (dsp::Q31ScalingPolicy)
+//     and converts to double exactly once per completed R-R window, at
+//     the delineation boundary -- the beat-rate tail (delineator, quality
+//     gate, hemodynamics) stays in double for both backends.
+//   - BeatPipeline::process        one recording, offline; byte-identical
 //     BeatRecords to StreamingBeatPipeline at any chunking, because it
 //     *is* StreamingBeatPipeline fed a single chunk.
 #pragma once
 
 #include "core/delineator.h"
+#include "core/ensemble.h"
 #include "core/hemodynamics.h"
 #include "core/icg_filter.h"
 #include "core/quality.h"
 #include "core/stream.h"
 #include "ecg/ecg_filter.h"
 #include "ecg/pan_tompkins.h"
+#include "dsp/backend.h"
 #include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
+#include <algorithm>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -45,6 +56,14 @@ struct PipelineConfig {
   DelineationConfig delineation{};
   QualityConfig quality{};
   BodyParameters body{};
+  /// Optional ensemble-averaging stage: when enabled, each accepted beat
+  /// is folded into a correlation-gated R-aligned template and the
+  /// emitted BeatRecords carry the template's delineation alongside the
+  /// single-beat one (ensemble_points). Off by default: the stage buffers
+  /// beat segments, so it trades the zero-steady-state-allocation
+  /// guarantee for noise robustness.
+  bool enable_ensemble = false;
+  EnsembleConfig ensemble{};
 };
 
 /// One fully-processed beat.
@@ -53,6 +72,10 @@ struct BeatRecord {
   BeatHemodynamics hemo;
   BeatFlaw flaws = BeatFlaw::None;
   double rr_s = 0.0;
+  /// Delineation of the running ensemble template at this beat (absolute
+  /// indices, like `points`). Only populated when the pipeline's ensemble
+  /// stage is enabled and the template has enough beats.
+  std::optional<BeatDelineation> ensemble_points;
   [[nodiscard]] bool usable() const { return flaws == BeatFlaw::None; }
 };
 
@@ -65,7 +88,23 @@ struct PipelineResult {
   dsp::Signal filtered_icg;
 };
 
-/// Chunk-fed incremental engine. Internals:
+namespace detail {
+// Pending beats are bounded by the configured Pan-Tompkins refractory
+// period: R peaks arrive at most once per refractory interval, and a
+// pending beat drains as soon as its aligned ICG catches up (a latency
+// of well under a second), so the depth is tiny in practice. Size the
+// fixed ring for the pathological ceiling — one beat per refractory
+// interval across the whole look-back window — plus headroom.
+inline std::size_t pending_capacity(std::size_t window_samples, dsp::SampleRate fs,
+                                    double refractory_s) {
+  const std::size_t refractory = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::max(0.0, refractory_s) * fs));
+  return std::max<std::size_t>(64, window_samples / refractory + 16);
+}
+} // namespace detail
+
+/// Chunk-fed incremental engine, generic over the numeric backend.
+/// Internals:
 ///
 ///  - the ECG cleaner, QRS detector and ICG conditioner advance sample by
 ///    sample with carried state (O(chunk) work per push, no window
@@ -83,61 +122,313 @@ struct PipelineResult {
 /// the look-back window (window smaller than an R-R interval plus the
 /// stage latencies) are emitted flagged InvalidDelineation with all
 /// points clamped to their R index, never referencing trimmed samples.
-class StreamingBeatPipeline {
+///
+/// With the Q31 backend, push() quantizes each incoming double sample to
+/// Q1.31 against the scaling policy's full scales (the ADC boundary a
+/// real firmware has anyway), runs the whole sample-rate chain in integer
+/// arithmetic, and converts each completed R-R window of ICG counts back
+/// to Ohm/s once, feeding the same double delineation/quality/
+/// hemodynamics tail as the reference engine.
+template <typename B>
+class BasicStreamingBeatPipeline {
  public:
-  StreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
-                        double window_s = 12.0);
+  using sample_t = typename B::sample_t;
+
+  BasicStreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
+                             double window_s = 12.0,
+                             const dsp::Q31ScalingPolicy& scaling = {})
+      : fs_(fs), cfg_(cfg),
+        window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)),
+        ecg_scale_(B::kFixed ? scaling.ecg_fullscale_mv : 1.0),
+        z_scale_(B::kFixed ? scaling.z_fullscale_ohm : 1.0),
+        icg_scale_(B::kFixed ? scaling.icg_fullscale(fs) : 1.0),
+        ecg_stage_(fs, cfg.ecg_filter),
+        icg_stage_(fs, cfg.icg_filter, B::kFixed ? scaling.icg_gain_log2 : 0),
+        qrs_(fs, cfg.qrs),
+        delineator_(fs, cfg.delineation),
+        icg_ring_(window_samples_),
+        z_ring_(window_samples_),
+        pending_beats_(detail::pending_capacity(window_samples_, fs, cfg.qrs.refractory_s)) {
+    // Memory-pool invariant: pre-size the per-beat buffers for any
+    // physiologically plausible beat (3 s covers HR down to 20 bpm) so a
+    // warmed-up session never allocates on push. Longer beats — artifact
+    // dropouts — still work, at the cost of a one-off reallocation.
+    const std::size_t max_beat =
+        std::min(window_samples_, static_cast<std::size_t>(3.0 * fs));
+    beat_scratch_.reserve(max_beat);
+    delin_scratch_.reserve(max_beat);
+    ecg_scratch_.reserve(512);
+    icg_scratch_.reserve(512);
+    r_scratch_.reserve(64);
+    if (cfg.enable_ensemble) {
+      ensemble_.emplace(fs, cfg.ensemble);
+      ens_scratch_.reserve(ensemble_->segment_samples());
+      // Worst-case folds in flight: one R per refractory interval across
+      // the post window (same reasoning as pending_capacity above), so
+      // the queue never silently overwrites a pending fold.
+      ens_pending_ = dsp::RingBuffer<std::size_t>(detail::pending_capacity(
+          ensemble_->segment_samples(), fs, cfg.qrs.refractory_s));
+    }
+  }
 
   /// Feeds one synchronized chunk; returns the beats completed by it.
-  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) {
+    std::vector<BeatRecord> emitted;
+    push_into(ecg_mv, z_ohm, emitted);
+    return emitted;
+  }
 
   /// Allocation-free form of push(): appends completed beats to `out`
   /// (which is not cleared). With a caller-reused `out`, a warmed-up
   /// session does zero heap allocation per push — the property the fleet
   /// hot path relies on (verified by the allocation-probe test).
   void push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
-                 std::vector<BeatRecord>& out);
+                 std::vector<BeatRecord>& out) {
+    if (ecg_mv.size() != z_ohm.size())
+      throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
+    for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
+  }
 
   /// Flushes the stage tails and any pending beats (end of recording).
-  std::vector<BeatRecord> finish();
+  std::vector<BeatRecord> finish() {
+    std::vector<BeatRecord> emitted;
+    finish_into(emitted);
+    return emitted;
+  }
 
   /// Allocation-free form of finish(): appends to `out`.
-  void finish_into(std::vector<BeatRecord>& out);
+  void finish_into(std::vector<BeatRecord>& emitted) {
+    icg_scratch_.clear();
+    icg_stage_.finish(icg_scratch_);
+    for (const sample_t v : icg_scratch_) {
+      icg_ring_.push(v);
+      ++icg_count_;
+      if (capture_) captured_icg_.push_back(icg_real(v));
+    }
+    if (ensemble_.has_value() && !ens_pending_.empty()) drain_ensemble();
+
+    ecg_scratch_.clear();
+    ecg_stage_.finish(ecg_scratch_);
+    r_scratch_.clear();
+    for (const sample_t v : ecg_scratch_) {
+      if (capture_) captured_ecg_.push_back(ecg_real(v));
+      qrs_.push(v, r_scratch_);
+    }
+    qrs_.finish(r_scratch_);
+    for (const std::size_t r : r_scratch_) {
+      ++r_peak_count_;
+      if (last_r_.has_value()) enqueue_beat(*last_r_, r);
+      last_r_ = r;
+    }
+    drain_ready(emitted);
+  }
 
   [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
   [[nodiscard]] std::size_t r_peak_count() const { return r_peak_count_; }
   [[nodiscard]] std::size_t window_samples() const { return window_samples_; }
   /// Running mean of the impedance trace consumed so far.
-  [[nodiscard]] double z_mean_ohm() const;
+  [[nodiscard]] double z_mean_ohm() const {
+    if (consumed_ == 0) return 0.0;
+    if constexpr (B::kFixed)
+      return B::to_real(B::mean(z_sum_, consumed_)) * z_scale_;
+    else
+      return z_sum_ / static_cast<double>(consumed_);
+  }
 
   /// Records the aligned filtered ECG/ICG streams (used by the batch
   /// wrapper to fill PipelineResult; off by default to keep streaming
-  /// memory bounded).
+  /// memory bounded). Always captured in real units (mV / Ohm per
+  /// second), whatever the backend.
   void enable_capture() { capture_ = true; }
   [[nodiscard]] const dsp::Signal& captured_ecg() const { return captured_ecg_; }
   [[nodiscard]] const dsp::Signal& captured_icg() const { return captured_icg_; }
 
  private:
-  void ingest(dsp::Sample ecg_mv, dsp::Sample z_ohm, std::vector<BeatRecord>& out);
-  void enqueue_beat(std::size_t r, std::size_t r_next);
-  void drain_ready(std::vector<BeatRecord>& out);
-  [[nodiscard]] BeatRecord make_beat(std::size_t r, std::size_t r_next);
-  [[nodiscard]] double beat_z0(std::size_t r, std::size_t r_next) const;
+  // Boundary conversions. The double backend's scales are fixed at 1 and
+  // the conversions collapse to identity, so the reference engine's
+  // arithmetic is untouched by the backend abstraction.
+  [[nodiscard]] sample_t ecg_from(double v) const {
+    if constexpr (B::kFixed) return B::from_real(v / ecg_scale_);
+    else return v;
+  }
+  [[nodiscard]] sample_t z_from(double v) const {
+    if constexpr (B::kFixed) return B::from_real(v / z_scale_);
+    else return v;
+  }
+  [[nodiscard]] double ecg_real(sample_t v) const {
+    if constexpr (B::kFixed) return B::to_real(v) * ecg_scale_;
+    else return v;
+  }
+  [[nodiscard]] double icg_real(sample_t v) const {
+    if constexpr (B::kFixed) return B::to_real(v) * icg_scale_;
+    else return v;
+  }
+
+  void ingest(double ecg_mv, double z_ohm, std::vector<BeatRecord>& out) {
+    const sample_t zq = z_from(z_ohm);
+    z_ring_.push(zq);
+    z_sum_ = B::acc_add(z_sum_, zq);
+    ++consumed_;
+
+    icg_scratch_.clear();
+    icg_stage_.push(zq, icg_scratch_);
+    for (const sample_t v : icg_scratch_) {
+      icg_ring_.push(v);
+      ++icg_count_;
+      if (capture_) captured_icg_.push_back(icg_real(v));
+    }
+    if (ensemble_.has_value() && !ens_pending_.empty()) drain_ensemble();
+
+    ecg_scratch_.clear();
+    ecg_stage_.push(ecg_from(ecg_mv), ecg_scratch_);
+    r_scratch_.clear();
+    for (const sample_t v : ecg_scratch_) {
+      if (capture_) captured_ecg_.push_back(ecg_real(v));
+      qrs_.push(v, r_scratch_);
+    }
+    for (const std::size_t r : r_scratch_) {
+      ++r_peak_count_;
+      if (last_r_.has_value()) enqueue_beat(*last_r_, r);
+      last_r_ = r;
+    }
+    // Emit every beat whose aligned ICG is now complete -- done per sample
+    // so the emission point (and thus the ring-buffer state it reads) is
+    // identical however the input was chunked.
+    drain_ready(out);
+  }
+
+  void enqueue_beat(std::size_t r, std::size_t r_next) {
+    if (pending_beats_.full())
+      throw std::runtime_error("StreamingBeatPipeline: pending-beat ring overflow");
+    pending_beats_.push({r, r_next});
+  }
+
+  void drain_ready(std::vector<BeatRecord>& out) {
+    while (!pending_beats_.empty() && icg_count_ >= pending_beats_.front().second) {
+      const auto [r, r_next] = pending_beats_.front();
+      pending_beats_.pop();
+      out.push_back(make_beat(r, r_next));
+    }
+  }
+
+  [[nodiscard]] BeatRecord make_beat(std::size_t r, std::size_t r_next) {
+    BeatRecord rec;
+    rec.rr_s = static_cast<double>(r_next - r) / fs_;
+
+    const std::size_t oldest_icg = icg_count_ - icg_ring_.size();
+    if (r < oldest_icg) {
+      // The look-back window no longer covers this beat (window smaller
+      // than the R-R interval plus stage latencies). Emit it flagged, with
+      // every point clamped to its R so no index references trimmed data.
+      rec.points.r = rec.points.b = rec.points.b0 = rec.points.c = rec.points.x = r;
+      rec.flaws = BeatFlaw::InvalidDelineation;
+      return rec;
+    }
+
+    // The one per-beat numeric boundary: the R-R window of conditioned
+    // ICG leaves the backend's sample domain here (identity for the
+    // double backend, counts -> Ohm/s for Q31) and the shared double
+    // delineation/quality/hemodynamics tail takes over.
+    beat_scratch_.clear();
+    for (std::size_t i = r; i < r_next; ++i)
+      beat_scratch_.push_back(icg_real(icg_ring_.at(i - oldest_icg)));
+    rec.points = delineator_.delineate(beat_scratch_, 0, beat_scratch_.size(), delin_scratch_);
+    rec.points.r += r;
+    rec.points.b += r;
+    rec.points.b0 += r;
+    rec.points.c += r;
+    rec.points.x += r;
+    rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
+    rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, beat_z0(r, r_next), fs_,
+                                         cfg_.body);
+    if (ensemble_.has_value()) attach_ensemble(rec, r);
+    return rec;
+  }
+
+  /// Optional ensemble stage: fold this beat's R-aligned segment into the
+  /// running template (correlation-gated) and attach the template's
+  /// delineation, rebased to absolute indices around this beat's R.
+  ///
+  /// The segment extends post_r_s past R, which a beat emitted at its
+  /// closing R has only when RR >= post_r_s. When it does not (fast
+  /// heart rates), the R is queued and folded by drain_ensemble() as
+  /// soon as the ICG stream reaches R + post; the beat's attached
+  /// template then simply lags that beat by one fold, instead of the
+  /// stage silently going inert above ~100 bpm.
+  void attach_ensemble(BeatRecord& rec, std::size_t r) {
+    const std::size_t pre = ensemble_->r_offset();
+    if (r < pre) return;
+    if (!try_fold_ensemble(r))
+      ens_pending_.push(r); // post window not complete yet; fold later
+    if (auto d = ensemble_->delineate_average(delineator_); d.has_value()) {
+      const std::size_t base = r - pre; // template sample 0 in absolute indices
+      d->r += base;
+      d->b += base;
+      d->b0 += base;
+      d->c += base;
+      d->x += base;
+      rec.ensemble_points = *d;
+    }
+  }
+
+  /// Folds every queued R whose post window has completed (FIFO; stops
+  /// at the first one still waiting for ICG samples).
+  void drain_ensemble() {
+    while (!ens_pending_.empty()) {
+      if (!try_fold_ensemble(ens_pending_.front())) return;
+      ens_pending_.pop();
+    }
+  }
+
+  /// Adds the segment around `r` to the averager if its post window has
+  /// completed. Returns false only when more ICG is still to come (the
+  /// one retryable condition); a segment whose start already scrolled
+  /// out of the look-back ring is unrecoverable and reported handled.
+  bool try_fold_ensemble(std::size_t r) {
+    const std::size_t pre = ensemble_->r_offset();
+    const std::size_t len = ensemble_->segment_samples();
+    if (r < pre) return true;
+    if (r - pre + len > icg_count_) return false;
+    const std::size_t oldest_icg = icg_count_ - icg_ring_.size();
+    if (r - pre < oldest_icg) return true;
+    ens_scratch_.clear();
+    for (std::size_t i = r - pre; i < r - pre + len; ++i)
+      ens_scratch_.push_back(icg_real(icg_ring_.at(i - oldest_icg)));
+    ensemble_->add_beat(ens_scratch_, pre);
+    return true;
+  }
+
+  [[nodiscard]] double beat_z0(std::size_t r, std::size_t r_next) const {
+    // Base impedance during the beat: mean of the raw trace over the R-R
+    // interval (the firmware analogue of the batch recording mean; local,
+    // deterministic, and available at emission time).
+    const std::size_t oldest_z = consumed_ - z_ring_.size();
+    const std::size_t lo = std::max(r, oldest_z);
+    const std::size_t hi = std::min(r_next, consumed_);
+    if (lo >= hi) return z_mean_ohm();
+    typename B::acc_t acc = B::acc_zero();
+    for (std::size_t i = lo; i < hi; ++i) acc = B::acc_add(acc, z_ring_.at(i - oldest_z));
+    if constexpr (B::kFixed)
+      return B::to_real(B::mean(acc, hi - lo)) * z_scale_;
+    else
+      return acc / static_cast<double>(hi - lo);
+  }
 
   dsp::SampleRate fs_;
   PipelineConfig cfg_;
   std::size_t window_samples_;
+  double ecg_scale_, z_scale_, icg_scale_; ///< per-stage Q31 full scales (1 for double)
 
-  EcgCleanerStage ecg_stage_;
-  IcgConditionerStage icg_stage_;
-  ecg::OnlinePanTompkins qrs_;
+  BasicEcgCleanerStage<B> ecg_stage_;
+  BasicIcgConditionerStage<B> icg_stage_;
+  ecg::BasicOnlinePanTompkins<B> qrs_;
   IcgDelineator delineator_;
 
-  dsp::RingBuffer<dsp::Sample> icg_ring_;  ///< aligned cleaned ICG look-back
-  dsp::RingBuffer<dsp::Sample> z_ring_;    ///< raw impedance look-back
+  dsp::RingBuffer<sample_t> icg_ring_;  ///< aligned cleaned ICG look-back
+  dsp::RingBuffer<sample_t> z_ring_;    ///< raw impedance look-back
   std::size_t icg_count_ = 0;   ///< aligned ICG samples produced
   std::size_t consumed_ = 0;    ///< absolute samples fed so far
-  double z_sum_ = 0.0;
+  typename B::acc_t z_sum_ = B::acc_zero();
 
   std::optional<std::size_t> last_r_;
   /// Beats awaiting their aligned ICG, in fixed storage (no per-push
@@ -149,10 +440,31 @@ class StreamingBeatPipeline {
 
   bool capture_ = false;
   dsp::Signal captured_ecg_, captured_icg_;
-  dsp::Signal ecg_scratch_, icg_scratch_, beat_scratch_;
+  std::vector<sample_t> ecg_scratch_, icg_scratch_;
+  dsp::Signal beat_scratch_;
   std::vector<std::size_t> r_scratch_;
   DelineationScratch delin_scratch_;
+  std::optional<EnsembleAverager> ensemble_;
+  dsp::Signal ens_scratch_;
+  /// R indices whose ensemble segment still awaits its post window
+  /// (RR < post_r_s, i.e. fast heart rates). Re-sized in the constructor
+  /// for the worst case (one R per refractory across the post window)
+  /// when the ensemble stage is enabled.
+  dsp::RingBuffer<std::size_t> ens_pending_{1};
 };
+
+/// The double-precision reference engine.
+using StreamingBeatPipeline = BasicStreamingBeatPipeline<dsp::DoubleBackend>;
+
+/// The firmware-arithmetic engine: the full sample-rate chain in Q1.31
+/// under dsp::Q31ScalingPolicy, double only past the per-beat boundary.
+using FixedStreamingBeatPipeline = BasicStreamingBeatPipeline<dsp::Q31Backend>;
+
+// Both instantiations are compiled once, in pipeline.cpp; every other
+// translation unit links against that copy instead of re-instantiating
+// the whole engine.
+extern template class BasicStreamingBeatPipeline<dsp::DoubleBackend>;
+extern template class BasicStreamingBeatPipeline<dsp::Q31Backend>;
 
 class BeatPipeline {
  public:

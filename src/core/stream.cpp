@@ -3,125 +3,21 @@
 #include "dsp/butterworth.h"
 #include "dsp/fir_design.h"
 
+#include <stdexcept>
+
 namespace icgkit::core {
 
-// ---------------------------------------------------------------------------
-// EcgCleanerStage
-// ---------------------------------------------------------------------------
-
-EcgCleanerStage::EcgCleanerStage(dsp::SampleRate fs, const ecg::EcgFilterConfig& cfg) {
-  if (cfg.enable_morphological_stage) morph_.emplace(fs, cfg.baseline);
-  if (cfg.enable_fir_stage)
-    fir_.emplace(dsp::zero_phase_fir_kernel(
-        dsp::design_bandpass(cfg.fir_order, cfg.f1_hz, cfg.f2_hz, fs)));
+dsp::FirCoefficients ecg_cleaner_fir_kernel(dsp::SampleRate fs,
+                                            const ecg::EcgFilterConfig& cfg) {
+  return dsp::zero_phase_fir_kernel(
+      dsp::design_bandpass(cfg.fir_order, cfg.f1_hz, cfg.f2_hz, fs));
 }
 
-void EcgCleanerStage::push(dsp::Sample x, dsp::Signal& out) {
-  if (!morph_.has_value()) {
-    if (fir_.has_value())
-      fir_->push(x, out);
-    else
-      out.push_back(x);
-    return;
-  }
-  if (!fir_.has_value()) {
-    morph_->push(x, out);
-    return;
-  }
-  scratch_.clear();
-  morph_->push(x, scratch_);
-  for (const dsp::Sample v : scratch_) fir_->push(v, out);
-}
-
-void EcgCleanerStage::finish(dsp::Signal& out) {
-  if (morph_.has_value() && fir_.has_value()) {
-    scratch_.clear();
-    morph_->finish(scratch_);
-    for (const dsp::Sample v : scratch_) fir_->push(v, out);
-    fir_->finish(out);
-    return;
-  }
-  if (morph_.has_value()) morph_->finish(out);
-  if (fir_.has_value()) fir_->finish(out);
-}
-
-void EcgCleanerStage::reset() {
-  if (morph_.has_value()) morph_->reset();
-  if (fir_.has_value()) fir_->reset();
-}
-
-std::size_t EcgCleanerStage::latency() const {
-  std::size_t d = 0;
-  if (morph_.has_value()) d += morph_->delay();
-  if (fir_.has_value()) d += fir_->delay();
-  return d;
-}
-
-// ---------------------------------------------------------------------------
-// IcgConditionerStage
-// ---------------------------------------------------------------------------
-
-namespace {
-dsp::FirCoefficients icg_lowpass_kernel(dsp::SampleRate fs, const IcgFilterConfig& cfg) {
+dsp::FirCoefficients icg_conditioner_lowpass_kernel(dsp::SampleRate fs,
+                                                    const IcgFilterConfig& cfg) {
   if (fs <= 0.0) throw std::invalid_argument("IcgConditionerStage: fs must be positive");
   return dsp::zero_phase_sos_kernel(
       dsp::butterworth_lowpass(cfg.order, cfg.cutoff_hz, fs), 1e-6);
-}
-} // namespace
-
-IcgConditionerStage::IcgConditionerStage(dsp::SampleRate fs, const IcgFilterConfig& cfg)
-    : fs_(fs), lp_(icg_lowpass_kernel(fs, cfg)) {
-  if (cfg.highpass_hz > 0.0) {
-    dsp::ZeroPhaseHighpassConfig hp_cfg;
-    hp_cfg.cutoff_hz = cfg.highpass_hz;
-    hp_cfg.order = cfg.highpass_order;
-    hp_.emplace(fs, hp_cfg);
-  }
-}
-
-void IcgConditionerStage::push(dsp::Sample x, dsp::Signal& out) {
-  const std::size_t j = z_count_++;
-  // ICG = -dZ/dt with the batch derivative() stencil: the aligned central
-  // difference needs one sample of lookahead, the first sample uses the
-  // forward difference.
-  if (j == 1) on_derivative(-(x - prev_[1]) * fs_, out);
-  else if (j >= 2) on_derivative(-(x - prev_[0]) * fs_ * 0.5, out);
-  prev_[0] = prev_[1];
-  prev_[1] = x;
-}
-
-void IcgConditionerStage::on_derivative(dsp::Sample d, dsp::Signal& out) {
-  lp_scratch_.clear();
-  lp_.push(d, lp_scratch_);
-  for (const dsp::Sample v : lp_scratch_) on_lowpassed(v, out);
-}
-
-void IcgConditionerStage::on_lowpassed(dsp::Sample v, dsp::Signal& out) {
-  if (hp_.has_value())
-    hp_->push(v, out);
-  else
-    out.push_back(v);
-}
-
-void IcgConditionerStage::finish(dsp::Signal& out) {
-  // Trailing derivative sample: batch edge form -(x[n-1] - x[n-2]) * fs.
-  if (z_count_ >= 2) on_derivative(-(prev_[1] - prev_[0]) * fs_, out);
-  else if (z_count_ == 1) on_derivative(0.0, out);
-  lp_scratch_.clear();
-  lp_.finish(lp_scratch_);
-  for (const dsp::Sample v : lp_scratch_) on_lowpassed(v, out);
-  if (hp_.has_value()) hp_->finish(out);
-}
-
-void IcgConditionerStage::reset() {
-  lp_.reset();
-  if (hp_.has_value()) hp_->reset();
-  prev_[0] = prev_[1] = 0.0;
-  z_count_ = 0;
-}
-
-std::size_t IcgConditionerStage::latency() const {
-  return 1 + lp_.delay() + (hp_.has_value() ? hp_->delay() : 0);
 }
 
 } // namespace icgkit::core

@@ -9,9 +9,16 @@
 // input produces bit-identical output, which is what lets
 // BeatPipeline::process be a thin one-big-chunk wrapper around
 // StreamingBeatPipeline (see pipeline.h).
+//
+// Both stages are generic over the numeric backend (dsp/backend.h): the
+// DoubleBackend instantiations are the reference engine, the Q31Backend
+// instantiations the firmware arithmetic feeding
+// FixedStreamingBeatPipeline. Filter kernels are always *designed* in
+// double; the backend only decides how they are quantized and applied.
 #pragma once
 
 #include "core/icg_filter.h"
+#include "dsp/backend.h"
 #include "dsp/filtfilt.h"
 #include "dsp/morphology.h"
 #include "dsp/types.h"
@@ -20,43 +27,80 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 namespace icgkit::core {
 
-/// Interface shared by the pipeline's streaming stages.
-class StreamingStage {
- public:
-  virtual ~StreamingStage() = default;
-
-  /// Feeds one input sample; appends newly completed (delay-compensated)
-  /// output samples to `out`.
-  virtual void push(dsp::Sample x, dsp::Signal& out) = 0;
-  /// End of stream: flushes the remaining latency() samples.
-  virtual void finish(dsp::Signal& out) = 0;
-  /// Returns the stage to its freshly constructed state.
-  virtual void reset() = 0;
-  /// Worst-case group delay in samples between input and aligned output.
-  [[nodiscard]] virtual std::size_t latency() const = 0;
-};
+/// The 0.05-40 Hz zero-phase FIR kernel of the ECG cleaning chain.
+dsp::FirCoefficients ecg_cleaner_fir_kernel(dsp::SampleRate fs,
+                                            const ecg::EcgFilterConfig& cfg);
+/// The symmetric zero-phase kernel of the 20 Hz ICG Butterworth low-pass
+/// (validates fs).
+dsp::FirCoefficients icg_conditioner_lowpass_kernel(dsp::SampleRate fs,
+                                                    const IcgFilterConfig& cfg);
 
 /// Streaming twin of EcgFilter::apply: morphological baseline removal
 /// (bit-identical to the batch estimator) followed by the 0.05-40 Hz FIR
 /// band-pass as a causal symmetric kernel equal to the zero-phase
 /// filtfilt response. Honors the EcgFilterConfig ablation switches.
-class EcgCleanerStage final : public StreamingStage {
+template <typename B>
+class BasicEcgCleanerStage {
  public:
-  EcgCleanerStage(dsp::SampleRate fs, const ecg::EcgFilterConfig& cfg = {});
+  using sample_t = typename B::sample_t;
 
-  void push(dsp::Sample x, dsp::Signal& out) override;
-  void finish(dsp::Signal& out) override;
-  void reset() override;
-  [[nodiscard]] std::size_t latency() const override;
+  BasicEcgCleanerStage(dsp::SampleRate fs, const ecg::EcgFilterConfig& cfg = {}) {
+    if (cfg.enable_morphological_stage) morph_.emplace(fs, cfg.baseline);
+    if (cfg.enable_fir_stage) fir_.emplace(ecg_cleaner_fir_kernel(fs, cfg));
+  }
+
+  void push(sample_t x, std::vector<sample_t>& out) {
+    if (!morph_.has_value()) {
+      if (fir_.has_value())
+        fir_->push(x, out);
+      else
+        out.push_back(x);
+      return;
+    }
+    if (!fir_.has_value()) {
+      morph_->push(x, out);
+      return;
+    }
+    scratch_.clear();
+    morph_->push(x, scratch_);
+    for (const sample_t v : scratch_) fir_->push(v, out);
+  }
+
+  void finish(std::vector<sample_t>& out) {
+    if (morph_.has_value() && fir_.has_value()) {
+      scratch_.clear();
+      morph_->finish(scratch_);
+      for (const sample_t v : scratch_) fir_->push(v, out);
+      fir_->finish(out);
+      return;
+    }
+    if (morph_.has_value()) morph_->finish(out);
+    if (fir_.has_value()) fir_->finish(out);
+  }
+
+  void reset() {
+    if (morph_.has_value()) morph_->reset();
+    if (fir_.has_value()) fir_->reset();
+  }
+
+  [[nodiscard]] std::size_t latency() const {
+    std::size_t d = 0;
+    if (morph_.has_value()) d += morph_->delay();
+    if (fir_.has_value()) d += fir_->delay();
+    return d;
+  }
 
  private:
-  std::optional<dsp::StreamingBaselineRemover> morph_;
-  std::optional<dsp::StreamingZeroPhaseFir> fir_;
-  dsp::Signal scratch_;
+  std::optional<dsp::BasicStreamingBaselineRemover<B>> morph_;
+  std::optional<dsp::BasicStreamingZeroPhaseFir<B>> fir_;
+  std::vector<sample_t> scratch_;
 };
+
+using EcgCleanerStage = BasicEcgCleanerStage<dsp::DoubleBackend>;
 
 /// Streaming twin of the ICG conditioning chain: impedance in, cleaned
 /// ICG (-dZ/dt, zero-phase 20 Hz low-pass, zero-phase baseline high-pass)
@@ -64,25 +108,90 @@ class EcgCleanerStage final : public StreamingStage {
 /// sample of lookahead), the low-pass a symmetric kernel equal to the
 /// zero-phase Butterworth response, and the high-pass the decimated
 /// zero-phase baseline subtractor (see StreamingZeroPhaseHighpass).
-class IcgConditionerStage final : public StreamingStage {
+///
+/// `deriv_gain_log2` is the fixed-point scaling policy hook: the double
+/// backend multiplies the derivative by fs as always, while the Q31
+/// backend left-shifts by this amount instead and the caller accounts
+/// for the absorbed fs/2^shift factor in the stage's nominal full scale
+/// (see dsp::Q31ScalingPolicy).
+template <typename B>
+class BasicIcgConditionerStage {
  public:
-  IcgConditionerStage(dsp::SampleRate fs, const IcgFilterConfig& cfg = {});
+  using sample_t = typename B::sample_t;
 
-  void push(dsp::Sample x, dsp::Signal& out) override;
-  void finish(dsp::Signal& out) override;
-  void reset() override;
-  [[nodiscard]] std::size_t latency() const override;
+  BasicIcgConditionerStage(dsp::SampleRate fs, const IcgFilterConfig& cfg = {},
+                           int deriv_gain_log2 = 0)
+      : fs_(fs), gain_log2_(deriv_gain_log2),
+        lp_(icg_conditioner_lowpass_kernel(fs, cfg)) {
+    if (cfg.highpass_hz > 0.0) {
+      dsp::ZeroPhaseHighpassConfig hp_cfg;
+      hp_cfg.cutoff_hz = cfg.highpass_hz;
+      hp_cfg.order = cfg.highpass_order;
+      hp_.emplace(fs, hp_cfg);
+    }
+  }
+
+  void push(sample_t x, std::vector<sample_t>& out) {
+    const std::size_t j = z_count_++;
+    // ICG = -dZ/dt with the batch derivative() stencil: the aligned central
+    // difference needs one sample of lookahead, the first sample uses the
+    // forward difference.
+    if (j == 1)
+      on_derivative(B::rescale(B::neg(B::sub(x, prev_[1])), fs_, gain_log2_), out);
+    else if (j >= 2)
+      on_derivative(B::half(B::rescale(B::neg(B::sub(x, prev_[0])), fs_, gain_log2_)),
+                    out);
+    prev_[0] = prev_[1];
+    prev_[1] = x;
+  }
+
+  void finish(std::vector<sample_t>& out) {
+    // Trailing derivative sample: batch edge form -(x[n-1] - x[n-2]) * fs.
+    if (z_count_ >= 2)
+      on_derivative(B::rescale(B::neg(B::sub(prev_[1], prev_[0])), fs_, gain_log2_),
+                    out);
+    else if (z_count_ == 1)
+      on_derivative(sample_t{}, out);
+    lp_scratch_.clear();
+    lp_.finish(lp_scratch_);
+    for (const sample_t v : lp_scratch_) on_lowpassed(v, out);
+    if (hp_.has_value()) hp_->finish(out);
+  }
+
+  void reset() {
+    lp_.reset();
+    if (hp_.has_value()) hp_->reset();
+    prev_[0] = prev_[1] = sample_t{};
+    z_count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t latency() const {
+    return 1 + lp_.delay() + (hp_.has_value() ? hp_->delay() : 0);
+  }
 
  private:
-  void on_derivative(dsp::Sample d, dsp::Signal& out);
-  void on_lowpassed(dsp::Sample v, dsp::Signal& out);
+  void on_derivative(sample_t d, std::vector<sample_t>& out) {
+    lp_scratch_.clear();
+    lp_.push(d, lp_scratch_);
+    for (const sample_t v : lp_scratch_) on_lowpassed(v, out);
+  }
+
+  void on_lowpassed(sample_t v, std::vector<sample_t>& out) {
+    if (hp_.has_value())
+      hp_->push(v, out);
+    else
+      out.push_back(v);
+  }
 
   dsp::SampleRate fs_;
-  dsp::StreamingZeroPhaseFir lp_;
-  std::optional<dsp::StreamingZeroPhaseHighpass> hp_;
-  dsp::Signal lp_scratch_, hp_scratch_;
-  double prev_[2] = {};        ///< last two impedance samples
+  int gain_log2_;
+  dsp::BasicStreamingZeroPhaseFir<B> lp_;
+  std::optional<dsp::BasicStreamingZeroPhaseHighpass<B>> hp_;
+  std::vector<sample_t> lp_scratch_;
+  sample_t prev_[2] = {};        ///< last two impedance samples
   std::size_t z_count_ = 0;
 };
+
+using IcgConditionerStage = BasicIcgConditionerStage<dsp::DoubleBackend>;
 
 } // namespace icgkit::core

@@ -62,31 +62,4 @@ double sos_magnitude_at(const SosFilter& filter, double freq_hz, SampleRate fs) 
   return std::abs(h);
 }
 
-StreamingSos::StreamingSos(SosFilter filter)
-    : filter_(std::move(filter)), states_(filter_.sections.size()) {
-  if (filter_.sections.empty()) throw std::invalid_argument("StreamingSos: empty cascade");
-}
-
-Sample StreamingSos::tick(Sample x) {
-  double v = x;
-  for (std::size_t i = 0; i < filter_.sections.size(); ++i) {
-    const Biquad& s = filter_.sections[i];
-    State& st = states_[i];
-    const double out = s.b0 * v + st.s1;
-    st.s1 = s.b1 * v - s.a1 * out + st.s2;
-    st.s2 = s.b2 * v - s.a2 * out;
-    v = out;
-  }
-  return v * filter_.gain;
-}
-
-void StreamingSos::process_chunk(SignalView x, Signal& out) {
-  out.reserve(out.size() + x.size());
-  for (const Sample v : x) out.push_back(tick(v));
-}
-
-void StreamingSos::reset() {
-  for (auto& st : states_) st = State{};
-}
-
 } // namespace icgkit::dsp

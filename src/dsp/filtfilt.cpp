@@ -120,100 +120,4 @@ FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol,
   return out;
 }
 
-StreamingZeroPhaseFir::StreamingZeroPhaseFir(FirCoefficients kernel)
-    : kernel_(std::move(kernel)) {
-  const Signal& g = kernel_.taps;
-  if (g.empty() || g.size() % 2 == 0)
-    throw std::invalid_argument("StreamingZeroPhaseFir: kernel length must be odd");
-  double peak = 0.0;
-  for (const double v : g) peak = std::max(peak, std::abs(v));
-  for (std::size_t i = 0; i < g.size() / 2; ++i)
-    if (std::abs(g[i] - g[g.size() - 1 - i]) > 1e-9 * peak)
-      throw std::invalid_argument("StreamingZeroPhaseFir: kernel must be symmetric");
-  half_ = (g.size() - 1) / 2;
-  line_.assign(g.size(), 0.0);
-  tail_.assign(half_ + 1, 0.0);
-}
-
-void StreamingZeroPhaseFir::feed_extended(Sample z, Signal& out) {
-  line_[head_] = z;
-  const std::size_t len = line_.size();
-  head_ = (head_ + 1) % len;
-  ++fed_;
-  if (fed_ < len) return;
-  double acc = 0.0;
-  std::size_t idx = head_ == 0 ? len - 1 : head_ - 1; // newest sample
-  for (const double tap : kernel_.taps) {
-    acc += tap * line_[idx];
-    idx = (idx == 0) ? len - 1 : idx - 1;
-  }
-  out.push_back(acc);
-}
-
-void StreamingZeroPhaseFir::push(Sample x, Signal& out) {
-  const std::size_t raw = raw_count_++;
-  tail_[raw % tail_.size()] = x;
-  if (warm_) {
-    feed_extended(x, out);
-    return;
-  }
-  warmup_.push_back(x);
-  if (warmup_.size() < half_ + 1) return;
-  // Have x[0..half]: synthesize the odd-reflection prefix 2 x[0] - x[k]
-  // (k = half..1), then feed the buffered head. The last of these feeds
-  // emits out[0]; the stage is in steady state afterwards.
-  for (std::size_t k = half_; k >= 1; --k)
-    feed_extended(2.0 * warmup_[0] - warmup_[k], out);
-  for (const Sample v : warmup_) feed_extended(v, out);
-  warmup_.clear();
-  warmup_.shrink_to_fit();
-  warm_ = true;
-}
-
-void StreamingZeroPhaseFir::process_chunk(SignalView x, Signal& out) {
-  for (const Sample v : x) push(v, out);
-}
-
-void StreamingZeroPhaseFir::finish(Signal& out) {
-  if (raw_count_ == 0) return;
-  if (!warm_) {
-    // Short stream (n <= delay): emit the zero-phase output directly from
-    // the buffered samples with the clamped odd-reflection padding the
-    // batch filtfilt would use.
-    const std::size_t n = warmup_.size();
-    const std::size_t pad = std::min(half_, n - 1);
-    const Signal ext = pad > 0 ? odd_reflect_pad(warmup_, pad) : warmup_;
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < kernel_.taps.size(); ++j) {
-        // Extended index of the sample hit by tap j for aligned output i.
-        const std::ptrdiff_t e = static_cast<std::ptrdiff_t>(i + half_ - j) +
-                                 static_cast<std::ptrdiff_t>(pad);
-        if (e < 0 || e >= static_cast<std::ptrdiff_t>(ext.size())) continue;
-        acc += kernel_.taps[j] * ext[static_cast<std::size_t>(e)];
-      }
-      out.push_back(acc);
-    }
-    warmup_.clear();
-    return;
-  }
-  // Steady state: synthesize the odd-reflection suffix 2 x[n-1] - x[n-1-k]
-  // (k = 1..half), flushing the remaining delay() aligned outputs.
-  const Sample last = tail_[(raw_count_ - 1) % tail_.size()];
-  for (std::size_t k = 1; k <= half_; ++k) {
-    const Sample mirrored = tail_[(raw_count_ - 1 - k) % tail_.size()];
-    feed_extended(2.0 * last - mirrored, out);
-  }
-}
-
-void StreamingZeroPhaseFir::reset() {
-  std::fill(line_.begin(), line_.end(), 0.0);
-  head_ = 0;
-  fed_ = 0;
-  raw_count_ = 0;
-  warmup_.clear();
-  std::fill(tail_.begin(), tail_.end(), 0.0);
-  warm_ = false;
-}
-
 } // namespace icgkit::dsp

@@ -11,9 +11,17 @@
 // begins, then the extension is discarded.
 #pragma once
 
+#include "dsp/backend.h"
 #include "dsp/biquad.h"
 #include "dsp/fir_design.h"
 #include "dsp/types.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
 
 namespace icgkit::dsp {
 
@@ -58,7 +66,10 @@ FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol = 1e-6
                                       std::size_t max_half_len = 4096);
 
 /// Single-pass streaming filter for a symmetric (odd-length) kernel with
-/// group-delay compensation and filtfilt-style odd-reflection edges.
+/// group-delay compensation and filtfilt-style odd-reflection edges,
+/// generic over the numeric backend (dsp/backend.h; the Q31
+/// instantiation quantizes the taps to Q2.30 and runs 64-bit MAC loops
+/// with saturating edge reflection).
 ///
 /// Feeding x[0..n) through push() and then finish() produces exactly n
 /// output samples, where out[i] is aligned with input x[i] (the constant
@@ -67,37 +78,151 @@ FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol = 1e-6
 /// synthesizing the same odd-reflection extension filtfilt uses). The
 /// result is chunk-size invariant: any segmentation of the input yields
 /// bit-identical output.
-class StreamingZeroPhaseFir {
+template <typename B>
+class BasicStreamingZeroPhaseFir {
  public:
+  using sample_t = typename B::sample_t;
+
   /// `kernel` must have odd length and be symmetric (as produced by
   /// zero_phase_fir_kernel / zero_phase_sos_kernel).
-  explicit StreamingZeroPhaseFir(FirCoefficients kernel);
+  explicit BasicStreamingZeroPhaseFir(FirCoefficients kernel)
+      : kernel_(std::move(kernel)) {
+    const Signal& g = kernel_.taps;
+    if (g.empty() || g.size() % 2 == 0)
+      throw std::invalid_argument("StreamingZeroPhaseFir: kernel length must be odd");
+    double peak = 0.0;
+    for (const double v : g) peak = std::max(peak, std::abs(v));
+    for (std::size_t i = 0; i < g.size() / 2; ++i)
+      if (std::abs(g[i] - g[g.size() - 1 - i]) > 1e-9 * peak)
+        throw std::invalid_argument("StreamingZeroPhaseFir: kernel must be symmetric");
+    if constexpr (B::kFixed) {
+      taps_.reserve(g.size());
+      for (const double c : g) taps_.push_back(B::coeff(c));
+    }
+    half_ = (g.size() - 1) / 2;
+    line_.assign(g.size(), sample_t{});
+    tail_.assign(half_ + 1, sample_t{});
+  }
 
   /// Feeds one sample; appends any newly aligned outputs to `out`.
-  void push(Sample x, Signal& out);
-  /// Feeds a chunk; appends newly aligned outputs to `out`.
-  void process_chunk(SignalView x, Signal& out);
+  void push(sample_t x, std::vector<sample_t>& out) {
+    const std::size_t raw = raw_count_++;
+    tail_[raw % tail_.size()] = x;
+    if (warm_) {
+      feed_extended(x, out);
+      return;
+    }
+    warmup_.push_back(x);
+    if (warmup_.size() < half_ + 1) return;
+    // Have x[0..half]: synthesize the odd-reflection prefix 2 x[0] - x[k]
+    // (k = half..1), then feed the buffered head. The last of these feeds
+    // emits out[0]; the stage is in steady state afterwards.
+    for (std::size_t k = half_; k >= 1; --k)
+      feed_extended(B::odd_reflect(warmup_[0], warmup_[k]), out);
+    for (const sample_t v : warmup_) feed_extended(v, out);
+    warmup_.clear();
+    warmup_.shrink_to_fit();
+    warm_ = true;
+  }
+
+  /// Feeds a chunk; appends newly aligned outputs to `out`. Typed span:
+  /// cross-backend container mixups fail to compile instead of
+  /// truncating.
+  void process_chunk(std::span<const sample_t> x, std::vector<sample_t>& out) {
+    for (const sample_t v : x) push(v, out);
+  }
+
   /// End of stream: emits the remaining delay() samples (or, for streams
   /// shorter than delay(), the best-effort short-signal output).
-  void finish(Signal& out);
-  void reset();
+  void finish(std::vector<sample_t>& out) {
+    if (raw_count_ == 0) return;
+    if (!warm_) {
+      // Short stream (n <= delay): emit the zero-phase output directly from
+      // the buffered samples with the clamped odd-reflection padding the
+      // batch filtfilt would use.
+      const std::size_t n = warmup_.size();
+      const std::size_t pad = std::min(half_, n - 1);
+      std::vector<sample_t> ext;
+      ext.reserve(n + 2 * pad);
+      for (std::size_t k = pad; k >= 1; --k)
+        ext.push_back(B::odd_reflect(warmup_.front(), warmup_[k]));
+      ext.insert(ext.end(), warmup_.begin(), warmup_.end());
+      for (std::size_t k = 1; k <= pad; ++k)
+        ext.push_back(B::odd_reflect(warmup_.back(), warmup_[n - 1 - k]));
+      for (std::size_t i = 0; i < n; ++i) {
+        typename B::acc_t acc = B::acc_zero();
+        const auto& g_taps = taps();
+        for (std::size_t j = 0; j < g_taps.size(); ++j) {
+          // Extended index of the sample hit by tap j for aligned output i.
+          const std::ptrdiff_t e = static_cast<std::ptrdiff_t>(i + half_ - j) +
+                                   static_cast<std::ptrdiff_t>(pad);
+          if (e < 0 || e >= static_cast<std::ptrdiff_t>(ext.size())) continue;
+          acc = B::mac(acc, g_taps[j], ext[static_cast<std::size_t>(e)]);
+        }
+        out.push_back(B::narrow(acc));
+      }
+      warmup_.clear();
+      return;
+    }
+    // Steady state: synthesize the odd-reflection suffix 2 x[n-1] - x[n-1-k]
+    // (k = 1..half), flushing the remaining delay() aligned outputs.
+    const sample_t last = tail_[(raw_count_ - 1) % tail_.size()];
+    for (std::size_t k = 1; k <= half_; ++k) {
+      const sample_t mirrored = tail_[(raw_count_ - 1 - k) % tail_.size()];
+      feed_extended(B::odd_reflect(last, mirrored), out);
+    }
+  }
+
+  void reset() {
+    std::fill(line_.begin(), line_.end(), sample_t{});
+    head_ = 0;
+    fed_ = 0;
+    raw_count_ = 0;
+    warmup_.clear();
+    std::fill(tail_.begin(), tail_.end(), sample_t{});
+    warm_ = false;
+  }
 
   /// Group delay in samples: out[i] is emitted upon input i + delay().
   [[nodiscard]] std::size_t delay() const { return half_; }
   [[nodiscard]] const FirCoefficients& kernel() const { return kernel_; }
 
  private:
-  void feed_extended(Sample z, Signal& out);
+  void feed_extended(sample_t z, std::vector<sample_t>& out) {
+    line_[head_] = z;
+    const std::size_t len = line_.size();
+    head_ = (head_ + 1) % len;
+    ++fed_;
+    if (fed_ < len) return;
+    typename B::acc_t acc = B::acc_zero();
+    std::size_t idx = head_ == 0 ? len - 1 : head_ - 1; // newest sample
+    for (const auto tap : taps()) {
+      acc = B::mac(acc, tap, line_[idx]);
+      idx = (idx == 0) ? len - 1 : idx - 1;
+    }
+    out.push_back(B::narrow(acc));
+  }
 
-  FirCoefficients kernel_;
+  /// The double backend convolves with the design taps directly; only
+  /// the fixed backend materializes a quantized copy (these kernels run
+  /// to thousands of taps, and fleet sessions each own several).
+  [[nodiscard]] const std::vector<typename B::coeff_t>& taps() const {
+    if constexpr (B::kFixed) return taps_;
+    else return kernel_.taps;
+  }
+
+  FirCoefficients kernel_;                 ///< the double-precision design
+  std::vector<typename B::coeff_t> taps_;  ///< Q2.30 taps (fixed backend only)
   std::size_t half_;          ///< (len - 1) / 2 == group delay
-  Signal line_;               ///< circular delay line, size == kernel length
+  std::vector<sample_t> line_;///< circular delay line, size == kernel length
   std::size_t head_ = 0;      ///< next write slot in line_
   std::size_t fed_ = 0;       ///< extended-stream samples consumed
   std::size_t raw_count_ = 0; ///< raw input samples consumed
-  Signal warmup_;             ///< first half_+1 raw samples (prefix synthesis)
-  Signal tail_;               ///< last half_+1 raw samples (suffix synthesis)
+  std::vector<sample_t> warmup_; ///< first half_+1 raw samples (prefix synthesis)
+  std::vector<sample_t> tail_;   ///< last half_+1 raw samples (suffix synthesis)
   bool warm_ = false;         ///< prefix emitted, steady state reached
 };
+
+using StreamingZeroPhaseFir = BasicStreamingZeroPhaseFir<DoubleBackend>;
 
 } // namespace icgkit::dsp

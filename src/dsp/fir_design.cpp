@@ -113,31 +113,4 @@ double fir_magnitude_at(const FirCoefficients& fir, double freq_hz, SampleRate f
   return std::hypot(re, im);
 }
 
-StreamingFir::StreamingFir(FirCoefficients coeffs)
-    : coeffs_(std::move(coeffs)), delay_(coeffs_.taps.size(), 0.0) {
-  if (coeffs_.taps.empty()) throw std::invalid_argument("StreamingFir: empty taps");
-}
-
-Sample StreamingFir::tick(Sample x) {
-  delay_[head_] = x;
-  double acc = 0.0;
-  std::size_t idx = head_;
-  for (const double tap : coeffs_.taps) {
-    acc += tap * delay_[idx];
-    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
-  }
-  head_ = (head_ + 1) % delay_.size();
-  return acc;
-}
-
-void StreamingFir::process_chunk(SignalView x, Signal& out) {
-  out.reserve(out.size() + x.size());
-  for (const Sample v : x) out.push_back(tick(v));
-}
-
-void StreamingFir::reset() {
-  std::fill(delay_.begin(), delay_.end(), 0.0);
-  head_ = 0;
-}
-
 } // namespace icgkit::dsp

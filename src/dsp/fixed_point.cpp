@@ -2,82 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace icgkit::dsp {
 
-namespace {
-constexpr double kQ30 = 1073741824.0; // 2^30
-
-std::int32_t to_q30(double v) {
-  if (v < -2.0 || v >= 2.0)
-    throw std::invalid_argument("fixed_point: coefficient outside Q2.30 range");
-  return static_cast<std::int32_t>(std::llround(v * kQ30));
-}
-
-// Q2.30 coefficient x Q1.31-ish state held in double-width accumulator.
-inline std::int64_t mac(std::int64_t acc, std::int32_t coeff, std::int64_t value) {
-  return acc + ((static_cast<std::int64_t>(coeff) * value) >> 30);
-}
-
-// One transposed-DF2 step of the whole cascade over the given state.
-inline std::int64_t cascade_step(const std::vector<FixedBiquad>& sections,
-                                 std::vector<std::int64_t>& s1,
-                                 std::vector<std::int64_t>& s2, std::int64_t v) {
-  for (std::size_t k = 0; k < sections.size(); ++k) {
-    const FixedBiquad& c = sections[k];
-    const std::int64_t in = v;
-    const std::int64_t out = mac(s1[k], c.b0, in);
-    s1[k] = mac(mac(s2[k], c.b1, in), -c.a1, out);
-    s2[k] = mac(mac(0, c.b2, in), -c.a2, out);
-    v = out;
-  }
-  return v;
-}
-} // namespace
-
 FixedBiquad FixedBiquad::from(const Biquad& s) {
-  return {to_q30(s.b0), to_q30(s.b1), to_q30(s.b2), to_q30(s.a1), to_q30(s.a2)};
-}
-
-FixedSosFilter::FixedSosFilter(const SosFilter& design) {
-  sections_.reserve(design.sections.size());
-  for (std::size_t i = 0; i < design.sections.size(); ++i) {
-    Biquad s = design.sections[i];
-    if (i == 0) {
-      s.b0 *= design.gain;
-      s.b1 *= design.gain;
-      s.b2 *= design.gain;
-    }
-    sections_.push_back(FixedBiquad::from(s));
-  }
-  s1_.assign(sections_.size(), 0);
-  s2_.assign(sections_.size(), 0);
+  return {Q31Backend::coeff(s.b0), Q31Backend::coeff(s.b1), Q31Backend::coeff(s.b2),
+          Q31Backend::coeff(s.a1), Q31Backend::coeff(s.a2)};
 }
 
 Signal FixedSosFilter::apply(SignalView x) const {
-  // State in Q31 relative to unit full scale; transposed direct form II.
-  constexpr double kQ31 = 2147483648.0; // 2^31
-  std::vector<std::int64_t> s1(sections_.size(), 0), s2(sections_.size(), 0);
+  // One shared arithmetic path: a private copy of the streaming engine
+  // (fresh Q31 state) ticked sample by sample, converting at the Q1.31
+  // boundary. Chunked tick() feeding is therefore bit-identical to
+  // apply() by construction instead of by parallel implementation.
+  BasicStreamingSos<Q31Backend> engine = engine_;
+  engine.reset();
   Signal y(x.size());
-  for (std::size_t n = 0; n < x.size(); ++n) {
-    const std::int64_t v = static_cast<std::int64_t>(std::llround(x[n] * kQ31));
-    y[n] = static_cast<double>(cascade_step(sections_, s1, s2, v)) / kQ31;
-  }
+  for (std::size_t n = 0; n < x.size(); ++n)
+    y[n] = Q31Backend::to_real(engine.tick(Q31Backend::from_real(x[n])));
   return y;
-}
-
-std::int32_t FixedSosFilter::tick(std::int32_t x_q31) {
-  const std::int64_t out = cascade_step(sections_, s1_, s2_, x_q31);
-  // Saturate to Q1.31 the way the Cortex-M SSAT instruction would.
-  constexpr std::int64_t kMax = 2147483647;
-  constexpr std::int64_t kMin = -2147483648LL;
-  return static_cast<std::int32_t>(out > kMax ? kMax : (out < kMin ? kMin : out));
-}
-
-void FixedSosFilter::reset_state() {
-  std::fill(s1_.begin(), s1_.end(), 0);
-  std::fill(s2_.begin(), s2_.end(), 0);
 }
 
 double fixed_point_error(const SosFilter& design, SignalView x) {

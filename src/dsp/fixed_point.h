@@ -2,25 +2,28 @@
 //
 // The STM32L151's Cortex-M3 has no FPU: double-precision software floats
 // cost ~70 cycles per multiply-accumulate, while a Q31 MAC costs ~4 (see
-// platform::McuConfig). This module provides the fixed-point counterpart
-// of the SOS cascade so the accuracy cost of that 17x speedup can be
-// measured (tests assert the Q31 path tracks the double path to ~1e-6 of
-// full scale for the paper's filters).
+// platform::McuConfig). This module is the Q31 face of the SOS cascade:
+// since the numeric-backend refactor it is a thin wrapper around
+// BasicStreamingSos<Q31Backend> (see dsp/backend.h and dsp/biquad.h), so
+// the batch apply() and the streaming tick() share one arithmetic path
+// and cannot drift (apply literally routes every sample through tick on
+// a fresh state).
 //
 // Format: Q1.31-style signed accumulation with per-section coefficient
 // scaling. Coefficients with |a1| up to 2 (common for low cut-offs) are
 // stored in Q2.30.
 #pragma once
 
+#include "dsp/backend.h"
 #include "dsp/biquad.h"
 #include "dsp/types.h"
 
 #include <cstdint>
-#include <vector>
 
 namespace icgkit::dsp {
 
-/// One biquad with Q2.30 coefficients and Q1.31 state.
+/// One biquad with Q2.30 coefficients (kept for inspection/tests; the
+/// cascade itself lives in BasicStreamingSos<Q31Backend>).
 struct FixedBiquad {
   std::int32_t b0, b1, b2, a1, a2; // Q2.30
 
@@ -34,26 +37,26 @@ class FixedSosFilter {
   /// Quantizes a double-precision design. The overall `gain` is folded
   /// into the first section's numerator. Throws if any coefficient falls
   /// outside the Q2.30 range [-2, 2).
-  explicit FixedSosFilter(const SosFilter& design);
+  explicit FixedSosFilter(const SosFilter& design) : engine_(design) {}
 
-  /// Processes a normalized signal through the cascade (stateless: uses a
-  /// local state, so repeated calls are independent).
+  /// Processes a normalized signal through the cascade (stateless: runs
+  /// tick() over a private copy of the engine, so repeated calls are
+  /// independent and apply/tick share one arithmetic implementation).
   [[nodiscard]] Signal apply(SignalView x) const;
 
   /// One sample, streaming: input in Q1.31 full scale, output in Q1.31.
   /// The per-section Q31 state persists across calls (reset with
   /// reset_state()), so chunked feeding is bit-identical to apply() on
   /// the concatenated signal.
-  [[nodiscard]] std::int32_t tick(std::int32_t x_q31);
+  [[nodiscard]] std::int32_t tick(std::int32_t x_q31) { return engine_.tick(x_q31); }
 
   /// Clears the streaming state carried by tick().
-  void reset_state();
+  void reset_state() { engine_.reset(); }
 
-  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+  [[nodiscard]] std::size_t section_count() const { return engine_.section_count(); }
 
  private:
-  std::vector<FixedBiquad> sections_;
-  std::vector<std::int64_t> s1_, s2_; ///< tick() streaming state, Q31
+  BasicStreamingSos<Q31Backend> engine_;
 };
 
 /// Convenience: worst-case absolute deviation between the double and the

@@ -62,16 +62,21 @@ Signal morph_close(SignalView x, std::size_t width) {
   return erode(d, width);
 }
 
+std::size_t baseline_width_w1(SampleRate fs, const BaselineEstimatorConfig& cfg) {
+  return make_odd(std::max<std::size_t>(3, static_cast<std::size_t>(cfg.qrs_window_s * fs)));
+}
+
+std::size_t baseline_width_w2(SampleRate fs, const BaselineEstimatorConfig& cfg) {
+  const std::size_t w1 = baseline_width_w1(fs, cfg);
+  return make_odd(std::max<std::size_t>(
+      w1, static_cast<std::size_t>(cfg.wave_window_factor * static_cast<double>(w1))));
+}
+
 Signal estimate_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg) {
   if (fs <= 0.0) throw std::invalid_argument("estimate_baseline: fs must be positive");
   if (x.empty()) return {};
-  const std::size_t w1 =
-      make_odd(std::max<std::size_t>(3, static_cast<std::size_t>(cfg.qrs_window_s * fs)));
-  const std::size_t w2 = make_odd(
-      std::max<std::size_t>(w1, static_cast<std::size_t>(cfg.wave_window_factor *
-                                                         static_cast<double>(w1))));
-  const Signal opened = morph_open(x, w1);
-  return morph_close(opened, w2);
+  const Signal opened = morph_open(x, baseline_width_w1(fs, cfg));
+  return morph_close(opened, baseline_width_w2(fs, cfg));
 }
 
 Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg) {
@@ -79,94 +84,6 @@ Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfi
   Signal out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - baseline[i];
   return out;
-}
-
-// ---------------------------------------------------------------------------
-// Streaming morphology
-// ---------------------------------------------------------------------------
-
-StreamingExtremum::StreamingExtremum(std::size_t width, Kind kind)
-    : half_(width / 2), kind_(kind), dq_(width + 1) {
-  if (width % 2 == 0 || width == 0)
-    throw std::invalid_argument("StreamingExtremum: width must be odd");
-}
-
-void StreamingExtremum::emit_center(std::size_t center, Signal& out) {
-  const std::size_t win_begin = center > half_ ? center - half_ : 0;
-  while (!dq_.empty() && dq_.front().idx < win_begin) dq_.pop();
-  out.push_back(dq_.front().v);
-  ++emitted_;
-}
-
-void StreamingExtremum::push(Sample x, Signal& out) {
-  const std::size_t idx = pushed_++;
-  if (kind_ == Kind::Min) {
-    while (!dq_.empty() && x <= dq_.back().v) dq_.pop_back();
-  } else {
-    while (!dq_.empty() && x >= dq_.back().v) dq_.pop_back();
-  }
-  dq_.push(Entry{idx, x});
-  if (pushed_ > half_) emit_center(pushed_ - 1 - half_, out);
-}
-
-void StreamingExtremum::finish(Signal& out) {
-  while (emitted_ < pushed_) emit_center(emitted_, out);
-}
-
-void StreamingExtremum::reset() {
-  dq_.clear();
-  pushed_ = 0;
-  emitted_ = 0;
-}
-
-StreamingBaselineRemover::StreamingBaselineRemover(SampleRate fs,
-                                                   const BaselineEstimatorConfig& cfg)
-    : w1_(make_odd(std::max<std::size_t>(3, static_cast<std::size_t>(cfg.qrs_window_s * fs)))),
-      w2_(make_odd(std::max<std::size_t>(
-          w1_, static_cast<std::size_t>(cfg.wave_window_factor * static_cast<double>(w1_))))),
-      delay_((w1_ - 1) + (w2_ - 1)),
-      open_erode_(w1_, StreamingExtremum::Kind::Min),
-      open_dilate_(w1_, StreamingExtremum::Kind::Max),
-      close_dilate_(w2_, StreamingExtremum::Kind::Max),
-      close_erode_(w2_, StreamingExtremum::Kind::Min),
-      raw_delay_(delay_ + 1) {
-  if (fs <= 0.0) throw std::invalid_argument("StreamingBaselineRemover: fs must be positive");
-}
-
-void StreamingBaselineRemover::push(Sample x, Signal& out) {
-  raw_delay_.push(x);
-  scratch1_.clear();
-  open_erode_.push(x, scratch1_);
-  scratch2_.clear();
-  for (const Sample v : scratch1_) open_dilate_.push(v, scratch2_);
-  scratch1_.clear();
-  for (const Sample v : scratch2_) close_dilate_.push(v, scratch1_);
-  scratch2_.clear();
-  for (const Sample v : scratch1_) close_erode_.push(v, scratch2_);
-  for (const Sample baseline : scratch2_) out.push_back(raw_delay_.pop() - baseline);
-}
-
-void StreamingBaselineRemover::finish(Signal& out) {
-  scratch1_.clear();
-  open_erode_.finish(scratch1_);
-  scratch2_.clear();
-  for (const Sample v : scratch1_) open_dilate_.push(v, scratch2_);
-  open_dilate_.finish(scratch2_);
-  scratch1_.clear();
-  for (const Sample v : scratch2_) close_dilate_.push(v, scratch1_);
-  close_dilate_.finish(scratch1_);
-  scratch2_.clear();
-  for (const Sample v : scratch1_) close_erode_.push(v, scratch2_);
-  close_erode_.finish(scratch2_);
-  for (const Sample baseline : scratch2_) out.push_back(raw_delay_.pop() - baseline);
-}
-
-void StreamingBaselineRemover::reset() {
-  open_erode_.reset();
-  open_dilate_.reset();
-  close_dilate_.reset();
-  close_erode_.reset();
-  raw_delay_.clear();
 }
 
 } // namespace icgkit::dsp

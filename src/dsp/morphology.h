@@ -9,10 +9,13 @@
 // tracks the baseline drift, which is then subtracted from the signal.
 #pragma once
 
+#include "dsp/backend.h"
 #include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
 #include <cstddef>
+#include <stdexcept>
+#include <vector>
 
 namespace icgkit::dsp {
 
@@ -47,7 +50,9 @@ Signal estimate_baseline(SignalView x, SampleRate fs, const BaselineEstimatorCon
 /// Convenience: x - estimate_baseline(x).
 Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg = {});
 
-/// Streaming erosion/dilation with a centered flat structuring element.
+/// Streaming erosion/dilation with a centered flat structuring element,
+/// generic over the numeric backend (dsp/backend.h; pure order
+/// statistics, so the Q31 instantiation is exact).
 ///
 /// Bit-identical to erode()/dilate() on the concatenated input (same
 /// monotonic-deque arithmetic, same shrinking edge windows), but fed one
@@ -56,26 +61,54 @@ Signal remove_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfi
 /// The deque lives in a fixed-capacity RingBuffer, so push() never
 /// allocates after construction. finish() emits the trailing width/2
 /// outputs with the batch right-edge shrinking windows.
-class StreamingExtremum {
+template <typename B>
+class BasicStreamingExtremum {
  public:
+  using sample_t = typename B::sample_t;
   enum class Kind { Min, Max };
 
-  StreamingExtremum(std::size_t width, Kind kind);
+  BasicStreamingExtremum(std::size_t width, Kind kind)
+      : half_(width / 2), kind_(kind), dq_(width + 1) {
+    if (width % 2 == 0 || width == 0)
+      throw std::invalid_argument("StreamingExtremum: width must be odd");
+  }
 
   /// Feeds one sample; appends 0 or 1 newly completed outputs to `out`.
-  void push(Sample x, Signal& out);
+  void push(sample_t x, std::vector<sample_t>& out) {
+    const std::size_t idx = pushed_++;
+    if (kind_ == Kind::Min) {
+      while (!dq_.empty() && x <= dq_.back().v) dq_.pop_back();
+    } else {
+      while (!dq_.empty() && x >= dq_.back().v) dq_.pop_back();
+    }
+    dq_.push(Entry{idx, x});
+    if (pushed_ > half_) emit_center(pushed_ - 1 - half_, out);
+  }
+
   /// Emits the remaining delayed outputs (right edge of the signal).
-  void finish(Signal& out);
-  void reset();
+  void finish(std::vector<sample_t>& out) {
+    while (emitted_ < pushed_) emit_center(emitted_, out);
+  }
+
+  void reset() {
+    dq_.clear();
+    pushed_ = 0;
+    emitted_ = 0;
+  }
 
   [[nodiscard]] std::size_t delay() const { return half_; }
 
  private:
   struct Entry {
     std::size_t idx;
-    Sample v;
+    sample_t v;
   };
-  void emit_center(std::size_t center, Signal& out);
+  void emit_center(std::size_t center, std::vector<sample_t>& out) {
+    const std::size_t win_begin = center > half_ ? center - half_ : 0;
+    while (!dq_.empty() && dq_.front().idx < win_begin) dq_.pop();
+    out.push_back(dq_.front().v);
+    ++emitted_;
+  }
 
   std::size_t half_;
   Kind kind_;
@@ -84,28 +117,87 @@ class StreamingExtremum {
   std::size_t emitted_ = 0;   ///< output samples produced
 };
 
+using StreamingExtremum = BasicStreamingExtremum<DoubleBackend>;
+
+/// Width derivation shared by the batch estimator and the streaming
+/// remover: w1 = odd(qrs_window_s * fs), w2 = odd(factor * w1).
+std::size_t baseline_width_w1(SampleRate fs, const BaselineEstimatorConfig& cfg);
+std::size_t baseline_width_w2(SampleRate fs, const BaselineEstimatorConfig& cfg);
+
 /// Streaming counterpart of remove_baseline(): the Sun et al. estimator
 /// (open w1 then close w2) run as a cascade of four StreamingExtremum
 /// stages, with the input delayed alongside so cleaned[c] = x[c] -
 /// baseline[c]. Bit-identical to the batch remove_baseline() including
-/// both edges; fixed group delay of (w1 - 1) + (w2 - 1) samples.
-class StreamingBaselineRemover {
+/// both edges; fixed group delay of (w1 - 1) + (w2 - 1) samples. Generic
+/// over the numeric backend: only the final subtraction is arithmetic
+/// (saturating under Q31Backend).
+template <typename B>
+class BasicStreamingBaselineRemover {
  public:
-  StreamingBaselineRemover(SampleRate fs, const BaselineEstimatorConfig& cfg = {});
+  using sample_t = typename B::sample_t;
+  using Extremum = BasicStreamingExtremum<B>;
+
+  BasicStreamingBaselineRemover(SampleRate fs, const BaselineEstimatorConfig& cfg = {})
+      : w1_(baseline_width_w1(fs, cfg)), w2_(baseline_width_w2(fs, cfg)),
+        delay_((w1_ - 1) + (w2_ - 1)),
+        open_erode_(w1_, Extremum::Kind::Min),
+        open_dilate_(w1_, Extremum::Kind::Max),
+        close_dilate_(w2_, Extremum::Kind::Max),
+        close_erode_(w2_, Extremum::Kind::Min),
+        raw_delay_(delay_ + 1) {
+    if (fs <= 0.0)
+      throw std::invalid_argument("StreamingBaselineRemover: fs must be positive");
+  }
 
   /// Feeds one raw sample; appends newly completed cleaned samples.
-  void push(Sample x, Signal& out);
+  void push(sample_t x, std::vector<sample_t>& out) {
+    raw_delay_.push(x);
+    scratch1_.clear();
+    open_erode_.push(x, scratch1_);
+    scratch2_.clear();
+    for (const sample_t v : scratch1_) open_dilate_.push(v, scratch2_);
+    scratch1_.clear();
+    for (const sample_t v : scratch2_) close_dilate_.push(v, scratch1_);
+    scratch2_.clear();
+    for (const sample_t v : scratch1_) close_erode_.push(v, scratch2_);
+    for (const sample_t baseline : scratch2_)
+      out.push_back(B::sub(raw_delay_.pop(), baseline));
+  }
+
   /// Flushes the trailing delay (right edge), emitting all pending output.
-  void finish(Signal& out);
-  void reset();
+  void finish(std::vector<sample_t>& out) {
+    scratch1_.clear();
+    open_erode_.finish(scratch1_);
+    scratch2_.clear();
+    for (const sample_t v : scratch1_) open_dilate_.push(v, scratch2_);
+    open_dilate_.finish(scratch2_);
+    scratch1_.clear();
+    for (const sample_t v : scratch2_) close_dilate_.push(v, scratch1_);
+    close_dilate_.finish(scratch1_);
+    scratch2_.clear();
+    for (const sample_t v : scratch1_) close_erode_.push(v, scratch2_);
+    close_erode_.finish(scratch2_);
+    for (const sample_t baseline : scratch2_)
+      out.push_back(B::sub(raw_delay_.pop(), baseline));
+  }
+
+  void reset() {
+    open_erode_.reset();
+    open_dilate_.reset();
+    close_dilate_.reset();
+    close_erode_.reset();
+    raw_delay_.clear();
+  }
 
   [[nodiscard]] std::size_t delay() const { return delay_; }
 
  private:
   std::size_t w1_, w2_, delay_;
-  StreamingExtremum open_erode_, open_dilate_, close_dilate_, close_erode_;
-  RingBuffer<Sample> raw_delay_;  ///< input delayed by `delay_` samples
-  Signal scratch1_, scratch2_;    ///< per-push stage buffers (capacity reused)
+  Extremum open_erode_, open_dilate_, close_dilate_, close_erode_;
+  RingBuffer<sample_t> raw_delay_;          ///< input delayed by `delay_` samples
+  std::vector<sample_t> scratch1_, scratch2_; ///< per-push stage buffers
 };
+
+using StreamingBaselineRemover = BasicStreamingBaselineRemover<DoubleBackend>;
 
 } // namespace icgkit::dsp

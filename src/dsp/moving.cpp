@@ -47,25 +47,4 @@ Signal ema(SignalView x, double alpha) {
   return y;
 }
 
-StreamingMovingAverage::StreamingMovingAverage(std::size_t width) : buf_(width == 0 ? 1 : width) {
-  if (width == 0) throw std::invalid_argument("StreamingMovingAverage: width must be >= 1");
-}
-
-Sample StreamingMovingAverage::tick(Sample x) {
-  // Same accumulation order as moving_window_integrate (add the incoming
-  // sample, then retire the outgoing one) so chunked streaming stays
-  // bit-identical to the batch kernel.
-  const bool was_full = buf_.full();
-  const Sample oldest = was_full ? buf_.front() : 0.0;
-  buf_.push(x);
-  sum_ += x;
-  if (was_full) sum_ -= oldest;
-  return sum_ / static_cast<double>(buf_.size());
-}
-
-void StreamingMovingAverage::reset() {
-  buf_.clear();
-  sum_ = 0.0;
-}
-
 } // namespace icgkit::dsp

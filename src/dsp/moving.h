@@ -2,10 +2,12 @@
 // exponential smoothing.
 #pragma once
 
+#include "dsp/backend.h"
 #include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
 #include <cstddef>
+#include <stdexcept>
 
 namespace icgkit::dsp {
 
@@ -20,23 +22,47 @@ Signal moving_window_integrate(SignalView x, std::size_t width);
 /// First-order exponential moving average, y[n] = a*x[n] + (1-a)*y[n-1].
 Signal ema(SignalView x, double alpha);
 
-/// Streaming causal moving average (used by the embedded-style pipeline).
-/// Matches moving_window_integrate sample for sample: y[n] =
+/// Streaming causal moving average (used by the embedded-style pipeline),
+/// generic over the numeric backend (dsp/backend.h). Matches
+/// moving_window_integrate sample for sample: y[n] =
 /// mean(x[max(0, n-width+1) .. n]), growing window at the start. State
 /// lives in a fixed-capacity RingBuffer, so tick() never allocates.
-class StreamingMovingAverage {
+/// Under Q31Backend the running sum is a 64-bit integer and the mean an
+/// integer division (the firmware form).
+template <typename B>
+class BasicStreamingMovingAverage {
  public:
-  explicit StreamingMovingAverage(std::size_t width);
+  using sample_t = typename B::sample_t;
+
+  explicit BasicStreamingMovingAverage(std::size_t width) : buf_(width == 0 ? 1 : width) {
+    if (width == 0) throw std::invalid_argument("StreamingMovingAverage: width must be >= 1");
+  }
 
   /// One sample in, one averaged sample out.
-  Sample tick(Sample x);
+  sample_t tick(sample_t x) {
+    // Same accumulation order as moving_window_integrate (add the incoming
+    // sample, then retire the outgoing one) so chunked streaming stays
+    // bit-identical to the batch kernel.
+    const bool was_full = buf_.full();
+    const sample_t oldest = was_full ? buf_.front() : sample_t{};
+    buf_.push(x);
+    sum_ = B::acc_add(sum_, x);
+    if (was_full) sum_ = B::acc_sub(sum_, oldest);
+    return B::mean(sum_, buf_.size());
+  }
   /// Back-compat alias for tick().
-  Sample process(Sample x) { return tick(x); }
-  void reset();
+  sample_t process(sample_t x) { return tick(x); }
+
+  void reset() {
+    buf_.clear();
+    sum_ = B::acc_zero();
+  }
 
  private:
-  RingBuffer<Sample> buf_;
-  double sum_ = 0.0;
+  RingBuffer<sample_t> buf_;
+  typename B::acc_t sum_ = B::acc_zero();
 };
+
+using StreamingMovingAverage = BasicStreamingMovingAverage<DoubleBackend>;
 
 } // namespace icgkit::dsp

@@ -2,14 +2,13 @@
 
 #include "dsp/butterworth.h"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace icgkit::dsp {
 
-namespace {
-std::size_t pick_decimation(SampleRate fs, const ZeroPhaseHighpassConfig& cfg) {
+std::size_t zero_phase_highpass_decimation(SampleRate fs,
+                                           const ZeroPhaseHighpassConfig& cfg) {
   if (fs <= 0.0) throw std::invalid_argument("StreamingZeroPhaseHighpass: fs must be positive");
   if (cfg.cutoff_hz <= 0.0 || cfg.cutoff_hz >= fs / 2.0)
     throw std::invalid_argument("StreamingZeroPhaseHighpass: cutoff must lie in (0, fs/2)");
@@ -18,99 +17,11 @@ std::size_t pick_decimation(SampleRate fs, const ZeroPhaseHighpassConfig& cfg) {
   return std::max<std::size_t>(1, static_cast<std::size_t>(std::floor(want)));
 }
 
-FirCoefficients baseline_kernel(SampleRate fs, std::size_t m,
-                                const ZeroPhaseHighpassConfig& cfg) {
+FirCoefficients zero_phase_highpass_kernel(SampleRate fs, std::size_t m,
+                                           const ZeroPhaseHighpassConfig& cfg) {
   const SampleRate decimated_fs = fs / static_cast<double>(m);
   return zero_phase_sos_kernel(
       butterworth_lowpass(cfg.order, cfg.cutoff_hz, decimated_fs), cfg.kernel_tol);
-}
-} // namespace
-
-StreamingZeroPhaseHighpass::StreamingZeroPhaseHighpass(SampleRate fs,
-                                                       const ZeroPhaseHighpassConfig& cfg)
-    : m_(pick_decimation(fs, cfg)),
-      base_(baseline_kernel(fs, m_, cfg)),
-      raw_((base_.delay() + 4) * m_ + m_ + 2) {}
-
-std::size_t StreamingZeroPhaseHighpass::delay() const {
-  return (base_.delay() + 2) * m_ + m_ / 2;
-}
-
-void StreamingZeroPhaseHighpass::push(Sample x, Signal& out) {
-  raw_.push(x);
-  ++in_count_;
-  block_acc_ += x;
-  if (++block_fill_ == m_) {
-    feed_block(block_acc_ / static_cast<double>(m_), out);
-    block_acc_ = 0.0;
-    block_fill_ = 0;
-  }
-}
-
-void StreamingZeroPhaseHighpass::process_chunk(SignalView x, Signal& out) {
-  for (const Sample v : x) push(v, out);
-}
-
-void StreamingZeroPhaseHighpass::feed_block(Sample mean, Signal& out) {
-  u_scratch_.clear();
-  base_.push(mean, u_scratch_);
-  for (const Sample u : u_scratch_) on_baseline(u, out);
-}
-
-void StreamingZeroPhaseHighpass::on_baseline(Sample u, Signal& out) {
-  const std::size_t k = u_count_++;
-  if (k == 0) {
-    prev_u_ = u;
-    return;
-  }
-  // Baseline sample k sits at input position c_k = k*m + m/2; interpolate
-  // linearly across [c_{k-1}, c_k) (flat before c_0 at the very start).
-  const std::size_t c_prev = (k - 1) * m_ + m_ / 2;
-  const std::size_t c_cur = k * m_ + m_ / 2;
-  // The final (partial-block) baseline can claim a center past the end of
-  // the input; never emit more outputs than samples consumed.
-  while (next_out_ < c_cur && next_out_ < in_count_) {
-    Sample baseline;
-    if (next_out_ < c_prev) {
-      baseline = prev_u_; // only before c_0: flat extrapolation
-    } else {
-      const double frac =
-          static_cast<double>(next_out_ - c_prev) / static_cast<double>(m_);
-      baseline = prev_u_ + (u - prev_u_) * frac;
-    }
-    emit(baseline, out);
-  }
-  prev_u_ = u;
-}
-
-void StreamingZeroPhaseHighpass::emit(Sample baseline, Signal& out) {
-  out.push_back(raw_.pop() - baseline);
-  ++next_out_;
-}
-
-void StreamingZeroPhaseHighpass::finish(Signal& out) {
-  if (block_fill_ > 0) {
-    feed_block(block_acc_ / static_cast<double>(block_fill_), out);
-    block_acc_ = 0.0;
-    block_fill_ = 0;
-  }
-  u_scratch_.clear();
-  base_.finish(u_scratch_);
-  for (const Sample u : u_scratch_) on_baseline(u, out);
-  // Flat extrapolation of the last baseline over the trailing half block.
-  while (next_out_ < in_count_) emit(prev_u_, out);
-}
-
-void StreamingZeroPhaseHighpass::reset() {
-  base_.reset();
-  raw_.clear();
-  u_scratch_.clear();
-  block_acc_ = 0.0;
-  block_fill_ = 0;
-  in_count_ = 0;
-  next_out_ = 0;
-  u_count_ = 0;
-  prev_u_ = 0.0;
 }
 
 } // namespace icgkit::dsp

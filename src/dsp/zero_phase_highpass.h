@@ -22,13 +22,21 @@
 // decimation and linear interpolation contribute percent-level error at
 // the folding frequencies only -- negligible against the suppression this
 // stage exists to provide.
+//
+// Generic over the numeric backend (dsp/backend.h): under Q31Backend the
+// block mean is a 64-bit sum with an integer division, the baseline
+// kernel runs the quantized MAC loop, and the interpolation is the
+// integer lerp -- the arithmetic an FPU-less firmware would use.
 #pragma once
 
+#include "dsp/backend.h"
 #include "dsp/filtfilt.h"
 #include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 namespace icgkit::dsp {
 
@@ -40,38 +48,120 @@ struct ZeroPhaseHighpassConfig {
   double kernel_tol = 1e-4;   ///< truncation tolerance of the baseline kernel
 };
 
-class StreamingZeroPhaseHighpass {
+/// Decimation factor the stage will use (validates fs/cutoff).
+std::size_t zero_phase_highpass_decimation(SampleRate fs,
+                                           const ZeroPhaseHighpassConfig& cfg);
+/// The baseline low-pass kernel at the decimated rate fs/m.
+FirCoefficients zero_phase_highpass_kernel(SampleRate fs, std::size_t m,
+                                           const ZeroPhaseHighpassConfig& cfg);
+
+template <typename B>
+class BasicStreamingZeroPhaseHighpass {
  public:
-  StreamingZeroPhaseHighpass(SampleRate fs, const ZeroPhaseHighpassConfig& cfg = {});
+  using sample_t = typename B::sample_t;
+
+  BasicStreamingZeroPhaseHighpass(SampleRate fs, const ZeroPhaseHighpassConfig& cfg = {})
+      : m_(zero_phase_highpass_decimation(fs, cfg)),
+        base_(zero_phase_highpass_kernel(fs, m_, cfg)),
+        raw_((base_.delay() + 4) * m_ + m_ + 2) {}
 
   /// Feeds one sample; appends newly aligned high-passed outputs to `out`.
-  void push(Sample x, Signal& out);
-  void process_chunk(SignalView x, Signal& out);
+  void push(sample_t x, std::vector<sample_t>& out) {
+    raw_.push(x);
+    ++in_count_;
+    block_acc_ = B::acc_add(block_acc_, x);
+    if (++block_fill_ == m_) {
+      feed_block(B::mean(block_acc_, m_), out);
+      block_acc_ = B::acc_zero();
+      block_fill_ = 0;
+    }
+  }
+
+  /// Typed span: cross-backend container mixups fail to compile.
+  void process_chunk(std::span<const sample_t> x, std::vector<sample_t>& out) {
+    for (const sample_t v : x) push(v, out);
+  }
+
   /// End of stream: flushes the remaining delayed outputs (flat baseline
   /// extrapolation over the last partial block).
-  void finish(Signal& out);
-  void reset();
+  void finish(std::vector<sample_t>& out) {
+    if (block_fill_ > 0) {
+      feed_block(B::mean(block_acc_, block_fill_), out);
+      block_acc_ = B::acc_zero();
+      block_fill_ = 0;
+    }
+    u_scratch_.clear();
+    base_.finish(u_scratch_);
+    for (const sample_t u : u_scratch_) on_baseline(u, out);
+    // Flat extrapolation of the last baseline over the trailing half block.
+    while (next_out_ < in_count_) emit(prev_u_, out);
+  }
+
+  void reset() {
+    base_.reset();
+    raw_.clear();
+    u_scratch_.clear();
+    block_acc_ = B::acc_zero();
+    block_fill_ = 0;
+    in_count_ = 0;
+    next_out_ = 0;
+    u_count_ = 0;
+    prev_u_ = sample_t{};
+  }
 
   /// Worst-case group delay in input samples.
-  [[nodiscard]] std::size_t delay() const;
+  [[nodiscard]] std::size_t delay() const { return (base_.delay() + 2) * m_ + m_ / 2; }
   [[nodiscard]] std::size_t decimation() const { return m_; }
 
  private:
-  void feed_block(Sample mean, Signal& out);
-  void on_baseline(Sample u, Signal& out);
-  void emit(Sample baseline, Signal& out);
+  void feed_block(sample_t mean, std::vector<sample_t>& out) {
+    u_scratch_.clear();
+    base_.push(mean, u_scratch_);
+    for (const sample_t u : u_scratch_) on_baseline(u, out);
+  }
 
-  std::size_t m_;                 ///< decimation factor
-  StreamingZeroPhaseFir base_;    ///< baseline kernel at the decimated rate
-  RingBuffer<Sample> raw_;        ///< inputs awaiting their baseline
-  Signal u_scratch_;
+  void on_baseline(sample_t u, std::vector<sample_t>& out) {
+    const std::size_t k = u_count_++;
+    if (k == 0) {
+      prev_u_ = u;
+      return;
+    }
+    // Baseline sample k sits at input position c_k = k*m + m/2; interpolate
+    // linearly across [c_{k-1}, c_k) (flat before c_0 at the very start).
+    const std::size_t c_prev = (k - 1) * m_ + m_ / 2;
+    const std::size_t c_cur = k * m_ + m_ / 2;
+    // The final (partial-block) baseline can claim a center past the end of
+    // the input; never emit more outputs than samples consumed.
+    while (next_out_ < c_cur && next_out_ < in_count_) {
+      sample_t baseline;
+      if (next_out_ < c_prev) {
+        baseline = prev_u_; // only before c_0: flat extrapolation
+      } else {
+        baseline = B::lerp(prev_u_, u, next_out_ - c_prev, m_);
+      }
+      emit(baseline, out);
+    }
+    prev_u_ = u;
+  }
 
-  double block_acc_ = 0.0;
+  void emit(sample_t baseline, std::vector<sample_t>& out) {
+    out.push_back(B::sub(raw_.pop(), baseline));
+    ++next_out_;
+  }
+
+  std::size_t m_;                          ///< decimation factor
+  BasicStreamingZeroPhaseFir<B> base_;     ///< baseline kernel, decimated rate
+  RingBuffer<sample_t> raw_;               ///< inputs awaiting their baseline
+  std::vector<sample_t> u_scratch_;
+
+  typename B::acc_t block_acc_ = B::acc_zero();
   std::size_t block_fill_ = 0;
   std::size_t in_count_ = 0;
   std::size_t next_out_ = 0;
   std::size_t u_count_ = 0;
-  Sample prev_u_ = 0.0;
+  sample_t prev_u_ = sample_t{};
 };
+
+using StreamingZeroPhaseHighpass = BasicStreamingZeroPhaseHighpass<DoubleBackend>;
 
 } // namespace icgkit::dsp

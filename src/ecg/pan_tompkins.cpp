@@ -4,306 +4,26 @@
 #include "dsp/derivative.h"
 #include "dsp/filtfilt.h"
 #include "dsp/moving.h"
-#include "dsp/stats.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace icgkit::ecg {
-
-// ---------------------------------------------------------------------------
-// OnlinePanTompkins
-// ---------------------------------------------------------------------------
 
 namespace {
 // Truncation tolerance for the band-pass zero-phase kernel: tight enough
 // that detection decisions match the batch filtfilt feature signal.
 constexpr double kBpKernelTol = 1e-5;
+} // namespace
 
-dsp::FirCoefficients feature_bandpass_kernel(dsp::SampleRate fs,
-                                             const PanTompkinsConfig& cfg) {
+dsp::FirCoefficients pan_tompkins_bandpass_kernel(dsp::SampleRate fs,
+                                                  const PanTompkinsConfig& cfg) {
   if (fs <= 0.0) throw std::invalid_argument("PanTompkins: fs must be positive");
   if (cfg.bandpass_low_hz >= cfg.bandpass_high_hz)
     throw std::invalid_argument("PanTompkins: band-pass edges inverted");
   return dsp::zero_phase_sos_kernel(
       dsp::butterworth_bandpass(2, cfg.bandpass_low_hz, cfg.bandpass_high_hz, fs),
       kBpKernelTol);
-}
-} // namespace
-
-OnlinePanTompkins::OnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg)
-    : fs_(fs), cfg_(cfg),
-      refractory_(static_cast<std::size_t>(cfg.refractory_s * fs)),
-      min_sep_(std::max<std::size_t>(1, refractory_ / 2)),
-      t_wave_win_(static_cast<std::size_t>(cfg.t_wave_window_s * fs)),
-      mwi_win_(std::max<std::size_t>(
-          1, static_cast<std::size_t>(cfg.integration_window_s * fs))),
-      refine_(static_cast<std::size_t>(cfg.refine_window_s * fs)),
-      learn_end_(static_cast<std::size_t>(2.0 * fs)),
-      bp_(feature_bandpass_kernel(fs, cfg)),
-      mwi_(mwi_win_),
-      mwi_ring_(std::max<std::size_t>(learn_end_ + 2,
-                                      static_cast<std::size_t>(8.0 * fs)) +
-                mwi_win_ + 2),
-      in_ring_(std::max<std::size_t>(learn_end_ + 2,
-                                     static_cast<std::size_t>(8.0 * fs)) +
-               mwi_win_ + 2) {}
-
-void OnlinePanTompkins::push(dsp::Sample x, std::vector<std::size_t>& out) {
-  in_ring_.push(x);
-  ++in_count_;
-  bp_scratch_.clear();
-  bp_.push(x, bp_scratch_);
-  for (const dsp::Sample v : bp_scratch_) on_bp_sample(v, out);
-}
-
-void OnlinePanTompkins::push_chunk(dsp::SignalView x, std::vector<std::size_t>& out) {
-  for (const dsp::Sample v : x) push(v, out);
-}
-
-void OnlinePanTompkins::on_bp_sample(dsp::Sample v, std::vector<std::size_t>& out) {
-  bp_hist_[bp_count_ % 5] = v;
-  const std::size_t j = bp_count_++;
-  auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
-  // Aligned 5-point derivative with the batch edge fallbacks (see
-  // five_point_derivative): d[0], d[1] use the one-sided/central forms,
-  // d[i] for i >= 2 the centered 5-point stencil once x[i+2] exists. The
-  // trailing d[n-2], d[n-1] are emitted by finish().
-  if (j == 1) {
-    const double d = (h(1) - h(0)) * fs_;
-    on_feature_sample(mwi_.tick(d * d), out);
-    ++d_emitted_;
-  } else if (j == 2) {
-    const double d = (h(2) - h(0)) * fs_ * 0.5;
-    on_feature_sample(mwi_.tick(d * d), out);
-    ++d_emitted_;
-  } else if (j >= 4) {
-    const double d = (2.0 * h(j) + h(j - 1) - h(j - 3) - 2.0 * h(j - 4)) * fs_ / 8.0;
-    on_feature_sample(mwi_.tick(d * d), out);
-    ++d_emitted_;
-  }
-}
-
-void OnlinePanTompkins::on_feature_sample(dsp::Sample v, std::vector<std::size_t>& out) {
-  mwi_ring_.push(v);
-  const std::size_t i = mwi_produced_++;
-  // A sample is a candidate once its right neighbour arrives: strictly
-  // above the left neighbour, at least the right one (plateaus keep the
-  // first sample), matching the batch local_maxima().
-  if (i >= 2 && mwi_at(i - 1) > mwi_at(i - 2) && mwi_at(i - 1) >= v)
-    on_local_max(i - 1, out);
-  if (!learned_ && mwi_produced_ >= learn_end_) {
-    learn_thresholds();
-    for (const std::size_t idx : prelearn_) process_candidate(idx, out);
-    prelearn_.clear();
-  }
-}
-
-void OnlinePanTompkins::on_local_max(std::size_t idx, std::vector<std::size_t>& out) {
-  if (pending_.has_value() && idx - *pending_ < min_sep_) {
-    // Same merge rule as the batch candidate pass: within half a
-    // refractory of the previous candidate, the larger one wins.
-    if (mwi_available(*pending_) && mwi_at(idx) > mwi_at(*pending_)) pending_ = idx;
-    return;
-  }
-  if (pending_.has_value()) finalize_candidate(*pending_, out);
-  pending_ = idx;
-}
-
-void OnlinePanTompkins::finalize_candidate(std::size_t idx, std::vector<std::size_t>& out) {
-  if (!learned_) {
-    prelearn_.push_back(idx);
-    return;
-  }
-  process_candidate(idx, out);
-}
-
-void OnlinePanTompkins::learn_thresholds() {
-  const std::size_t learn = std::min(mwi_produced_, learn_end_);
-  learned_ = true;
-  if (learn == 0) return;
-  const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
-  double peak = 0.0, acc = 0.0;
-  std::size_t count = 0;
-  for (std::size_t i = oldest; i < learn; ++i) {
-    const double v = mwi_ring_.at(i - oldest);
-    peak = std::max(peak, v);
-    acc += v;
-    ++count;
-  }
-  spki_ = 0.25 * peak;
-  npki_ = count > 0 ? 0.5 * acc / static_cast<double>(count) : 0.0;
-}
-
-void OnlinePanTompkins::process_candidate(std::size_t idx, std::vector<std::size_t>& out) {
-  if (!mwi_available(idx)) return; // fell out of the bounded history
-  const double threshold1 = npki_ + 0.25 * (spki_ - npki_);
-  const bool after_refractory =
-      !last_accepted_.has_value() || idx - *last_accepted_ >= refractory_;
-
-  bool is_qrs = after_refractory && mwi_at(idx) > threshold1;
-
-  // T-wave discrimination: a candidate 200-360 ms after the previous QRS
-  // whose slope is less than half of that QRS's slope is a T wave.
-  if (is_qrs && last_accepted_.has_value()) {
-    const std::size_t since = idx - *last_accepted_;
-    if (since < t_wave_win_ && peak_slope(idx) < 0.5 * last_accepted_slope_)
-      is_qrs = false;
-  }
-
-  if (is_qrs) {
-    accept(idx, /*searchback=*/false, out);
-  } else {
-    npki_ = 0.125 * mwi_at(idx) + 0.875 * npki_;
-    rejected_since_.push_back(idx);
-  }
-
-  // Search-back: if the gap since the last QRS exceeds the factor times
-  // the running RR average, re-examine rejected candidates against the
-  // lower threshold.
-  if (last_accepted_.has_value() && !rejected_since_.empty()) {
-    const double gap = static_cast<double>(idx - *last_accepted_);
-    if (gap > cfg_.searchback_rr_factor * rr_average_samples()) {
-      const double threshold2 = 0.5 * (npki_ + 0.25 * (spki_ - npki_));
-      std::size_t best = 0;
-      double best_val = threshold2;
-      for (const std::size_t cand : rejected_since_) {
-        if (cand <= *last_accepted_ + refractory_) continue;
-        if (!mwi_available(cand)) continue;
-        if (mwi_at(cand) > best_val) {
-          best_val = mwi_at(cand);
-          best = cand;
-        }
-      }
-      if (best != 0) accept(best, /*searchback=*/true, out);
-    }
-  }
-}
-
-void OnlinePanTompkins::accept(std::size_t idx, bool searchback,
-                               std::vector<std::size_t>& out) {
-  if (last_accepted_.has_value()) {
-    rr_history_.push_back(static_cast<double>(idx - *last_accepted_));
-    if (rr_history_.size() > 8) rr_history_.erase(rr_history_.begin());
-  }
-  last_accepted_ = idx;
-  last_accepted_slope_ = peak_slope(idx);
-  const double w = searchback ? 0.25 : 0.125;
-  spki_ = w * mwi_at(idx) + (1.0 - w) * spki_;
-  rejected_since_.clear();
-  refine_and_emit(idx, out);
-}
-
-void OnlinePanTompkins::refine_and_emit(std::size_t idx, std::vector<std::size_t>& out) {
-  // The zero-phase band-pass introduces no shift, but the causal MWI
-  // moves energy right by up to its window, so search left of the MWI
-  // peak (batch refinement geometry).
-  const std::size_t oldest = in_count_ - in_ring_.size();
-  const std::size_t lo_want = idx > mwi_win_ + refine_ ? idx - mwi_win_ - refine_ : 0;
-  const std::size_t lo = std::max(lo_want, oldest);
-  const std::size_t hi = std::min(in_count_ - 1, idx + refine_);
-  if (lo > hi) return;
-  std::size_t best = lo;
-  for (std::size_t i = lo; i <= hi; ++i)
-    if (in_ring_.at(i - oldest) > in_ring_.at(best - oldest)) best = i;
-  if (!last_r_.has_value() ||
-      (best > *last_r_ && best - *last_r_ >= refractory_)) {
-    last_r_ = best;
-    ++peaks_emitted_;
-    out.push_back(best);
-  }
-}
-
-double OnlinePanTompkins::rr_average_samples() const {
-  if (rr_history_.empty()) return 0.8 * fs_; // prior: 75 bpm, in samples
-  double acc = 0.0;
-  for (const double rr : rr_history_) acc += rr;
-  return acc / static_cast<double>(rr_history_.size());
-}
-
-bool OnlinePanTompkins::mwi_available(std::size_t idx) const {
-  const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
-  return idx >= oldest && idx < mwi_produced_;
-}
-
-double OnlinePanTompkins::mwi_at(std::size_t idx) const {
-  return mwi_ring_.at(idx - (mwi_produced_ - mwi_ring_.size()));
-}
-
-double OnlinePanTompkins::slope_at(std::size_t idx) const {
-  // derivative(mwi) with the batch edge forms.
-  if (idx == 0)
-    return mwi_produced_ > 1 ? (mwi_at(1) - mwi_at(0)) * fs_ : 0.0;
-  if (idx + 1 < mwi_produced_)
-    return (mwi_at(idx + 1) - mwi_at(idx - 1)) * fs_ * 0.5;
-  return (mwi_at(idx) - mwi_at(idx - 1)) * fs_;
-}
-
-double OnlinePanTompkins::peak_slope(std::size_t idx) const {
-  const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
-  std::size_t lo = idx > mwi_win_ ? idx - mwi_win_ : 0;
-  if (lo < oldest + 1) lo = oldest + 1 > idx ? idx : oldest + 1;
-  double best = 0.0;
-  for (std::size_t i = lo; i <= idx && i < mwi_produced_; ++i)
-    best = std::max(best, std::abs(slope_at(i)));
-  return best;
-}
-
-void OnlinePanTompkins::finish(std::vector<std::size_t>& out) {
-  // Flush the band-pass stage, then the derivative tail with the batch
-  // edge fallbacks, then settle learning and the pending candidate.
-  bp_scratch_.clear();
-  bp_.finish(bp_scratch_);
-  for (const dsp::Sample v : bp_scratch_) on_bp_sample(v, out);
-
-  const std::size_t n = bp_count_;
-  auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
-  for (std::size_t i = d_emitted_; i < n; ++i) {
-    double d = 0.0;
-    if (n == 1) {
-      d = 0.0;
-    } else if (i == 0) {
-      d = (h(1) - h(0)) * fs_;
-    } else if (i + 1 < n) {
-      d = (h(i + 1) - h(i - 1)) * fs_ * 0.5;
-    } else {
-      d = (h(n - 1) - h(n - 2)) * fs_;
-    }
-    on_feature_sample(mwi_.tick(d * d), out);
-    ++d_emitted_;
-  }
-
-  if (!learned_) learn_thresholds();
-  for (const std::size_t idx : prelearn_) process_candidate(idx, out);
-  prelearn_.clear();
-  if (pending_.has_value()) {
-    process_candidate(*pending_, out);
-    pending_.reset();
-  }
-}
-
-void OnlinePanTompkins::reset() {
-  bp_.reset();
-  mwi_.reset();
-  bp_scratch_.clear();
-  std::fill(std::begin(bp_hist_), std::end(bp_hist_), 0.0);
-  bp_count_ = 0;
-  d_emitted_ = 0;
-  mwi_ring_.clear();
-  mwi_produced_ = 0;
-  in_ring_.clear();
-  in_count_ = 0;
-  pending_.reset();
-  learned_ = false;
-  prelearn_.clear();
-  spki_ = npki_ = 0.0;
-  last_accepted_.reset();
-  last_accepted_slope_ = 0.0;
-  rr_history_.clear();
-  rejected_since_.clear();
-  last_r_.reset();
-  peaks_emitted_ = 0;
 }
 
 // ---------------------------------------------------------------------------

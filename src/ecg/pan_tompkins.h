@@ -10,13 +10,16 @@
 // positions.
 #pragma once
 
+#include "dsp/backend.h"
 #include "dsp/filtfilt.h"
 #include "dsp/moving.h"
 #include "dsp/ring_buffer.h"
 #include "dsp/types.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace icgkit::ecg {
@@ -39,7 +42,14 @@ struct QrsDetection {
   std::vector<double> rr_intervals_s;  ///< successive differences
 };
 
-/// Online (sample-by-sample) Pan-Tompkins detector.
+/// The symmetric zero-phase kernel of the 5-15 Hz feature band-pass
+/// (validates fs and the band edges; shared by every backend
+/// instantiation of the online detector).
+dsp::FirCoefficients pan_tompkins_bandpass_kernel(dsp::SampleRate fs,
+                                                  const PanTompkinsConfig& cfg);
+
+/// Online (sample-by-sample) Pan-Tompkins detector, generic over the
+/// numeric backend (dsp/backend.h).
 ///
 /// All adaptive state -- signal/noise thresholds (SPKI/NPKI), the RR
 /// history driving search-back, the pending MWI candidate, and the
@@ -56,35 +66,305 @@ struct QrsDetection {
 /// detector sees, with a data-driven confirmation latency: an MWI
 /// candidate is final once the next MWI local maximum at least half a
 /// refractory later has been observed (or the stream ends).
-class OnlinePanTompkins {
+///
+/// Under Q31Backend every sample-domain value (band-pass output, squared
+/// feature, MWI, the SPKI/NPKI thresholds and the slopes they gate on) is
+/// a Q1.31 integer; the power-of-two threshold weights of the original
+/// paper (1/8, 1/4, 7/8) become arithmetic shifts, and the fs factors of
+/// the derivative stencils cancel out of every comparison, so they are
+/// absorbed into the (implicit) feature scale instead of multiplied per
+/// sample. Indices, RR statistics and search-back bookkeeping stay in
+/// integer/double exactly as in the reference.
+template <typename B>
+class BasicOnlinePanTompkins {
  public:
-  explicit OnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {});
+  using sample_t = typename B::sample_t;
+
+  explicit BasicOnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {})
+      : fs_(fs), cfg_(cfg),
+        refractory_(static_cast<std::size_t>(cfg.refractory_s * fs)),
+        min_sep_(std::max<std::size_t>(1, refractory_ / 2)),
+        t_wave_win_(static_cast<std::size_t>(cfg.t_wave_window_s * fs)),
+        mwi_win_(std::max<std::size_t>(
+            1, static_cast<std::size_t>(cfg.integration_window_s * fs))),
+        refine_(static_cast<std::size_t>(cfg.refine_window_s * fs)),
+        learn_end_(static_cast<std::size_t>(2.0 * fs)),
+        bp_(pan_tompkins_bandpass_kernel(fs, cfg)),
+        mwi_(mwi_win_),
+        mwi_ring_(std::max<std::size_t>(learn_end_ + 2,
+                                        static_cast<std::size_t>(8.0 * fs)) +
+                  mwi_win_ + 2),
+        in_ring_(std::max<std::size_t>(learn_end_ + 2,
+                                       static_cast<std::size_t>(8.0 * fs)) +
+                 mwi_win_ + 2) {}
 
   /// Feeds one cleaned-ECG sample; appends the indices (absolute, in the
   /// fed sample timeline) of any R peaks confirmed by it to `out`.
-  void push(dsp::Sample x, std::vector<std::size_t>& out);
-  void push_chunk(dsp::SignalView x, std::vector<std::size_t>& out);
+  void push(sample_t x, std::vector<std::size_t>& out) {
+    in_ring_.push(x);
+    ++in_count_;
+    bp_scratch_.clear();
+    bp_.push(x, bp_scratch_);
+    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
+  }
+
+  /// Typed span: cross-backend container mixups fail to compile.
+  void push_chunk(std::span<const sample_t> x, std::vector<std::size_t>& out) {
+    for (const sample_t v : x) push(v, out);
+  }
+
   /// End of stream: processes the pending candidate and flushes.
-  void finish(std::vector<std::size_t>& out);
-  void reset();
+  void finish(std::vector<std::size_t>& out) {
+    // Flush the band-pass stage, then the derivative tail with the batch
+    // edge fallbacks, then settle learning and the pending candidate.
+    bp_scratch_.clear();
+    bp_.finish(bp_scratch_);
+    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
+
+    const std::size_t n = bp_count_;
+    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    for (std::size_t i = d_emitted_; i < n; ++i) {
+      sample_t d{};
+      if (n == 1) {
+        d = sample_t{};
+      } else if (i == 0) {
+        d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
+      } else if (i + 1 < n) {
+        d = B::half(B::rescale(B::sub(h(i + 1), h(i - 1)), fs_, 0));
+      } else {
+        d = B::rescale(B::sub(h(n - 1), h(n - 2)), fs_, 0);
+      }
+      on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    }
+
+    if (!learned_) learn_thresholds();
+    for (const std::size_t idx : prelearn_) process_candidate(idx, out);
+    prelearn_.clear();
+    if (pending_.has_value()) {
+      process_candidate(*pending_, out);
+      pending_.reset();
+    }
+  }
+
+  void reset() {
+    bp_.reset();
+    mwi_.reset();
+    bp_scratch_.clear();
+    std::fill(std::begin(bp_hist_), std::end(bp_hist_), sample_t{});
+    bp_count_ = 0;
+    d_emitted_ = 0;
+    mwi_ring_.clear();
+    mwi_produced_ = 0;
+    in_ring_.clear();
+    in_count_ = 0;
+    pending_.reset();
+    learned_ = false;
+    prelearn_.clear();
+    spki_ = npki_ = sample_t{};
+    last_accepted_.reset();
+    last_accepted_slope_ = sample_t{};
+    rr_history_.clear();
+    rejected_since_.clear();
+    last_r_.reset();
+    peaks_emitted_ = 0;
+  }
 
   [[nodiscard]] std::size_t samples_consumed() const { return in_count_; }
   [[nodiscard]] std::size_t peaks_emitted() const { return peaks_emitted_; }
 
  private:
-  void on_bp_sample(dsp::Sample v, std::vector<std::size_t>& out);
-  void on_feature_sample(dsp::Sample v, std::vector<std::size_t>& out);
-  void on_local_max(std::size_t idx, std::vector<std::size_t>& out);
-  void finalize_candidate(std::size_t idx, std::vector<std::size_t>& out);
-  void learn_thresholds();
-  void process_candidate(std::size_t idx, std::vector<std::size_t>& out);
-  void accept(std::size_t idx, bool searchback, std::vector<std::size_t>& out);
-  void refine_and_emit(std::size_t idx, std::vector<std::size_t>& out);
-  [[nodiscard]] double rr_average_samples() const;
-  [[nodiscard]] bool mwi_available(std::size_t idx) const;
-  [[nodiscard]] double mwi_at(std::size_t idx) const;
-  [[nodiscard]] double slope_at(std::size_t idx) const;
-  [[nodiscard]] double peak_slope(std::size_t idx) const;
+  void on_bp_sample(sample_t v, std::vector<std::size_t>& out) {
+    bp_hist_[bp_count_ % 5] = v;
+    const std::size_t j = bp_count_++;
+    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    // Aligned 5-point derivative with the batch edge fallbacks (see
+    // five_point_derivative): d[0], d[1] use the one-sided/central forms,
+    // d[i] for i >= 2 the centered 5-point stencil once x[i+2] exists. The
+    // trailing d[n-2], d[n-1] are emitted by finish().
+    if (j == 1) {
+      const sample_t d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
+      on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    } else if (j == 2) {
+      const sample_t d = B::half(B::rescale(B::sub(h(2), h(0)), fs_, 0));
+      on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    } else if (j >= 4) {
+      const sample_t d = B::eighth(B::rescale(
+          B::sub(B::sub(B::add(B::twice(h(j)), h(j - 1)), h(j - 3)), B::twice(h(j - 4))),
+          fs_, 0));
+      on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    }
+  }
+
+  void on_feature_sample(sample_t v, std::vector<std::size_t>& out) {
+    mwi_ring_.push(v);
+    const std::size_t i = mwi_produced_++;
+    // A sample is a candidate once its right neighbour arrives: strictly
+    // above the left neighbour, at least the right one (plateaus keep the
+    // first sample), matching the batch local_maxima().
+    if (i >= 2 && mwi_at(i - 1) > mwi_at(i - 2) && mwi_at(i - 1) >= v)
+      on_local_max(i - 1, out);
+    if (!learned_ && mwi_produced_ >= learn_end_) {
+      learn_thresholds();
+      for (const std::size_t idx : prelearn_) process_candidate(idx, out);
+      prelearn_.clear();
+    }
+  }
+
+  void on_local_max(std::size_t idx, std::vector<std::size_t>& out) {
+    if (pending_.has_value() && idx - *pending_ < min_sep_) {
+      // Same merge rule as the batch candidate pass: within half a
+      // refractory of the previous candidate, the larger one wins.
+      if (mwi_available(*pending_) && mwi_at(idx) > mwi_at(*pending_)) pending_ = idx;
+      return;
+    }
+    if (pending_.has_value()) finalize_candidate(*pending_, out);
+    pending_ = idx;
+  }
+
+  void finalize_candidate(std::size_t idx, std::vector<std::size_t>& out) {
+    if (!learned_) {
+      prelearn_.push_back(idx);
+      return;
+    }
+    process_candidate(idx, out);
+  }
+
+  void learn_thresholds() {
+    const std::size_t learn = std::min(mwi_produced_, learn_end_);
+    learned_ = true;
+    if (learn == 0) return;
+    const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
+    sample_t peak{};
+    typename B::acc_t acc = B::acc_zero();
+    std::size_t count = 0;
+    for (std::size_t i = oldest; i < learn; ++i) {
+      const sample_t v = mwi_ring_.at(i - oldest);
+      peak = std::max(peak, v);
+      acc = B::acc_add(acc, v);
+      ++count;
+    }
+    spki_ = B::quarter(peak);
+    npki_ = count > 0 ? B::halved_mean(acc, count) : sample_t{};
+  }
+
+  void process_candidate(std::size_t idx, std::vector<std::size_t>& out) {
+    if (!mwi_available(idx)) return; // fell out of the bounded history
+    const sample_t threshold1 = B::add(npki_, B::quarter(B::sub(spki_, npki_)));
+    const bool after_refractory =
+        !last_accepted_.has_value() || idx - *last_accepted_ >= refractory_;
+
+    bool is_qrs = after_refractory && mwi_at(idx) > threshold1;
+
+    // T-wave discrimination: a candidate 200-360 ms after the previous QRS
+    // whose slope is less than half of that QRS's slope is a T wave.
+    if (is_qrs && last_accepted_.has_value()) {
+      const std::size_t since = idx - *last_accepted_;
+      if (since < t_wave_win_ && peak_slope(idx) < B::half(last_accepted_slope_))
+        is_qrs = false;
+    }
+
+    if (is_qrs) {
+      accept(idx, /*searchback=*/false, out);
+    } else {
+      npki_ = B::ewma_shift(npki_, mwi_at(idx), 3);
+      rejected_since_.push_back(idx);
+    }
+
+    // Search-back: if the gap since the last QRS exceeds the factor times
+    // the running RR average, re-examine rejected candidates against the
+    // lower threshold.
+    if (last_accepted_.has_value() && !rejected_since_.empty()) {
+      const double gap = static_cast<double>(idx - *last_accepted_);
+      if (gap > cfg_.searchback_rr_factor * rr_average_samples()) {
+        const sample_t threshold2 =
+            B::half(B::add(npki_, B::quarter(B::sub(spki_, npki_))));
+        std::size_t best = 0;
+        sample_t best_val = threshold2;
+        for (const std::size_t cand : rejected_since_) {
+          if (cand <= *last_accepted_ + refractory_) continue;
+          if (!mwi_available(cand)) continue;
+          if (mwi_at(cand) > best_val) {
+            best_val = mwi_at(cand);
+            best = cand;
+          }
+        }
+        if (best != 0) accept(best, /*searchback=*/true, out);
+      }
+    }
+  }
+
+  void accept(std::size_t idx, bool searchback, std::vector<std::size_t>& out) {
+    if (last_accepted_.has_value()) {
+      rr_history_.push_back(static_cast<double>(idx - *last_accepted_));
+      if (rr_history_.size() > 8) rr_history_.erase(rr_history_.begin());
+    }
+    last_accepted_ = idx;
+    last_accepted_slope_ = peak_slope(idx);
+    // SPKI update weight: 1/4 after a search-back acceptance, 1/8 normally.
+    spki_ = B::ewma_shift(spki_, mwi_at(idx), searchback ? 2 : 3);
+    rejected_since_.clear();
+    refine_and_emit(idx, out);
+  }
+
+  void refine_and_emit(std::size_t idx, std::vector<std::size_t>& out) {
+    // The zero-phase band-pass introduces no shift, but the causal MWI
+    // moves energy right by up to its window, so search left of the MWI
+    // peak (batch refinement geometry).
+    const std::size_t oldest = in_count_ - in_ring_.size();
+    const std::size_t lo_want = idx > mwi_win_ + refine_ ? idx - mwi_win_ - refine_ : 0;
+    const std::size_t lo = std::max(lo_want, oldest);
+    const std::size_t hi = std::min(in_count_ - 1, idx + refine_);
+    if (lo > hi) return;
+    std::size_t best = lo;
+    for (std::size_t i = lo; i <= hi; ++i)
+      if (in_ring_.at(i - oldest) > in_ring_.at(best - oldest)) best = i;
+    if (!last_r_.has_value() ||
+        (best > *last_r_ && best - *last_r_ >= refractory_)) {
+      last_r_ = best;
+      ++peaks_emitted_;
+      out.push_back(best);
+    }
+  }
+
+  [[nodiscard]] double rr_average_samples() const {
+    if (rr_history_.empty()) return 0.8 * fs_; // prior: 75 bpm, in samples
+    double acc = 0.0;
+    for (const double rr : rr_history_) acc += rr;
+    return acc / static_cast<double>(rr_history_.size());
+  }
+
+  [[nodiscard]] bool mwi_available(std::size_t idx) const {
+    const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
+    return idx >= oldest && idx < mwi_produced_;
+  }
+
+  [[nodiscard]] sample_t mwi_at(std::size_t idx) const {
+    return mwi_ring_.at(idx - (mwi_produced_ - mwi_ring_.size()));
+  }
+
+  [[nodiscard]] sample_t slope_at(std::size_t idx) const {
+    // derivative(mwi) with the batch edge forms.
+    if (idx == 0)
+      return mwi_produced_ > 1 ? B::rescale(B::sub(mwi_at(1), mwi_at(0)), fs_, 0)
+                               : sample_t{};
+    if (idx + 1 < mwi_produced_)
+      return B::half(B::rescale(B::sub(mwi_at(idx + 1), mwi_at(idx - 1)), fs_, 0));
+    return B::rescale(B::sub(mwi_at(idx), mwi_at(idx - 1)), fs_, 0);
+  }
+
+  [[nodiscard]] sample_t peak_slope(std::size_t idx) const {
+    const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
+    std::size_t lo = idx > mwi_win_ ? idx - mwi_win_ : 0;
+    if (lo < oldest + 1) lo = oldest + 1 > idx ? idx : oldest + 1;
+    sample_t best{};
+    for (std::size_t i = lo; i <= idx && i < mwi_produced_; ++i)
+      best = std::max(best, B::abs(slope_at(i)));
+    return best;
+  }
 
   dsp::SampleRate fs_;
   PanTompkinsConfig cfg_;
@@ -92,17 +372,17 @@ class OnlinePanTompkins {
 
   // Feature chain (input timeline == feature timeline; the band-pass
   // stage absorbs its own group delay).
-  dsp::StreamingZeroPhaseFir bp_;
-  dsp::Signal bp_scratch_;
-  double bp_hist_[5] = {};          ///< last 5 band-passed samples
+  dsp::BasicStreamingZeroPhaseFir<B> bp_;
+  std::vector<sample_t> bp_scratch_;
+  sample_t bp_hist_[5] = {};        ///< last 5 band-passed samples
   std::size_t bp_count_ = 0;
   std::size_t d_emitted_ = 0;       ///< derivative samples emitted so far
-  dsp::StreamingMovingAverage mwi_;
+  dsp::BasicStreamingMovingAverage<B> mwi_;
 
   // Feature history for thresholds, slopes and search-back.
-  dsp::RingBuffer<dsp::Sample> mwi_ring_;
+  dsp::RingBuffer<sample_t> mwi_ring_;
   std::size_t mwi_produced_ = 0;
-  dsp::RingBuffer<dsp::Sample> in_ring_;  ///< raw input for refinement
+  dsp::RingBuffer<sample_t> in_ring_;  ///< raw input for refinement
   std::size_t in_count_ = 0;
 
   // Candidate finalization (batch local_maxima semantics).
@@ -110,15 +390,18 @@ class OnlinePanTompkins {
   bool learned_ = false;
   std::vector<std::size_t> prelearn_;     ///< candidates before thresholds exist
 
-  // Adaptive detector state.
-  double spki_ = 0.0, npki_ = 0.0;
+  // Adaptive detector state (sample-domain values live in the backend's
+  // numeric type; RR statistics are index arithmetic and stay double).
+  sample_t spki_{}, npki_{};
   std::optional<std::size_t> last_accepted_;
-  double last_accepted_slope_ = 0.0;
+  sample_t last_accepted_slope_{};
   std::vector<double> rr_history_;        ///< trimmed to the last 8
   std::vector<std::size_t> rejected_since_;
   std::optional<std::size_t> last_r_;
   std::size_t peaks_emitted_ = 0;
 };
+
+using OnlinePanTompkins = BasicOnlinePanTompkins<dsp::DoubleBackend>;
 
 class PanTompkins {
  public:

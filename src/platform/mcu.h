@@ -30,6 +30,16 @@ struct McuConfig {
   std::size_t channels = 2;            ///< ECG + ICG
   std::size_t decimator_taps = 32;     ///< polyphase anti-alias FIR
   double isr_cycles_per_sample = 300.0;///< ADC ISR + buffering overhead
+
+  /// The same MCU with the pipeline compiled for Q31 fixed point (the
+  /// arithmetic dsp::Q31Backend reproduces): a MAC is a single-cycle MLA
+  /// plus shift/saturate overhead, ~4 cycles. Acquisition-side costs are
+  /// arithmetic-independent and stay as configured.
+  [[nodiscard]] static McuConfig q31() {
+    McuConfig cfg;
+    cfg.cycles_per_mac = 4.0;
+    return cfg;
+  }
 };
 
 /// Arithmetic cost of one pipeline configuration at a sampling rate.

@@ -1,0 +1,238 @@
+// The contract of the Q31 engine: FixedStreamingBeatPipeline is the same
+// streaming composition as the double reference, instantiated with the
+// fixed-point backend -- so on the synthetic cohort it must find exactly
+// the same beats (count parity), its PEP/LVET must sit within one sample
+// (< 2 ms at fs >= 500; at the paper's 250 Hz that means the delineation
+// picks identical samples), the quality gate must agree flaw for flaw,
+// and the whole thing must stay chunk-size invariant like every other
+// streaming stage.
+#include "core/pipeline.h"
+
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icgkit::core {
+namespace {
+
+constexpr double kFs = 250.0;
+constexpr std::size_t kChunkSizes[] = {1, 7, 64, 1024};
+
+synth::Recording make_recording(double duration_s, std::size_t subject_idx = 2,
+                                synth::Position pos = synth::Position::ArmsOutstretched) {
+  const auto roster = synth::paper_roster();
+  synth::RecordingConfig cfg;
+  cfg.duration_s = duration_s;
+  const synth::SourceActivity src = generate_source(roster[subject_idx], cfg);
+  return measure_device(roster[subject_idx], src, 50e3, pos);
+}
+
+template <typename Pipeline>
+std::vector<BeatRecord> run_chunked(Pipeline& engine, const synth::Recording& rec,
+                                    std::size_t chunk) {
+  std::vector<BeatRecord> beats;
+  for (std::size_t i = 0; i < rec.ecg_mv.size(); i += chunk) {
+    const std::size_t len = std::min(chunk, rec.ecg_mv.size() - i);
+    engine.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                     dsp::SignalView(rec.z_ohm.data() + i, len), beats);
+  }
+  engine.finish_into(beats);
+  return beats;
+}
+
+std::vector<BeatRecord> run_double(const synth::Recording& rec, std::size_t chunk = 1024,
+                                   const PipelineConfig& cfg = {}) {
+  StreamingBeatPipeline engine(kFs, cfg);
+  return run_chunked(engine, rec, chunk);
+}
+
+std::vector<BeatRecord> run_fixed(const synth::Recording& rec, std::size_t chunk = 1024,
+                                  const PipelineConfig& cfg = {},
+                                  const dsp::Q31ScalingPolicy& pol = {}) {
+  FixedStreamingBeatPipeline engine(kFs, cfg, 12.0, pol);
+  return run_chunked(engine, rec, chunk);
+}
+
+TEST(FixedPipelineTest, BeatParityAndTimingOnSynthCohort) {
+  // Whole roster, two arm positions: beat-for-beat parity with the double
+  // engine, PEP/LVET within 2 ms worst-case, quality flaws identical.
+  const auto roster = synth::paper_roster();
+  double worst_pep = 0.0, worst_lvet = 0.0;
+  std::size_t beats_checked = 0;
+  for (std::size_t s = 0; s < roster.size(); ++s) {
+    for (const auto pos :
+         {synth::Position::ArmsOutstretched, synth::Position::ArmsDown}) {
+      const synth::Recording rec = make_recording(20.0, s, pos);
+      const auto db = run_double(rec);
+      const auto fb = run_fixed(rec);
+      ASSERT_EQ(db.size(), fb.size()) << "subject " << s;
+      ASSERT_GT(db.size(), 10u) << "subject " << s;
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        EXPECT_EQ(db[i].points.r, fb[i].points.r) << "subject " << s << " beat " << i;
+        EXPECT_EQ(db[i].flaws, fb[i].flaws) << "subject " << s << " beat " << i;
+        worst_pep = std::max(worst_pep, std::abs(db[i].hemo.pep_s - fb[i].hemo.pep_s));
+        worst_lvet =
+            std::max(worst_lvet, std::abs(db[i].hemo.lvet_s - fb[i].hemo.lvet_s));
+        ++beats_checked;
+      }
+    }
+  }
+  EXPECT_GT(beats_checked, 200u);
+  EXPECT_LT(worst_pep, 0.002);
+  EXPECT_LT(worst_lvet, 0.002);
+}
+
+TEST(FixedPipelineTest, ChunkInvariantAtEveryChunkSize) {
+  const synth::Recording rec = make_recording(20.0);
+  const auto reference = run_fixed(rec, 1024);
+  ASSERT_GT(reference.size(), 10u);
+  for (const std::size_t chunk : kChunkSizes) {
+    const auto streamed = run_fixed(rec, chunk);
+    ASSERT_EQ(streamed.size(), reference.size()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i].points.r, reference[i].points.r) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].points.b, reference[i].points.b) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].points.c, reference[i].points.c) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].points.x, reference[i].points.x) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].flaws, reference[i].flaws) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].hemo.pep_s, reference[i].hemo.pep_s) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].hemo.lvet_s, reference[i].hemo.lvet_s) << "chunk " << chunk;
+      EXPECT_EQ(streamed[i].hemo.sv_kubicek_ml, reference[i].hemo.sv_kubicek_ml)
+          << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(FixedPipelineTest, HoldsUnderQualityGateAndNonDefaultConfig) {
+  // A tighter gate flags more beats; the fixed path must flag exactly the
+  // same ones (parity of the gate, not just of the usable subset).
+  const synth::Recording rec = make_recording(20.0, 1, synth::Position::HoldToChest);
+  PipelineConfig cfg;
+  cfg.quality.max_pep_s = 0.150;
+  cfg.quality.min_lvet_s = 0.200;
+  const auto db = run_double(rec, 64, cfg);
+  const auto fb = run_fixed(rec, 64, cfg);
+  ASSERT_EQ(db.size(), fb.size());
+  ASSERT_GT(db.size(), 8u);
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db[i].flaws, fb[i].flaws) << "beat " << i;
+    if (db[i].flaws != BeatFlaw::None) ++flagged;
+    if (db[i].usable()) {
+      EXPECT_LT(std::abs(db[i].hemo.pep_s - fb[i].hemo.pep_s), 0.002);
+      EXPECT_LT(std::abs(db[i].hemo.lvet_s - fb[i].hemo.lvet_s), 0.002);
+    }
+  }
+  EXPECT_GT(flagged, 0u); // the tightened gate actually exercised the flaw path
+}
+
+TEST(FixedPipelineTest, SvAndZ0TrackDoubleClosely) {
+  // Amplitude-domain outputs go through two Q31 boundaries (Z counts and
+  // ICG counts); they are not bit-equal but must track to well under the
+  // physiological noise floor.
+  const synth::Recording rec = make_recording(25.0, 3);
+  const auto db = run_double(rec);
+  const auto fb = run_fixed(rec);
+  ASSERT_EQ(db.size(), fb.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (!db[i].usable()) continue;
+    EXPECT_LT(std::abs(db[i].hemo.sv_kubicek_ml - fb[i].hemo.sv_kubicek_ml), 0.05);
+    EXPECT_LT(std::abs(db[i].hemo.dzdt_max - fb[i].hemo.dzdt_max), 1e-3);
+    EXPECT_LT(std::abs(db[i].hemo.tfc_per_kohm - fb[i].hemo.tfc_per_kohm), 1e-3);
+  }
+}
+
+TEST(FixedPipelineTest, SaturatingScalingPolicyStillEmitsBeats) {
+  // A deliberately hostile policy (ICG full scale below the signal) must
+  // degrade gracefully -- clipped delineation, no crashes/UB, beats out.
+  const synth::Recording rec = make_recording(15.0);
+  dsp::Q31ScalingPolicy pol;
+  pol.icg_gain_log2 = 18; // full scale 0.98 Ohm/s at 250 Hz: clips hard
+  const auto fb = run_fixed(rec, 64, {}, pol);
+  EXPECT_GT(fb.size(), 5u);
+}
+
+TEST(EnsembleStageTest, RecordsCarryEnsembleDelineation) {
+  const synth::Recording rec = make_recording(25.0);
+  PipelineConfig cfg;
+  cfg.enable_ensemble = true;
+  const auto beats = run_double(rec, 64, cfg);
+  ASSERT_GT(beats.size(), 15u);
+
+  std::size_t with_ensemble = 0;
+  for (const BeatRecord& b : beats) {
+    if (!b.ensemble_points.has_value()) continue;
+    ++with_ensemble;
+    // Template delineation is anchored near this beat's R and ordered.
+    EXPECT_TRUE(b.ensemble_points->valid);
+    EXPECT_LE(b.ensemble_points->b, b.ensemble_points->c);
+    EXPECT_LE(b.ensemble_points->c, b.ensemble_points->x);
+    // The template R offset equals the beat R by construction.
+    EXPECT_EQ(b.ensemble_points->r, b.points.r);
+  }
+  // The template needs min_beats_for_gate beats; after that, most beats
+  // carry it.
+  EXPECT_GT(with_ensemble, beats.size() / 2);
+}
+
+TEST(EnsembleStageTest, EnsembleTimingTracksSingleBeatMedian) {
+  const synth::Recording rec = make_recording(25.0, 0);
+  PipelineConfig cfg;
+  cfg.enable_ensemble = true;
+  const auto beats = run_double(rec, 256, cfg);
+  std::vector<double> pep_single, pep_ens;
+  for (const BeatRecord& b : beats) {
+    if (!b.usable() || !b.ensemble_points.has_value()) continue;
+    pep_single.push_back(static_cast<double>(b.points.b - b.points.r) / kFs);
+    pep_ens.push_back(
+        static_cast<double>(b.ensemble_points->b - b.ensemble_points->r) / kFs);
+  }
+  ASSERT_GT(pep_ens.size(), 10u);
+  double mean_s = 0.0, mean_e = 0.0;
+  for (const double v : pep_single) mean_s += v;
+  for (const double v : pep_ens) mean_e += v;
+  mean_s /= static_cast<double>(pep_single.size());
+  mean_e /= static_cast<double>(pep_ens.size());
+  EXPECT_NEAR(mean_e, mean_s, 0.015); // templates agree with per-beat timing
+}
+
+TEST(EnsembleStageTest, PostWindowLongerThanRrStillAccumulates) {
+  // Regression: when post_r_s exceeds the RR interval (fast heart rates,
+  // or a long template window as here), a beat's segment is not complete
+  // at emission time. The pipeline must queue the fold for when the ICG
+  // stream catches up -- not silently never build a template.
+  const synth::Recording rec = make_recording(25.0);
+  PipelineConfig cfg;
+  cfg.enable_ensemble = true;
+  cfg.ensemble.post_r_s = 1.2; // > every RR in the cohort (~0.85 s)
+  const auto beats = run_double(rec, 64, cfg);
+  ASSERT_GT(beats.size(), 15u);
+  std::size_t with_ensemble = 0;
+  for (const BeatRecord& b : beats)
+    if (b.ensemble_points.has_value()) ++with_ensemble;
+  EXPECT_GT(with_ensemble, beats.size() / 3);
+}
+
+TEST(EnsembleStageTest, DisabledByDefaultLeavesRecordsUntouched) {
+  const synth::Recording rec = make_recording(15.0);
+  const auto beats = run_double(rec, 64);
+  ASSERT_GT(beats.size(), 8u);
+  for (const BeatRecord& b : beats) EXPECT_FALSE(b.ensemble_points.has_value());
+}
+
+TEST(EnsembleStageTest, WorksOnFixedBackendToo) {
+  const synth::Recording rec = make_recording(25.0);
+  PipelineConfig cfg;
+  cfg.enable_ensemble = true;
+  const auto fb = run_fixed(rec, 64, cfg);
+  std::size_t with_ensemble = 0;
+  for (const BeatRecord& b : fb)
+    if (b.ensemble_points.has_value()) ++with_ensemble;
+  EXPECT_GT(with_ensemble, fb.size() / 2);
+}
+
+} // namespace
+} // namespace icgkit::core
