@@ -98,7 +98,10 @@ FleetRunResult run_fleet(const std::vector<synth::Recording>& workload,
   }
 
   r.streams.resize(sessions);
-  for (const FleetBeat& fb : sink) serialize_beat(fb.beat, r.streams[fb.session]);
+  for (const FleetBeat& fb : sink) {
+    if (fb.end_of_session) continue;  // terminal quality record, not a beat
+    serialize_beat(fb.beat, r.streams[fb.session]);
+  }
   return r;
 }
 

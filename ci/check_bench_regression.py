@@ -2,18 +2,21 @@
 """Bench-regression gate for the Release CI job.
 
 Compares the JSON the benches just wrote (BENCH_streaming.json,
-BENCH_fleet.json, BENCH_fixed.json) against the committed floors in
-bench/bench_baselines.json and exits non-zero on any regression, so a
-change that silently erodes the streaming speedup, fleet scaling, or
-the fixed-point pipeline's beat-level accuracy fails the build instead
-of landing.
+BENCH_fleet.json, BENCH_fixed.json, BENCH_scenarios.json) against the
+committed floors in bench/bench_baselines.json and exits non-zero on
+any regression, so a change that silently erodes the streaming speedup,
+fleet scaling, the fixed-point pipeline's beat-level accuracy, or the
+corruption robustness fails the build instead of landing.
 
 The fleet scaling floor only arms when the bench itself reports
 scaling_enforced (>= 4 hardware threads on the runner); determinism
 across worker counts is enforced unconditionally. The fixed-point gate
 requires exact beat-count parity with the double engine, identical
 quality flags, and worst-case PEP/LVET deviation under the committed
-ceiling on the full study protocol.
+ceiling on the full study protocol. The scenario gate requires the
+clean tier to stay a no-op with double/Q31 beat parity, and the
+moderate-corruption tier to keep the committed detection sensitivity
+and PPV floors on BOTH backends.
 """
 import json
 import pathlib
@@ -35,6 +38,7 @@ def main() -> int:
     streaming = load(ROOT / "BENCH_streaming.json")
     fleet = load(ROOT / "BENCH_fleet.json")
     fixed = load(ROOT / "BENCH_fixed.json")
+    scenarios = load(ROOT / "BENCH_scenarios.json")
     failures = []
 
     speedup = streaming.get("speedup_at_64", 0.0)
@@ -90,6 +94,23 @@ def main() -> int:
     if duty_ratio < duty_floor:
         failures.append(
             f"fixed duty-cycle ratio {duty_ratio:.2f}x below floor {duty_floor}x")
+
+    if not scenarios.get("clean_noop_identical", False):
+        failures.append("scenario clean tier altered the recording (must be a no-op)")
+    if not scenarios.get("clean_beat_parity", False):
+        failures.append("scenario clean tier lost double/Q31 beat parity")
+    sens_floor = baselines["scenario_min_sensitivity_moderate"]
+    ppv_floor = baselines["scenario_min_ppv_moderate"]
+    for backend in ("double", "q31"):
+        sens = scenarios.get(f"moderate_sensitivity_{backend}", 0.0)
+        ppv = scenarios.get(f"moderate_ppv_{backend}", 0.0)
+        print(f"scenario moderate tier [{backend}]: sensitivity {sens:.4f} "
+              f"(floor {sens_floor}), PPV {ppv:.4f} (floor {ppv_floor})")
+        if sens < sens_floor:
+            failures.append(
+                f"moderate-corruption sensitivity [{backend}] {sens:.4f} < {sens_floor}")
+        if ppv < ppv_floor:
+            failures.append(f"moderate-corruption PPV [{backend}] {ppv:.4f} < {ppv_floor}")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:")

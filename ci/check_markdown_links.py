@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Offline markdown link check for the CI docs job.
+
+Scans every tracked *.md file for inline links and images, and fails the
+build when a relative link points at a file that does not exist or an
+anchor that no heading generates — so documentation rot (renamed files,
+moved sections) is caught the commit it happens, not when a reader hits
+a 404. External (http/https/mailto) links are not fetched: CI must stay
+deterministic and offline.
+"""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"build", ".git", "Testing", ".claude"}
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def markdown_files():
+    for path in sorted(ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(ROOT).parts):
+            continue
+        yield path
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation stripped, spaces to hyphens."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)           # inline formatting
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links -> text
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def strip_code(text: str) -> str:
+    return INLINE_CODE_RE.sub("", CODE_FENCE_RE.sub("", text))
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    """All anchors the file's headings generate, with GitHub's duplicate
+    suffixing: the second identical heading gets '-1', the third '-2', ..."""
+    text = strip_code(path.read_text(encoding="utf-8"))
+    anchors = set()
+    seen = {}
+    for heading in HEADING_RE.findall(text):
+        slug = github_slug(heading)
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def main() -> int:
+    failures = []
+    anchor_cache = {}
+    for md in markdown_files():
+        rel = md.relative_to(ROOT)
+        text = strip_code(md.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = (md.parent / path_part).resolve()
+                if not dest.exists():
+                    failures.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                dest = md
+            if anchor and dest.suffix == ".md":
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if anchor.lower() not in anchor_cache[dest]:
+                    failures.append(f"{rel}: broken anchor -> {target}")
+
+    if failures:
+        print("MARKDOWN LINK CHECK FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    count = len(list(markdown_files()))
+    print(f"markdown link check: {count} files, all relative links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,7 +68,14 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   const double fs = workload[0].fs;
+  std::vector<core::QualitySummary> quality(kSessions);
   for (const core::FleetBeat& fb : sink) {
+    if (fb.end_of_session) {
+      // Terminal record: the session's quality aggregate (usable
+      // fraction, SNR, contact gaps, recovery resets).
+      quality[fb.session] = fb.session_summary;
+      continue;
+    }
     SessionTally& t = tally[fb.session];
     ++t.beats;
     if (fb.beat.ensemble_points.has_value()) {
@@ -86,7 +93,7 @@ int main() {
   }
 
   report::Table table({"session", "beats", "usable", "PEP ms", "LVET ms", "HR bpm",
-                       "CO l/min", "ens PEP ms", "ens LVET ms"});
+                       "CO l/min", "ens PEP ms", "ens LVET ms", "SNR dB"});
   for (std::size_t s = 0; s < kSessions; ++s) {
     const SessionTally& t = tally[s];
     const double k = t.usable > 0 ? 1.0 / static_cast<double>(t.usable) : 0.0;
@@ -100,7 +107,8 @@ int main() {
         .add(t.hr_bpm * k, 1)
         .add(t.co_l_min * k, 2)
         .add(t.ens_pep_s * ke * 1e3, 1)
-        .add(t.ens_lvet_s * ke * 1e3, 1);
+        .add(t.ens_lvet_s * ke * 1e3, 1)
+        .add(quality[s].mean_snr_db(), 1);
   }
   table.print(std::cout);
 

@@ -14,6 +14,14 @@
 
 namespace icgkit::core {
 
+/// Appends the canonical byte form of one BeatRecord to `out`: every
+/// determinism-relevant field (delineation points, hemodynamics, flaws,
+/// RR), field by field, without padding bytes. Two beat streams are "the
+/// same" for the fleet's cross-worker-count contract iff their serialized
+/// bytes are equal. Diagnostic-only fields (the per-beat SignalQuality
+/// metrics, the optional ensemble delineation) are deliberately excluded
+/// — extending the contract to them is a reviewed change to this
+/// function, not an accident of struct layout.
 inline void serialize_beat(const BeatRecord& rec, std::vector<unsigned char>& out) {
   const auto put = [&out](const void* p, std::size_t n) {
     const auto* b = static_cast<const unsigned char*>(p);

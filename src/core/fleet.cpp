@@ -232,6 +232,18 @@ const std::vector<FleetWorkerStats>& SessionManager::worker_stats() const {
   return stats_cache_;
 }
 
+const QualitySummary& SessionManager::session_quality(std::uint32_t session) const {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return sessions_[session]->engine.quality_summary();
+}
+
+QualitySummary SessionManager::fleet_quality() const {
+  QualitySummary total;
+  for (const auto& s : sessions_) total.merge(s->engine.quality_summary());
+  return total;
+}
+
 std::uint64_t SessionManager::total_samples() const {
   std::uint64_t n = 0;
   for (const auto& w : workers_) n += w->samples.load(std::memory_order_relaxed);
@@ -286,10 +298,17 @@ void SessionManager::worker_loop(Worker& w) {
     s.completed.fetch_add(1, std::memory_order_release);
     w.chunks.fetch_add(1, std::memory_order_relaxed);
     for (const BeatRecord& b : s.beat_scratch) {
-      FleetBeat fb{s.id, b};
+      FleetBeat fb{s.id, b, /*end_of_session=*/false, {}};
       Backoff park;  // pilot must poll; park instead of pinning a core
       while (!w.out.try_push(fb)) park.pause();
       w.beats.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (item.finish) {
+      // Terminal record: the session's quality aggregate, emitted exactly
+      // once, after the tail beats (not counted in the beat totals).
+      FleetBeat fb{s.id, {}, /*end_of_session=*/true, s.engine.quality_summary()};
+      Backoff park;
+      while (!w.out.try_push(fb)) park.pause();
     }
   }
 }

@@ -64,10 +64,17 @@ struct FleetConfig {
   PipelineConfig pipeline{};
 };
 
-/// One completed beat, tagged with the session that produced it.
+/// One completed beat, tagged with the session that produced it — or,
+/// when end_of_session is set, the terminal record a finished session
+/// emits exactly once, after its tail beats: `beat` is default-valued
+/// and `session_summary` carries the session's QualitySummary (beats,
+/// usable fraction, per-flaw counts, contact gaps, recovery resets).
+/// Consumers that only want beats skip end_of_session records.
 struct FleetBeat {
   std::uint32_t session = 0;
   BeatRecord beat{};
+  bool end_of_session = false;
+  QualitySummary session_summary{};  ///< valid when end_of_session
 };
 
 /// Per-worker counters, valid to read after join().
@@ -141,6 +148,17 @@ class SessionManager {
 
   /// Per-worker counters; stable after join().
   [[nodiscard]] const std::vector<FleetWorkerStats>& worker_stats() const;
+
+  /// One session's running QualitySummary, read from its engine. The
+  /// engine lives on its owning worker, so call this only when that
+  /// worker is quiescent: after join(), or pilot-side while the session's
+  /// submitted work has drained (idle()). The authoritative end-of-stream
+  /// snapshot is the end_of_session FleetBeat the finish emits.
+  [[nodiscard]] const QualitySummary& session_quality(std::uint32_t session) const;
+
+  /// Sum of every session's QualitySummary (same caveat as
+  /// session_quality: meaningful after join() or at idle()).
+  [[nodiscard]] QualitySummary fleet_quality() const;
 
   /// Running totals, safe to read from any thread while workers run
   /// (relaxed atomic counters — a live dashboard surface).

@@ -17,6 +17,8 @@
 
 namespace icgkit::core {
 
+/// The seed's O(window)-per-push streaming adapter (see header comment);
+/// kept only as the bench baseline. Do not use in new code.
 class WindowedRecomputePipeline {
  public:
   WindowedRecomputePipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},

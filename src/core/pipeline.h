@@ -39,9 +39,12 @@
 #include "ecg/pan_tompkins.h"
 #include "dsp/backend.h"
 #include "dsp/ring_buffer.h"
+#include "dsp/stats.h"
 #include "dsp/types.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -72,6 +75,9 @@ struct BeatRecord {
   BeatHemodynamics hemo;
   BeatFlaw flaws = BeatFlaw::None;
   double rr_s = 0.0;
+  /// Signal-integrity metrics of this beat's R-R window (SNR, saturation,
+  /// flatline); the source of the LowSnr/Saturated/Flatline flaw bits.
+  SignalQuality signal;
   /// Delineation of the running ensemble template at this beat (absolute
   /// indices, like `points`). Only populated when the pipeline's ensemble
   /// stage is enabled and the template has enough beats.
@@ -101,6 +107,15 @@ inline std::size_t pending_capacity(std::size_t window_samples, dsp::SampleRate 
       1, static_cast<std::size_t>(std::max(0.0, refractory_s) * fs));
   return std::max<std::size_t>(64, window_samples / refractory + 16);
 }
+
+// Per-raw-sample signal-integrity mark bits (see StreamingBeatPipeline's
+// marks ring). Computed from the incoming *double* samples before any
+// backend quantization, so the double and Q31 engines agree bit for bit
+// on flatline/saturation verdicts.
+inline constexpr std::uint8_t kEcgFlat = 1u << 0;
+inline constexpr std::uint8_t kZFlat = 1u << 1;
+inline constexpr std::uint8_t kEcgSat = 1u << 2;
+inline constexpr std::uint8_t kZSat = 1u << 3;
 } // namespace detail
 
 /// Chunk-fed incremental engine, generic over the numeric backend.
@@ -146,8 +161,13 @@ class BasicStreamingBeatPipeline {
         icg_stage_(fs, cfg.icg_filter, B::kFixed ? scaling.icg_gain_log2 : 0),
         qrs_(fs, cfg.qrs),
         delineator_(fs, cfg.delineation),
+        ecg_rail_mv_(scaling.ecg_fullscale_mv),
+        z_rail_ohm_(scaling.z_fullscale_ohm),
+        dropout_samples_(std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::max(0.0, cfg.quality.dropout_reset_s) * fs))),
         icg_ring_(window_samples_),
         z_ring_(window_samples_),
+        marks_(window_samples_),
         pending_beats_(detail::pending_capacity(window_samples_, fs, cfg.qrs.refractory_s)) {
     // Memory-pool invariant: pre-size the per-beat buffers for any
     // physiologically plausible beat (3 s covers HR down to 20 bpm) so a
@@ -243,6 +263,14 @@ class BasicStreamingBeatPipeline {
   [[nodiscard]] const dsp::Signal& captured_ecg() const { return captured_ecg_; }
   [[nodiscard]] const dsp::Signal& captured_icg() const { return captured_icg_; }
 
+  /// Running per-session quality aggregate: every emitted beat's verdict
+  /// plus the contact gaps detected and the recovery resets performed so
+  /// far. The fleet surfaces this through its end-of-session FleetBeat.
+  [[nodiscard]] const QualitySummary& quality_summary() const { return summary_; }
+  /// True while a contact gap (flat run past dropout_reset_s) is open on
+  /// either channel.
+  [[nodiscard]] bool in_dropout() const { return ecg_gap_ || z_gap_; }
+
  private:
   // Boundary conversions. The double backend's scales are fixed at 1 and
   // the conversions collapse to identity, so the reference engine's
@@ -264,7 +292,83 @@ class BasicStreamingBeatPipeline {
     else return v;
   }
 
+  /// Classifies one raw sample pair (flat? saturated?) into the marks
+  /// ring and advances the contact-gap state machine. Runs on the
+  /// incoming doubles before backend quantization, per sample, so the
+  /// verdicts are backend-identical and chunk-size invariant.
+  void track_signal_marks(double ecg_mv, double z_ohm) {
+    std::uint8_t m = 0;
+    if (have_prev_raw_) {
+      if (std::abs(ecg_mv - prev_ecg_raw_) <= cfg_.quality.flatline_epsilon_mv)
+        m |= detail::kEcgFlat;
+      if (std::abs(z_ohm - prev_z_raw_) <= cfg_.quality.flatline_epsilon_ohm)
+        m |= detail::kZFlat;
+    }
+    const double margin = cfg_.quality.saturation_margin;
+    if (std::abs(ecg_mv) >= margin * ecg_rail_mv_) m |= detail::kEcgSat;
+    if (std::abs(z_ohm) >= margin * z_rail_ohm_) m |= detail::kZSat;
+    marks_.push(m);
+    prev_ecg_raw_ = ecg_mv;
+    prev_z_raw_ = z_ohm;
+    have_prev_raw_ = true;
+    update_gap((m & detail::kEcgFlat) != 0, ecg_flat_run_, ecg_gap_, /*is_ecg=*/true);
+    update_gap((m & detail::kZFlat) != 0, z_flat_run_, z_gap_, /*is_ecg=*/false);
+  }
+
+  /// Contact-gap state machine for one channel. On the first sample after
+  /// a gap ends, the quality-adaptive recovery fires: an ECG gap poisons
+  /// the QRS detector's adaptive thresholds, so they are soft-reset and
+  /// relearned from post-gap data only (and the open R is dropped so no
+  /// R-R pair spans the gap); an impedance gap poisons the ensemble
+  /// template, so the gap's span (smeared by the ICG chain's kernel
+  /// footprint) is recorded and every ensemble fold overlapping it is
+  /// skipped — the template keeps its clean pre-gap beats and resumes
+  /// with clean post-gap ones. Filter state is never touched — linear
+  /// stages flush a gap by themselves and resetting them would break the
+  /// stream's sample alignment.
+  void update_gap(bool flat, std::size_t& run, bool& gap, bool is_ecg) {
+    if (flat) {
+      ++run;
+      if (!gap && run >= dropout_samples_) {
+        gap = true;
+        if (is_ecg) ++summary_.ecg_dropouts;
+        else ++summary_.z_dropouts;
+      }
+      return;
+    }
+    if (gap) {
+      gap = false;
+      if (cfg_.quality.enable_recovery) {
+        if (is_ecg) {
+          qrs_.soft_reset();
+          last_r_.reset();
+          ++summary_.detector_resets;
+        } else {
+          // The flat span is [consumed_ - run, consumed_); the zero-phase
+          // ICG kernels smear its edge transients by their look-back, so
+          // quarantine that margin on both sides.
+          const std::size_t margin = icg_stage_.latency();
+          const std::size_t begin =
+              consumed_ > run + margin ? consumed_ - run - margin : 0;
+          gap_spans_.push({begin, consumed_ + margin});
+        }
+      }
+    }
+    run = 0;
+  }
+
+  /// True when the ensemble segment [begin, end) overlaps a recorded
+  /// impedance contact gap (quarantined ICG samples).
+  [[nodiscard]] bool overlaps_gap_span(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = 0; i < gap_spans_.size(); ++i) {
+      const auto& [b, e] = gap_spans_.at(i);
+      if (b < end && begin < e) return true;
+    }
+    return false;
+  }
+
   void ingest(double ecg_mv, double z_ohm, std::vector<BeatRecord>& out) {
+    track_signal_marks(ecg_mv, z_ohm);
     const sample_t zq = z_from(z_ohm);
     z_ring_.push(zq);
     z_sum_ = B::acc_add(z_sum_, zq);
@@ -322,6 +426,8 @@ class BasicStreamingBeatPipeline {
       // every point clamped to its R so no index references trimmed data.
       rec.points.r = rec.points.b = rec.points.b0 = rec.points.c = rec.points.x = r;
       rec.flaws = BeatFlaw::InvalidDelineation;
+      // No window to measure: keep this beat out of the SNR statistics.
+      summary_.tally(rec.flaws, rec.signal, /*snr_measured=*/false);
       return rec;
     }
 
@@ -339,10 +445,50 @@ class BasicStreamingBeatPipeline {
     rec.points.c += r;
     rec.points.x += r;
     rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
+    rec.signal = measure_signal_quality(r, r_next);
+    rec.flaws = rec.flaws | assess_signal(rec.signal, cfg_.quality);
     rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, beat_z0(r, r_next), fs_,
                                          cfg_.body);
     if (ensemble_.has_value()) attach_ensemble(rec, r);
+    summary_.tally(rec.flaws, rec.signal);
     return rec;
+  }
+
+  /// Signal-integrity metrics of the beat window [r, r_next):
+  /// saturation/flatline fractions from the raw-sample marks ring, SNR as
+  /// peak |ICG| against the diastolic floor (RMS of the final third of
+  /// the R-R window, where the clean ICG has decayed to the O-wave
+  /// recovery). Uses beat_scratch_, which make_beat has just filled.
+  [[nodiscard]] SignalQuality measure_signal_quality(std::size_t r,
+                                                     std::size_t r_next) const {
+    SignalQuality q;
+    const std::size_t oldest_mark = consumed_ - marks_.size();
+    const std::size_t lo = std::max(r, oldest_mark);
+    const std::size_t hi = std::min(r_next, consumed_);
+    if (lo < hi) {
+      std::size_t flat = 0, sat = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint8_t m = marks_.at(i - oldest_mark);
+        if ((m & (detail::kEcgFlat | detail::kZFlat)) != 0) ++flat;
+        if ((m & (detail::kEcgSat | detail::kZSat)) != 0) ++sat;
+      }
+      const auto n = static_cast<double>(hi - lo);
+      q.flatline_fraction = static_cast<double>(flat) / n;
+      q.saturation_fraction = static_cast<double>(sat) / n;
+    }
+    const std::size_t len = beat_scratch_.size();
+    if (len >= 8) {
+      double peak = 0.0;
+      for (const double v : beat_scratch_) peak = std::max(peak, std::abs(v));
+      const std::size_t tail = 2 * len / 3;
+      const double noise =
+          dsp::rms(dsp::SignalView(beat_scratch_.data() + tail, len - tail));
+      q.snr_db = noise > 1e-12 * peak && noise > 0.0
+                     ? std::min(99.0, 20.0 * std::log10(peak / noise))
+                     : 99.0;
+      if (peak <= 0.0) q.snr_db = 0.0;
+    }
+    return q;
   }
 
   /// Optional ensemble stage: fold this beat's R-aligned segment into the
@@ -383,7 +529,9 @@ class BasicStreamingBeatPipeline {
   /// Adds the segment around `r` to the averager if its post window has
   /// completed. Returns false only when more ICG is still to come (the
   /// one retryable condition); a segment whose start already scrolled
-  /// out of the look-back ring is unrecoverable and reported handled.
+  /// out of the look-back ring is unrecoverable and reported handled, as
+  /// is a segment quarantined by a recorded contact gap (the
+  /// template-poisoning protection — see update_gap).
   bool try_fold_ensemble(std::size_t r) {
     const std::size_t pre = ensemble_->r_offset();
     const std::size_t len = ensemble_->segment_samples();
@@ -391,6 +539,10 @@ class BasicStreamingBeatPipeline {
     if (r - pre + len > icg_count_) return false;
     const std::size_t oldest_icg = icg_count_ - icg_ring_.size();
     if (r - pre < oldest_icg) return true;
+    if (overlaps_gap_span(r - pre, r - pre + len)) {
+      ++summary_.ensemble_folds_skipped;
+      return true;
+    }
     ens_scratch_.clear();
     for (std::size_t i = r - pre; i < r - pre + len; ++i)
       ens_scratch_.push_back(icg_real(icg_ring_.at(i - oldest_icg)));
@@ -424,8 +576,14 @@ class BasicStreamingBeatPipeline {
   ecg::BasicOnlinePanTompkins<B> qrs_;
   IcgDelineator delineator_;
 
+  double ecg_rail_mv_, z_rail_ohm_; ///< acquisition rails (saturation detector)
+  std::size_t dropout_samples_;     ///< flat run length that counts as a gap
+
   dsp::RingBuffer<sample_t> icg_ring_;  ///< aligned cleaned ICG look-back
   dsp::RingBuffer<sample_t> z_ring_;    ///< raw impedance look-back
+  /// Per-raw-sample integrity marks (detail::kEcgFlat...), same timeline
+  /// and capacity as the raw look-back.
+  dsp::RingBuffer<std::uint8_t> marks_;
   std::size_t icg_count_ = 0;   ///< aligned ICG samples produced
   std::size_t consumed_ = 0;    ///< absolute samples fed so far
   typename B::acc_t z_sum_ = B::acc_zero();
@@ -437,6 +595,17 @@ class BasicStreamingBeatPipeline {
   /// than silently dropping a beat.
   dsp::RingBuffer<std::pair<std::size_t, std::size_t>> pending_beats_;
   std::size_t r_peak_count_ = 0;
+
+  // Contact-gap state machine (see track_signal_marks / update_gap).
+  double prev_ecg_raw_ = 0.0, prev_z_raw_ = 0.0;
+  bool have_prev_raw_ = false;
+  std::size_t ecg_flat_run_ = 0, z_flat_run_ = 0;
+  bool ecg_gap_ = false, z_gap_ = false;
+  /// Recent impedance contact-gap spans (input-timeline indices, smeared
+  /// by the ICG kernel footprint); ensemble folds overlapping one are
+  /// skipped. Bounded: older spans scroll out of the look-back anyway.
+  dsp::RingBuffer<std::pair<std::size_t, std::size_t>> gap_spans_{16};
+  QualitySummary summary_;
 
   bool capture_ = false;
   dsp::Signal captured_ecg_, captured_icg_;

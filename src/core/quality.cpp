@@ -1,5 +1,8 @@
 #include "core/quality.h"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace icgkit::core {
 
 BeatFlaw assess_beat(const BeatDelineation& beat, double rr_s, dsp::SampleRate fs,
@@ -19,6 +22,16 @@ BeatFlaw assess_beat(const BeatDelineation& beat, double rr_s, dsp::SampleRate f
   return flaws;
 }
 
+BeatFlaw assess_signal(const SignalQuality& q, const QualityConfig& cfg) {
+  BeatFlaw flaws = BeatFlaw::None;
+  if (q.snr_db < cfg.min_snr_db) flaws = flaws | BeatFlaw::LowSnr;
+  if (q.saturation_fraction > cfg.max_saturation_fraction)
+    flaws = flaws | BeatFlaw::Saturated;
+  if (q.flatline_fraction > cfg.max_flatline_fraction)
+    flaws = flaws | BeatFlaw::Flatline;
+  return flaws;
+}
+
 std::string describe_flaws(BeatFlaw flaws) {
   if (flaws == BeatFlaw::None) return "ok";
   std::string out;
@@ -31,7 +44,51 @@ std::string describe_flaws(BeatFlaw flaws) {
   if (has_flaw(flaws, BeatFlaw::LvetOutOfRange)) append("lvet-range");
   if (has_flaw(flaws, BeatFlaw::AmplitudeOutOfRange)) append("amplitude-range");
   if (has_flaw(flaws, BeatFlaw::RrOutOfRange)) append("rr-range");
+  if (has_flaw(flaws, BeatFlaw::LowSnr)) append("low-snr");
+  if (has_flaw(flaws, BeatFlaw::Saturated)) append("saturated");
+  if (has_flaw(flaws, BeatFlaw::Flatline)) append("flatline");
   return out;
+}
+
+void QualitySummary::tally(BeatFlaw flaws, const SignalQuality& q, bool snr_measured) {
+  ++beats;
+  if (snr_measured) {
+    if (snr_beats == 0 || q.snr_db < min_snr_db) min_snr_db = q.snr_db;
+    ++snr_beats;
+    sum_snr_db += q.snr_db;
+  }
+  if (flaws == BeatFlaw::None) {
+    ++usable;
+    return;
+  }
+  for (std::size_t bit = 0; bit < kBeatFlawCount; ++bit)
+    if (has_flaw(flaws, static_cast<BeatFlaw>(std::uint32_t{1} << bit))) ++flaw_counts[bit];
+}
+
+void QualitySummary::merge(const QualitySummary& other) {
+  if (other.snr_beats > 0 && (snr_beats == 0 || other.min_snr_db < min_snr_db))
+    min_snr_db = other.min_snr_db;
+  beats += other.beats;
+  snr_beats += other.snr_beats;
+  usable += other.usable;
+  for (std::size_t i = 0; i < kBeatFlawCount; ++i) flaw_counts[i] += other.flaw_counts[i];
+  ecg_dropouts += other.ecg_dropouts;
+  z_dropouts += other.z_dropouts;
+  detector_resets += other.detector_resets;
+  ensemble_folds_skipped += other.ensemble_folds_skipped;
+  sum_snr_db += other.sum_snr_db;
+}
+
+std::string describe_summary(const QualitySummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%llu beats, %.0f%% usable, mean SNR %.1f dB, gaps ecg/z %llu/%llu, "
+                "resets %llu",
+                static_cast<unsigned long long>(s.beats), 100.0 * s.usable_fraction(),
+                s.mean_snr_db(), static_cast<unsigned long long>(s.ecg_dropouts),
+                static_cast<unsigned long long>(s.z_dropouts),
+                static_cast<unsigned long long>(s.detector_resets));
+  return buf;
 }
 
 } // namespace icgkit::core

@@ -16,9 +16,14 @@
 
 namespace icgkit::core {
 
+/// Bounded wait-free SPSC ring: exactly one producer thread may call
+/// try_push and exactly one consumer thread may call try_pop (see the
+/// header comment for why that contract is what keeps this CAS-free).
 template <typename T>
 class SpscQueue {
  public:
+  /// Fixed capacity (one slot is sacrificed internally to distinguish
+  /// full from empty).
   explicit SpscQueue(std::size_t capacity) : buf_(capacity + 1) {
     if (capacity == 0) throw std::invalid_argument("SpscQueue: capacity must be >= 1");
   }
@@ -26,6 +31,7 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
+  /// Maximum number of elements the queue can hold.
   [[nodiscard]] std::size_t capacity() const { return buf_.size() - 1; }
 
   /// Producer side. Returns false when the queue is full (backpressure).

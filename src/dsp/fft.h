@@ -13,6 +13,7 @@
 
 namespace icgkit::dsp {
 
+/// A complex DFT spectrum (bin k holds X[k]).
 using Spectrum = std::vector<std::complex<double>>;
 
 /// In-place iterative radix-2 Cooley-Tukey FFT. `x.size()` must be a power
@@ -31,15 +32,17 @@ Signal magnitude_spectrum(SignalView x);
 /// Next power of two >= n (n >= 1).
 std::size_t next_pow2(std::size_t n);
 
+/// Parameters of the Welch averaged-periodogram estimator.
 struct WelchConfig {
-  std::size_t segment_length = 1024; // rounded up to a power of two
-  double overlap = 0.5;              // fraction of segment_length
+  std::size_t segment_length = 1024; ///< rounded up to a power of two
+  double overlap = 0.5;              ///< fraction of segment_length
   WindowKind window = WindowKind::Hann;
 };
 
+/// A one-sided power spectral density estimate.
 struct Psd {
-  Signal freq_hz; // bin centers
-  Signal power;   // power density, one-sided
+  Signal freq_hz; ///< bin centers
+  Signal power;   ///< power density, one-sided
 };
 
 /// Welch's averaged-periodogram PSD estimate (one-sided, density scaling).

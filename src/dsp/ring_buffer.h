@@ -11,6 +11,9 @@
 
 namespace icgkit::dsp {
 
+/// Fixed-capacity single-threaded FIFO with random access from the
+/// oldest element (at(0) = oldest) and deque-style back removal; push on
+/// a full buffer overwrites the oldest element (newest data wins).
 template <typename T>
 class RingBuffer {
  public:

@@ -13,10 +13,13 @@
 
 namespace icgkit::dsp {
 
+/// Arithmetic mean; 0 for an empty signal.
 double mean(SignalView x);
 /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
 double variance(SignalView x);
+/// Square root of variance().
 double stddev(SignalView x);
+/// Root-mean-square value; 0 for an empty signal.
 double rms(SignalView x);
 
 /// Pearson correlation coefficient. Returns 0 when either input is
@@ -38,9 +41,12 @@ double mad(SignalView x);
 /// Linear percentile interpolation, p in [0, 100].
 double percentile(SignalView x, double p);
 
+/// Index of the maximum element (first occurrence; x must be non-empty).
 std::size_t argmax(SignalView x);
+/// Index of the minimum element (first occurrence; x must be non-empty).
 std::size_t argmin(SignalView x);
 
+/// A least-squares line y = slope * t + intercept.
 struct LineFit {
   double slope = 0.0;
   double intercept = 0.0;

@@ -12,8 +12,12 @@
 
 namespace icgkit::dsp {
 
+/// One continuous-valued sample (always double in the reference path;
+/// the Q31 firmware path has its own sample type, see dsp/backend.h).
 using Sample = double;
+/// An owned contiguous signal.
 using Signal = std::vector<Sample>;
+/// A non-owning read-only view over a signal (or any sample array).
 using SignalView = std::span<const Sample>;
 
 /// Sampling rate in Hz. Kept as its own type name so call sites read

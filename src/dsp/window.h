@@ -7,11 +7,12 @@
 
 namespace icgkit::dsp {
 
+/// Supported window families (FIR design tapers, Welch PSD segments).
 enum class WindowKind {
-  Rectangular,
-  Hamming,
-  Hann,
-  Blackman,
+  Rectangular, ///< all-ones (no taper)
+  Hamming,     ///< 0.54 - 0.46 cos — the FIR-design default here
+  Hann,        ///< raised cosine, zero at both ends
+  Blackman,    ///< three-term, lowest side lobes of the set
 };
 
 /// Returns an n-point symmetric window of the given kind.

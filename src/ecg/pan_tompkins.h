@@ -147,6 +147,30 @@ class BasicOnlinePanTompkins {
     }
   }
 
+  /// Quality-adaptive recovery hook (contact-gap resets): discards every
+  /// *adaptive* decision state — SPKI/NPKI thresholds, RR history,
+  /// search-back bookkeeping, pending/unlearned candidates — and
+  /// schedules a fresh 2 s threshold-learning window starting at the
+  /// current stream position, while keeping all filter state and sample
+  /// counters intact. Detection therefore resumes on a clean slate after
+  /// an electrode dropout without disturbing the input/feature timeline
+  /// alignment (indices keep counting; no output samples are lost), so
+  /// the pipeline's chunk-size invariance is preserved. Allocation-free.
+  void soft_reset() {
+    pending_.reset();
+    prelearn_.clear();
+    learned_ = false;
+    learn_start_ = mwi_produced_;
+    learn_end_ = mwi_produced_ + learn_window_;
+    spki_ = npki_ = sample_t{};
+    last_accepted_.reset();
+    last_accepted_slope_ = sample_t{};
+    rr_history_.clear();
+    rejected_since_.clear();
+    // last_r_ is kept: the refractory guard against already-emitted peaks
+    // must keep holding across the reset.
+  }
+
   void reset() {
     bp_.reset();
     mwi_.reset();
@@ -160,6 +184,8 @@ class BasicOnlinePanTompkins {
     in_count_ = 0;
     pending_.reset();
     learned_ = false;
+    learn_start_ = 0;
+    learn_end_ = learn_window_;
     prelearn_.clear();
     spki_ = npki_ = sample_t{};
     last_accepted_.reset();
@@ -238,16 +264,19 @@ class BasicOnlinePanTompkins {
     learned_ = true;
     if (learn == 0) return;
     const std::size_t oldest = mwi_produced_ - mwi_ring_.size();
+    // After a soft_reset the learning window starts at the reset point
+    // (learn_start_), not the stream start: only post-gap feature samples
+    // may seed the new thresholds.
     sample_t peak{};
     typename B::acc_t acc = B::acc_zero();
     std::size_t count = 0;
-    for (std::size_t i = oldest; i < learn; ++i) {
+    for (std::size_t i = std::max(oldest, learn_start_); i < learn; ++i) {
       const sample_t v = mwi_ring_.at(i - oldest);
       peak = std::max(peak, v);
       acc = B::acc_add(acc, v);
       ++count;
     }
-    spki_ = B::quarter(peak);
+    spki_ = count > 0 ? B::quarter(peak) : sample_t{};
     npki_ = count > 0 ? B::halved_mean(acc, count) : sample_t{};
   }
 
@@ -369,6 +398,12 @@ class BasicOnlinePanTompkins {
   dsp::SampleRate fs_;
   PanTompkinsConfig cfg_;
   std::size_t refractory_, min_sep_, t_wave_win_, mwi_win_, refine_, learn_end_;
+  /// Length of one threshold-learning window (2 s of feature samples);
+  /// learn_end_ - learn_start_ whenever learning is pending.
+  std::size_t learn_window_ = learn_end_;
+  /// First feature sample eligible for the current learning window
+  /// (0 from construction; the reset point after soft_reset()).
+  std::size_t learn_start_ = 0;
 
   // Feature chain (input timeline == feature timeline; the band-pass
   // stage absorbs its own group delay).

@@ -62,7 +62,25 @@ std::vector<std::vector<unsigned char>> run_fleet(
   fleet.run_to_completion(sink);
 
   std::vector<std::vector<unsigned char>> streams(sessions);
-  for (const FleetBeat& fb : sink) serialize_beat(fb.beat, streams[fb.session]);
+  std::vector<std::size_t> summaries(sessions, 0);
+  std::vector<std::uint64_t> summary_beats(sessions, 0);
+  for (const FleetBeat& fb : sink) {
+    if (fb.end_of_session) {
+      ++summaries[fb.session];
+      summary_beats[fb.session] = fb.session_summary.beats;
+      continue;  // terminal quality record, not a beat
+    }
+    serialize_beat(fb.beat, streams[fb.session]);
+  }
+  // Every finished session emits its QualitySummary exactly once, after
+  // its tail beats, and the summary's beat count matches the stream.
+  std::vector<unsigned char> one_beat;
+  serialize_beat(BeatRecord{}, one_beat);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    EXPECT_EQ(summaries[s], 1u) << "session " << s << " end-of-session records";
+    EXPECT_EQ(summary_beats[s] * one_beat.size(), streams[s].size())
+        << "session " << s << " summary beat count vs serialized stream";
+  }
   return streams;
 }
 

@@ -1,0 +1,311 @@
+// Quality-adaptive pipeline recovery: contact gaps must not poison the
+// QRS detector's adaptive thresholds or the ensemble template, beats
+// overlapping corrupted spans must carry the new signal-integrity flaw
+// bits, and corrupted streams must stay chunk-size invariant on both
+// numeric backends.
+#include "core/beat_serializer.h"
+#include "core/pipeline.h"
+#include "synth/scenario.h"
+#include "synth/subject.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using core::BeatFlaw;
+using core::BeatRecord;
+using core::PipelineConfig;
+using core::QualitySummary;
+
+constexpr double kFs = 250.0;
+
+synth::Recording test_recording(std::uint64_t session_seed = 11) {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.fs = kFs;
+  cfg.session_seed = session_seed;
+  const auto roster = synth::paper_roster();
+  const synth::SourceActivity src = generate_source(roster[0], cfg);
+  return measure_thoracic(roster[0], src, 50e3);
+}
+
+/// Sample-and-hold both channels over [begin, end).
+void hold_both(synth::Recording& rec, std::size_t begin, std::size_t end) {
+  const double ecg_held = begin > 0 ? rec.ecg_mv[begin - 1] : 0.0;
+  const double z_held = begin > 0 ? rec.z_ohm[begin - 1] : 0.0;
+  for (std::size_t i = begin; i < std::min(end, rec.ecg_mv.size()); ++i) {
+    rec.ecg_mv[i] = ecg_held;
+    rec.z_ohm[i] = z_held;
+  }
+}
+
+template <typename Pipeline>
+std::vector<BeatRecord> run_stream(const synth::Recording& rec, QualitySummary& summary,
+                                   const PipelineConfig& cfg = {},
+                                   std::size_t chunk = 64) {
+  Pipeline p(rec.fs, cfg);
+  std::vector<BeatRecord> beats;
+  const std::size_t n = rec.ecg_mv.size();
+  for (std::size_t i = 0; i < n; i += chunk) {
+    const std::size_t len = std::min(chunk, n - i);
+    p.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                dsp::SignalView(rec.z_ohm.data() + i, len), beats);
+  }
+  p.finish_into(beats);
+  summary = p.quality_summary();
+  return beats;
+}
+
+/// Fraction of truth beats in [t0, t1] with an emitted R within 100 ms.
+double matched_fraction(const synth::Recording& rec, const std::vector<BeatRecord>& beats,
+                        double t0, double t1) {
+  std::vector<double> detected;
+  for (const BeatRecord& b : beats) {
+    detected.push_back(static_cast<double>(b.points.r) / rec.fs);
+    detected.push_back(static_cast<double>(b.points.r) / rec.fs + b.rr_s);
+  }
+  std::size_t truth = 0, matched = 0;
+  for (const synth::BeatTruth& t : rec.beats) {
+    if (t.r_time_s < t0 || t.r_time_s > t1) continue;
+    ++truth;
+    for (const double d : detected)
+      if (std::abs(d - t.r_time_s) <= 0.100) {
+        ++matched;
+        break;
+      }
+  }
+  return truth > 0 ? static_cast<double>(matched) / static_cast<double>(truth) : 1.0;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, DropoutMidQrsResetsAndResumesDetection) {
+  synth::Recording rec = test_recording();
+  // Open the gap exactly at a mid-recording QRS: worst case for the
+  // detector (the beat is truncated mid-complex).
+  const synth::BeatTruth* at = nullptr;
+  for (const synth::BeatTruth& t : rec.beats)
+    if (t.r_time_s >= 10.0) {
+      at = &t;
+      break;
+    }
+  ASSERT_NE(at, nullptr);
+  const auto g0 = static_cast<std::size_t>(at->r_time_s * kFs);
+  const auto g1 = g0 + static_cast<std::size_t>(1.5 * kFs);
+  hold_both(rec, g0, g1);
+
+  QualitySummary summary;
+  const auto beats = run_stream<core::StreamingBeatPipeline>(rec, summary);
+
+  EXPECT_EQ(summary.ecg_dropouts, 1u);
+  EXPECT_EQ(summary.z_dropouts, 1u);
+  EXPECT_EQ(summary.detector_resets, 1u);
+
+  // The recovery reset drops the open R, so no R-R pair may span the gap.
+  for (const BeatRecord& b : beats) {
+    const auto r_next =
+        b.points.r + static_cast<std::size_t>(std::lround(b.rr_s * kFs));
+    EXPECT_FALSE(b.points.r < g0 && r_next > g1)
+        << "beat (" << b.points.r << ", " << r_next << ") spans the gap";
+  }
+
+  // Detection is healthy before the gap and again after the relearn
+  // window (gap end + 2 s learning + margin).
+  const double gap_end_s = static_cast<double>(g1) / kFs;
+  EXPECT_GE(matched_fraction(rec, beats, 1.0, at->r_time_s - 0.5), 0.9);
+  EXPECT_GE(matched_fraction(rec, beats, gap_end_s + 2.5, 29.0), 0.9);
+}
+
+TEST(RecoveryTest, RecoveryNeverWorseThanStaleThresholds) {
+  synth::Recording rec = test_recording(23);
+  const auto g0 = static_cast<std::size_t>(12.0 * kFs);
+  const auto g1 = g0 + static_cast<std::size_t>(2.0 * kFs);
+  hold_both(rec, g0, g1);
+
+  PipelineConfig with, without;
+  without.quality.enable_recovery = false;
+
+  QualitySummary s_with, s_without;
+  const auto b_with = run_stream<core::StreamingBeatPipeline>(rec, s_with, with);
+  const auto b_without = run_stream<core::StreamingBeatPipeline>(rec, s_without, without);
+
+  EXPECT_EQ(s_with.detector_resets, 1u);
+  EXPECT_EQ(s_without.detector_resets, 0u);
+
+  const double gap_end_s = static_cast<double>(g1) / kFs;
+  const double recovered = matched_fraction(rec, b_with, gap_end_s + 2.5, 29.0);
+  const double stale = matched_fraction(rec, b_without, gap_end_s + 2.5, 29.0);
+  EXPECT_GE(recovered, stale) << "recovery must not detect fewer post-gap beats";
+  EXPECT_GE(recovered, 0.9);
+}
+
+TEST(RecoveryTest, ElectrodePopAndGapDuringEnsembleAccumulation) {
+  synth::Recording rec = test_recording(31);
+  // A large electrode pop on the impedance channel at 8 s...
+  const auto pop = static_cast<std::size_t>(8.0 * kFs);
+  for (std::size_t i = pop; i < rec.z_ohm.size(); ++i) {
+    const double t = static_cast<double>(i - pop) / kFs;
+    if (t > 1.5) break;
+    rec.z_ohm[i] += 10.0 * std::exp(-t / 0.2);
+  }
+  // ...and a Z-channel contact gap at 15 s (ECG stays alive).
+  const auto g0 = static_cast<std::size_t>(15.0 * kFs);
+  const auto g1 = g0 + static_cast<std::size_t>(0.6 * kFs);
+  const double z_held = rec.z_ohm[g0 - 1];
+  for (std::size_t i = g0; i < g1; ++i) rec.z_ohm[i] = z_held;
+
+  PipelineConfig cfg;
+  cfg.enable_ensemble = true;
+
+  QualitySummary summary;
+  const auto beats = run_stream<core::StreamingBeatPipeline>(rec, summary, cfg);
+
+  EXPECT_EQ(summary.z_dropouts, 1u);
+  EXPECT_EQ(summary.ecg_dropouts, 0u);
+  EXPECT_EQ(summary.detector_resets, 0u) << "a Z-only gap must not reset the QRS detector";
+  // The poisoning protection: folds whose segment overlaps the
+  // quarantined gap span are skipped, never averaged into the template.
+  EXPECT_GE(summary.ensemble_folds_skipped, 1u);
+
+  // The template existed before the gap and persists across it (clean
+  // pre-gap beats stay averaged; only quarantined folds are dropped).
+  bool before = false, across = false;
+  const double gap_end_s = static_cast<double>(g1) / kFs;
+  for (const BeatRecord& b : beats) {
+    const double r_s = static_cast<double>(b.points.r) / kFs;
+    if (r_s > 6.0 && r_s < 14.0 && b.ensemble_points.has_value()) before = true;
+    if (r_s > gap_end_s + 6.0 && b.ensemble_points.has_value()) across = true;
+  }
+  EXPECT_TRUE(before) << "template never formed before the gap";
+  EXPECT_TRUE(across) << "template did not persist past the gap";
+
+  // And it stays delineation-sane (PEP in the quality gate's
+  // physiological band) — not poisoned by the pop or the gap.
+  for (const BeatRecord& b : beats) {
+    const double r_s = static_cast<double>(b.points.r) / kFs;
+    if (r_s > gap_end_s + 6.0 && b.ensemble_points.has_value()) {
+      const auto& e = *b.ensemble_points;
+      const double pep_s = static_cast<double>(e.b - e.r) / kFs;
+      EXPECT_GT(pep_s, 0.04);
+      EXPECT_LT(pep_s, 0.20);
+    }
+  }
+}
+
+TEST(RecoveryTest, CorruptedStreamIsChunkSizeInvariant) {
+  const synth::Recording rec =
+      corrupt(test_recording(5), synth::ScenarioSpec::moderate(), 40);
+
+  const auto serialize_all = [](const std::vector<BeatRecord>& beats) {
+    std::vector<unsigned char> bytes;
+    for (const BeatRecord& b : beats) core::serialize_beat(b, bytes);
+    return bytes;
+  };
+
+  for (const bool fixed : {false, true}) {
+    QualitySummary ref_summary;
+    const auto reference =
+        fixed ? run_stream<core::FixedStreamingBeatPipeline>(rec, ref_summary, {}, 64)
+              : run_stream<core::StreamingBeatPipeline>(rec, ref_summary, {}, 64);
+    ASSERT_FALSE(reference.empty());
+    const auto ref_bytes = serialize_all(reference);
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{1024}}) {
+      QualitySummary summary;
+      const auto beats =
+          fixed ? run_stream<core::FixedStreamingBeatPipeline>(rec, summary, {}, chunk)
+                : run_stream<core::StreamingBeatPipeline>(rec, summary, {}, chunk);
+      EXPECT_EQ(serialize_all(beats), ref_bytes)
+          << (fixed ? "q31" : "double") << " backend diverged at chunk " << chunk;
+      // The signal-integrity metrics are per-sample arithmetic and must
+      // match exactly too (they are not part of the serialized bytes).
+      ASSERT_EQ(beats.size(), reference.size());
+      for (std::size_t i = 0; i < beats.size(); ++i) {
+        EXPECT_EQ(beats[i].signal.snr_db, reference[i].signal.snr_db);
+        EXPECT_EQ(beats[i].signal.flatline_fraction, reference[i].signal.flatline_fraction);
+        EXPECT_EQ(beats[i].signal.saturation_fraction,
+                  reference[i].signal.saturation_fraction);
+      }
+      EXPECT_EQ(summary.beats, ref_summary.beats);
+      EXPECT_EQ(summary.usable, ref_summary.usable);
+      EXPECT_EQ(summary.ecg_dropouts, ref_summary.ecg_dropouts);
+      EXPECT_EQ(summary.detector_resets, ref_summary.detector_resets);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signal-integrity flaw bits.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, CrossGapBeatFlaggedFlatlineWithoutRecovery) {
+  synth::Recording rec = test_recording(41);
+  const auto g0 = static_cast<std::size_t>(10.0 * kFs);
+  const auto g1 = g0 + static_cast<std::size_t>(0.8 * kFs);
+  hold_both(rec, g0, g1);
+
+  PipelineConfig cfg;
+  cfg.quality.enable_recovery = false;  // allow an R-R pair to span the gap
+
+  QualitySummary summary;
+  const auto beats = run_stream<core::StreamingBeatPipeline>(rec, summary, cfg);
+
+  bool flagged = false;
+  for (const BeatRecord& b : beats) {
+    const auto r_next = b.points.r + static_cast<std::size_t>(std::lround(b.rr_s * kFs));
+    if (b.points.r < g1 && r_next > g0 && has_flaw(b.flaws, BeatFlaw::Flatline))
+      flagged = true;
+  }
+  EXPECT_TRUE(flagged) << "no beat overlapping the held span carries Flatline";
+  EXPECT_GT(summary.flaw_counts[7], 0u);  // bit 7 = Flatline
+}
+
+TEST(RecoveryTest, RailPinnedSamplesFlaggedSaturated) {
+  synth::Recording rec = test_recording(43);
+  // Pin Z near the 1024 Ohm acquisition rail for 0.4 s, with a small
+  // varying component so the flatline detector stays quiet.
+  const auto s0 = static_cast<std::size_t>(12.0 * kFs);
+  const auto s1 = s0 + static_cast<std::size_t>(0.4 * kFs);
+  for (std::size_t i = s0; i < s1; ++i)
+    rec.z_ohm[i] = 1010.0 + 0.5 * std::sin(static_cast<double>(i));
+
+  QualitySummary summary;
+  const auto beats = run_stream<core::StreamingBeatPipeline>(rec, summary);
+
+  bool flagged = false;
+  for (const BeatRecord& b : beats)
+    if (has_flaw(b.flaws, BeatFlaw::Saturated)) flagged = true;
+  EXPECT_TRUE(flagged) << "rail-pinned span produced no Saturated beat";
+  EXPECT_GT(summary.flaw_counts[6], 0u);  // bit 6 = Saturated
+}
+
+TEST(RecoveryTest, HeavyInBandNoiseFlaggedLowSnr) {
+  synth::Recording rec = test_recording(47);
+  // Drown the ICG band: strong white noise on Z differentiates into
+  // noise far above the ~1.8 Ohm/s C amplitude within the 20 Hz band.
+  synth::ScenarioSpec spec;
+  spec.add(synth::AdditiveNoiseConfig{.white_sigma = 0.1, .pink_sigma = 0.0},
+           synth::Channel::Z);
+  apply_scenario(rec, spec, 9);
+
+  QualitySummary summary;
+  const auto beats = run_stream<core::StreamingBeatPipeline>(rec, summary);
+
+  ASSERT_FALSE(beats.empty());
+  bool flagged = false;
+  for (const BeatRecord& b : beats)
+    if (has_flaw(b.flaws, BeatFlaw::LowSnr)) flagged = true;
+  EXPECT_TRUE(flagged) << "drowned ICG produced no LowSnr beat";
+
+  // And a clean run of the same session sits comfortably above the floor.
+  QualitySummary clean_summary;
+  run_stream<core::StreamingBeatPipeline>(test_recording(47), clean_summary);
+  EXPECT_GT(clean_summary.mean_snr_db(), summary.mean_snr_db());
+}
+
+} // namespace

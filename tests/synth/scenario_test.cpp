@@ -1,0 +1,189 @@
+// Scenario-engine contract: deterministic seeding, per-channel stage
+// isolation, and the physical semantics of each corruption stage
+// (held samples during dropouts, additive tones, dynamic-only fades).
+#include "synth/scenario.h"
+
+#include "dsp/stats.h"
+#include "synth/subject.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace {
+
+using namespace icgkit;
+using synth::Channel;
+using synth::ScenarioReport;
+using synth::ScenarioSpec;
+
+synth::Recording test_recording() {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.fs = 250.0;
+  cfg.session_seed = 11;
+  const auto roster = synth::paper_roster();
+  const synth::SourceActivity src = generate_source(roster[0], cfg);
+  return measure_thoracic(roster[0], src, 50e3);
+}
+
+TEST(ScenarioTest, SameSeedIsBitIdenticalDifferentSeedIsNot) {
+  const synth::Recording rec = test_recording();
+  const ScenarioSpec spec = ScenarioSpec::moderate();
+  const synth::Recording a = corrupt(rec, spec, 77);
+  const synth::Recording b = corrupt(rec, spec, 77);
+  const synth::Recording c = corrupt(rec, spec, 78);
+  EXPECT_EQ(a.ecg_mv, b.ecg_mv);
+  EXPECT_EQ(a.z_ohm, b.z_ohm);
+  EXPECT_NE(a.z_ohm, c.z_ohm) << "different seeds should corrupt differently";
+}
+
+TEST(ScenarioTest, CleanSpecIsNoop) {
+  const synth::Recording rec = test_recording();
+  synth::Recording copy = rec;
+  const ScenarioReport report = apply_scenario(copy, ScenarioSpec::clean(), 5);
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_EQ(copy.ecg_mv, rec.ecg_mv);
+  EXPECT_EQ(copy.z_ohm, rec.z_ohm);
+}
+
+TEST(ScenarioTest, StageEditingDoesNotShiftOtherStagesNoise) {
+  // Independent RNG substreams: dropping the *last* stage must not change
+  // what the first stages injected.
+  const synth::Recording rec = test_recording();
+  ScenarioSpec two;
+  two.add(synth::AdditiveNoiseConfig{.white_sigma = 0.01, .pink_sigma = 0.0}, Channel::Ecg);
+  two.add(synth::MainsConfig{.amplitude = 0.05, .mains_hz = 50.0}, Channel::Z);
+  ScenarioSpec one;
+  one.add(synth::AdditiveNoiseConfig{.white_sigma = 0.01, .pink_sigma = 0.0}, Channel::Ecg);
+
+  const synth::Recording with_two = corrupt(rec, two, 99);
+  const synth::Recording with_one = corrupt(rec, one, 99);
+  EXPECT_EQ(with_two.ecg_mv, with_one.ecg_mv)
+      << "removing a later stage changed an earlier stage's draws";
+}
+
+TEST(ScenarioTest, DropoutHoldsSamplesAndRespectsChannel) {
+  const synth::Recording rec = test_recording();
+  ScenarioSpec spec;
+  spec.add(synth::DropoutConfig{.rate_per_min = 20.0, .mean_duration_s = 1.0}, Channel::Z);
+  synth::Recording corrupted = rec;
+  const ScenarioReport report = apply_scenario(corrupted, spec, 3);
+
+  ASSERT_FALSE(report.events.empty()) << "20/min for 30 s should place gaps";
+  EXPECT_EQ(corrupted.ecg_mv, rec.ecg_mv) << "Z-only stage must not touch the ECG";
+
+  for (const synth::CorruptionEvent& e : report.events) {
+    ASSERT_TRUE(e.dropout);
+    EXPECT_EQ(e.channel, Channel::Z);
+    ASSERT_LT(e.begin, e.end);
+    ASSERT_LE(e.end, corrupted.z_ohm.size());
+    const double held = corrupted.z_ohm[e.begin];
+    for (std::size_t i = e.begin; i < e.end; ++i)
+      ASSERT_EQ(corrupted.z_ohm[i], held) << "sample " << i << " not held";
+    if (e.begin > 0) {
+      EXPECT_EQ(held, corrupted.z_ohm[e.begin - 1]) << "hold should freeze the last value";
+    }
+  }
+}
+
+TEST(ScenarioTest, BothChannelDropoutIsOnePhysicalEvent) {
+  // A contact gap is one physical event: the Both stage must freeze the
+  // same instants of both channels.
+  const synth::Recording rec = test_recording();
+  ScenarioSpec spec;
+  spec.add(synth::DropoutConfig{.rate_per_min = 10.0, .mean_duration_s = 0.8},
+           Channel::Both);
+  synth::Recording corrupted = rec;
+  const ScenarioReport report = apply_scenario(corrupted, spec, 21);
+
+  std::vector<std::pair<std::size_t, std::size_t>> ecg_gaps, z_gaps;
+  for (const synth::CorruptionEvent& e : report.events) {
+    ASSERT_TRUE(e.dropout);
+    if (e.channel == Channel::Ecg) {
+      ecg_gaps.emplace_back(e.begin, e.end);
+    } else {
+      z_gaps.emplace_back(e.begin, e.end);
+    }
+  }
+  ASSERT_FALSE(ecg_gaps.empty());
+  EXPECT_EQ(ecg_gaps, z_gaps) << "Both-channel gaps must coincide sample for sample";
+}
+
+TEST(ScenarioTest, MainsAddsToneOfRequestedAmplitude) {
+  const synth::Recording rec = test_recording();
+  ScenarioSpec spec;
+  spec.add(synth::MainsConfig{.amplitude = 0.1, .mains_hz = 50.0}, Channel::Ecg);
+  const synth::Recording corrupted = corrupt(rec, spec, 7);
+
+  const std::size_t n = rec.ecg_mv.size();
+  dsp::Signal delta(n);
+  for (std::size_t i = 0; i < n; ++i) delta[i] = corrupted.ecg_mv[i] - rec.ecg_mv[i];
+  // A sinusoid of amplitude A has RMS A/sqrt(2); the wobble is a percent.
+  EXPECT_NEAR(dsp::rms(delta), 0.1 / std::numbers::sqrt2, 0.01);
+  // And the tone's energy concentrates at the mains frequency: projecting
+  // onto the 50 Hz quadrature pair recovers nearly all of it.
+  double c = 0.0, s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = 2.0 * std::numbers::pi * 50.0 * static_cast<double>(i) / rec.fs;
+    c += delta[i] * std::cos(w);
+    s += delta[i] * std::sin(w);
+  }
+  const double tone_power = 2.0 * (c * c + s * s) / static_cast<double>(n * n);
+  const double total_power = dsp::rms(delta) * dsp::rms(delta);
+  EXPECT_GT(tone_power / total_power, 0.9);
+}
+
+TEST(ScenarioTest, FadeAttenuatesDynamicsOnly) {
+  const synth::Recording rec = test_recording();
+  ScenarioSpec spec;
+  spec.add(synth::AmplitudeFadeConfig{.rate_per_min = 20.0, .mean_duration_s = 2.0,
+                                      .depth = 0.8},
+           Channel::Z);
+  synth::Recording corrupted = rec;
+  const ScenarioReport report = apply_scenario(corrupted, spec, 13);
+  ASSERT_FALSE(report.events.empty());
+
+  const synth::CorruptionEvent& e = report.events.front();
+  double orig_dev = 0.0, faded_dev = 0.0;
+  for (std::size_t i = e.begin; i < e.end; ++i) {
+    orig_dev += std::abs(rec.z_ohm[i] - rec.z0_mean_ohm);
+    faded_dev += std::abs(corrupted.z_ohm[i] - rec.z0_mean_ohm);
+  }
+  EXPECT_LT(faded_dev, orig_dev) << "fade must attenuate the dynamic component";
+  // Outside every event the channel is untouched.
+  std::size_t first_event_begin = corrupted.z_ohm.size();
+  for (const synth::CorruptionEvent& ev : report.events)
+    first_event_begin = std::min(first_event_begin, ev.begin);
+  for (std::size_t i = 0; i < first_event_begin; ++i)
+    ASSERT_EQ(corrupted.z_ohm[i], rec.z_ohm[i]);
+}
+
+TEST(ScenarioTest, CorruptedWorkloadVariesPerRecording) {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 6.0;
+  cfg.session_seed = 2;
+  std::vector<ScenarioReport> reports;
+  const auto workload =
+      synth::make_corrupted_workload(3, cfg, ScenarioSpec::moderate(), 50, &reports);
+  ASSERT_EQ(workload.size(), 3u);
+  ASSERT_EQ(reports.size(), 3u);
+  // Distinct per-recording seeds: same roster subject would otherwise be
+  // degraded identically across the fleet.
+  EXPECT_NE(workload[0].z_ohm, workload[1].z_ohm);
+  EXPECT_NE(workload[1].z_ohm, workload[2].z_ohm);
+}
+
+TEST(ScenarioTest, InDropoutQueriesOverlap) {
+  ScenarioReport report;
+  report.events.push_back({0, Channel::Z, 100, 200, true});
+  report.events.push_back({0, Channel::Z, 400, 450, false});  // not a dropout
+  EXPECT_TRUE(report.in_dropout(150, 160));
+  EXPECT_TRUE(report.in_dropout(190, 300));
+  EXPECT_TRUE(report.in_dropout(50, 101));
+  EXPECT_FALSE(report.in_dropout(200, 300));  // half-open interval
+  EXPECT_FALSE(report.in_dropout(410, 440));  // non-dropout event ignored
+}
+
+} // namespace
