@@ -1,0 +1,207 @@
+// Checkpoint/restore and live-migration characterization for the
+// core::Checkpoint subsystem: blob size per backend, save/restore
+// latency on a warmed-up session, migration throughput while the fleet
+// is streaming under load, and the byte-identity acceptance (round trip
+// and migrated-fleet-vs-pinned-fleet) — written to BENCH_checkpoint.json
+// and gated by ci/check_bench_regression.py.
+#include "core/beat_serializer.h"
+#include "core/fleet.h"
+#include "core/pipeline.h"
+#include "report/table.h"
+#include "synth/recording.h"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+using namespace icgkit;
+
+namespace {
+
+constexpr std::size_t kChunk = 64;
+
+template <typename Pipeline>
+void feed(Pipeline& p, const synth::Recording& rec, std::size_t from, std::size_t to,
+          std::size_t chunk, std::vector<core::BeatRecord>& out) {
+  for (std::size_t i = from; i < to; i += chunk) {
+    const std::size_t len = std::min(chunk, to - i);
+    p.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                dsp::SignalView(rec.z_ohm.data() + i, len), out);
+  }
+}
+
+std::vector<unsigned char> bytes_of(const std::vector<core::BeatRecord>& beats) {
+  std::vector<unsigned char> out;
+  for (const core::BeatRecord& b : beats) serialize_beat(b, out);
+  return out;
+}
+
+struct BackendResult {
+  std::size_t blob_bytes = 0;
+  double save_us = 0.0;
+  double restore_us = 0.0;
+  bool roundtrip_identical = false;
+};
+
+/// Blob size, save/restore latency and resume byte-identity for one
+/// backend, on a session checkpointed halfway through the recording.
+template <typename Pipeline>
+BackendResult bench_backend(const synth::Recording& rec) {
+  BackendResult res;
+  const std::size_t n = rec.ecg_mv.size();
+  const std::size_t cut = n / 2;
+
+  Pipeline ref(rec.fs);
+  std::vector<core::BeatRecord> ref_beats;
+  feed(ref, rec, 0, n, kChunk, ref_beats);
+  ref.finish_into(ref_beats);
+
+  Pipeline source(rec.fs);
+  std::vector<core::BeatRecord> beats;
+  feed(source, rec, 0, cut, kChunk, beats);
+
+  // Latency: repeat into a reused buffer, the way the fleet migrates.
+  constexpr int kReps = 50;
+  std::vector<std::uint8_t> blob;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) source.checkpoint_into(blob);
+  const auto t1 = std::chrono::steady_clock::now();
+  res.save_us = std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+  res.blob_bytes = blob.size();
+
+  Pipeline target(rec.fs);
+  const auto t2 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) target.restore(blob);
+  const auto t3 = std::chrono::steady_clock::now();
+  res.restore_us = std::chrono::duration<double, std::micro>(t3 - t2).count() / kReps;
+
+  feed(target, rec, cut, n, kChunk, beats);
+  target.finish_into(beats);
+  res.roundtrip_identical = bytes_of(ref_beats) == bytes_of(beats);
+  return res;
+}
+
+struct MigrationResult {
+  std::size_t sessions = 0;
+  std::size_t migrations = 0;
+  double wall_s = 0.0;
+  double migrations_per_s = 0.0;
+  bool identical = false;
+};
+
+/// Streams `sessions` copies of the workload through a 2-worker fleet
+/// while continuously rebalancing (every session round-robins across the
+/// workers every few chunks), then compares every per-session stream
+/// against the pinned (no-migration) fleet.
+MigrationResult bench_migration(const std::vector<synth::Recording>& workload,
+                                std::size_t sessions) {
+  const std::size_t n = workload[0].ecg_mv.size();
+
+  const auto run = [&](bool migrate_continuously, double& wall_s, std::size_t& moved) {
+    core::FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.max_chunk = kChunk;
+    core::SessionManager fleet(workload[0].fs, cfg);
+    for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+    fleet.start();
+    std::vector<core::FleetBeat> sink;
+    sink.reserve(1 << 16);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t chunk_index = 0;
+    for (std::size_t i = 0; i < n; i += kChunk, ++chunk_index) {
+      if (migrate_continuously && chunk_index % 4 == 3) {
+        // One session moves per migration window, cycling the roster.
+        const auto s = static_cast<std::uint32_t>((chunk_index / 4) % sessions);
+        fleet.migrate(s, 1 - fleet.session_worker(s) % 2, sink);
+      }
+      const std::size_t len = std::min(kChunk, n - i);
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const synth::Recording& rec = workload[s % workload.size()];
+        fleet.submit(static_cast<std::uint32_t>(s),
+                     dsp::SignalView(rec.ecg_mv.data() + i, len),
+                     dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      }
+    }
+    fleet.run_to_completion(sink);
+    wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    moved = fleet.migrations();
+    std::vector<std::vector<unsigned char>> streams(sessions);
+    for (const core::FleetBeat& fb : sink)
+      if (!fb.end_of_session) serialize_beat(fb.beat, streams[fb.session]);
+    return streams;
+  };
+
+  MigrationResult res;
+  res.sessions = sessions;
+  double pinned_wall = 0.0;
+  std::size_t none = 0;
+  const auto pinned = run(false, pinned_wall, none);
+  const auto rebalanced = run(true, res.wall_s, res.migrations);
+  res.migrations_per_s =
+      res.wall_s > 0.0 ? static_cast<double>(res.migrations) / res.wall_s : 0.0;
+  res.identical = pinned == rebalanced;
+  return res;
+}
+
+} // namespace
+
+int main() {
+  report::banner(std::cout, "checkpoint/restore + live migration");
+
+  synth::RecordingConfig rcfg;
+  rcfg.duration_s = 30.0;
+  rcfg.session_seed = 31;
+  const std::vector<synth::Recording> workload = synth::make_fleet_workload(4, rcfg);
+  const synth::Recording& rec = workload[0];
+
+  const BackendResult dbl = bench_backend<core::StreamingBeatPipeline>(rec);
+  const BackendResult q31 = bench_backend<core::FixedStreamingBeatPipeline>(rec);
+
+  report::Table table({"backend", "blob KiB", "save us", "restore us", "round trip"});
+  table.row()
+      .add("double")
+      .add(static_cast<double>(dbl.blob_bytes) / 1024.0, 1)
+      .add(dbl.save_us, 1)
+      .add(dbl.restore_us, 1)
+      .add(dbl.roundtrip_identical ? "identical" : "DIVERGED");
+  table.row()
+      .add("q31")
+      .add(static_cast<double>(q31.blob_bytes) / 1024.0, 1)
+      .add(q31.save_us, 1)
+      .add(q31.restore_us, 1)
+      .add(q31.roundtrip_identical ? "identical" : "DIVERGED");
+  table.print(std::cout);
+
+  const std::size_t kSessions = 48;
+  const MigrationResult mig = bench_migration(workload, kSessions);
+  std::cout << "\nlive rebalancing: " << mig.migrations << " migrations across "
+            << mig.sessions << " streaming sessions in " << mig.wall_s << " s ("
+            << mig.migrations_per_s << " migrations/s under load), output "
+            << (mig.identical ? "byte-identical to the pinned fleet" : "DIVERGED") << "\n";
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool pass = dbl.roundtrip_identical && q31.roundtrip_identical && mig.identical;
+
+  std::ofstream json("BENCH_checkpoint.json");
+  json << "{\n  \"fs_hz\": 250.0,\n  \"recording_s\": " << rcfg.duration_s
+       << ",\n  \"chunk\": " << kChunk
+       << ",\n  \"blob_bytes_double\": " << dbl.blob_bytes
+       << ",\n  \"blob_bytes_q31\": " << q31.blob_bytes
+       << ",\n  \"save_us_double\": " << dbl.save_us
+       << ",\n  \"restore_us_double\": " << dbl.restore_us
+       << ",\n  \"save_us_q31\": " << q31.save_us
+       << ",\n  \"restore_us_q31\": " << q31.restore_us
+       << ",\n  \"roundtrip_identical\": "
+       << (dbl.roundtrip_identical && q31.roundtrip_identical ? "true" : "false")
+       << ",\n  \"migration_sessions\": " << mig.sessions
+       << ",\n  \"migrations\": " << mig.migrations
+       << ",\n  \"migrations_per_s\": " << mig.migrations_per_s
+       << ",\n  \"migration_identical\": " << (mig.identical ? "true" : "false")
+       << ",\n  \"hardware_threads\": " << hw
+       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "(written to BENCH_checkpoint.json)\n";
+  return pass ? 0 : 1;
+}

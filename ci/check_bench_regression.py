@@ -2,11 +2,18 @@
 """Bench-regression gate for the Release CI job.
 
 Compares the JSON the benches just wrote (BENCH_streaming.json,
-BENCH_fleet.json, BENCH_fixed.json, BENCH_scenarios.json) against the
-committed floors in bench/bench_baselines.json and exits non-zero on
-any regression, so a change that silently erodes the streaming speedup,
-fleet scaling, the fixed-point pipeline's beat-level accuracy, or the
-corruption robustness fails the build instead of landing.
+BENCH_fleet.json, BENCH_fixed.json, BENCH_scenarios.json,
+BENCH_checkpoint.json) against the committed floors in
+bench/bench_baselines.json and exits non-zero on any regression, so a
+change that silently erodes the streaming speedup, fleet scaling, the
+fixed-point pipeline's beat-level accuracy, the corruption robustness,
+or the checkpoint subsystem's blob economy fails the build instead of
+landing.
+
+Every expected input is checked up front: a missing or unparseable
+BENCH_*.json (or baseline key) produces one clear per-file/per-key
+message naming the bench that should have written it — never a raw
+traceback.
 
 The fleet scaling floor only arms when the bench itself reports
 scaling_enforced (>= 4 hardware threads on the runner); determinism
@@ -16,7 +23,11 @@ quality flags, and worst-case PEP/LVET deviation under the committed
 ceiling on the full study protocol. The scenario gate requires the
 clean tier to stay a no-op with double/Q31 beat parity, and the
 moderate-corruption tier to keep the committed detection sensitivity
-and PPV floors on BOTH backends.
+and PPV floors on BOTH backends. The checkpoint gate requires
+byte-identical round-trip and migrated-fleet output (deterministic, so
+unconditional) plus blob sizes under the committed ceiling; the
+save/restore latency and migration throughput are reported but not
+gated (wall-time floors are runner-dependent noise).
 """
 import json
 import pathlib
@@ -24,21 +35,70 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+# Which bench executable is responsible for each expected input.
+BENCH_INPUTS = {
+    "BENCH_streaming.json": "bench_cpu_duty_cycle",
+    "BENCH_fleet.json": "bench_fleet_throughput",
+    "BENCH_fixed.json": "bench_fixed_pipeline",
+    "BENCH_scenarios.json": "bench_scenarios",
+    "BENCH_checkpoint.json": "bench_checkpoint",
+}
 
-def load(path: pathlib.Path):
-    try:
-        with open(path) as f:
-            return json.load(f)
-    except FileNotFoundError:
-        sys.exit(f"FAIL: {path} not found — did the bench run before the gate?")
+
+def load_inputs():
+    """Loads the baselines plus every expected bench output, collecting
+    one clear message per missing/invalid file instead of stopping at
+    (or crashing on) the first."""
+    problems = []
+    results = {}
+
+    def read_json(path: pathlib.Path, hint: str):
+        if not path.exists():
+            problems.append(f"{path.name}: missing — {hint}")
+            return None
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except json.JSONDecodeError as e:
+            problems.append(f"{path.name}: invalid JSON ({e}) — {hint}")
+            return None
+
+    results["baselines"] = read_json(
+        ROOT / "bench" / "bench_baselines.json",
+        "the committed floors file must exist in the repo")
+    for name, bench in BENCH_INPUTS.items():
+        results[name] = read_json(
+            ROOT / name, f"did ./{bench} run before the gate?")
+
+    if problems:
+        print("BENCH GATE INPUTS MISSING OR INVALID:")
+        for p in problems:
+            print(f"  - {p}")
+        sys.exit(1)
+    return results
+
+
+class Baselines:
+    """Keyed access to the committed floors with a clear per-key error."""
+
+    def __init__(self, data):
+        self.data = data
+
+    def __getitem__(self, key):
+        if key not in self.data:
+            sys.exit(f"FAIL: bench/bench_baselines.json has no key '{key}' — "
+                     "add the committed floor the gate expects")
+        return self.data[key]
 
 
 def main() -> int:
-    baselines = load(ROOT / "bench" / "bench_baselines.json")
-    streaming = load(ROOT / "BENCH_streaming.json")
-    fleet = load(ROOT / "BENCH_fleet.json")
-    fixed = load(ROOT / "BENCH_fixed.json")
-    scenarios = load(ROOT / "BENCH_scenarios.json")
+    inputs = load_inputs()
+    baselines = Baselines(inputs["baselines"])
+    streaming = inputs["BENCH_streaming.json"]
+    fleet = inputs["BENCH_fleet.json"]
+    fixed = inputs["BENCH_fixed.json"]
+    scenarios = inputs["BENCH_scenarios.json"]
+    checkpoint = inputs["BENCH_checkpoint.json"]
     failures = []
 
     speedup = streaming.get("speedup_at_64", 0.0)
@@ -111,6 +171,33 @@ def main() -> int:
                 f"moderate-corruption sensitivity [{backend}] {sens:.4f} < {sens_floor}")
         if ppv < ppv_floor:
             failures.append(f"moderate-corruption PPV [{backend}] {ppv:.4f} < {ppv_floor}")
+
+    # --- checkpoint/restore + live migration ------------------------------
+    if not checkpoint.get("roundtrip_identical", False):
+        failures.append("checkpoint round trip is not byte-identical (save/restore bug)")
+    else:
+        print("checkpoint round trip: byte-identical on both backends")
+    if not checkpoint.get("migration_identical", False):
+        failures.append(
+            "migrated-fleet output differs from the pinned fleet (migration bug)")
+    else:
+        print(f"fleet migration: {checkpoint.get('migrations', 0)} live migrations, "
+              "byte-identical to the pinned fleet")
+    blob_ceiling_kb = baselines["checkpoint_max_blob_kb"]
+    for backend in ("double", "q31"):
+        blob_kb = checkpoint.get(f"blob_bytes_{backend}", float("inf")) / 1024.0
+        print(f"checkpoint blob [{backend}]: {blob_kb:.1f} KiB "
+              f"(ceiling {blob_ceiling_kb} KiB)")
+        if blob_kb > blob_ceiling_kb:
+            failures.append(
+                f"checkpoint blob [{backend}] {blob_kb:.1f} KiB "
+                f"exceeds ceiling {blob_ceiling_kb} KiB")
+    print(f"checkpoint latency (not gated): save "
+          f"{checkpoint.get('save_us_double', 0.0):.0f}/"
+          f"{checkpoint.get('save_us_q31', 0.0):.0f} us, restore "
+          f"{checkpoint.get('restore_us_double', 0.0):.0f}/"
+          f"{checkpoint.get('restore_us_q31', 0.0):.0f} us (double/q31); "
+          f"{checkpoint.get('migrations_per_s', 0.0):.0f} migrations/s under load")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:")

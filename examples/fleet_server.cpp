@@ -7,10 +7,18 @@
 // SessionManager sharded over a small worker pool, drains completed
 // beats as they arrive, and prints a per-session hemodynamic summary at
 // the end — every number computed beat by beat, in flight.
+//
+// Halfway through, the demo exercises live rebalancing: worker 0 is
+// drained for "maintenance" — every session it hosts is migrated (full
+// checkpoint/restore round trip through core::Checkpoint blobs) onto
+// the least-loaded remaining worker, mid-stream, without dropping a
+// beat — then the fleet is evened out again. The per-session numbers
+// are unchanged by the move: migration is byte-exact.
 #include "core/fleet.h"
 #include "report/table.h"
 #include "synth/recording.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -29,7 +37,9 @@ int main() {
       synth::make_fleet_workload(8, rcfg);
 
   core::FleetConfig cfg;
-  cfg.workers = std::max(1u, std::min(4u, std::thread::hardware_concurrency()));
+  // At least two workers even on a single core (they timeshare fine):
+  // the live-rebalance demo below needs somewhere to migrate to.
+  cfg.workers = std::clamp(std::thread::hardware_concurrency(), 2u, 4u);
   cfg.max_chunk = kChunk;
   // Per-session ensemble averaging: every emitted beat also carries the
   // delineation of the running R-aligned template (ensemble_points), the
@@ -52,9 +62,35 @@ int main() {
   std::vector<core::FleetBeat> sink;
   sink.reserve(4096);
 
+  const double fs = workload[0].fs;
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n = workload[0].ecg_mv.size();
+  bool rebalanced = false;
   for (std::size_t i = 0; i < n; i += kChunk) {
+    if (!rebalanced && i >= n / 2 && cfg.workers > 1) {
+      // Live rebalance: drain worker 0 mid-stream (checkpoint each
+      // resident session, restore it on the least-loaded other worker),
+      // then spread the fleet evenly again. All in-flight state — filter
+      // lines, detector thresholds, ensemble templates — moves in the
+      // blob; the beat streams are byte-identical to a pinned fleet.
+      std::size_t moved = 0;
+      for (std::uint32_t s = 0; s < kSessions; ++s)
+        if (fleet.session_worker(s) == 0) {
+          // Spread the evacuees across the surviving workers.
+          const auto target =
+              1 + static_cast<std::uint32_t>(moved % (cfg.workers - 1));
+          fleet.migrate(s, target, sink);
+          ++moved;
+        }
+      std::cout << "[rebalance] drained worker 0 at t=" << static_cast<double>(i) / fs
+                << " s: " << moved << " sessions migrated live\n";
+      for (std::uint32_t s = 0; s < kSessions; ++s)
+        if (s % cfg.workers != fleet.session_worker(s))
+          fleet.migrate(s, s % static_cast<std::uint32_t>(cfg.workers), sink);
+      std::cout << "[rebalance] fleet re-spread across " << cfg.workers << " workers ("
+                << fleet.migrations() << " total migrations)\n";
+      rebalanced = true;
+    }
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < kSessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
@@ -67,7 +103,6 @@ int main() {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  const double fs = workload[0].fs;
   std::vector<core::QualitySummary> quality(kSessions);
   for (const core::FleetBeat& fb : sink) {
     if (fb.end_of_session) {

@@ -1,0 +1,31 @@
+#include "core/checkpoint.h"
+
+#include <array>
+
+namespace icgkit::core {
+
+namespace {
+
+// Standard CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table,
+// computed once on first use.
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+} // namespace
+
+std::uint32_t checkpoint_crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace icgkit::core

@@ -1,0 +1,263 @@
+// Session checkpoint/restore wire format: the long-lived state capture
+// substrate the elastic fleet is built on.
+//
+// A checkpoint is a self-describing binary blob:
+//
+//   [magic u32 "ICGK"] [version u32] [section]*
+//
+// where every section is independently framed and integrity-checked:
+//
+//   [tag 4 bytes] [payload length u32] [payload] [CRC-32 of payload u32]
+//
+// All multi-byte integers are little-endian regardless of host order;
+// doubles travel as the IEEE-754 bit pattern of their value (u64). The
+// format is therefore stable across architectures and compilers, and a
+// blob saved by one process restores bit-exactly in another — the
+// property the fleet's live migration and the round-trip fuzz CI job
+// pin down.
+//
+// Integrity rules (enforced by StateReader, which throws CheckpointError
+// — never UB — on violation):
+//   - magic and version must match exactly (a version-N reader refuses
+//     version-M blobs instead of guessing);
+//   - a section's tag, length and CRC are validated *before* any payload
+//     byte is handed to a kernel, so a corrupted or truncated blob fails
+//     at the frame, not inside a loader;
+//   - every read is bounds-checked against the current section; a loader
+//     must consume its section exactly (end_section() verifies), so a
+//     blob with missing or trailing state is rejected even when its CRC
+//     is intact;
+//   - structural parameters (ring capacities, kernel lengths, backend
+//     tag) are written alongside the state and re-validated by each
+//     loader against the restore target's construction-time shape, so a
+//     blob can only be restored into an engine built with the same
+//     configuration.
+//
+// The writer/reader primitives are deliberately duck-typed targets: the
+// dsp/ecg streaming kernels serialize through `template <typename W>
+// save_state(W&)` members, so the lower layers never include this
+// header (no dsp -> core dependency cycle) while core composes them
+// with the concrete StateWriter/StateReader below.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace icgkit::core {
+
+/// Any structural violation of a checkpoint blob: bad magic/version,
+/// frame truncation, CRC mismatch, section over/under-consumption, or a
+/// semantic mismatch a kernel loader reports via StateReader::fail().
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error("checkpoint: " + what) {}
+};
+
+/// "ICGK" read as a little-endian u32.
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B474349u;
+/// Bump on any incompatible layout change; readers refuse other versions.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) of `n` bytes.
+std::uint32_t checkpoint_crc32(const std::uint8_t* data, std::size_t n);
+
+/// Serializes checkpoint state into the framed format above. Primitive
+/// puts append little-endian bytes to the current section; sections are
+/// opened/closed explicitly and may not nest. The magic/version header
+/// is written at construction.
+class StateWriter {
+ public:
+  /// Starts a blob, reusing `buf`'s capacity (the fleet's migration path
+  /// hands each session's blob buffer back and forth so steady-state
+  /// migrations do not allocate once warmed up).
+  explicit StateWriter(std::vector<std::uint8_t> buf = {}) : buf_(std::move(buf)) {
+    buf_.clear();
+    u32(kCheckpointMagic);
+    u32(kCheckpointVersion);
+  }
+
+  // -- primitives (little-endian) --
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  // -- generic overloads, the targets the backend-templated kernels and
+  //    dsp::RingBuffer write sample_t / acc_t / mark / index values
+  //    through --
+  void value(double v) { f64(v); }
+  void value(std::int32_t v) { i32(v); }
+  void value(std::int64_t v) { i64(v); }
+  void value(std::uint64_t v) { u64(v); }
+  void value(std::uint8_t v) { u8(v); }
+
+  /// Opens a section with a 4-character tag ("QRSD"). The length and CRC
+  /// are patched in by end_section().
+  void begin_section(const char (&tag)[5]) {
+    if (section_start_ != kNone)
+      throw CheckpointError(std::string("section '") + tag + "' opened inside another");
+    buf_.insert(buf_.end(), tag, tag + 4);
+    section_start_ = buf_.size();
+    u32(0);  // length placeholder
+  }
+
+  void end_section() {
+    if (section_start_ == kNone) throw CheckpointError("end_section without a section");
+    const std::size_t payload_begin = section_start_ + 4;
+    const std::size_t len = buf_.size() - payload_begin;
+    for (int i = 0; i < 4; ++i)
+      buf_[section_start_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+    u32(checkpoint_crc32(buf_.data() + payload_begin, len));
+    section_start_ = kNone;
+  }
+
+  /// The finished blob (all sections must be closed). Moves the buffer
+  /// out; the writer is spent afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    if (section_start_ != kNone) throw CheckpointError("take() inside an open section");
+    return std::move(buf_);
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::uint8_t> buf_;
+  std::size_t section_start_ = kNone;
+};
+
+/// Parses and validates a checkpoint blob. Construction checks the
+/// magic/version header; begin_section() validates the frame (tag,
+/// bounds, CRC) before any payload is readable; every primitive read is
+/// bounds-checked. All violations throw CheckpointError.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> blob) : blob_(blob) {
+    if (u32_at_cursor("magic") != kCheckpointMagic)
+      throw CheckpointError("bad magic (not a checkpoint blob)");
+    const std::uint32_t version = u32_at_cursor("version");
+    if (version != kCheckpointVersion)
+      throw CheckpointError("unsupported format version " + std::to_string(version) +
+                            " (reader supports " + std::to_string(kCheckpointVersion) + ")");
+  }
+
+  /// Opens the next section, which must carry exactly `tag`; validates
+  /// the frame and the payload CRC before returning.
+  void begin_section(const char (&tag)[5]) {
+    if (in_section_) throw CheckpointError(std::string("section '") + tag +
+                                           "' opened inside another");
+    if (blob_.size() - pos_ < 8)
+      throw CheckpointError(std::string("truncated before section '") + tag + "'");
+    if (std::memcmp(blob_.data() + pos_, tag, 4) != 0)
+      throw CheckpointError(std::string("expected section '") + tag + "', found '" +
+                            std::string(reinterpret_cast<const char*>(blob_.data() + pos_), 4) +
+                            "'");
+    pos_ += 4;
+    const std::uint32_t len = u32_at_cursor("section length");
+    // Subtraction form: `len + 4` could wrap where size_t is 32 bits,
+    // letting a corrupted length field slip past the bounds check.
+    const std::size_t remaining = blob_.size() - pos_;
+    if (remaining < 4 || len > remaining - 4)
+      throw CheckpointError(std::string("section '") + tag + "' truncated");
+    const std::uint32_t stored = le32(blob_.data() + pos_ + len);
+    const std::uint32_t computed = checkpoint_crc32(blob_.data() + pos_, len);
+    if (stored != computed)
+      throw CheckpointError(std::string("section '") + tag + "' CRC mismatch");
+    section_end_ = pos_ + len;
+    in_section_ = true;
+  }
+
+  /// Closes the current section; the loader must have consumed exactly
+  /// its payload (missing state is as fatal as trailing state).
+  void end_section() {
+    if (!in_section_) throw CheckpointError("end_section without a section");
+    if (pos_ != section_end_)
+      throw CheckpointError("section not fully consumed (" +
+                            std::to_string(section_end_ - pos_) + " bytes left)");
+    pos_ += 4;  // the validated CRC
+    in_section_ = false;
+  }
+
+  [[nodiscard]] bool at_end() const { return !in_section_ && pos_ == blob_.size(); }
+
+  // -- primitives --
+  std::uint8_t u8() { return take_bytes(1)[0]; }
+  std::uint32_t u32() { return le32(take_bytes(4)); }
+  std::uint64_t u64() {
+    const std::uint8_t* p = take_bytes(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) fail("boolean byte is neither 0 nor 1");
+    return v == 1;
+  }
+
+  /// Typed read for backend-templated kernels (sample_t / acc_t) and
+  /// dsp::RingBuffer elements.
+  template <typename T>
+  T value() {
+    if constexpr (std::is_same_v<T, double>) return f64();
+    else if constexpr (std::is_same_v<T, std::int32_t>) return i32();
+    else if constexpr (std::is_same_v<T, std::int64_t>) return i64();
+    else if constexpr (std::is_same_v<T, std::uint64_t>) return u64();
+    else if constexpr (std::is_same_v<T, std::uint8_t>) return u8();
+    else static_assert(sizeof(T) == 0, "StateReader::value: unsupported type");
+  }
+
+  /// Bytes left in the current section — the bound loaders use to reject
+  /// absurd element counts before allocating.
+  [[nodiscard]] std::size_t section_remaining() const {
+    return in_section_ ? section_end_ - pos_ : 0;
+  }
+
+  /// Semantic-mismatch escape hatch for kernel loaders (ring capacity or
+  /// kernel length differs from the restore target's construction).
+  [[noreturn]] void fail(const std::string& msg) const { throw CheckpointError(msg); }
+
+ private:
+  static std::uint32_t le32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  std::uint32_t u32_at_cursor(const char* what) {
+    if (blob_.size() - pos_ < 4)
+      throw CheckpointError(std::string("truncated reading ") + what);
+    const std::uint32_t v = le32(blob_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  const std::uint8_t* take_bytes(std::size_t n) {
+    const std::size_t limit = in_section_ ? section_end_ : blob_.size();
+    if (limit - pos_ < n) fail("read past end of section");
+    const std::uint8_t* p = blob_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::span<const std::uint8_t> blob_;
+  std::size_t pos_ = 0;
+  std::size_t section_end_ = 0;
+  bool in_section_ = false;
+};
+
+} // namespace icgkit::core

@@ -53,6 +53,33 @@ class EnsembleAverager {
 
   void reset();
 
+  /// Serializes the beat window and rejection counter for
+  /// core::Checkpoint round trips; load_state() rejects blobs whose
+  /// segment length or window size disagrees with this instance's
+  /// configuration.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(len_samples_);
+    w.u64(window_.size());
+    for (const dsp::Signal& beat : window_)
+      for (const double v : beat) w.f64(v);
+    w.u64(rejected_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.u64() != len_samples_) r.fail("EnsembleAverager: segment length mismatch");
+    const std::size_t n = r.u64();
+    if (n > cfg_.window_beats) r.fail("EnsembleAverager: beat window overflow");
+    window_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      dsp::Signal beat(len_samples_);
+      for (double& v : beat) v = r.f64();
+      window_.push_back(std::move(beat));
+    }
+    rejected_ = r.u64();
+  }
+
  private:
   dsp::SampleRate fs_;
   EnsembleConfig cfg_;

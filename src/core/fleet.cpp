@@ -39,7 +39,8 @@ SessionManager::Session::Session(std::uint32_t id_, dsp::SampleRate fs,
                                  const FleetConfig& cfg)
     : id(id_),
       engine(fs, cfg.pipeline, cfg.window_s),
-      slab(cfg.chunk_slots_per_session * cfg.max_chunk * 2) {
+      slab(cfg.chunk_slots_per_session * cfg.max_chunk * 2),
+      worker(id_ % static_cast<std::uint32_t>(cfg.workers)) {
   beat_scratch.reserve(64);
 }
 
@@ -87,17 +88,20 @@ void SessionManager::start() {
 }
 
 bool SessionManager::enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
-                                  bool finish) {
+                                  SessionOp op) {
   // After close() the shutdown sentinel is already queued; anything
   // enqueued behind it would never be processed and idle() would hang.
   if (closed_) throw std::logic_error("SessionManager: submit after close()");
   if (s.finished) throw std::logic_error("SessionManager: session already finished");
+  // Every op occupies one slot of the in-flight window so the
+  // submitted/completed counters stay aligned on both sides (the worker
+  // derives the slab slot of a chunk from its completed count).
   if (s.submitted - s.completed.load(std::memory_order_acquire) >=
       cfg_.chunk_slots_per_session)
     return false;  // no free chunk slot yet
-  Worker& w = worker_of(s.id);
-  WorkItem item{&s, static_cast<std::uint32_t>(ecg_mv.size()), finish};
-  if (!finish) {
+  Worker& w = worker_of(s);
+  WorkItem item{&s, static_cast<std::uint32_t>(ecg_mv.size()), op};
+  if (op == SessionOp::Chunk) {
     const std::size_t slot = s.submitted % cfg_.chunk_slots_per_session;
     dsp::Sample* base = s.slab.data() + slot * cfg_.max_chunk * 2;
     std::memcpy(base, ecg_mv.data(), ecg_mv.size() * sizeof(dsp::Sample));
@@ -105,7 +109,7 @@ bool SessionManager::enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::Signa
   }
   if (!w.in.try_push(item)) return false;  // work queue full; slot copy is moot
   ++s.submitted;
-  if (finish) s.finished = true;
+  if (op == SessionOp::Finish) s.finished = true;
   return true;
 }
 
@@ -118,7 +122,7 @@ bool SessionManager::try_submit(std::uint32_t session, dsp::SignalView ecg_mv,
   if (ecg_mv.size() > cfg_.max_chunk)
     throw std::invalid_argument("SessionManager: chunk exceeds max_chunk");
   if (ecg_mv.empty()) return true;
-  return enqueue_item(*sessions_[session], ecg_mv, z_ohm, false);
+  return enqueue_item(*sessions_[session], ecg_mv, z_ohm, SessionOp::Chunk);
 }
 
 void SessionManager::submit(std::uint32_t session, dsp::SignalView ecg_mv,
@@ -133,7 +137,7 @@ void SessionManager::submit(std::uint32_t session, dsp::SignalView ecg_mv,
 bool SessionManager::try_finish_session(std::uint32_t session) {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
-  return enqueue_item(*sessions_[session], {}, {}, true);
+  return enqueue_item(*sessions_[session], {}, {}, SessionOp::Finish);
 }
 
 void SessionManager::finish_session(std::uint32_t session, std::vector<FleetBeat>& sink) {
@@ -142,6 +146,70 @@ void SessionManager::finish_session(std::uint32_t session, std::vector<FleetBeat
     if (poll(sink) == 0) backoff.pause();
     else backoff.reset();
   }
+}
+
+void SessionManager::migrate(std::uint32_t session, std::uint32_t target_worker,
+                             std::vector<FleetBeat>& sink) {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  if (target_worker >= workers_.size())
+    throw std::out_of_range("SessionManager: unknown worker");
+  if (!started_) throw std::logic_error("SessionManager: migrate() before start()");
+  Session& s = *sessions_[session];
+  if (s.finished) throw std::logic_error("SessionManager: migrate() after finish");
+
+  // 1. Ask the current owner to checkpoint. The work queue serializes
+  //    this behind every chunk submitted so far, so the blob captures
+  //    the session exactly at the cut point.
+  s.checkpoint_ready.store(false, std::memory_order_relaxed);
+  Backoff backoff;
+  while (!enqueue_item(s, {}, {}, SessionOp::CheckpointOut)) {
+    if (poll(sink) == 0) backoff.pause();
+    else backoff.reset();
+  }
+
+  // 2. Wait for the blob (polling so a result-parked source can drain).
+  backoff.reset();
+  while (!s.checkpoint_ready.load(std::memory_order_acquire)) {
+    if (poll(sink) == 0) backoff.pause();
+    else backoff.reset();
+  }
+
+  // 3. One full drain pass. Every pre-cut beat of this session was
+  //    pushed to the source's result queue before checkpoint_ready was
+  //    released, so after the acquire above a single pass moves them all
+  //    into `sink` — which is what keeps the per-session beat order
+  //    intact even though the post-cut beats will surface through a
+  //    different worker's queue.
+  poll(sink);
+
+  // 4. Re-home the session and hand the blob to the target. The
+  //    pilot's acquire in step 2 plus the SPSC push below give the
+  //    target a happens-before edge covering both the blob and the
+  //    engine memory it will overwrite.
+  s.worker = target_worker;
+  backoff.reset();
+  while (!enqueue_item(s, {}, {}, SessionOp::RestoreIn)) {
+    if (poll(sink) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  ++migrations_;
+}
+
+std::uint32_t SessionManager::session_worker(std::uint32_t session) const {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return sessions_[session]->worker;
+}
+
+std::uint32_t SessionManager::least_loaded_worker() const {
+  std::vector<std::size_t> load(workers_.size(), 0);
+  for (const auto& s : sessions_)
+    if (!s->finished) ++load[s->worker];
+  std::uint32_t best = 0;
+  for (std::uint32_t w = 1; w < load.size(); ++w)
+    if (load[w] < load[best]) best = w;
+  return best;
 }
 
 void SessionManager::run_to_completion(std::vector<FleetBeat>& sink) {
@@ -275,23 +343,46 @@ void SessionManager::worker_loop(Worker& w) {
 
     Session& s = *item.session;
     s.beat_scratch.clear();
-    if (item.finish) {
-      s.engine.finish_into(s.beat_scratch);
-    } else {
-      const std::size_t slot =
-          s.completed.load(std::memory_order_relaxed) % cfg_.chunk_slots_per_session;
-      const dsp::Sample* base = s.slab.data() + slot * cfg_.max_chunk * 2;
-      const bool log = w.push_latency_us.size() < w.push_latency_us.capacity();
-      const auto t0 = log ? std::chrono::steady_clock::now()
-                          : std::chrono::steady_clock::time_point{};
-      s.engine.push_into(dsp::SignalView(base, item.len),
-                         dsp::SignalView(base + cfg_.max_chunk, item.len), s.beat_scratch);
-      if (log) {
-        const auto t1 = std::chrono::steady_clock::now();
-        w.push_latency_us.push_back(
-            std::chrono::duration<double, std::micro>(t1 - t0).count());
+    switch (item.op) {
+      case SessionOp::Finish:
+        s.engine.finish_into(s.beat_scratch);
+        break;
+      case SessionOp::CheckpointOut:
+        // Serialize after everything submitted ahead of this item; the
+        // release store publishes the blob (and the engine memory) to
+        // the pilot, which relays the handoff to the target worker
+        // through its work queue.
+        s.engine.checkpoint_into(s.migration_blob);
+        s.completed.fetch_add(1, std::memory_order_release);
+        s.checkpoint_ready.store(true, std::memory_order_release);
+        w.chunks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      case SessionOp::RestoreIn:
+        // The blob is load-bearing: restore() overwrites every carried
+        // field from it, so the round-trip tests (not shared memory)
+        // are what guarantee the resumed stream's byte identity.
+        s.engine.restore(s.migration_blob);
+        s.completed.fetch_add(1, std::memory_order_release);
+        w.chunks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      case SessionOp::Chunk: {
+        const std::size_t slot =
+            s.completed.load(std::memory_order_relaxed) % cfg_.chunk_slots_per_session;
+        const dsp::Sample* base = s.slab.data() + slot * cfg_.max_chunk * 2;
+        const bool log = w.push_latency_us.size() < w.push_latency_us.capacity();
+        const auto t0 = log ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+        s.engine.push_into(dsp::SignalView(base, item.len),
+                           dsp::SignalView(base + cfg_.max_chunk, item.len),
+                           s.beat_scratch);
+        if (log) {
+          const auto t1 = std::chrono::steady_clock::now();
+          w.push_latency_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+        w.samples.fetch_add(item.len, std::memory_order_relaxed);
+        break;
       }
-      w.samples.fetch_add(item.len, std::memory_order_relaxed);
     }
     // Release the chunk slot before publishing results: the slot's data
     // is fully consumed, and a parked result push must not block reuse.
@@ -303,7 +394,7 @@ void SessionManager::worker_loop(Worker& w) {
       while (!w.out.try_push(fb)) park.pause();
       w.beats.fetch_add(1, std::memory_order_relaxed);
     }
-    if (item.finish) {
+    if (item.op == SessionOp::Finish) {
       // Terminal record: the session's quality aggregate, emitted exactly
       // once, after the tail beats (not counted in the beat totals).
       FleetBeat fb{s.id, {}, /*end_of_session=*/true, s.engine.quality_summary()};

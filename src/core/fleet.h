@@ -33,6 +33,19 @@
 // Backpressure is explicit and bounded end to end: no free chunk slot or
 // a full work queue fails try_submit (the pilot drains results and
 // retries); a full result queue parks the worker until the pilot polls.
+//
+// Elastic rebalancing (core::Checkpoint subsystem): a session is no
+// longer pinned for life to the worker that created it. migrate()
+// checkpoints the session's full engine state on its current worker,
+// hands the blob off, and restores it on the target worker, after which
+// every subsequent chunk is processed there — with byte-identical
+// per-session output to the never-migrated run, at any cut point. The
+// control messages ride the existing SPSC work queues (a CheckpointOut
+// item to the source, a RestoreIn item to the target); the blob itself
+// lives in the session's pilot-owned buffer, published source -> pilot
+// by an acquire/release flag and pilot -> target through the target's
+// work queue, so every handoff has a happens-before edge (the TSan CI
+// entry runs the migration tests to keep it that way).
 #pragma once
 
 #include "core/pipeline.h"
@@ -122,6 +135,31 @@ class SessionManager {
   bool try_finish_session(std::uint32_t session);
   void finish_session(std::uint32_t session, std::vector<FleetBeat>& sink);
 
+  /// Moves a live session to another worker: checkpoints the engine on
+  /// its current worker (after every chunk submitted so far), transfers
+  /// the blob, and restores on `target_worker`; subsequent submits are
+  /// processed there. Blocking control-plane call (drains results into
+  /// `sink` while it waits), pilot thread only, legal any time between
+  /// start() and close() for an unfinished session. Guarantees: chunks
+  /// are never reordered or dropped across the move, the session's beat
+  /// stream (including its eventual end-of-session QualitySummary) is
+  /// byte-identical to the never-migrated run, and `sink` holds every
+  /// pre-migration beat of the session when the call returns.
+  /// Migrating a session onto the worker it already occupies is legal
+  /// and still performs the full checkpoint/restore round trip.
+  void migrate(std::uint32_t session, std::uint32_t target_worker,
+               std::vector<FleetBeat>& sink);
+
+  /// The worker currently owning a session's engine (pilot thread only).
+  [[nodiscard]] std::uint32_t session_worker(std::uint32_t session) const;
+
+  /// Worker with the fewest resident sessions (pilot thread only) — the
+  /// natural migrate() target when draining or rebalancing.
+  [[nodiscard]] std::uint32_t least_loaded_worker() const;
+
+  /// Completed migrate() calls so far.
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
   /// Moves up to max_items completed beats into `out` (appended, not
   /// cleared). Pilot thread only. Returns the number moved.
   std::size_t poll(std::vector<FleetBeat>& out,
@@ -166,6 +204,14 @@ class SessionManager {
   [[nodiscard]] std::uint64_t total_beats() const;
 
  private:
+  /// What a work item asks the owning worker to do with the session.
+  enum class SessionOp : std::uint8_t {
+    Chunk,          ///< push one slab chunk through the engine
+    Finish,         ///< end-of-stream flush + end-of-session record
+    CheckpointOut,  ///< serialize the engine into the migration blob
+    RestoreIn,      ///< deserialize the migration blob into the engine
+  };
+
   struct Session {
     Session(std::uint32_t id, dsp::SampleRate fs, const FleetConfig& cfg);
 
@@ -175,14 +221,21 @@ class SessionManager {
     std::uint64_t submitted = 0;        ///< pilot side
     std::atomic<std::uint64_t> completed{0};  ///< worker side
     bool finished = false;              ///< pilot side
+    std::uint32_t worker = 0;           ///< pilot side: current owner
     std::vector<BeatRecord> beat_scratch;     ///< worker side, reused
+    /// Migration handoff: written by the source worker (CheckpointOut),
+    /// published to the pilot by checkpoint_ready, then to the target
+    /// worker through its work queue (RestoreIn). Capacity is reused
+    /// across migrations.
+    std::vector<std::uint8_t> migration_blob;
+    std::atomic<bool> checkpoint_ready{false};
   };
 
   /// session == nullptr is the pool-shutdown sentinel.
   struct WorkItem {
     Session* session = nullptr;
     std::uint32_t len = 0;
-    bool finish = false;
+    SessionOp op = SessionOp::Chunk;
   };
 
   struct Worker {
@@ -199,10 +252,9 @@ class SessionManager {
     std::thread thread;
   };
 
-  [[nodiscard]] Worker& worker_of(std::uint32_t session_id) {
-    return *workers_[session_id % workers_.size()];
-  }
-  bool enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm, bool finish);
+  [[nodiscard]] Worker& worker_of(const Session& s) { return *workers_[s.worker]; }
+  bool enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+                    SessionOp op);
   std::size_t drain_queues(std::vector<FleetBeat>& out, std::size_t max_items);
   void worker_loop(Worker& w);
 
@@ -216,6 +268,7 @@ class SessionManager {
   std::vector<FleetBeat> overflow_;
   std::size_t overflow_pos_ = 0;
   mutable std::vector<FleetWorkerStats> stats_cache_;
+  std::uint64_t migrations_ = 0;  ///< pilot side
   bool started_ = false;
   bool closed_ = false;
   bool joined_ = false;

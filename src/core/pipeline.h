@@ -29,6 +29,7 @@
 //     *is* StreamingBeatPipeline fed a single chunk.
 #pragma once
 
+#include "core/checkpoint.h"
 #include "core/delineator.h"
 #include "core/ensemble.h"
 #include "core/hemodynamics.h"
@@ -46,6 +47,7 @@
 #include <cmath>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -271,7 +273,223 @@ class BasicStreamingBeatPipeline {
   /// either channel.
   [[nodiscard]] bool in_dropout() const { return ecg_gap_ || z_gap_; }
 
+  // -- checkpoint/restore (core::Checkpoint subsystem) -----------------
+  //
+  // The whole carried session state — every stage's filter/detector
+  // state, the look-back rings, the pending-beat and gap bookkeeping,
+  // the quality aggregate and the optional ensemble template — in the
+  // versioned, CRC-framed wire format of core/checkpoint.h. The
+  // contract (pinned by tests and the round-trip fuzz CI job): for any
+  // cut point and any chunking, checkpoint() then restore() into a
+  // freshly constructed pipeline with the same configuration, then
+  // resuming the stream, emits byte-identical BeatRecords to the
+  // uninterrupted run — for both backends.
+
+  /// Serializes the session into `w` as one section per stage group.
+  /// Throws CheckpointError when capture is enabled (the unbounded
+  /// capture buffers are a batch-wrapper diagnostic, not session state).
+  template <typename W>
+  void save_state(W& w) const {
+    if (capture_)
+      throw CheckpointError("StreamingBeatPipeline: cannot checkpoint with capture enabled");
+    w.begin_section("CFG ");
+    w.u8(B::kFixed ? 1 : 0);
+    w.f64(fs_);
+    w.u64(window_samples_);
+    w.boolean(cfg_.enable_ensemble);
+    w.end_section();
+
+    w.begin_section("ECGC");
+    ecg_stage_.save_state(w);
+    w.end_section();
+
+    w.begin_section("ICGC");
+    icg_stage_.save_state(w);
+    w.end_section();
+
+    w.begin_section("QRSD");
+    qrs_.save_state(w);
+    w.end_section();
+
+    w.begin_section("RING");
+    icg_ring_.save_state(w);
+    z_ring_.save_state(w);
+    marks_.save_state(w);
+    w.u64(icg_count_);
+    w.u64(consumed_);
+    w.value(z_sum_);
+    w.end_section();
+
+    w.begin_section("BEAT");
+    w.boolean(last_r_.has_value());
+    if (last_r_.has_value()) w.u64(*last_r_);
+    save_pair_ring(w, pending_beats_);
+    w.u64(r_peak_count_);
+    w.end_section();
+
+    w.begin_section("GAPS");
+    w.f64(prev_ecg_raw_);
+    w.f64(prev_z_raw_);
+    w.boolean(have_prev_raw_);
+    w.u64(ecg_flat_run_);
+    w.u64(z_flat_run_);
+    w.boolean(ecg_gap_);
+    w.boolean(z_gap_);
+    save_pair_ring(w, gap_spans_);
+    w.end_section();
+
+    w.begin_section("QSUM");
+    w.u64(summary_.beats);
+    w.u64(summary_.usable);
+    for (const std::uint64_t c : summary_.flaw_counts) w.u64(c);
+    w.u64(summary_.ecg_dropouts);
+    w.u64(summary_.z_dropouts);
+    w.u64(summary_.detector_resets);
+    w.u64(summary_.ensemble_folds_skipped);
+    w.u64(summary_.snr_beats);
+    w.f64(summary_.sum_snr_db);
+    w.f64(summary_.min_snr_db);
+    w.end_section();
+
+    w.begin_section("ENSB");
+    w.boolean(ensemble_.has_value());
+    if (ensemble_.has_value()) {
+      ensemble_->save_state(w);
+      ens_pending_.save_state(w);
+    }
+    w.end_section();
+  }
+
+  /// Restores the session from `r`. The target must have been
+  /// constructed with the same configuration (backend, sample rate,
+  /// window, stage layout); any disagreement throws CheckpointError and
+  /// leaves the pipeline in an unspecified state — discard it.
+  template <typename R>
+  void load_state(R& r) {
+    r.begin_section("CFG ");
+    if (r.u8() != (B::kFixed ? 1 : 0))
+      r.fail("StreamingBeatPipeline: numeric-backend mismatch");
+    if (r.f64() != fs_) r.fail("StreamingBeatPipeline: sample-rate mismatch");
+    if (r.u64() != window_samples_) r.fail("StreamingBeatPipeline: window mismatch");
+    if (r.boolean() != cfg_.enable_ensemble)
+      r.fail("StreamingBeatPipeline: ensemble-stage mismatch");
+    r.end_section();
+
+    r.begin_section("ECGC");
+    ecg_stage_.load_state(r);
+    r.end_section();
+
+    r.begin_section("ICGC");
+    icg_stage_.load_state(r);
+    r.end_section();
+
+    r.begin_section("QRSD");
+    qrs_.load_state(r);
+    r.end_section();
+
+    r.begin_section("RING");
+    icg_ring_.load_state(r, "StreamingBeatPipeline");
+    z_ring_.load_state(r, "StreamingBeatPipeline");
+    marks_.load_state(r, "StreamingBeatPipeline");
+    icg_count_ = r.u64();
+    consumed_ = r.u64();
+    z_sum_ = r.template value<typename B::acc_t>();
+    r.end_section();
+
+    r.begin_section("BEAT");
+    if (r.boolean()) last_r_ = r.u64();
+    else last_r_.reset();
+    load_pair_ring(r, pending_beats_);
+    r_peak_count_ = r.u64();
+    r.end_section();
+
+    r.begin_section("GAPS");
+    prev_ecg_raw_ = r.f64();
+    prev_z_raw_ = r.f64();
+    have_prev_raw_ = r.boolean();
+    ecg_flat_run_ = r.u64();
+    z_flat_run_ = r.u64();
+    ecg_gap_ = r.boolean();
+    z_gap_ = r.boolean();
+    load_pair_ring(r, gap_spans_);
+    r.end_section();
+
+    r.begin_section("QSUM");
+    summary_.beats = r.u64();
+    summary_.usable = r.u64();
+    for (std::uint64_t& c : summary_.flaw_counts) c = r.u64();
+    summary_.ecg_dropouts = r.u64();
+    summary_.z_dropouts = r.u64();
+    summary_.detector_resets = r.u64();
+    summary_.ensemble_folds_skipped = r.u64();
+    summary_.snr_beats = r.u64();
+    summary_.sum_snr_db = r.f64();
+    summary_.min_snr_db = r.f64();
+    r.end_section();
+
+    r.begin_section("ENSB");
+    if (r.boolean() != ensemble_.has_value())
+      r.fail("StreamingBeatPipeline: ensemble-stage layout mismatch");
+    if (ensemble_.has_value()) {
+      ensemble_->load_state(r);
+      ens_pending_.load_state(r, "StreamingBeatPipeline ensemble queue");
+    }
+    r.end_section();
+  }
+
+  /// Serializes the session into `blob` (replaced; its capacity is
+  /// reused, so a warmed-up migration path does not allocate).
+  void checkpoint_into(std::vector<std::uint8_t>& blob) const {
+    StateWriter w(std::move(blob));
+    save_state(w);
+    blob = w.take();
+  }
+
+  /// The session as a self-contained blob.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const {
+    std::vector<std::uint8_t> blob;
+    checkpoint_into(blob);
+    return blob;
+  }
+
+  /// Restores a checkpoint() blob into this pipeline (same-configuration
+  /// target; see load_state). Throws CheckpointError on any corruption,
+  /// truncation, version or configuration mismatch.
+  void restore(std::span<const std::uint8_t> blob) {
+    StateReader r(blob);
+    load_state(r);
+    if (!r.at_end())
+      throw CheckpointError("StreamingBeatPipeline: trailing bytes after final section");
+  }
+
  private:
+  // Checkpoint helpers for the index-pair rings (sample/mark/index rings
+  // serialize through dsp::RingBuffer::save_state/load_state directly).
+  template <typename W>
+  static void save_pair_ring(W& w,
+                             const dsp::RingBuffer<std::pair<std::size_t, std::size_t>>& ring) {
+    w.u64(ring.capacity());
+    w.u64(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      w.u64(ring.at(i).first);
+      w.u64(ring.at(i).second);
+    }
+  }
+  template <typename R>
+  static void load_pair_ring(R& r,
+                             dsp::RingBuffer<std::pair<std::size_t, std::size_t>>& ring) {
+    if (r.u64() != ring.capacity())
+      r.fail("StreamingBeatPipeline: pair-ring capacity mismatch");
+    const std::size_t n = r.u64();
+    if (n > ring.capacity()) r.fail("StreamingBeatPipeline: pair-ring overflow");
+    ring.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t a = r.u64();
+      const std::size_t b = r.u64();
+      ring.push({a, b});
+    }
+  }
+
   // Boundary conversions. The double backend's scales are fixed at 1 and
   // the conversions collapse to identity, so the reference engine's
   // arithmetic is untouched by the backend abstraction.

@@ -87,6 +87,25 @@ class BasicEcgCleanerStage {
     if (fir_.has_value()) fir_->reset();
   }
 
+  /// Serializes the enabled sub-stages for core::Checkpoint round trips;
+  /// load_state() rejects blobs whose stage layout (ablation switches)
+  /// differs from this instance's configuration.
+  template <typename W>
+  void save_state(W& w) const {
+    w.boolean(morph_.has_value());
+    w.boolean(fir_.has_value());
+    if (morph_.has_value()) morph_->save_state(w);
+    if (fir_.has_value()) fir_->save_state(w);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.boolean() != morph_.has_value() || r.boolean() != fir_.has_value())
+      r.fail("EcgCleanerStage: stage layout mismatch");
+    if (morph_.has_value()) morph_->load_state(r);
+    if (fir_.has_value()) fir_->load_state(r);
+  }
+
   [[nodiscard]] std::size_t latency() const {
     std::size_t d = 0;
     if (morph_.has_value()) d += morph_->delay();
@@ -163,6 +182,29 @@ class BasicIcgConditionerStage {
     if (hp_.has_value()) hp_->reset();
     prev_[0] = prev_[1] = sample_t{};
     z_count_ = 0;
+  }
+
+  /// Serializes the low-pass/high-pass kernels and the derivative
+  /// stencil's two-sample history for core::Checkpoint round trips.
+  template <typename W>
+  void save_state(W& w) const {
+    lp_.save_state(w);
+    w.boolean(hp_.has_value());
+    if (hp_.has_value()) hp_->save_state(w);
+    w.value(prev_[0]);
+    w.value(prev_[1]);
+    w.u64(z_count_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    lp_.load_state(r);
+    if (r.boolean() != hp_.has_value())
+      r.fail("IcgConditionerStage: stage layout mismatch");
+    if (hp_.has_value()) hp_->load_state(r);
+    prev_[0] = r.template value<sample_t>();
+    prev_[1] = r.template value<sample_t>();
+    z_count_ = r.u64();
   }
 
   [[nodiscard]] std::size_t latency() const {

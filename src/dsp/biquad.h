@@ -106,6 +106,28 @@ class BasicStreamingSos {
     for (auto& st : states_) st = typename B::SosState{};
   }
 
+  /// Serializes the cascade's carried state (per-section s1/s2) for
+  /// core::Checkpoint round trips. Coefficients are construction state
+  /// and are not written; the section count is, and load_state()
+  /// rejects a blob whose cascade shape differs from this instance's.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(states_.size());
+    for (const auto& st : states_) {
+      w.value(st.s1);
+      w.value(st.s2);
+    }
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.u64() != states_.size()) r.fail("StreamingSos: section count mismatch");
+    for (auto& st : states_) {
+      st.s1 = r.template value<typename B::acc_t>();
+      st.s2 = r.template value<typename B::acc_t>();
+    }
+  }
+
   [[nodiscard]] const SosFilter& filter() const { return filter_; }
   [[nodiscard]] std::size_t section_count() const { return states_.size(); }
 

@@ -183,6 +183,42 @@ class BasicStreamingZeroPhaseFir {
     warm_ = false;
   }
 
+  /// Serializes the carried stream state — delay line, warm-up prefix
+  /// buffer, suffix-synthesis tail and the counters that align them —
+  /// for core::Checkpoint round trips. The kernel taps are construction
+  /// state; load_state() rejects blobs designed for a different kernel
+  /// length.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(line_.size());
+    for (const sample_t v : line_) w.value(v);
+    w.u64(head_);
+    w.u64(fed_);
+    w.u64(raw_count_);
+    w.u64(warmup_.size());
+    for (const sample_t v : warmup_) w.value(v);
+    for (const sample_t v : tail_) w.value(v);
+    w.boolean(warm_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.u64() != line_.size()) r.fail("StreamingZeroPhaseFir: kernel length mismatch");
+    for (sample_t& v : line_) v = r.template value<sample_t>();
+    head_ = r.u64();
+    if (head_ >= line_.size()) r.fail("StreamingZeroPhaseFir: head index out of range");
+    fed_ = r.u64();
+    raw_count_ = r.u64();
+    const std::size_t warm_n = r.u64();
+    if (warm_n > half_ + 1) r.fail("StreamingZeroPhaseFir: warm-up buffer overflow");
+    warmup_.clear();
+    warmup_.reserve(warm_n);
+    for (std::size_t i = 0; i < warm_n; ++i)
+      warmup_.push_back(r.template value<sample_t>());
+    for (sample_t& v : tail_) v = r.template value<sample_t>();
+    warm_ = r.boolean();
+  }
+
   /// Group delay in samples: out[i] is emitted upon input i + delay().
   [[nodiscard]] std::size_t delay() const { return half_; }
   [[nodiscard]] const FirCoefficients& kernel() const { return kernel_; }

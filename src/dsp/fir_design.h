@@ -103,6 +103,24 @@ class BasicStreamingFir {
     head_ = 0;
   }
 
+  /// Serializes the delay line for core::Checkpoint round trips (the
+  /// taps are construction state). load_state() rejects blobs whose
+  /// delay-line length differs from this instance's.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(delay_.size());
+    for (const sample_t v : delay_) w.value(v);
+    w.u64(head_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.u64() != delay_.size()) r.fail("StreamingFir: delay-line length mismatch");
+    for (sample_t& v : delay_) v = r.template value<sample_t>();
+    head_ = r.u64();
+    if (head_ >= delay_.size()) r.fail("StreamingFir: head index out of range");
+  }
+
   [[nodiscard]] const FirCoefficients& coefficients() const { return coeffs_; }
 
  private:

@@ -96,6 +96,37 @@ class BasicStreamingExtremum {
     emitted_ = 0;
   }
 
+  /// Serializes the monotonic deque and the input/output counters for
+  /// core::Checkpoint round trips; load_state() rejects blobs whose
+  /// structuring-element width differs.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(dq_.capacity());
+    w.u64(dq_.size());
+    for (std::size_t i = 0; i < dq_.size(); ++i) {
+      w.u64(dq_.at(i).idx);
+      w.value(dq_.at(i).v);
+    }
+    w.u64(pushed_);
+    w.u64(emitted_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.u64() != dq_.capacity()) r.fail("StreamingExtremum: width mismatch");
+    const std::size_t n = r.u64();
+    if (n > dq_.capacity()) r.fail("StreamingExtremum: deque overflow");
+    dq_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      Entry e;
+      e.idx = r.u64();
+      e.v = r.template value<sample_t>();
+      dq_.push(e);
+    }
+    pushed_ = r.u64();
+    emitted_ = r.u64();
+  }
+
   [[nodiscard]] std::size_t delay() const { return half_; }
 
  private:
@@ -187,6 +218,26 @@ class BasicStreamingBaselineRemover {
     close_dilate_.reset();
     close_erode_.reset();
     raw_delay_.clear();
+  }
+
+  /// Serializes the four extremum stages plus the delayed-input ring for
+  /// core::Checkpoint round trips.
+  template <typename W>
+  void save_state(W& w) const {
+    open_erode_.save_state(w);
+    open_dilate_.save_state(w);
+    close_dilate_.save_state(w);
+    close_erode_.save_state(w);
+    raw_delay_.save_state(w);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    open_erode_.load_state(r);
+    open_dilate_.load_state(r);
+    close_dilate_.load_state(r);
+    close_erode_.load_state(r);
+    raw_delay_.load_state(r, "StreamingBaselineRemover");
   }
 
   [[nodiscard]] std::size_t delay() const { return delay_; }

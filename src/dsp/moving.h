@@ -58,6 +58,21 @@ class BasicStreamingMovingAverage {
     sum_ = B::acc_zero();
   }
 
+  /// Serializes the window contents and running sum for core::Checkpoint
+  /// round trips; load_state() rejects blobs with a different window
+  /// capacity.
+  template <typename W>
+  void save_state(W& w) const {
+    buf_.save_state(w);
+    w.value(sum_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    buf_.load_state(r, "StreamingMovingAverage");
+    sum_ = r.template value<typename B::acc_t>();
+  }
+
  private:
   RingBuffer<sample_t> buf_;
   typename B::acc_t sum_ = B::acc_zero();

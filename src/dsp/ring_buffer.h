@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace icgkit::dsp {
@@ -77,6 +78,29 @@ class RingBuffer {
     out.reserve(size_);
     for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
     return out;
+  }
+
+  /// Serializes capacity + contents (oldest-to-newest) for
+  /// core::Checkpoint round trips. Duck-typed like the kernel
+  /// save_state members, so this layer never depends on core; usable
+  /// for any T the writer has a value() overload for (samples,
+  /// accumulators, u8 marks, u64 indices). `what` names the owning
+  /// ring in mismatch errors.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(buf_.size());
+    w.u64(size_);
+    for (std::size_t i = 0; i < size_; ++i) w.value(at(i));
+  }
+
+  template <typename R>
+  void load_state(R& r, const char* what) {
+    if (r.u64() != buf_.size())
+      r.fail(std::string(what) + ": ring capacity mismatch");
+    const std::size_t n = r.u64();
+    if (n > buf_.size()) r.fail(std::string(what) + ": ring overflow");
+    clear();
+    for (std::size_t i = 0; i < n; ++i) push(r.template value<T>());
   }
 
  private:

@@ -109,6 +109,35 @@ class BasicStreamingZeroPhaseHighpass {
     prev_u_ = sample_t{};
   }
 
+  /// Serializes the baseline kernel, the pending-input ring, the partial
+  /// block accumulator and the interpolation cursors for core::Checkpoint
+  /// round trips; load_state() rejects blobs with a different decimation.
+  template <typename W>
+  void save_state(W& w) const {
+    w.u64(m_);
+    base_.save_state(w);
+    raw_.save_state(w);
+    w.value(block_acc_);
+    w.u64(block_fill_);
+    w.u64(in_count_);
+    w.u64(next_out_);
+    w.u64(u_count_);
+    w.value(prev_u_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    if (r.u64() != m_) r.fail("StreamingZeroPhaseHighpass: decimation mismatch");
+    base_.load_state(r);
+    raw_.load_state(r, "StreamingZeroPhaseHighpass");
+    block_acc_ = r.template value<typename B::acc_t>();
+    block_fill_ = r.u64();
+    in_count_ = r.u64();
+    next_out_ = r.u64();
+    u_count_ = r.u64();
+    prev_u_ = r.template value<sample_t>();
+  }
+
   /// Worst-case group delay in input samples.
   [[nodiscard]] std::size_t delay() const { return (base_.delay() + 2) * m_ + m_ / 2; }
   [[nodiscard]] std::size_t decimation() const { return m_; }

@@ -199,7 +199,94 @@ class BasicOnlinePanTompkins {
   [[nodiscard]] std::size_t samples_consumed() const { return in_count_; }
   [[nodiscard]] std::size_t peaks_emitted() const { return peaks_emitted_; }
 
+  /// Serializes the full carried detector state — feature chain (band
+  /// pass, derivative history, MWI), the bounded feature/input history
+  /// rings, the adaptive thresholds (SPKI/NPKI), the RR/search-back
+  /// bookkeeping, and every pending/unlearned candidate — for
+  /// core::Checkpoint round trips. A restored detector continues the
+  /// stream bit-identically to one that was never interrupted.
+  template <typename W>
+  void save_state(W& w) const {
+    bp_.save_state(w);
+    for (const sample_t v : bp_hist_) w.value(v);
+    w.u64(bp_count_);
+    w.u64(d_emitted_);
+    mwi_.save_state(w);
+    mwi_ring_.save_state(w);
+    w.u64(mwi_produced_);
+    in_ring_.save_state(w);
+    w.u64(in_count_);
+    save_optional(w, pending_);
+    w.boolean(learned_);
+    w.u64(learn_start_);
+    w.u64(learn_end_);
+    w.u64(learn_window_);
+    w.u64(prelearn_.size());
+    for (const std::size_t idx : prelearn_) w.u64(idx);
+    w.value(spki_);
+    w.value(npki_);
+    save_optional(w, last_accepted_);
+    w.value(last_accepted_slope_);
+    w.u64(rr_history_.size());
+    for (const double rr : rr_history_) w.f64(rr);
+    w.u64(rejected_since_.size());
+    for (const std::size_t idx : rejected_since_) w.u64(idx);
+    save_optional(w, last_r_);
+    w.u64(peaks_emitted_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    bp_.load_state(r);
+    for (sample_t& v : bp_hist_) v = r.template value<sample_t>();
+    bp_count_ = r.u64();
+    d_emitted_ = r.u64();
+    mwi_.load_state(r);
+    mwi_ring_.load_state(r, "OnlinePanTompkins");
+    mwi_produced_ = r.u64();
+    in_ring_.load_state(r, "OnlinePanTompkins");
+    in_count_ = r.u64();
+    load_optional(r, pending_);
+    learned_ = r.boolean();
+    learn_start_ = r.u64();
+    learn_end_ = r.u64();
+    learn_window_ = r.u64();
+    load_index_vec(r, prelearn_);
+    spki_ = r.template value<sample_t>();
+    npki_ = r.template value<sample_t>();
+    load_optional(r, last_accepted_);
+    last_accepted_slope_ = r.template value<sample_t>();
+    const std::size_t rr_n = r.u64();
+    if (rr_n > 8) r.fail("OnlinePanTompkins: RR history overflow");
+    rr_history_.clear();
+    for (std::size_t i = 0; i < rr_n; ++i) rr_history_.push_back(r.f64());
+    load_index_vec(r, rejected_since_);
+    load_optional(r, last_r_);
+    peaks_emitted_ = r.u64();
+  }
+
  private:
+  // -- checkpoint helpers ---------------------------------------------
+  template <typename W>
+  static void save_optional(W& w, const std::optional<std::size_t>& v) {
+    w.boolean(v.has_value());
+    if (v.has_value()) w.u64(*v);
+  }
+  template <typename R>
+  static void load_optional(R& r, std::optional<std::size_t>& v) {
+    if (r.boolean()) v = r.u64();
+    else v.reset();
+  }
+  template <typename R>
+  static void load_index_vec(R& r, std::vector<std::size_t>& v) {
+    const std::size_t n = r.u64();
+    if (n > r.section_remaining() / 8)
+      r.fail("OnlinePanTompkins: candidate list longer than its section");
+    v.clear();
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(r.u64());
+  }
+
   void on_bp_sample(sample_t v, std::vector<std::size_t>& out) {
     bp_hist_[bp_count_ % 5] = v;
     const std::size_t j = bp_count_++;

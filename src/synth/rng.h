@@ -49,6 +49,23 @@ class Rng {
   /// Normal with the given mean and standard deviation.
   double normal(double mean, double sigma) { return mean + sigma * normal(); }
 
+  /// Serializes the generator state — the xoshiro words plus the cached
+  /// Box-Muller deviate — so a checkpointed scenario stream resumes its
+  /// substream exactly where it was cut (core::Checkpoint round trips).
+  template <typename W>
+  void save_state(W& w) const {
+    for (const std::uint64_t word : state_) w.u64(word);
+    w.boolean(has_cached_);
+    w.f64(cached_);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    for (std::uint64_t& word : state_) word = r.u64();
+    has_cached_ = r.boolean();
+    cached_ = r.f64();
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t v, int k) {
     return (v << k) | (v >> (64 - k));

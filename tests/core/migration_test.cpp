@@ -1,0 +1,199 @@
+// Elastic fleet rebalancing: SessionManager::migrate must move a live
+// session between workers mid-stream with byte-identical per-session
+// output (beats AND end-of-session QualitySummary) to the never-migrated
+// fleet, preserving per-session beat order in the pilot's sink. Runs
+// under the TSan CI matrix entry (the first cross-worker state handoff
+// in the fleet) as well as the ASan/UBSan one.
+#include "core/beat_serializer.h"
+#include "core/fleet.h"
+#include "core/pipeline.h"
+#include "synth/recording.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using core::BeatRecord;
+using core::FleetBeat;
+using core::FleetConfig;
+using core::QualitySummary;
+using core::SessionManager;
+using core::serialize_beat;
+
+constexpr std::size_t kChunk = 64;
+
+std::vector<synth::Recording> test_workload(std::size_t distinct, double duration_s) {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.session_seed = 23;
+  return synth::make_fleet_workload(distinct, cfg);
+}
+
+/// One migration order: move `session` to `target_worker` just before
+/// submitting chunk index `at_chunk`.
+struct MigrationPlan {
+  std::size_t at_chunk;
+  std::uint32_t session;
+  std::uint32_t target_worker;
+};
+
+struct SessionStream {
+  std::vector<unsigned char> beats;  ///< serialized, in arrival order
+  QualitySummary summary{};
+  std::size_t summaries_seen = 0;
+};
+
+/// Feeds `sessions` copies of the workload through a fleet, executing
+/// the migration plan along the way, and returns per-session streams.
+std::vector<SessionStream> run_fleet(const std::vector<synth::Recording>& workload,
+                                     std::size_t sessions, std::size_t workers,
+                                     const std::vector<MigrationPlan>& plan = {}) {
+  FleetConfig cfg;
+  cfg.workers = workers;
+  cfg.max_chunk = kChunk;
+  SessionManager fleet(workload[0].fs, cfg);
+  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  sink.reserve(4096);
+  const std::size_t n = workload[0].ecg_mv.size();
+  std::size_t chunk_index = 0;
+  for (std::size_t i = 0; i < n; i += kChunk, ++chunk_index) {
+    for (const MigrationPlan& m : plan)
+      if (m.at_chunk == chunk_index) fleet.migrate(m.session, m.target_worker, sink);
+    const std::size_t len = std::min(kChunk, n - i);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const synth::Recording& rec = workload[s % workload.size()];
+      fleet.submit(static_cast<std::uint32_t>(s),
+                   dsp::SignalView(rec.ecg_mv.data() + i, len),
+                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+    }
+  }
+  fleet.run_to_completion(sink);
+  EXPECT_EQ(fleet.migrations(), plan.size());
+
+  std::vector<SessionStream> streams(sessions);
+  for (const FleetBeat& fb : sink) {
+    if (fb.end_of_session) {
+      streams[fb.session].summary = fb.session_summary;
+      ++streams[fb.session].summaries_seen;
+      continue;
+    }
+    serialize_beat(fb.beat, streams[fb.session].beats);
+  }
+  for (std::size_t s = 0; s < sessions; ++s)
+    EXPECT_EQ(streams[s].summaries_seen, 1u) << "session " << s;
+  return streams;
+}
+
+void expect_summary_eq(const QualitySummary& a, const QualitySummary& b,
+                       std::size_t session) {
+  EXPECT_EQ(a.beats, b.beats) << "session " << session;
+  EXPECT_EQ(a.usable, b.usable) << "session " << session;
+  for (std::size_t i = 0; i < core::kBeatFlawCount; ++i)
+    EXPECT_EQ(a.flaw_counts[i], b.flaw_counts[i]) << "session " << session;
+  EXPECT_EQ(a.detector_resets, b.detector_resets) << "session " << session;
+  EXPECT_EQ(a.sum_snr_db, b.sum_snr_db) << "session " << session;
+}
+
+TEST(MigrationTest, SingleMigrationIsByteIdenticalToPinnedFleet) {
+  const auto workload = test_workload(2, 10.0);
+  const auto baseline = run_fleet(workload, 4, 2);
+  // Move session 1 from worker 1 to worker 0 a third of the way in
+  // (10 s at 250 Hz in 64-sample chunks = 40 chunk indices).
+  const auto migrated = run_fleet(workload, 4, 2, {{13, 1, 0}});
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(baseline[s].beats, migrated[s].beats) << "session " << s;
+    expect_summary_eq(baseline[s].summary, migrated[s].summary, s);
+  }
+}
+
+TEST(MigrationTest, RepeatedPingPongMigrationStaysIdentical) {
+  const auto workload = test_workload(2, 10.0);
+  const auto baseline = run_fleet(workload, 3, 2);
+  // Session 0 bounces between the workers five times; session 2 moves
+  // once onto the same worker it already occupies (legal no-op move that
+  // still round-trips the blob).
+  const std::vector<MigrationPlan> plan = {
+      {5, 0, 1}, {11, 0, 0}, {17, 0, 1}, {23, 0, 0}, {29, 0, 1}, {13, 2, 0}};
+  const auto migrated = run_fleet(workload, 3, 2, plan);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(baseline[s].beats, migrated[s].beats) << "session " << s;
+    expect_summary_eq(baseline[s].summary, migrated[s].summary, s);
+  }
+}
+
+TEST(MigrationTest, MigrationMatchesDirectlyFedPipeline) {
+  const auto workload = test_workload(1, 8.0);
+  const auto migrated = run_fleet(workload, 2, 2, {{10, 0, 1}, {25, 0, 0}});
+
+  const synth::Recording& rec = workload[0];
+  core::StreamingBeatPipeline direct(rec.fs, {});
+  std::vector<BeatRecord> beats;
+  const std::size_t n = rec.ecg_mv.size();
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    const std::size_t len = std::min(kChunk, n - i);
+    direct.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                     dsp::SignalView(rec.z_ohm.data() + i, len), beats);
+  }
+  direct.finish_into(beats);
+  std::vector<unsigned char> direct_bytes;
+  for (const BeatRecord& b : beats) serialize_beat(b, direct_bytes);
+  EXPECT_EQ(direct_bytes, migrated[0].beats);
+}
+
+TEST(MigrationTest, DrainAWorkerUnderLoad) {
+  // Evacuate every session from worker 1 mid-stream (the elastic
+  // drain-for-restart move) and keep streaming; output must not change.
+  const auto workload = test_workload(2, 8.0);
+  const auto baseline = run_fleet(workload, 6, 2);
+  std::vector<MigrationPlan> plan;
+  for (std::uint32_t s = 1; s < 6; s += 2) plan.push_back({12, s, 0});
+  const auto migrated = run_fleet(workload, 6, 2, plan);
+  for (std::size_t s = 0; s < 6; ++s)
+    EXPECT_EQ(baseline[s].beats, migrated[s].beats) << "session " << s;
+}
+
+TEST(MigrationTest, SessionWorkerTracksMoves) {
+  const auto workload = test_workload(1, 4.0);
+  FleetConfig cfg;
+  cfg.workers = 3;
+  cfg.max_chunk = kChunk;
+  SessionManager fleet(workload[0].fs, cfg);
+  const std::uint32_t a = fleet.add_session();
+  const std::uint32_t b = fleet.add_session();
+  EXPECT_EQ(fleet.session_worker(a), 0u);
+  EXPECT_EQ(fleet.session_worker(b), 1u);
+  EXPECT_EQ(fleet.least_loaded_worker(), 2u);
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  fleet.migrate(a, 2, sink);
+  EXPECT_EQ(fleet.session_worker(a), 2u);
+  EXPECT_EQ(fleet.least_loaded_worker(), 0u);
+  fleet.run_to_completion(sink);
+}
+
+TEST(MigrationTest, InvalidMigrationsThrow) {
+  const auto workload = test_workload(1, 4.0);
+  FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.max_chunk = kChunk;
+  SessionManager fleet(workload[0].fs, cfg);
+  const std::uint32_t s = fleet.add_session();
+  std::vector<FleetBeat> sink;
+  EXPECT_THROW(fleet.migrate(s, 0, sink), std::logic_error);  // before start()
+  fleet.start();
+  EXPECT_THROW(fleet.migrate(7, 0, sink), std::out_of_range);  // unknown session
+  EXPECT_THROW(fleet.migrate(s, 9, sink), std::out_of_range);  // unknown worker
+  fleet.finish_session(s, sink);
+  EXPECT_THROW(fleet.migrate(s, 1, sink), std::logic_error);  // already finished
+  fleet.run_to_completion(sink);
+}
+
+} // namespace

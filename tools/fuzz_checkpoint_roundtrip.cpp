@@ -1,0 +1,193 @@
+// Checkpoint round-trip differential fuzzer (the CI fuzz job's driver).
+//
+// Each round synthesizes a randomized scenario stream (severity tier,
+// subject, scenario seed and recording seed all drawn from the round
+// seed), picks a random cut offset, chunk size in {1, 7, 64, 1024} and
+// numeric backend, then runs the stream twice: uninterrupted, and
+// checkpointed at the cut + restored into a fresh engine. The two runs
+// must produce byte-identical serialized beat streams and equal quality
+// summaries. Any divergence is a format or state-capture bug; the
+// failing (seed, cut, chunk, tier, backend) tuple is appended to the
+// repro report the CI job uploads as an artifact, and the process exits
+// non-zero.
+//
+//   ./fuzz_checkpoint_roundtrip [--rounds N] [--seed BASE] [--report PATH]
+//
+// Defaults: 24 rounds, seed 1, report FUZZ_checkpoint_repro.json. A
+// repro: rerun with --seed <reported seed> --rounds 1 after offsetting
+// the base so the failing round is round 0 (the report lists the exact
+// per-round seed).
+#include "core/beat_serializer.h"
+#include "core/pipeline.h"
+#include "synth/recording.h"
+#include "synth/rng.h"
+#include "synth/scenario.h"
+#include "synth/subject.h"
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace icgkit;
+
+namespace {
+
+struct RoundSpec {
+  std::uint64_t seed = 0;       ///< this round's derived seed
+  std::size_t cut = 0;          ///< checkpoint offset, samples
+  std::size_t chunk = 64;       ///< push granularity
+  int tier = 0;                 ///< 0 clean, 1 mild, 2 moderate, 3 severe
+  bool q31 = false;             ///< numeric backend
+  std::size_t subject = 0;      ///< roster index
+};
+
+synth::ScenarioSpec tier_spec(int tier) {
+  switch (tier) {
+    case 1: return synth::ScenarioSpec::mild();
+    case 2: return synth::ScenarioSpec::moderate();
+    case 3: return synth::ScenarioSpec::severe();
+    default: return synth::ScenarioSpec::clean();
+  }
+}
+
+synth::Recording make_stream(const RoundSpec& spec) {
+  const auto roster = synth::paper_roster();
+  synth::RecordingConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.fs = 250.0;
+  cfg.session_seed = spec.seed;
+  const auto& subject = roster[spec.subject % roster.size()];
+  const synth::SourceActivity src = generate_source(subject, cfg);
+  synth::Recording rec = measure_thoracic(subject, src, 50e3);
+  apply_scenario(rec, tier_spec(spec.tier), spec.seed ^ 0x5CE11A1105ULL);
+  return rec;
+}
+
+template <typename Pipeline>
+void feed(Pipeline& p, const synth::Recording& rec, std::size_t from, std::size_t to,
+          std::size_t chunk, std::vector<core::BeatRecord>& out) {
+  for (std::size_t i = from; i < to; i += chunk) {
+    const std::size_t len = std::min(chunk, to - i);
+    p.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                dsp::SignalView(rec.z_ohm.data() + i, len), out);
+  }
+}
+
+std::vector<unsigned char> bytes_of(const std::vector<core::BeatRecord>& beats) {
+  std::vector<unsigned char> out;
+  for (const core::BeatRecord& b : beats) serialize_beat(b, out);
+  return out;
+}
+
+bool summaries_equal(const core::QualitySummary& a, const core::QualitySummary& b) {
+  if (a.beats != b.beats || a.usable != b.usable || a.ecg_dropouts != b.ecg_dropouts ||
+      a.z_dropouts != b.z_dropouts || a.detector_resets != b.detector_resets ||
+      a.ensemble_folds_skipped != b.ensemble_folds_skipped ||
+      a.snr_beats != b.snr_beats || a.sum_snr_db != b.sum_snr_db ||
+      a.min_snr_db != b.min_snr_db)
+    return false;
+  for (std::size_t i = 0; i < core::kBeatFlawCount; ++i)
+    if (a.flaw_counts[i] != b.flaw_counts[i]) return false;
+  return true;
+}
+
+template <typename Pipeline>
+bool run_round(const synth::Recording& rec, const RoundSpec& spec) {
+  const std::size_t n = rec.ecg_mv.size();
+  Pipeline ref(rec.fs);
+  std::vector<core::BeatRecord> ref_beats;
+  feed(ref, rec, 0, n, spec.chunk, ref_beats);
+  ref.finish_into(ref_beats);
+
+  std::vector<core::BeatRecord> cut_beats;
+  std::vector<std::uint8_t> blob;
+  {
+    Pipeline first(rec.fs);
+    feed(first, rec, 0, spec.cut, spec.chunk, cut_beats);
+    blob = first.checkpoint();
+  }
+  Pipeline second(rec.fs);
+  second.restore(blob);
+  feed(second, rec, spec.cut, n, spec.chunk, cut_beats);
+  second.finish_into(cut_beats);
+
+  return bytes_of(ref_beats) == bytes_of(cut_beats) &&
+         summaries_equal(ref.quality_summary(), second.quality_summary());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::size_t rounds = 24;
+  std::uint64_t base_seed = 1;
+  std::string report_path = "FUZZ_checkpoint_repro.json";
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0]
+              << " [--rounds N] [--seed BASE] [--report PATH]\n";
+    return 2;
+  };
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " is missing its value\n";
+      return usage();
+    }
+    try {
+      if (flag == "--rounds") rounds = std::stoull(argv[i + 1]);
+      else if (flag == "--seed") base_seed = std::stoull(argv[i + 1]);
+      else if (flag == "--report") report_path = argv[i + 1];
+      else {
+        std::cerr << "unknown flag " << flag << "\n";
+        return usage();
+      }
+    } catch (const std::exception&) {
+      std::cerr << "flag " << flag << " needs an unsigned integer, got '"
+                << argv[i + 1] << "'\n";
+      return usage();
+    }
+  }
+
+  std::vector<RoundSpec> failures;
+  const std::size_t chunks[] = {1, 7, 64, 1024};
+  for (std::size_t round = 0; round < rounds; ++round) {
+    RoundSpec spec;
+    spec.seed = base_seed * 1000003ULL + round;
+    synth::Rng rng(spec.seed);
+    spec.tier = static_cast<int>(rng.next_u64() % 4);
+    spec.subject = static_cast<std::size_t>(rng.next_u64() % 5);
+    spec.chunk = chunks[rng.next_u64() % 4];
+    spec.q31 = (rng.next_u64() & 1) != 0;
+    const synth::Recording rec = make_stream(spec);
+    // Any offset except the degenerate empty/full stream.
+    spec.cut = 1 + static_cast<std::size_t>(rng.next_u64() % (rec.ecg_mv.size() - 1));
+
+    const bool ok = spec.q31 ? run_round<core::FixedStreamingBeatPipeline>(rec, spec)
+                             : run_round<core::StreamingBeatPipeline>(rec, spec);
+    std::cout << "round " << round << ": seed " << spec.seed << " tier " << spec.tier
+              << " subject " << spec.subject << " chunk " << spec.chunk << " cut "
+              << spec.cut << " backend " << (spec.q31 ? "q31" : "double") << " -> "
+              << (ok ? "identical" : "DIVERGED") << "\n";
+    if (!ok) failures.push_back(spec);
+  }
+
+  if (!failures.empty()) {
+    std::ofstream report(report_path);
+    report << "{\n  \"failures\": [\n";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      const RoundSpec& f = failures[i];
+      report << "    {\"seed\": " << f.seed << ", \"cut\": " << f.cut
+             << ", \"chunk\": " << f.chunk << ", \"tier\": " << f.tier
+             << ", \"subject\": " << f.subject << ", \"backend\": \""
+             << (f.q31 ? "q31" : "double") << "\"}" << (i + 1 < failures.size() ? "," : "")
+             << "\n";
+    }
+    report << "  ]\n}\n";
+    std::cerr << "FUZZ FAILED: " << failures.size() << "/" << rounds
+              << " rounds diverged (repro tuples in " << report_path << ")\n";
+    return 1;
+  }
+  std::cout << "fuzz: " << rounds << " rounds, every round byte-identical\n";
+  return 0;
+}
