@@ -6,11 +6,16 @@
 #include <benchmark/benchmark.h>
 
 #include "core/pipeline.h"
+#include "dsp/backend.h"
+#include "dsp/biquad.h"
 #include "dsp/butterworth.h"
+#include "dsp/denormal.h"
 #include "dsp/fft.h"
 #include "dsp/filtfilt.h"
 #include "dsp/fir_design.h"
 #include "dsp/morphology.h"
+#include "dsp/moving.h"
+#include "dsp/simd.h"
 #include "ecg/pan_tompkins.h"
 #include "synth/recording.h"
 #include "synth/subject.h"
@@ -79,6 +84,98 @@ void BM_FullPipeline30s(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(pipeline.process(rec.ecg_mv, rec.z_ohm));
 }
 BENCHMARK(BM_FullPipeline30s);
+
+// ---------------------------------------------------------------------------
+// Scalar vs SIMD-batch streaming kernels. Each variant ticks the same
+// per-session sample stream; the batch rows process kLanes sessions in
+// lockstep, so items/sec (= samples * lanes) divided across rows gives
+// the per-kernel cycles/sample ratio the batch backend buys. Run under
+// the same FTZ/DAZ mode as the fleet's worker threads so IIR tails cost
+// the same in every row.
+// ---------------------------------------------------------------------------
+
+template <typename B>
+typename B::sample_t bsample(double x) {
+  if constexpr (B::kLanes > 1)
+    return B::sample_t::broadcast(x);
+  else
+    return x;
+}
+
+template <typename B>
+void BM_StreamingSosTick(benchmark::State& state) {
+  dsp::DenormalGuard guard;
+  dsp::BasicStreamingSos<B> sos(dsp::butterworth_lowpass(4, 20.0, kFs));
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    typename B::sample_t acc = bsample<B>(0.0);
+    for (const double v : x) acc = acc + sos.tick(bsample<B>(v));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(B::kLanes));
+  state.SetLabel(B::kLanes > 1 ? std::string("batch W=") + std::to_string(B::kLanes) +
+                                     " [" + dsp::lane_isa() + "]"
+                               : "scalar");
+}
+BENCHMARK_TEMPLATE(BM_StreamingSosTick, dsp::DoubleBackend)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingSosTick, dsp::BatchBackend<4>)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingSosTick, dsp::BatchBackend<8>)->Arg(7500);
+
+template <typename B>
+void BM_StreamingZeroPhaseFirPush(benchmark::State& state) {
+  dsp::DenormalGuard guard;
+  dsp::BasicStreamingZeroPhaseFir<B> fir(dsp::design_lowpass(30, 20.0, kFs));
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  std::vector<typename B::sample_t> out;
+  out.reserve(x.size() + 64);
+  for (auto _ : state) {
+    out.clear();
+    for (const double v : x) fir.push(bsample<B>(v), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(B::kLanes));
+}
+BENCHMARK_TEMPLATE(BM_StreamingZeroPhaseFirPush, dsp::DoubleBackend)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingZeroPhaseFirPush, dsp::BatchBackend<4>)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingZeroPhaseFirPush, dsp::BatchBackend<8>)->Arg(7500);
+
+template <typename B>
+void BM_StreamingMovingAverageTick(benchmark::State& state) {
+  dsp::DenormalGuard guard;
+  dsp::BasicStreamingMovingAverage<B> mwi(38);  // Pan-Tompkins MWI window
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    typename B::sample_t acc = bsample<B>(0.0);
+    for (const double v : x) acc = acc + mwi.tick(bsample<B>(v));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(B::kLanes));
+}
+BENCHMARK_TEMPLATE(BM_StreamingMovingAverageTick, dsp::DoubleBackend)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingMovingAverageTick, dsp::BatchBackend<4>)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingMovingAverageTick, dsp::BatchBackend<8>)->Arg(7500);
+
+template <typename B>
+void BM_StreamingBaselineRemoverPush(benchmark::State& state) {
+  dsp::DenormalGuard guard;
+  dsp::BasicStreamingBaselineRemover<B> baseline(kFs);
+  const auto x = test_signal(static_cast<std::size_t>(state.range(0)));
+  std::vector<typename B::sample_t> out;
+  out.reserve(x.size() + 256);
+  for (auto _ : state) {
+    out.clear();
+    for (const double v : x) baseline.push(bsample<B>(v), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(B::kLanes));
+}
+BENCHMARK_TEMPLATE(BM_StreamingBaselineRemoverPush, dsp::DoubleBackend)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingBaselineRemoverPush, dsp::BatchBackend<4>)->Arg(7500);
+BENCHMARK_TEMPLATE(BM_StreamingBaselineRemoverPush, dsp::BatchBackend<8>)->Arg(7500);
 
 void BM_Synthesis30s(benchmark::State& state) {
   const auto roster = synth::paper_roster();

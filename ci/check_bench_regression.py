@@ -42,6 +42,7 @@ BENCH_INPUTS = {
     "BENCH_fixed.json": "bench_fixed_pipeline",
     "BENCH_scenarios.json": "bench_scenarios",
     "BENCH_checkpoint.json": "bench_checkpoint",
+    "BENCH_batch.json": "bench_batch",
 }
 
 
@@ -126,8 +127,10 @@ def main() -> int:
             failures.append(
                 f"fleet 1->4 worker scaling {scaling:.2f}x below floor {scaling_floor}x")
     else:
+        hw = fleet.get("hardware_threads", 0)
         print(f"fleet scaling 1->4 workers: {scaling:.2f}x "
-              "(not enforced: runner has < 4 hardware threads)")
+              f"(gate skipped: {hw} hardware threads — see bench/README.md "
+              "for the local multi-core verification protocol)")
 
     if not fixed.get("beat_parity", False):
         failures.append("fixed pipeline lost beat-count parity with the double engine")
@@ -198,6 +201,37 @@ def main() -> int:
           f"{checkpoint.get('restore_us_double', 0.0):.0f}/"
           f"{checkpoint.get('restore_us_q31', 0.0):.0f} us (double/q31); "
           f"{checkpoint.get('migrations_per_s', 0.0):.0f} migrations/s under load")
+
+    # --- SIMD batch backend -----------------------------------------------
+    batch = inputs["BENCH_batch.json"]
+    if not batch.get("batch_identical", False):
+        failures.append("batched beat streams differ from scalar (lane identity bug)")
+    else:
+        print("batch identity: lockstep lanes byte-identical to scalar sessions")
+    if not batch.get("fleet", {}).get("identical", False):
+        failures.append("batched fleet output differs from scalar fleet")
+    isa = batch.get("simd", "?")
+    w4 = batch.get("speedup_w4", 0.0)
+    w8 = batch.get("speedup_w8", 0.0)
+    # The W=4 floor arms on any AVX2+ build (one ymm per lane vector);
+    # the W=8 floor only under AVX-512 (one zmm — W=8 on plain AVX2
+    # spills registers and is recorded, not gated; see dsp/simd.h).
+    w4_floor = baselines["batch_min_speedup_w4"]
+    w8_floor = baselines["batch_min_speedup_w8"]
+    if batch.get("w4_enforced", False):
+        print(f"batch speedup W=4 [{isa}]: {w4:.2f}x (floor {w4_floor}x)")
+        if w4 < w4_floor:
+            failures.append(f"batch W=4 speedup {w4:.2f}x below floor {w4_floor}x")
+    else:
+        print(f"batch speedup W=4 [{isa}]: {w4:.2f}x (gate skipped: lane ISA "
+              f"is {isa}, floor arms on avx2 or wider)")
+    if batch.get("w8_enforced", False):
+        print(f"batch speedup W=8 [{isa}]: {w8:.2f}x (floor {w8_floor}x)")
+        if w8 < w8_floor:
+            failures.append(f"batch W=8 speedup {w8:.2f}x below floor {w8_floor}x")
+    else:
+        print(f"batch speedup W=8 [{isa}]: {w8:.2f}x (gate skipped: lane ISA "
+              f"is {isa}, floor arms on avx512)")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:")

@@ -1,5 +1,7 @@
 #include "core/fleet.h"
 
+#include "dsp/denormal.h"
+
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
@@ -55,6 +57,8 @@ SessionManager::SessionManager(dsp::SampleRate fs, const FleetConfig& cfg)
   if (cfg.max_chunk == 0) throw std::invalid_argument("SessionManager: max_chunk must be >= 1");
   if (cfg.chunk_slots_per_session == 0)
     throw std::invalid_argument("SessionManager: chunk_slots_per_session must be >= 1");
+  if (cfg.batch_width > 1 && !session_batch_width_supported(cfg.batch_width))
+    throw std::invalid_argument("SessionManager: batch_width must be 0, 1, 4 or 8");
   workers_.reserve(cfg.workers);
   for (std::size_t i = 0; i < cfg.workers; ++i)
     workers_.push_back(std::make_unique<Worker>(cfg));
@@ -78,6 +82,7 @@ std::uint32_t SessionManager::add_session() {
 
 void SessionManager::start() {
   if (started_) throw std::logic_error("SessionManager: start() called twice");
+  if (cfg_.batch_width > 1) form_batch_groups();
   started_ = true;
   active_workers_.store(workers_.size(), std::memory_order_release);
   for (auto& w : workers_)
@@ -85,6 +90,50 @@ void SessionManager::start() {
       worker_loop(*w);
       active_workers_.fetch_sub(1, std::memory_order_acq_rel);
     });
+}
+
+void SessionManager::form_batch_groups() {
+  // Group batch_width same-worker sessions (in id order) into lockstep
+  // SIMD batches. Every session shares this manager's configuration, and
+  // none has been *processed* yet (workers aren't running — pre-start
+  // submits are still queued), so the lanes are trivially in lockstep at
+  // position 0 and pack() always succeeds. The pack goes through the
+  // real checkpoint format on purpose: it is the same path a future
+  // repack of live sessions would use, and it keeps the batch engine's
+  // state provably equal to the scalar engines it absorbed.
+  const std::size_t width = cfg_.batch_width;
+  std::vector<Session*> cohort;
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    cohort.clear();
+    for (auto& s : sessions_)
+      if (s->worker == wi) cohort.push_back(s.get());
+    for (std::size_t base = 0; base + width <= cohort.size(); base += width) {
+      auto g = std::make_unique<BatchGroup>();
+      g->lanes.assign(cohort.begin() + static_cast<std::ptrdiff_t>(base),
+                      cohort.begin() + static_cast<std::ptrdiff_t>(base + width));
+      g->batch = make_session_batch(width, fs_, cfg_.pipeline, cfg_.window_s);
+      g->slots = cfg_.chunk_slots_per_session;
+      g->max_chunk = cfg_.max_chunk;
+      g->stash.resize(width * g->slots * g->max_chunk * 2);
+      g->stash_len.assign(width * g->slots, 0);
+      g->head.assign(width, 0);
+      g->count.assign(width, 0);
+      g->lane_beats.resize(width);
+      g->lane_blobs.resize(width);
+      g->ecg_ptrs.resize(width);
+      g->z_ptrs.resize(width);
+      for (std::size_t l = 0; l < width; ++l)
+        g->lanes[l]->engine.checkpoint_into(g->lane_blobs[l]);
+      g->batch->pack(g->lane_blobs);
+      g->packed = true;
+      for (std::size_t l = 0; l < width; ++l) {
+        g->lanes[l]->group = g.get();
+        g->lanes[l]->lane = static_cast<std::uint32_t>(l);
+      }
+      workers_[wi]->groups.push_back(g.get());
+      groups_.push_back(std::move(g));
+    }
+  }
 }
 
 bool SessionManager::enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
@@ -303,12 +352,22 @@ const std::vector<FleetWorkerStats>& SessionManager::worker_stats() const {
 const QualitySummary& SessionManager::session_quality(std::uint32_t session) const {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
-  return sessions_[session]->engine.quality_summary();
+  const Session& s = *sessions_[session];
+  // While a session rides in a packed group its scalar engine is stale;
+  // the live aggregate lives in the batch engine's per-lane assembler.
+  if (s.group != nullptr && s.group->packed)
+    return s.group->batch->lane_quality(s.lane);
+  return s.engine.quality_summary();
 }
 
 QualitySummary SessionManager::fleet_quality() const {
   QualitySummary total;
-  for (const auto& s : sessions_) total.merge(s->engine.quality_summary());
+  for (const auto& s : sessions_) {
+    if (s->group != nullptr && s->group->packed)
+      total.merge(s->group->batch->lane_quality(s->lane));
+    else
+      total.merge(s->engine.quality_summary());
+  }
   return total;
 }
 
@@ -331,6 +390,11 @@ std::uint64_t SessionManager::total_beats() const {
 // ---------------------------------------------------------------------------
 
 void SessionManager::worker_loop(Worker& w) {
+  // Flush-to-zero/denormals-are-zero for the whole worker thread: IIR
+  // filter tails otherwise decay into subnormal territory between beats
+  // and pay the microcode assist on every multiply. RAII — restored on
+  // exit, a no-op on targets without the control bits.
+  dsp::DenormalGuard denormal_guard;
   WorkItem item;
   Backoff idle_backoff;
   for (;;) {
@@ -339,9 +403,26 @@ void SessionManager::worker_loop(Worker& w) {
       continue;
     }
     idle_backoff.reset();
-    if (item.session == nullptr) return;  // pool shutdown
+    if (item.session == nullptr) {
+      // Pool shutdown: any chunks still stashed in lockstep groups must
+      // reach their engines before the thread exits, or idle()/beat
+      // totals would lie. Dissolve unpacks to scalar and flushes.
+      for (BatchGroup* g : w.groups) dissolve_group(*g, w);
+      return;
+    }
 
     Session& s = *item.session;
+    if (s.group != nullptr && s.group->packed) {
+      // Lockstep fast path: buffer the chunk and advance the whole
+      // group when every lane has work. Any op the batch engine cannot
+      // service in lockstep (finish, checkpoint, restore, stash
+      // overflow) dissolves the group back to scalar sessions first.
+      if (item.op == SessionOp::Chunk && s.group->count[s.lane] < s.group->slots) {
+        stash_chunk(*s.group, s, item, w);
+        continue;
+      }
+      dissolve_group(*s.group, w);
+    }
     s.beat_scratch.clear();
     switch (item.op) {
       case SessionOp::Finish:
@@ -388,12 +469,7 @@ void SessionManager::worker_loop(Worker& w) {
     // is fully consumed, and a parked result push must not block reuse.
     s.completed.fetch_add(1, std::memory_order_release);
     w.chunks.fetch_add(1, std::memory_order_relaxed);
-    for (const BeatRecord& b : s.beat_scratch) {
-      FleetBeat fb{s.id, b, /*end_of_session=*/false, {}};
-      Backoff park;  // pilot must poll; park instead of pinning a core
-      while (!w.out.try_push(fb)) park.pause();
-      w.beats.fetch_add(1, std::memory_order_relaxed);
-    }
+    emit_beats(s, w, s.beat_scratch);
     if (item.op == SessionOp::Finish) {
       // Terminal record: the session's quality aggregate, emitted exactly
       // once, after the tail beats (not counted in the beat totals).
@@ -401,6 +477,111 @@ void SessionManager::worker_loop(Worker& w) {
       Backoff park;
       while (!w.out.try_push(fb)) park.pause();
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep batch plumbing (worker-thread side). A BatchGroup is owned by
+// exactly one worker while packed, so none of this needs extra locking:
+// the work queue already serializes every touch.
+// ---------------------------------------------------------------------------
+
+void SessionManager::emit_beats(Session& s, Worker& w,
+                                const std::vector<BeatRecord>& beats) {
+  for (const BeatRecord& b : beats) {
+    FleetBeat fb{s.id, b, /*end_of_session=*/false, {}};
+    Backoff park;  // pilot must poll; park instead of pinning a core
+    while (!w.out.try_push(fb)) park.pause();
+    w.beats.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SessionManager::stash_chunk(BatchGroup& g, Session& s, const WorkItem& item,
+                                 Worker& w) {
+  // Copy the chunk out of the session's slab into the group's stash and
+  // release the slab slot immediately — the pilot's submit window must
+  // not stall on other lanes catching up. `completed` therefore means
+  // "accepted by the worker", not "pushed through a pipeline"; the
+  // samples reach the engine in process_batch_ready() or at dissolve.
+  const std::size_t slab_slot =
+      s.completed.load(std::memory_order_relaxed) % cfg_.chunk_slots_per_session;
+  const dsp::Sample* base = s.slab.data() + slab_slot * cfg_.max_chunk * 2;
+  const std::size_t stash_slot = (g.head[s.lane] + g.count[s.lane]) % g.slots;
+  dsp::Sample* dst = g.stash.data() + (s.lane * g.slots + stash_slot) * g.max_chunk * 2;
+  std::memcpy(dst, base, item.len * sizeof(dsp::Sample));
+  std::memcpy(dst + g.max_chunk, base + cfg_.max_chunk, item.len * sizeof(dsp::Sample));
+  g.stash_len[s.lane * g.slots + stash_slot] = item.len;
+  ++g.count[s.lane];
+  s.completed.fetch_add(1, std::memory_order_release);
+  w.chunks.fetch_add(1, std::memory_order_relaxed);
+  w.samples.fetch_add(item.len, std::memory_order_relaxed);
+  process_batch_ready(g, w);
+}
+
+void SessionManager::process_batch_ready(BatchGroup& g, Worker& w) {
+  const std::size_t width = g.lanes.size();
+  while (g.packed) {
+    for (std::size_t l = 0; l < width; ++l)
+      if (g.count[l] == 0) return;  // some lane still owes a chunk
+    const std::uint32_t len = g.stash_len[0 * g.slots + g.head[0]];
+    for (std::size_t l = 1; l < width; ++l) {
+      if (g.stash_len[l * g.slots + g.head[l]] != len) {
+        // Lanes fed with different chunk sizes can't tick in lockstep;
+        // fall back to scalar rather than guess a split.
+        dissolve_group(g, w);
+        return;
+      }
+    }
+    for (std::size_t l = 0; l < width; ++l) {
+      const dsp::Sample* src =
+          g.stash.data() + (l * g.slots + g.head[l]) * g.max_chunk * 2;
+      g.ecg_ptrs[l] = src;
+      g.z_ptrs[l] = src + g.max_chunk;
+      g.lane_beats[l].clear();
+    }
+    const bool log = w.push_latency_us.size() < w.push_latency_us.capacity();
+    const auto t0 = log ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+    g.batch->push(g.ecg_ptrs.data(), g.z_ptrs.data(), len, g.lane_beats.data());
+    if (log) {
+      const auto t1 = std::chrono::steady_clock::now();
+      w.push_latency_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    for (std::size_t l = 0; l < width; ++l) {
+      g.head[l] = (g.head[l] + 1) % g.slots;
+      --g.count[l];
+      emit_beats(*g.lanes[l], w, g.lane_beats[l]);
+    }
+  }
+}
+
+void SessionManager::dissolve_group(BatchGroup& g, Worker& w) {
+  if (!g.packed) return;
+  g.packed = false;
+  // unpack() is the production use of the lane de-interleave: each lane
+  // becomes a v1 checkpoint blob that the scalar engine restores from,
+  // so a dissolved session is bit-for-bit the session a scalar worker
+  // would have produced.
+  g.batch->unpack(g.lane_blobs);
+  for (std::size_t l = 0; l < g.lanes.size(); ++l) {
+    Session& ls = *g.lanes[l];
+    ls.engine.restore(g.lane_blobs[l]);
+    // Flush this lane's stashed chunks through the scalar engine. Their
+    // chunk/sample counters were bumped at stash time; only beats and
+    // latency samples are new here.
+    while (g.count[l] > 0) {
+      const dsp::Sample* src =
+          g.stash.data() + (l * g.slots + g.head[l]) * g.max_chunk * 2;
+      const std::uint32_t len = g.stash_len[l * g.slots + g.head[l]];
+      ls.beat_scratch.clear();
+      ls.engine.push_into(dsp::SignalView(src, len),
+                          dsp::SignalView(src + g.max_chunk, len), ls.beat_scratch);
+      emit_beats(ls, w, ls.beat_scratch);
+      g.head[l] = (g.head[l] + 1) % g.slots;
+      --g.count[l];
+    }
+    ls.group = nullptr;
   }
 }
 

@@ -48,6 +48,7 @@
 // entry runs the migration tests to keep it that way).
 #pragma once
 
+#include "core/batch.h"
 #include "core/pipeline.h"
 #include "core/spsc_queue.h"
 #include "dsp/types.h"
@@ -74,6 +75,18 @@ struct FleetConfig {
   std::size_t latency_log_capacity = 1 << 16;
   /// Per-session look-back window, as in StreamingBeatPipeline.
   double window_s = 12.0;
+  /// SIMD batch mode (core::SessionBatch): 0 or 1 keeps every session on
+  /// its own scalar engine; 4 or 8 makes start() group that many
+  /// same-worker sessions into lockstep SIMD batches. Per-session output
+  /// is byte-identical either way (the batch identity contract); batching
+  /// only changes throughput. A worker advances a batch when every lane
+  /// has a pending chunk of the same length, stashing early arrivals (one
+  /// slab's worth per lane); a group whose lanes diverge — a finish or
+  /// migration on one lane, mismatched chunk lengths, a stash overflow —
+  /// is dissolved back to scalar engines via the checkpoint format and
+  /// stays scalar. Sessions left over after grouping (count % width, or
+  /// added after start()) run scalar as before.
+  std::size_t batch_width = 0;
   PipelineConfig pipeline{};
 };
 
@@ -187,10 +200,12 @@ class SessionManager {
   /// Per-worker counters; stable after join().
   [[nodiscard]] const std::vector<FleetWorkerStats>& worker_stats() const;
 
-  /// One session's running QualitySummary, read from its engine. The
-  /// engine lives on its owning worker, so call this only when that
-  /// worker is quiescent: after join(), or pilot-side while the session's
-  /// submitted work has drained (idle()). The authoritative end-of-stream
+  /// One session's running QualitySummary, read from its engine (or,
+  /// while the session is packed into a SIMD batch, from its lane of the
+  /// batch). The state lives on its owning worker, so call this only
+  /// when that worker is quiescent: after join() (in batch mode, only
+  /// after join() or after the session finished — a batch may still be
+  /// draining stashed chunks at idle()). The authoritative end-of-stream
   /// snapshot is the end_of_session FleetBeat the finish emits.
   [[nodiscard]] const QualitySummary& session_quality(std::uint32_t session) const;
 
@@ -212,6 +227,8 @@ class SessionManager {
     RestoreIn,      ///< deserialize the migration blob into the engine
   };
 
+  struct BatchGroup;
+
   struct Session {
     Session(std::uint32_t id, dsp::SampleRate fs, const FleetConfig& cfg);
 
@@ -229,6 +246,31 @@ class SessionManager {
     /// across migrations.
     std::vector<std::uint8_t> migration_blob;
     std::atomic<bool> checkpoint_ready{false};
+    /// Batch mode: the lockstep group this session rides in, or nullptr
+    /// when it runs its own scalar engine. Set by start(), cleared by the
+    /// owning worker when the group dissolves (while the session is
+    /// packed, `engine` is stale — the live state is group lane `lane`).
+    BatchGroup* group = nullptr;
+    std::uint32_t lane = 0;
+  };
+
+  /// One lockstep SIMD batch of batch_width same-worker sessions (batch
+  /// mode only). Owned by the manager, driven exclusively by the owning
+  /// worker after start(). Each lane has a FIFO chunk stash (slab-sized)
+  /// absorbing arrival skew: the batch advances only when every lane
+  /// holds a chunk of the same length.
+  struct BatchGroup {
+    std::vector<Session*> lanes;
+    std::unique_ptr<SessionBatchBase> batch;
+    bool packed = false;    ///< worker side after start(); false = dissolved
+    std::size_t slots = 0;      ///< stash depth per lane (= chunk slots)
+    std::size_t max_chunk = 0;
+    std::vector<dsp::Sample> stash;          ///< lanes * slots * max_chunk * 2
+    std::vector<std::uint32_t> stash_len;    ///< lanes * slots
+    std::vector<std::size_t> head, count;    ///< per-lane FIFO state
+    std::vector<std::vector<BeatRecord>> lane_beats;       ///< reused
+    std::vector<std::vector<std::uint8_t>> lane_blobs;     ///< pack/unpack reuse
+    std::vector<const dsp::Sample*> ecg_ptrs, z_ptrs;      ///< reused
   };
 
   /// session == nullptr is the pool-shutdown sentinel.
@@ -242,6 +284,9 @@ class SessionManager {
     explicit Worker(const FleetConfig& cfg);
     SpscQueue<WorkItem> in;
     SpscQueue<FleetBeat> out;
+    /// Batch groups homed on this worker (filled by start(), before the
+    /// thread spawns); dissolved on shutdown so stashed chunks flush.
+    std::vector<BatchGroup*> groups;
     /// Counters are atomic (relaxed) so the pilot can read live totals
     /// while the worker runs; the latency log is worker-only until
     /// join().
@@ -257,11 +302,18 @@ class SessionManager {
                     SessionOp op);
   std::size_t drain_queues(std::vector<FleetBeat>& out, std::size_t max_items);
   void worker_loop(Worker& w);
+  // Batch mode (worker side unless noted).
+  void form_batch_groups();  ///< pilot, from start()
+  void stash_chunk(BatchGroup& g, Session& s, const WorkItem& item, Worker& w);
+  void process_batch_ready(BatchGroup& g, Worker& w);
+  void dissolve_group(BatchGroup& g, Worker& w);
+  static void emit_beats(Session& s, Worker& w, const std::vector<BeatRecord>& beats);
 
   dsp::SampleRate fs_;
   FleetConfig cfg_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<BatchGroup>> groups_;  ///< batch mode only
   std::atomic<std::size_t> active_workers_{0};
   /// Results drained while close()/join() waited; served by poll() ahead
   /// of the live queues to preserve per-session order.

@@ -9,6 +9,8 @@ namespace icgkit::core {
 // The streaming engine is a backend template; these definitions back the
 // `extern template` declarations in pipeline.h, so the engine is
 // instantiated exactly once.
+template class BeatAssembler<dsp::DoubleBackend>;
+template class BeatAssembler<dsp::Q31Backend>;
 template class BasicStreamingBeatPipeline<dsp::DoubleBackend>;
 template class BasicStreamingBeatPipeline<dsp::Q31Backend>;
 

@@ -27,6 +27,14 @@
 //   - BeatPipeline::process        one recording, offline; byte-identical
 //     BeatRecords to StreamingBeatPipeline at any chunking, because it
 //     *is* StreamingBeatPipeline fed a single chunk.
+//
+// Internally the engine is two halves joined at the feature boundary:
+// the *stage front* (ECG cleaner, QRS detector, ICG conditioner — the
+// data-parallel sample-rate chain) and the BeatAssembler (look-back
+// rings, contact-gap recovery, delineation, quality, hemodynamics,
+// ensemble — the per-session beat-rate tail). core::SessionBatch reuses
+// the assembler per lane under a SIMD-batched front, which is why it is
+// a named component rather than pipeline-private state.
 #pragma once
 
 #include "core/checkpoint.h"
@@ -120,51 +128,34 @@ inline constexpr std::uint8_t kEcgSat = 1u << 2;
 inline constexpr std::uint8_t kZSat = 1u << 3;
 } // namespace detail
 
-/// Chunk-fed incremental engine, generic over the numeric backend.
-/// Internals:
+/// The per-session beat-rate tail of the streaming engine: look-back
+/// rings, the contact-gap state machine and quality-adaptive recovery,
+/// pending-beat scheduling, delineation, the quality gate, hemodynamics
+/// and the optional ensemble stage. Everything downstream of the
+/// sample-rate stage front, with scalar (per-session) control flow.
 ///
-///  - the ECG cleaner, QRS detector and ICG conditioner advance sample by
-///    sample with carried state (O(chunk) work per push, no window
-///    recomputation);
-///  - cleaned ICG and raw impedance are retained in bounded ring buffers
-///    (default 12 s) purely as *look-back* for delineation -- they are
-///    never reprocessed;
-///  - a beat (R_i, R_{i+1}) is delineated exactly once, as soon as
-///    R_{i+1} is confirmed and the aligned ICG covers it. Its emitted
-///    indices are absolute sample positions in the fed stream.
+/// BasicStreamingBeatPipeline owns one assembler; core::SessionBatch
+/// owns W of them (one per SIMD lane) behind a shared batched front --
+/// the assembler is exactly the state whose control flow diverges per
+/// session, so batching stops at its boundary.
 ///
-/// The output is invariant to chunk size: any segmentation of the same
-/// recording yields byte-identical BeatRecords (the chunking only decides
-/// which push() call returns them). Beats whose samples have already left
-/// the look-back window (window smaller than an R-R interval plus the
-/// stage latencies) are emitted flagged InvalidDelineation with all
-/// points clamped to their R index, never referencing trimmed samples.
-///
-/// With the Q31 backend, push() quantizes each incoming double sample to
-/// Q1.31 against the scaling policy's full scales (the ADC boundary a
-/// real firmware has anyway), runs the whole sample-rate chain in integer
-/// arithmetic, and converts each completed R-R window of ICG counts back
-/// to Ohm/s once, feeding the same double delineation/quality/
-/// hemodynamics tail as the reference engine.
+/// Serialization is exposed as one body per checkpoint section (RING /
+/// BEAT / GAPS / QSUM / ENSB); the pipeline wraps them in its section
+/// framing, keeping the v1 wire layout byte-identical to the pre-split
+/// engine.
 template <typename B>
-class BasicStreamingBeatPipeline {
+class BeatAssembler {
  public:
   using sample_t = typename B::sample_t;
 
-  BasicStreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
-                             double window_s = 12.0,
-                             const dsp::Q31ScalingPolicy& scaling = {})
-      : fs_(fs), cfg_(cfg),
-        window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)),
-        ecg_scale_(B::kFixed ? scaling.ecg_fullscale_mv : 1.0),
-        z_scale_(B::kFixed ? scaling.z_fullscale_ohm : 1.0),
-        icg_scale_(B::kFixed ? scaling.icg_fullscale(fs) : 1.0),
-        ecg_stage_(fs, cfg.ecg_filter),
-        icg_stage_(fs, cfg.icg_filter, B::kFixed ? scaling.icg_gain_log2 : 0),
-        qrs_(fs, cfg.qrs),
+  BeatAssembler(dsp::SampleRate fs, const PipelineConfig& cfg,
+                std::size_t window_samples, double z_scale, double icg_scale,
+                double ecg_rail_mv, double z_rail_ohm, std::size_t icg_latency)
+      : fs_(fs), quality_(cfg.quality), body_(cfg.body),
+        window_samples_(window_samples), z_scale_(z_scale), icg_scale_(icg_scale),
         delineator_(fs, cfg.delineation),
-        ecg_rail_mv_(scaling.ecg_fullscale_mv),
-        z_rail_ohm_(scaling.z_fullscale_ohm),
+        ecg_rail_mv_(ecg_rail_mv), z_rail_ohm_(z_rail_ohm),
+        icg_latency_(icg_latency),
         dropout_samples_(std::max<std::size_t>(
             2, static_cast<std::size_t>(std::max(0.0, cfg.quality.dropout_reset_s) * fs))),
         icg_ring_(window_samples_),
@@ -179,9 +170,6 @@ class BasicStreamingBeatPipeline {
         std::min(window_samples_, static_cast<std::size_t>(3.0 * fs));
     beat_scratch_.reserve(max_beat);
     delin_scratch_.reserve(max_beat);
-    ecg_scratch_.reserve(512);
-    icg_scratch_.reserve(512);
-    r_scratch_.reserve(64);
     if (cfg.enable_ensemble) {
       ensemble_.emplace(fs, cfg.ensemble);
       ens_scratch_.reserve(ensemble_->segment_samples());
@@ -193,61 +181,57 @@ class BasicStreamingBeatPipeline {
     }
   }
 
-  /// Feeds one synchronized chunk; returns the beats completed by it.
-  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) {
-    std::vector<BeatRecord> emitted;
-    push_into(ecg_mv, z_ohm, emitted);
-    return emitted;
+  /// Consumes one raw sample pair: classifies it into the marks ring,
+  /// advances the contact-gap state machine (invoking `qrs_soft_reset`
+  /// when an ECG gap closes and recovery is enabled), and accounts the
+  /// raw impedance sample `zq` into the look-back ring and running sum.
+  template <typename SoftResetFn>
+  void on_raw_sample(double ecg_mv, double z_ohm, sample_t zq,
+                     SoftResetFn&& qrs_soft_reset) {
+    track_signal_marks(ecg_mv, z_ohm, qrs_soft_reset);
+    z_ring_.push(zq);
+    z_sum_ = B::acc_add(z_sum_, zq);
+    ++consumed_;
   }
 
-  /// Allocation-free form of push(): appends completed beats to `out`
-  /// (which is not cleared). With a caller-reused `out`, a warmed-up
-  /// session does zero heap allocation per push — the property the fleet
-  /// hot path relies on (verified by the allocation-probe test).
-  void push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
-                 std::vector<BeatRecord>& out) {
-    if (ecg_mv.size() != z_ohm.size())
-      throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
-    for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
+  /// Accounts one aligned conditioned-ICG sample into the look-back ring.
+  void on_icg_sample(sample_t v) {
+    icg_ring_.push(v);
+    ++icg_count_;
   }
 
-  /// Flushes the stage tails and any pending beats (end of recording).
-  std::vector<BeatRecord> finish() {
-    std::vector<BeatRecord> emitted;
-    finish_into(emitted);
-    return emitted;
-  }
-
-  /// Allocation-free form of finish(): appends to `out`.
-  void finish_into(std::vector<BeatRecord>& emitted) {
-    icg_scratch_.clear();
-    icg_stage_.finish(icg_scratch_);
-    for (const sample_t v : icg_scratch_) {
-      icg_ring_.push(v);
-      ++icg_count_;
-      if (capture_) captured_icg_.push_back(icg_real(v));
-    }
+  /// Folds any queued ensemble segments whose post window has completed
+  /// (no-op when the ensemble stage is off or the queue is empty).
+  void maybe_drain_ensemble() {
     if (ensemble_.has_value() && !ens_pending_.empty()) drain_ensemble();
+  }
 
-    ecg_scratch_.clear();
-    ecg_stage_.finish(ecg_scratch_);
-    r_scratch_.clear();
-    for (const sample_t v : ecg_scratch_) {
-      if (capture_) captured_ecg_.push_back(ecg_real(v));
-      qrs_.push(v, r_scratch_);
+  /// Registers a confirmed R peak; pairs it with the previous one into a
+  /// pending beat.
+  void on_r_peak(std::size_t r) {
+    ++r_peak_count_;
+    if (last_r_.has_value()) enqueue_beat(*last_r_, r);
+    last_r_ = r;
+  }
+
+  /// Emits every pending beat whose aligned ICG is now complete. Called
+  /// per sample so the emission point (and thus the ring-buffer state it
+  /// reads) is identical however the input was chunked.
+  void drain_ready(std::vector<BeatRecord>& out) {
+    while (!pending_beats_.empty() && icg_count_ >= pending_beats_.front().second) {
+      const auto [r, r_next] = pending_beats_.front();
+      pending_beats_.pop();
+      out.push_back(make_beat(r, r_next));
     }
-    qrs_.finish(r_scratch_);
-    for (const std::size_t r : r_scratch_) {
-      ++r_peak_count_;
-      if (last_r_.has_value()) enqueue_beat(*last_r_, r);
-      last_r_ = r;
-    }
-    drain_ready(emitted);
   }
 
   [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+  [[nodiscard]] std::size_t icg_count() const { return icg_count_; }
   [[nodiscard]] std::size_t r_peak_count() const { return r_peak_count_; }
   [[nodiscard]] std::size_t window_samples() const { return window_samples_; }
+  [[nodiscard]] const QualitySummary& quality_summary() const { return summary_; }
+  [[nodiscard]] bool in_dropout() const { return ecg_gap_ || z_gap_; }
+
   /// Running mean of the impedance trace consumed so far.
   [[nodiscard]] double z_mean_ohm() const {
     if (consumed_ == 0) return 0.0;
@@ -257,77 +241,43 @@ class BasicStreamingBeatPipeline {
       return z_sum_ / static_cast<double>(consumed_);
   }
 
-  /// Records the aligned filtered ECG/ICG streams (used by the batch
-  /// wrapper to fill PipelineResult; off by default to keep streaming
-  /// memory bounded). Always captured in real units (mV / Ohm per
-  /// second), whatever the backend.
-  void enable_capture() { capture_ = true; }
-  [[nodiscard]] const dsp::Signal& captured_ecg() const { return captured_ecg_; }
-  [[nodiscard]] const dsp::Signal& captured_icg() const { return captured_icg_; }
-
-  /// Running per-session quality aggregate: every emitted beat's verdict
-  /// plus the contact gaps detected and the recovery resets performed so
-  /// far. The fleet surfaces this through its end-of-session FleetBeat.
-  [[nodiscard]] const QualitySummary& quality_summary() const { return summary_; }
-  /// True while a contact gap (flat run past dropout_reset_s) is open on
-  /// either channel.
-  [[nodiscard]] bool in_dropout() const { return ecg_gap_ || z_gap_; }
-
-  // -- checkpoint/restore (core::Checkpoint subsystem) -----------------
-  //
-  // The whole carried session state — every stage's filter/detector
-  // state, the look-back rings, the pending-beat and gap bookkeeping,
-  // the quality aggregate and the optional ensemble template — in the
-  // versioned, CRC-framed wire format of core/checkpoint.h. The
-  // contract (pinned by tests and the round-trip fuzz CI job): for any
-  // cut point and any chunking, checkpoint() then restore() into a
-  // freshly constructed pipeline with the same configuration, then
-  // resuming the stream, emits byte-identical BeatRecords to the
-  // uninterrupted run — for both backends.
-
-  /// Serializes the session into `w` as one section per stage group.
-  /// Throws CheckpointError when capture is enabled (the unbounded
-  /// capture buffers are a batch-wrapper diagnostic, not session state).
+  // -- checkpoint section bodies (wrapped by the owner's framing) -------
   template <typename W>
-  void save_state(W& w) const {
-    if (capture_)
-      throw CheckpointError("StreamingBeatPipeline: cannot checkpoint with capture enabled");
-    w.begin_section("CFG ");
-    w.u8(B::kFixed ? 1 : 0);
-    w.f64(fs_);
-    w.u64(window_samples_);
-    w.boolean(cfg_.enable_ensemble);
-    w.end_section();
-
-    w.begin_section("ECGC");
-    ecg_stage_.save_state(w);
-    w.end_section();
-
-    w.begin_section("ICGC");
-    icg_stage_.save_state(w);
-    w.end_section();
-
-    w.begin_section("QRSD");
-    qrs_.save_state(w);
-    w.end_section();
-
-    w.begin_section("RING");
+  void save_ring_body(W& w) const {
     icg_ring_.save_state(w);
     z_ring_.save_state(w);
     marks_.save_state(w);
     w.u64(icg_count_);
     w.u64(consumed_);
     w.value(z_sum_);
-    w.end_section();
+  }
+  template <typename R>
+  void load_ring_body(R& r) {
+    icg_ring_.load_state(r, "StreamingBeatPipeline");
+    z_ring_.load_state(r, "StreamingBeatPipeline");
+    marks_.load_state(r, "StreamingBeatPipeline");
+    icg_count_ = r.u64();
+    consumed_ = r.u64();
+    z_sum_ = r.template value<typename B::acc_t>();
+  }
 
-    w.begin_section("BEAT");
+  template <typename W>
+  void save_beat_body(W& w) const {
     w.boolean(last_r_.has_value());
     if (last_r_.has_value()) w.u64(*last_r_);
     save_pair_ring(w, pending_beats_);
     w.u64(r_peak_count_);
-    w.end_section();
+  }
+  template <typename R>
+  void load_beat_body(R& r) {
+    if (r.boolean()) last_r_ = r.u64();
+    else last_r_.reset();
+    load_pair_ring(r, pending_beats_);
+    r_peak_count_ = r.u64();
+  }
 
-    w.begin_section("GAPS");
+  template <typename W>
+  void save_gaps_body(W& w) const {
     w.f64(prev_ecg_raw_);
     w.f64(prev_z_raw_);
     w.boolean(have_prev_raw_);
@@ -336,9 +286,21 @@ class BasicStreamingBeatPipeline {
     w.boolean(ecg_gap_);
     w.boolean(z_gap_);
     save_pair_ring(w, gap_spans_);
-    w.end_section();
+  }
+  template <typename R>
+  void load_gaps_body(R& r) {
+    prev_ecg_raw_ = r.f64();
+    prev_z_raw_ = r.f64();
+    have_prev_raw_ = r.boolean();
+    ecg_flat_run_ = r.u64();
+    z_flat_run_ = r.u64();
+    ecg_gap_ = r.boolean();
+    z_gap_ = r.boolean();
+    load_pair_ring(r, gap_spans_);
+  }
 
-    w.begin_section("QSUM");
+  template <typename W>
+  void save_qsum_body(W& w) const {
     w.u64(summary_.beats);
     w.u64(summary_.usable);
     for (const std::uint64_t c : summary_.flaw_counts) w.u64(c);
@@ -349,72 +311,9 @@ class BasicStreamingBeatPipeline {
     w.u64(summary_.snr_beats);
     w.f64(summary_.sum_snr_db);
     w.f64(summary_.min_snr_db);
-    w.end_section();
-
-    w.begin_section("ENSB");
-    w.boolean(ensemble_.has_value());
-    if (ensemble_.has_value()) {
-      ensemble_->save_state(w);
-      ens_pending_.save_state(w);
-    }
-    w.end_section();
   }
-
-  /// Restores the session from `r`. The target must have been
-  /// constructed with the same configuration (backend, sample rate,
-  /// window, stage layout); any disagreement throws CheckpointError and
-  /// leaves the pipeline in an unspecified state — discard it.
   template <typename R>
-  void load_state(R& r) {
-    r.begin_section("CFG ");
-    if (r.u8() != (B::kFixed ? 1 : 0))
-      r.fail("StreamingBeatPipeline: numeric-backend mismatch");
-    if (r.f64() != fs_) r.fail("StreamingBeatPipeline: sample-rate mismatch");
-    if (r.u64() != window_samples_) r.fail("StreamingBeatPipeline: window mismatch");
-    if (r.boolean() != cfg_.enable_ensemble)
-      r.fail("StreamingBeatPipeline: ensemble-stage mismatch");
-    r.end_section();
-
-    r.begin_section("ECGC");
-    ecg_stage_.load_state(r);
-    r.end_section();
-
-    r.begin_section("ICGC");
-    icg_stage_.load_state(r);
-    r.end_section();
-
-    r.begin_section("QRSD");
-    qrs_.load_state(r);
-    r.end_section();
-
-    r.begin_section("RING");
-    icg_ring_.load_state(r, "StreamingBeatPipeline");
-    z_ring_.load_state(r, "StreamingBeatPipeline");
-    marks_.load_state(r, "StreamingBeatPipeline");
-    icg_count_ = r.u64();
-    consumed_ = r.u64();
-    z_sum_ = r.template value<typename B::acc_t>();
-    r.end_section();
-
-    r.begin_section("BEAT");
-    if (r.boolean()) last_r_ = r.u64();
-    else last_r_.reset();
-    load_pair_ring(r, pending_beats_);
-    r_peak_count_ = r.u64();
-    r.end_section();
-
-    r.begin_section("GAPS");
-    prev_ecg_raw_ = r.f64();
-    prev_z_raw_ = r.f64();
-    have_prev_raw_ = r.boolean();
-    ecg_flat_run_ = r.u64();
-    z_flat_run_ = r.u64();
-    ecg_gap_ = r.boolean();
-    z_gap_ = r.boolean();
-    load_pair_ring(r, gap_spans_);
-    r.end_section();
-
-    r.begin_section("QSUM");
+  void load_qsum_body(R& r) {
     summary_.beats = r.u64();
     summary_.usable = r.u64();
     for (std::uint64_t& c : summary_.flaw_counts) c = r.u64();
@@ -425,41 +324,24 @@ class BasicStreamingBeatPipeline {
     summary_.snr_beats = r.u64();
     summary_.sum_snr_db = r.f64();
     summary_.min_snr_db = r.f64();
-    r.end_section();
+  }
 
-    r.begin_section("ENSB");
+  template <typename W>
+  void save_ensb_body(W& w) const {
+    w.boolean(ensemble_.has_value());
+    if (ensemble_.has_value()) {
+      ensemble_->save_state(w);
+      ens_pending_.save_state(w);
+    }
+  }
+  template <typename R>
+  void load_ensb_body(R& r) {
     if (r.boolean() != ensemble_.has_value())
       r.fail("StreamingBeatPipeline: ensemble-stage layout mismatch");
     if (ensemble_.has_value()) {
       ensemble_->load_state(r);
       ens_pending_.load_state(r, "StreamingBeatPipeline ensemble queue");
     }
-    r.end_section();
-  }
-
-  /// Serializes the session into `blob` (replaced; its capacity is
-  /// reused, so a warmed-up migration path does not allocate).
-  void checkpoint_into(std::vector<std::uint8_t>& blob) const {
-    StateWriter w(std::move(blob));
-    save_state(w);
-    blob = w.take();
-  }
-
-  /// The session as a self-contained blob.
-  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const {
-    std::vector<std::uint8_t> blob;
-    checkpoint_into(blob);
-    return blob;
-  }
-
-  /// Restores a checkpoint() blob into this pipeline (same-configuration
-  /// target; see load_state). Throws CheckpointError on any corruption,
-  /// truncation, version or configuration mismatch.
-  void restore(std::span<const std::uint8_t> blob) {
-    StateReader r(blob);
-    load_state(r);
-    if (!r.at_end())
-      throw CheckpointError("StreamingBeatPipeline: trailing bytes after final section");
   }
 
  private:
@@ -490,21 +372,6 @@ class BasicStreamingBeatPipeline {
     }
   }
 
-  // Boundary conversions. The double backend's scales are fixed at 1 and
-  // the conversions collapse to identity, so the reference engine's
-  // arithmetic is untouched by the backend abstraction.
-  [[nodiscard]] sample_t ecg_from(double v) const {
-    if constexpr (B::kFixed) return B::from_real(v / ecg_scale_);
-    else return v;
-  }
-  [[nodiscard]] sample_t z_from(double v) const {
-    if constexpr (B::kFixed) return B::from_real(v / z_scale_);
-    else return v;
-  }
-  [[nodiscard]] double ecg_real(sample_t v) const {
-    if constexpr (B::kFixed) return B::to_real(v) * ecg_scale_;
-    else return v;
-  }
   [[nodiscard]] double icg_real(sample_t v) const {
     if constexpr (B::kFixed) return B::to_real(v) * icg_scale_;
     else return v;
@@ -514,23 +381,26 @@ class BasicStreamingBeatPipeline {
   /// ring and advances the contact-gap state machine. Runs on the
   /// incoming doubles before backend quantization, per sample, so the
   /// verdicts are backend-identical and chunk-size invariant.
-  void track_signal_marks(double ecg_mv, double z_ohm) {
+  template <typename SoftResetFn>
+  void track_signal_marks(double ecg_mv, double z_ohm, SoftResetFn&& qrs_soft_reset) {
     std::uint8_t m = 0;
     if (have_prev_raw_) {
-      if (std::abs(ecg_mv - prev_ecg_raw_) <= cfg_.quality.flatline_epsilon_mv)
+      if (std::abs(ecg_mv - prev_ecg_raw_) <= quality_.flatline_epsilon_mv)
         m |= detail::kEcgFlat;
-      if (std::abs(z_ohm - prev_z_raw_) <= cfg_.quality.flatline_epsilon_ohm)
+      if (std::abs(z_ohm - prev_z_raw_) <= quality_.flatline_epsilon_ohm)
         m |= detail::kZFlat;
     }
-    const double margin = cfg_.quality.saturation_margin;
+    const double margin = quality_.saturation_margin;
     if (std::abs(ecg_mv) >= margin * ecg_rail_mv_) m |= detail::kEcgSat;
     if (std::abs(z_ohm) >= margin * z_rail_ohm_) m |= detail::kZSat;
     marks_.push(m);
     prev_ecg_raw_ = ecg_mv;
     prev_z_raw_ = z_ohm;
     have_prev_raw_ = true;
-    update_gap((m & detail::kEcgFlat) != 0, ecg_flat_run_, ecg_gap_, /*is_ecg=*/true);
-    update_gap((m & detail::kZFlat) != 0, z_flat_run_, z_gap_, /*is_ecg=*/false);
+    update_gap((m & detail::kEcgFlat) != 0, ecg_flat_run_, ecg_gap_, /*is_ecg=*/true,
+               qrs_soft_reset);
+    update_gap((m & detail::kZFlat) != 0, z_flat_run_, z_gap_, /*is_ecg=*/false,
+               qrs_soft_reset);
   }
 
   /// Contact-gap state machine for one channel. On the first sample after
@@ -543,8 +413,12 @@ class BasicStreamingBeatPipeline {
   /// skipped — the template keeps its clean pre-gap beats and resumes
   /// with clean post-gap ones. Filter state is never touched — linear
   /// stages flush a gap by themselves and resetting them would break the
-  /// stream's sample alignment.
-  void update_gap(bool flat, std::size_t& run, bool& gap, bool is_ecg) {
+  /// stream's sample alignment. (This is also what makes the SIMD batch
+  /// front mask-free: a lane in a gap keeps filtering like every other
+  /// lane, and only its assembler/detector-tail state diverges.)
+  template <typename SoftResetFn>
+  void update_gap(bool flat, std::size_t& run, bool& gap, bool is_ecg,
+                  SoftResetFn&& qrs_soft_reset) {
     if (flat) {
       ++run;
       if (!gap && run >= dropout_samples_) {
@@ -556,16 +430,16 @@ class BasicStreamingBeatPipeline {
     }
     if (gap) {
       gap = false;
-      if (cfg_.quality.enable_recovery) {
+      if (quality_.enable_recovery) {
         if (is_ecg) {
-          qrs_.soft_reset();
+          qrs_soft_reset();
           last_r_.reset();
           ++summary_.detector_resets;
         } else {
           // The flat span is [consumed_ - run, consumed_); the zero-phase
           // ICG kernels smear its edge transients by their look-back, so
           // quarantine that margin on both sides.
-          const std::size_t margin = icg_stage_.latency();
+          const std::size_t margin = icg_latency_;
           const std::size_t begin =
               consumed_ > run + margin ? consumed_ - run - margin : 0;
           gap_spans_.push({begin, consumed_ + margin});
@@ -585,52 +459,10 @@ class BasicStreamingBeatPipeline {
     return false;
   }
 
-  void ingest(double ecg_mv, double z_ohm, std::vector<BeatRecord>& out) {
-    track_signal_marks(ecg_mv, z_ohm);
-    const sample_t zq = z_from(z_ohm);
-    z_ring_.push(zq);
-    z_sum_ = B::acc_add(z_sum_, zq);
-    ++consumed_;
-
-    icg_scratch_.clear();
-    icg_stage_.push(zq, icg_scratch_);
-    for (const sample_t v : icg_scratch_) {
-      icg_ring_.push(v);
-      ++icg_count_;
-      if (capture_) captured_icg_.push_back(icg_real(v));
-    }
-    if (ensemble_.has_value() && !ens_pending_.empty()) drain_ensemble();
-
-    ecg_scratch_.clear();
-    ecg_stage_.push(ecg_from(ecg_mv), ecg_scratch_);
-    r_scratch_.clear();
-    for (const sample_t v : ecg_scratch_) {
-      if (capture_) captured_ecg_.push_back(ecg_real(v));
-      qrs_.push(v, r_scratch_);
-    }
-    for (const std::size_t r : r_scratch_) {
-      ++r_peak_count_;
-      if (last_r_.has_value()) enqueue_beat(*last_r_, r);
-      last_r_ = r;
-    }
-    // Emit every beat whose aligned ICG is now complete -- done per sample
-    // so the emission point (and thus the ring-buffer state it reads) is
-    // identical however the input was chunked.
-    drain_ready(out);
-  }
-
   void enqueue_beat(std::size_t r, std::size_t r_next) {
     if (pending_beats_.full())
       throw std::runtime_error("StreamingBeatPipeline: pending-beat ring overflow");
     pending_beats_.push({r, r_next});
-  }
-
-  void drain_ready(std::vector<BeatRecord>& out) {
-    while (!pending_beats_.empty() && icg_count_ >= pending_beats_.front().second) {
-      const auto [r, r_next] = pending_beats_.front();
-      pending_beats_.pop();
-      out.push_back(make_beat(r, r_next));
-    }
   }
 
   [[nodiscard]] BeatRecord make_beat(std::size_t r, std::size_t r_next) {
@@ -662,11 +494,11 @@ class BasicStreamingBeatPipeline {
     rec.points.b0 += r;
     rec.points.c += r;
     rec.points.x += r;
-    rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, cfg_.quality);
+    rec.flaws = assess_beat(rec.points, rec.rr_s, fs_, quality_);
     rec.signal = measure_signal_quality(r, r_next);
-    rec.flaws = rec.flaws | assess_signal(rec.signal, cfg_.quality);
+    rec.flaws = rec.flaws | assess_signal(rec.signal, quality_);
     rec.hemo = compute_beat_hemodynamics(rec.points, rec.rr_s, beat_z0(r, r_next), fs_,
-                                         cfg_.body);
+                                         body_);
     if (ensemble_.has_value()) attach_ensemble(rec, r);
     summary_.tally(rec.flaws, rec.signal);
     return rec;
@@ -785,16 +617,14 @@ class BasicStreamingBeatPipeline {
   }
 
   dsp::SampleRate fs_;
-  PipelineConfig cfg_;
+  QualityConfig quality_;
+  BodyParameters body_;
   std::size_t window_samples_;
-  double ecg_scale_, z_scale_, icg_scale_; ///< per-stage Q31 full scales (1 for double)
-
-  BasicEcgCleanerStage<B> ecg_stage_;
-  BasicIcgConditionerStage<B> icg_stage_;
-  ecg::BasicOnlinePanTompkins<B> qrs_;
+  double z_scale_, icg_scale_;      ///< Q31 full scales (1 for double)
   IcgDelineator delineator_;
 
   double ecg_rail_mv_, z_rail_ohm_; ///< acquisition rails (saturation detector)
+  std::size_t icg_latency_;         ///< ICG chain look-back (gap-span smear margin)
   std::size_t dropout_samples_;     ///< flat run length that counts as a gap
 
   dsp::RingBuffer<sample_t> icg_ring_;  ///< aligned cleaned ICG look-back
@@ -825,11 +655,7 @@ class BasicStreamingBeatPipeline {
   dsp::RingBuffer<std::pair<std::size_t, std::size_t>> gap_spans_{16};
   QualitySummary summary_;
 
-  bool capture_ = false;
-  dsp::Signal captured_ecg_, captured_icg_;
-  std::vector<sample_t> ecg_scratch_, icg_scratch_;
   dsp::Signal beat_scratch_;
-  std::vector<std::size_t> r_scratch_;
   DelineationScratch delin_scratch_;
   std::optional<EnsembleAverager> ensemble_;
   dsp::Signal ens_scratch_;
@@ -838,6 +664,322 @@ class BasicStreamingBeatPipeline {
   /// for the worst case (one R per refractory across the post window)
   /// when the ensemble stage is enabled.
   dsp::RingBuffer<std::size_t> ens_pending_{1};
+};
+
+/// Chunk-fed incremental engine, generic over the numeric backend.
+/// Internals:
+///
+///  - the ECG cleaner, QRS detector and ICG conditioner advance sample by
+///    sample with carried state (O(chunk) work per push, no window
+///    recomputation);
+///  - cleaned ICG and raw impedance are retained in bounded ring buffers
+///    (default 12 s) purely as *look-back* for delineation -- they are
+///    never reprocessed;
+///  - a beat (R_i, R_{i+1}) is delineated exactly once, as soon as
+///    R_{i+1} is confirmed and the aligned ICG covers it. Its emitted
+///    indices are absolute sample positions in the fed stream.
+///
+/// The output is invariant to chunk size: any segmentation of the same
+/// recording yields byte-identical BeatRecords (the chunking only decides
+/// which push() call returns them). Beats whose samples have already left
+/// the look-back window (window smaller than an R-R interval plus the
+/// stage latencies) are emitted flagged InvalidDelineation with all
+/// points clamped to their R index, never referencing trimmed samples.
+///
+/// With the Q31 backend, push() quantizes each incoming double sample to
+/// Q1.31 against the scaling policy's full scales (the ADC boundary a
+/// real firmware has anyway), runs the whole sample-rate chain in integer
+/// arithmetic, and converts each completed R-R window of ICG counts back
+/// to Ohm/s once, feeding the same double delineation/quality/
+/// hemodynamics tail as the reference engine.
+template <typename B>
+class BasicStreamingBeatPipeline {
+ public:
+  using sample_t = typename B::sample_t;
+
+  BasicStreamingBeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg = {},
+                             double window_s = 12.0,
+                             const dsp::Q31ScalingPolicy& scaling = {})
+      : fs_(fs), cfg_(cfg),
+        window_samples_(static_cast<std::size_t>(std::max(4.0, window_s) * fs)),
+        ecg_scale_(B::kFixed ? scaling.ecg_fullscale_mv : 1.0),
+        z_scale_(B::kFixed ? scaling.z_fullscale_ohm : 1.0),
+        icg_scale_(B::kFixed ? scaling.icg_fullscale(fs) : 1.0),
+        ecg_stage_(fs, cfg.ecg_filter),
+        icg_stage_(fs, cfg.icg_filter, B::kFixed ? scaling.icg_gain_log2 : 0),
+        qrs_(fs, cfg.qrs),
+        assembler_(fs, cfg, window_samples_, z_scale_, icg_scale_,
+                   scaling.ecg_fullscale_mv, scaling.z_fullscale_ohm,
+                   icg_stage_.latency()) {
+    ecg_scratch_.reserve(512);
+    icg_scratch_.reserve(512);
+    r_scratch_.reserve(64);
+  }
+
+  /// Feeds one synchronized chunk; returns the beats completed by it.
+  std::vector<BeatRecord> push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) {
+    std::vector<BeatRecord> emitted;
+    push_into(ecg_mv, z_ohm, emitted);
+    return emitted;
+  }
+
+  /// Allocation-free form of push(): appends completed beats to `out`
+  /// (which is not cleared). With a caller-reused `out`, a warmed-up
+  /// session does zero heap allocation per push — the property the fleet
+  /// hot path relies on (verified by the allocation-probe test).
+  void push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+                 std::vector<BeatRecord>& out) {
+    if (ecg_mv.size() != z_ohm.size())
+      throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
+    for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
+  }
+
+  /// Flushes the stage tails and any pending beats (end of recording).
+  std::vector<BeatRecord> finish() {
+    std::vector<BeatRecord> emitted;
+    finish_into(emitted);
+    return emitted;
+  }
+
+  /// Allocation-free form of finish(): appends to `out`.
+  void finish_into(std::vector<BeatRecord>& emitted) {
+    icg_scratch_.clear();
+    icg_stage_.finish(icg_scratch_);
+    for (const sample_t v : icg_scratch_) {
+      assembler_.on_icg_sample(v);
+      if (capture_) captured_icg_.push_back(icg_real(v));
+    }
+    assembler_.maybe_drain_ensemble();
+
+    ecg_scratch_.clear();
+    ecg_stage_.finish(ecg_scratch_);
+    r_scratch_.clear();
+    for (const sample_t v : ecg_scratch_) {
+      if (capture_) captured_ecg_.push_back(ecg_real(v));
+      qrs_.push(v, r_scratch_);
+    }
+    qrs_.finish(r_scratch_);
+    for (const std::size_t r : r_scratch_) assembler_.on_r_peak(r);
+    assembler_.drain_ready(emitted);
+  }
+
+  [[nodiscard]] std::size_t samples_consumed() const { return assembler_.samples_consumed(); }
+  [[nodiscard]] std::size_t r_peak_count() const { return assembler_.r_peak_count(); }
+  [[nodiscard]] std::size_t window_samples() const { return assembler_.window_samples(); }
+  /// Running mean of the impedance trace consumed so far.
+  [[nodiscard]] double z_mean_ohm() const { return assembler_.z_mean_ohm(); }
+
+  /// Records the aligned filtered ECG/ICG streams (used by the batch
+  /// wrapper to fill PipelineResult; off by default to keep streaming
+  /// memory bounded). Always captured in real units (mV / Ohm per
+  /// second), whatever the backend.
+  void enable_capture() { capture_ = true; }
+  [[nodiscard]] const dsp::Signal& captured_ecg() const { return captured_ecg_; }
+  [[nodiscard]] const dsp::Signal& captured_icg() const { return captured_icg_; }
+
+  /// Running per-session quality aggregate: every emitted beat's verdict
+  /// plus the contact gaps detected and the recovery resets performed so
+  /// far. The fleet surfaces this through its end-of-session FleetBeat.
+  [[nodiscard]] const QualitySummary& quality_summary() const {
+    return assembler_.quality_summary();
+  }
+  /// True while a contact gap (flat run past dropout_reset_s) is open on
+  /// either channel.
+  [[nodiscard]] bool in_dropout() const { return assembler_.in_dropout(); }
+
+  // -- checkpoint/restore (core::Checkpoint subsystem) -----------------
+  //
+  // The whole carried session state — every stage's filter/detector
+  // state, the look-back rings, the pending-beat and gap bookkeeping,
+  // the quality aggregate and the optional ensemble template — in the
+  // versioned, CRC-framed wire format of core/checkpoint.h. The
+  // contract (pinned by tests and the round-trip fuzz CI job): for any
+  // cut point and any chunking, checkpoint() then restore() into a
+  // freshly constructed pipeline with the same configuration, then
+  // resuming the stream, emits byte-identical BeatRecords to the
+  // uninterrupted run — for both backends.
+
+  /// Serializes the session into `w` as one section per stage group.
+  /// Throws CheckpointError when capture is enabled (the unbounded
+  /// capture buffers are a batch-wrapper diagnostic, not session state).
+  template <typename W>
+  void save_state(W& w) const {
+    if (capture_)
+      throw CheckpointError("StreamingBeatPipeline: cannot checkpoint with capture enabled");
+    w.begin_section("CFG ");
+    w.u8(B::kFixed ? 1 : 0);
+    w.f64(fs_);
+    w.u64(window_samples_);
+    w.boolean(cfg_.enable_ensemble);
+    w.end_section();
+
+    w.begin_section("ECGC");
+    ecg_stage_.save_state(w);
+    w.end_section();
+
+    w.begin_section("ICGC");
+    icg_stage_.save_state(w);
+    w.end_section();
+
+    w.begin_section("QRSD");
+    qrs_.save_state(w);
+    w.end_section();
+
+    w.begin_section("RING");
+    assembler_.save_ring_body(w);
+    w.end_section();
+
+    w.begin_section("BEAT");
+    assembler_.save_beat_body(w);
+    w.end_section();
+
+    w.begin_section("GAPS");
+    assembler_.save_gaps_body(w);
+    w.end_section();
+
+    w.begin_section("QSUM");
+    assembler_.save_qsum_body(w);
+    w.end_section();
+
+    w.begin_section("ENSB");
+    assembler_.save_ensb_body(w);
+    w.end_section();
+  }
+
+  /// Restores the session from `r`. The target must have been
+  /// constructed with the same configuration (backend, sample rate,
+  /// window, stage layout); any disagreement throws CheckpointError and
+  /// leaves the pipeline in an unspecified state — discard it.
+  template <typename R>
+  void load_state(R& r) {
+    r.begin_section("CFG ");
+    if (r.u8() != (B::kFixed ? 1 : 0))
+      r.fail("StreamingBeatPipeline: numeric-backend mismatch");
+    if (r.f64() != fs_) r.fail("StreamingBeatPipeline: sample-rate mismatch");
+    if (r.u64() != window_samples_) r.fail("StreamingBeatPipeline: window mismatch");
+    if (r.boolean() != cfg_.enable_ensemble)
+      r.fail("StreamingBeatPipeline: ensemble-stage mismatch");
+    r.end_section();
+
+    r.begin_section("ECGC");
+    ecg_stage_.load_state(r);
+    r.end_section();
+
+    r.begin_section("ICGC");
+    icg_stage_.load_state(r);
+    r.end_section();
+
+    r.begin_section("QRSD");
+    qrs_.load_state(r);
+    r.end_section();
+
+    r.begin_section("RING");
+    assembler_.load_ring_body(r);
+    r.end_section();
+
+    r.begin_section("BEAT");
+    assembler_.load_beat_body(r);
+    r.end_section();
+
+    r.begin_section("GAPS");
+    assembler_.load_gaps_body(r);
+    r.end_section();
+
+    r.begin_section("QSUM");
+    assembler_.load_qsum_body(r);
+    r.end_section();
+
+    r.begin_section("ENSB");
+    assembler_.load_ensb_body(r);
+    r.end_section();
+  }
+
+  /// Serializes the session into `blob` (replaced; its capacity is
+  /// reused, so a warmed-up migration path does not allocate).
+  void checkpoint_into(std::vector<std::uint8_t>& blob) const {
+    StateWriter w(std::move(blob));
+    save_state(w);
+    blob = w.take();
+  }
+
+  /// The session as a self-contained blob.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const {
+    std::vector<std::uint8_t> blob;
+    checkpoint_into(blob);
+    return blob;
+  }
+
+  /// Restores a checkpoint() blob into this pipeline (same-configuration
+  /// target; see load_state). Throws CheckpointError on any corruption,
+  /// truncation, version or configuration mismatch.
+  void restore(std::span<const std::uint8_t> blob) {
+    StateReader r(blob);
+    load_state(r);
+    if (!r.at_end())
+      throw CheckpointError("StreamingBeatPipeline: trailing bytes after final section");
+  }
+
+ private:
+  // Boundary conversions. The double backend's scales are fixed at 1 and
+  // the conversions collapse to identity, so the reference engine's
+  // arithmetic is untouched by the backend abstraction.
+  [[nodiscard]] sample_t ecg_from(double v) const {
+    if constexpr (B::kFixed) return B::from_real(v / ecg_scale_);
+    else return v;
+  }
+  [[nodiscard]] sample_t z_from(double v) const {
+    if constexpr (B::kFixed) return B::from_real(v / z_scale_);
+    else return v;
+  }
+  [[nodiscard]] double ecg_real(sample_t v) const {
+    if constexpr (B::kFixed) return B::to_real(v) * ecg_scale_;
+    else return v;
+  }
+  [[nodiscard]] double icg_real(sample_t v) const {
+    if constexpr (B::kFixed) return B::to_real(v) * icg_scale_;
+    else return v;
+  }
+
+  void ingest(double ecg_mv, double z_ohm, std::vector<BeatRecord>& out) {
+    assembler_.on_raw_sample(ecg_mv, z_ohm, z_from(z_ohm),
+                             [this] { qrs_.soft_reset(); });
+
+    icg_scratch_.clear();
+    icg_stage_.push(z_from(z_ohm), icg_scratch_);
+    for (const sample_t v : icg_scratch_) {
+      assembler_.on_icg_sample(v);
+      if (capture_) captured_icg_.push_back(icg_real(v));
+    }
+    assembler_.maybe_drain_ensemble();
+
+    ecg_scratch_.clear();
+    ecg_stage_.push(ecg_from(ecg_mv), ecg_scratch_);
+    r_scratch_.clear();
+    for (const sample_t v : ecg_scratch_) {
+      if (capture_) captured_ecg_.push_back(ecg_real(v));
+      qrs_.push(v, r_scratch_);
+    }
+    for (const std::size_t r : r_scratch_) assembler_.on_r_peak(r);
+    // Emit every beat whose aligned ICG is now complete -- done per sample
+    // so the emission point (and thus the ring-buffer state it reads) is
+    // identical however the input was chunked.
+    assembler_.drain_ready(out);
+  }
+
+  dsp::SampleRate fs_;
+  PipelineConfig cfg_;
+  std::size_t window_samples_;
+  double ecg_scale_, z_scale_, icg_scale_; ///< per-stage Q31 full scales (1 for double)
+
+  BasicEcgCleanerStage<B> ecg_stage_;
+  BasicIcgConditionerStage<B> icg_stage_;
+  ecg::BasicOnlinePanTompkins<B> qrs_;
+  BeatAssembler<B> assembler_;
+
+  bool capture_ = false;
+  dsp::Signal captured_ecg_, captured_icg_;
+  std::vector<sample_t> ecg_scratch_, icg_scratch_;
+  std::vector<std::size_t> r_scratch_;
 };
 
 /// The double-precision reference engine.
@@ -850,6 +992,8 @@ using FixedStreamingBeatPipeline = BasicStreamingBeatPipeline<dsp::Q31Backend>;
 // Both instantiations are compiled once, in pipeline.cpp; every other
 // translation unit links against that copy instead of re-instantiating
 // the whole engine.
+extern template class BeatAssembler<dsp::DoubleBackend>;
+extern template class BeatAssembler<dsp::Q31Backend>;
 extern template class BasicStreamingBeatPipeline<dsp::DoubleBackend>;
 extern template class BasicStreamingBeatPipeline<dsp::Q31Backend>;
 

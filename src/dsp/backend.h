@@ -30,8 +30,11 @@
 // backend) so each instantiation applies its own form.
 #pragma once
 
+#include "dsp/simd.h"
+
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 
@@ -45,6 +48,7 @@ struct DoubleBackend {
   using acc_t = double;    ///< wide accumulator (sums, filter state)
   using coeff_t = double;  ///< filter coefficient
   static constexpr bool kFixed = false;
+  static constexpr std::size_t kLanes = 1;
 
   // -- conversions (the double backend is its own real representation) --
   static sample_t from_real(double v) { return v; }
@@ -124,6 +128,7 @@ struct Q31Backend {
   using acc_t = std::int64_t;
   using coeff_t = std::int32_t; ///< Q2.30
   static constexpr bool kFixed = true;
+  static constexpr std::size_t kLanes = 1;
 
   static constexpr double kOne = 2147483648.0;        // 2^31
   static constexpr double kCoeffOne = 1073741824.0;   // 2^30
@@ -228,6 +233,92 @@ struct Q31Backend {
     return v;
   }
 };
+
+/// SIMD batch backend: W double lanes advancing in lockstep, one lane
+/// per co-scheduled session. Samples and accumulators are LaneVec<W>
+/// (structure-of-arrays); coefficients stay scalar double, so a batched
+/// kernel loads each coefficient once and broadcasts it across all W
+/// sessions -- the cross-session amortization this backend exists for.
+///
+/// Identity contract: every op is the DoubleBackend expression applied
+/// elementwise, in the same order, with no horizontal arithmetic. A
+/// batched kernel whose control flow is lane-uniform (all the linear
+/// filters and moving stats are; see core::SessionBatch for how the
+/// divergent stages are handled) therefore produces in lane i the exact
+/// bytes the scalar double kernel produces for session i. The
+/// batch-equivalence tests enforce byte identity, not an ULP band.
+template <std::size_t W>
+struct BatchBackend {
+  using sample_t = LaneVec<W>; ///< W sessions' samples, SoA
+  using acc_t = LaneVec<W>;    ///< wide state is per-lane double, like DoubleBackend
+  using coeff_t = double;      ///< scalar: loaded once, broadcast across lanes
+  static constexpr bool kFixed = false;
+  static constexpr std::size_t kLanes = W;
+
+  // -- conversions --
+  static sample_t from_real(double v) { return sample_t::broadcast(v); }
+  /// No single real value represents W lanes; lane extraction is explicit
+  /// (LaneVec::lane) so a silent lane-0 projection can't hide in kernel
+  /// code. to_real is deliberately absent.
+  static coeff_t coeff(double c) { return c; }
+
+  // -- accumulator ops (elementwise DoubleBackend expressions) --
+  static acc_t acc_zero() { return acc_t{}; }
+  static acc_t widen(sample_t v) { return v; }
+  static acc_t acc_add(acc_t a, sample_t v) { return a + v; }
+  static acc_t acc_sub(acc_t a, sample_t v) { return a - v; }
+  static acc_t mac(acc_t a, coeff_t c, sample_t v) { return a + c * v; }
+  static sample_t narrow(acc_t a) { return a; }
+  static sample_t mean(acc_t a, std::size_t n) { return a / static_cast<double>(n); }
+  static sample_t halved_mean(acc_t a, std::size_t n) {
+    return 0.5 * a / static_cast<double>(n);
+  }
+
+  // -- sample ops --
+  static sample_t add(sample_t a, sample_t b) { return a + b; }
+  static sample_t sub(sample_t a, sample_t b) { return a - b; }
+  static sample_t neg(sample_t v) { return -v; }
+  static sample_t abs(sample_t v) {
+    sample_t r = v;
+    for (std::size_t i = 0; i < W; ++i) r.set_lane(i, std::abs(r.lane(i)));
+    return r;
+  }
+  static sample_t twice(sample_t v) { return 2.0 * v; }
+  static sample_t half(sample_t v) { return v * 0.5; }
+  static sample_t quarter(sample_t v) { return 0.25 * v; }
+  static sample_t eighth(sample_t v) { return v / 8.0; }
+  static sample_t square(sample_t v) { return v * v; }
+  static sample_t odd_reflect(sample_t edge, sample_t v) { return 2.0 * edge - v; }
+  static sample_t rescale(sample_t v, double real_gain, int fx_shift) {
+    (void)fx_shift;
+    return v * real_gain;
+  }
+  static sample_t ewma_shift(sample_t old, sample_t v, int k) {
+    const double w = 1.0 / static_cast<double>(1 << k);
+    return w * v + (1.0 - w) * old;
+  }
+  static sample_t lerp(sample_t a, sample_t b, std::size_t num, std::size_t den) {
+    const double frac = static_cast<double>(num) / static_cast<double>(den);
+    return a + (b - a) * frac;
+  }
+
+  // -- biquad section --
+  struct SosState {
+    acc_t s1{}, s2{};
+  };
+  static acc_t biquad_tick(coeff_t b0, coeff_t b1, coeff_t b2, coeff_t a1,
+                           coeff_t a2, SosState& st, acc_t v) {
+    const acc_t out = b0 * v + st.s1;
+    st.s1 = b1 * v - a1 * out + st.s2;
+    st.s2 = b2 * v - a2 * out;
+    return out;
+  }
+  static sample_t apply_gain(sample_t v, double gain) { return v * gain; }
+};
+
+/// True for backends whose sample_t carries multiple lockstep lanes.
+template <typename B>
+inline constexpr bool is_batch_backend_v = (B::kLanes > 1);
 
 /// Per-stage Q-format scaling of the fixed beat pipeline: what one unit
 /// of Q1.31 full scale means at each boundary, and the power-of-two gain

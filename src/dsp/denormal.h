@@ -1,0 +1,71 @@
+// Denormal (subnormal) hygiene for the double hot path.
+//
+// IIR tails decaying toward zero eventually produce subnormal doubles,
+// which many x86 cores handle via microcode assists costing 50-100x a
+// normal multiply -- enough to wreck the lockstep timing the SIMD batch
+// backend depends on (one slow lane stalls all W). The streaming
+// pipeline's accuracy budget is nowhere near 1e-308, so the standard
+// real-time-audio remedy applies: set the FPU to flush-to-zero (FTZ) and
+// denormals-are-zero (DAZ) for the processing thread.
+//
+// DenormalGuard is an RAII scope: engage on a worker thread's entry,
+// restore the previous FPU mode on exit. The mode is per-thread; the
+// fleet engages it in every worker loop and the benches in their timing
+// loops, so identity comparisons always run both sides under the same
+// mode. On targets without an FTZ control this is a no-op (supported()
+// reports it, and the denormal test skips itself).
+#pragma once
+
+#if defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+#include <immintrin.h>
+#define ICGKIT_DENORMAL_X86 1
+#elif defined(__aarch64__)
+#define ICGKIT_DENORMAL_AARCH64 1
+#endif
+
+namespace icgkit::dsp {
+
+class DenormalGuard {
+ public:
+  DenormalGuard() {
+#if defined(ICGKIT_DENORMAL_X86)
+    saved_ = _mm_getcsr();
+    // Bit 15: FTZ (results flush to zero); bit 6: DAZ (inputs treated as
+    // zero). DAZ exists on every SSE2-capable core this project targets.
+    _mm_setcsr(saved_ | 0x8040u);
+#elif defined(ICGKIT_DENORMAL_AARCH64)
+    asm volatile("mrs %0, fpcr" : "=r"(saved_));
+    // FZ (bit 24): flush-to-zero for denormal inputs and outputs.
+    asm volatile("msr fpcr, %0" ::"r"(saved_ | (1ull << 24)));
+#endif
+  }
+
+  ~DenormalGuard() {
+#if defined(ICGKIT_DENORMAL_X86)
+    _mm_setcsr(saved_);
+#elif defined(ICGKIT_DENORMAL_AARCH64)
+    asm volatile("msr fpcr, %0" ::"r"(saved_));
+#endif
+  }
+
+  DenormalGuard(const DenormalGuard&) = delete;
+  DenormalGuard& operator=(const DenormalGuard&) = delete;
+
+  /// Whether this build can actually flush denormals (false => no-op).
+  static constexpr bool supported() {
+#if defined(ICGKIT_DENORMAL_X86) || defined(ICGKIT_DENORMAL_AARCH64)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+ private:
+#if defined(ICGKIT_DENORMAL_X86)
+  unsigned int saved_ = 0;
+#elif defined(ICGKIT_DENORMAL_AARCH64)
+  unsigned long long saved_ = 0;
+#endif
+};
+
+} // namespace icgkit::dsp

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace icgkit::dsp {
@@ -150,6 +151,130 @@ class BasicStreamingExtremum {
 
 using StreamingExtremum = BasicStreamingExtremum<DoubleBackend>;
 
+/// Lockstep extremum for the SIMD batch backend. Order statistics are
+/// the one front-chain kernel whose control flow is data-dependent (the
+/// monotonic deque pops on comparisons), so the lanes cannot share a
+/// deque: this variant keeps W independent scalar deques and advances
+/// them under the lane-uniform emission schedule (pushed_/emitted_ are
+/// identical across lanes by construction). Each lane runs exactly the
+/// BasicStreamingExtremum<DoubleBackend> comparisons in the same order,
+/// preserving the batch byte-identity contract.
+///
+/// Checkpointing is per-lane: save_state/load_state require a lane
+/// adaptor (core::LaneStateWriter/Reader) and write lane i's deque in
+/// the exact scalar wire layout, so a packed batch round-trips through
+/// the existing per-session checkpoint format.
+template <typename B>
+class BatchStreamingExtremum {
+ public:
+  using sample_t = typename B::sample_t; ///< LaneVec<W>
+  static constexpr std::size_t kLanes = B::kLanes;
+  using Kind = typename BasicStreamingExtremum<DoubleBackend>::Kind;
+
+  BatchStreamingExtremum(std::size_t width, Kind kind)
+      : half_(width / 2), kind_(kind), lanes_(kLanes, RingBuffer<Entry>(width + 1)) {
+    if (width % 2 == 0 || width == 0)
+      throw std::invalid_argument("BatchStreamingExtremum: width must be odd");
+  }
+
+  void push(sample_t x, std::vector<sample_t>& out) {
+    const std::size_t idx = pushed_++;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      auto& dq = lanes_[l];
+      const double v = x.lane(l);
+      if (kind_ == Kind::Min) {
+        while (!dq.empty() && v <= dq.back().v) dq.pop_back();
+      } else {
+        while (!dq.empty() && v >= dq.back().v) dq.pop_back();
+      }
+      dq.push(Entry{idx, v});
+    }
+    if (pushed_ > half_) emit_center(pushed_ - 1 - half_, out);
+  }
+
+  void finish(std::vector<sample_t>& out) {
+    while (emitted_ < pushed_) emit_center(emitted_, out);
+  }
+
+  void reset() {
+    for (auto& dq : lanes_) dq.clear();
+    pushed_ = 0;
+    emitted_ = 0;
+  }
+
+  /// Lane-adaptor serialization: lane i's deque is written to w.lane_writer(i)
+  /// in the BasicStreamingExtremum wire layout.
+  template <typename W>
+  void save_state(W& w) const {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      auto& pw = w.lane_writer(l);
+      const auto& dq = lanes_[l];
+      pw.u64(dq.capacity());
+      pw.u64(dq.size());
+      for (std::size_t i = 0; i < dq.size(); ++i) {
+        pw.u64(dq.at(i).idx);
+        pw.value(dq.at(i).v);
+      }
+      pw.u64(pushed_);
+      pw.u64(emitted_);
+    }
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    std::size_t pushed = 0, emitted = 0;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      auto& pr = r.lane_reader(l);
+      auto& dq = lanes_[l];
+      if (pr.u64() != dq.capacity()) pr.fail("BatchStreamingExtremum: width mismatch");
+      const std::size_t n = pr.u64();
+      if (n > dq.capacity()) pr.fail("BatchStreamingExtremum: deque overflow");
+      dq.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        Entry e;
+        e.idx = pr.u64();
+        e.v = pr.template value<double>();
+        dq.push(e);
+      }
+      const std::size_t p = pr.u64();
+      const std::size_t m = pr.u64();
+      if (l == 0) {
+        pushed = p;
+        emitted = m;
+      } else if (p != pushed || m != emitted) {
+        pr.fail("BatchStreamingExtremum: lanes are not aligned");
+      }
+    }
+    pushed_ = pushed;
+    emitted_ = emitted;
+  }
+
+  [[nodiscard]] std::size_t delay() const { return half_; }
+
+ private:
+  struct Entry {
+    std::size_t idx;
+    double v;
+  };
+  void emit_center(std::size_t center, std::vector<sample_t>& out) {
+    const std::size_t win_begin = center > half_ ? center - half_ : 0;
+    sample_t r{};
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      auto& dq = lanes_[l];
+      while (!dq.empty() && dq.front().idx < win_begin) dq.pop();
+      r.set_lane(l, dq.front().v);
+    }
+    out.push_back(r);
+    ++emitted_;
+  }
+
+  std::size_t half_;
+  Kind kind_;
+  std::vector<RingBuffer<Entry>> lanes_; ///< one monotonic deque per lane
+  std::size_t pushed_ = 0;               ///< lane-uniform input counter
+  std::size_t emitted_ = 0;              ///< lane-uniform output counter
+};
+
 /// Width derivation shared by the batch estimator and the streaming
 /// remover: w1 = odd(qrs_window_s * fs), w2 = odd(factor * w1).
 std::size_t baseline_width_w1(SampleRate fs, const BaselineEstimatorConfig& cfg);
@@ -166,7 +291,11 @@ template <typename B>
 class BasicStreamingBaselineRemover {
  public:
   using sample_t = typename B::sample_t;
-  using Extremum = BasicStreamingExtremum<B>;
+  /// The batch backend swaps in the per-lane-deque extremum; everything
+  /// else in this cascade is lane-uniform and works unchanged.
+  using Extremum = std::conditional_t<is_batch_backend_v<B>,
+                                      BatchStreamingExtremum<B>,
+                                      BasicStreamingExtremum<B>>;
 
   BasicStreamingBaselineRemover(SampleRate fs, const BaselineEstimatorConfig& cfg = {})
       : w1_(baseline_width_w1(fs, cfg)), w2_(baseline_width_w2(fs, cfg)),

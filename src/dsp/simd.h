@@ -1,0 +1,150 @@
+// Portable fixed-width lane vector for the SIMD batch backend.
+//
+// LaneVec<W> is a structure-of-arrays register of W double lanes. On
+// GCC/Clang it is backed by the compiler vector extension
+// (__attribute__((vector_size))), which lowers to AVX/AVX2 on x86-64-v3,
+// SSE2 pairs on baseline x86-64 and NEON pairs on aarch64 -- one type,
+// the compiler picks the widest ISA the build targets. Elsewhere it
+// falls back to a plain double array whose operators are scalar loops
+// (auto-vectorizable, always correct).
+//
+// The batch identity contract (see BatchBackend in dsp/backend.h)
+// depends on each lane performing exactly the scalar double expression:
+// every operator here is elementwise IEEE double arithmetic with no
+// reordering, no FMA contraction beyond what the scalar build does (the
+// project compiles with -ffp-contract=off), and no horizontal ops.
+#pragma once
+
+#include <cstddef>
+
+namespace icgkit::dsp {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ICGKIT_LANEVEC_NATIVE 1
+#else
+#define ICGKIT_LANEVEC_NATIVE 0
+#endif
+
+#if ICGKIT_LANEVEC_NATIVE
+namespace detail {
+// GCC does not accept a template-dependent vector_size, so the native
+// vector types are spelled out per supported byte width.
+template <std::size_t Bytes>
+struct NativeLanes; // only the specialized widths exist
+template <>
+struct NativeLanes<16> {
+  typedef double type __attribute__((vector_size(16)));
+};
+template <>
+struct NativeLanes<32> {
+  typedef double type __attribute__((vector_size(32)));
+};
+template <>
+struct NativeLanes<64> {
+  typedef double type __attribute__((vector_size(64)));
+};
+} // namespace detail
+#endif
+
+/// W double lanes advancing in lockstep. W must be a power of two so the
+/// native vector extension applies (4 and 8 are the supported widths).
+///
+/// Width guidance: W=4 is one AVX2 register and the sweet spot on
+/// x86-64-v3. W=8 wants AVX-512 (one zmm) — on AVX2 it is legal but each
+/// value occupies two ymm registers, and register-hungry kernels (the
+/// 4-section SOS cascade carries 8 lane vectors of state) spill every
+/// tick, costing most of the lane win. Pick W=4 unless the build targets
+/// x86-64-v4.
+template <std::size_t W>
+struct LaneVec {
+  static_assert(W >= 2 && W <= 8 && (W & (W - 1)) == 0,
+                "LaneVec: W must be 2, 4 or 8");
+
+#if ICGKIT_LANEVEC_NATIVE
+  using vec_t = typename detail::NativeLanes<W * sizeof(double)>::type;
+  vec_t v{};
+#else
+  double v[W] = {};
+#endif
+
+  /// Broadcast construction (explicit: a stray scalar-to-vector
+  /// conversion in kernel code would hide a missing batch op).
+  static LaneVec broadcast(double x) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+
+  [[nodiscard]] double lane(std::size_t i) const { return v[i]; }
+  void set_lane(std::size_t i, double x) { v[i] = x; }
+
+  // Elementwise arithmetic. The native path is a single vector op; the
+  // fallback loops are the same expressions per lane.
+#if ICGKIT_LANEVEC_NATIVE
+  friend LaneVec operator+(LaneVec a, LaneVec b) { return LaneVec{a.v + b.v}; }
+  friend LaneVec operator-(LaneVec a, LaneVec b) { return LaneVec{a.v - b.v}; }
+  friend LaneVec operator*(LaneVec a, LaneVec b) { return LaneVec{a.v * b.v}; }
+  friend LaneVec operator*(double c, LaneVec a) { return LaneVec{c * a.v}; }
+  friend LaneVec operator*(LaneVec a, double c) { return LaneVec{a.v * c}; }
+  friend LaneVec operator/(LaneVec a, double c) { return LaneVec{a.v / c}; }
+  friend LaneVec operator-(LaneVec a) { return LaneVec{-a.v}; }
+#else
+  friend LaneVec operator+(LaneVec a, LaneVec b) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend LaneVec operator-(LaneVec a, LaneVec b) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend LaneVec operator*(LaneVec a, LaneVec b) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  friend LaneVec operator*(double c, LaneVec a) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = c * a.v[i];
+    return r;
+  }
+  friend LaneVec operator*(LaneVec a, double c) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] * c;
+    return r;
+  }
+  friend LaneVec operator/(LaneVec a, double c) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] / c;
+    return r;
+  }
+  friend LaneVec operator-(LaneVec a) {
+    LaneVec r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = -a.v[i];
+    return r;
+  }
+#endif
+};
+
+/// Compile-time name of the widest ISA the lane vector lowers to in this
+/// build -- reported by benches so gate floors can be ISA-aware.
+constexpr const char* lane_isa() {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#elif defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+  return "sse2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#elif ICGKIT_LANEVEC_NATIVE
+  return "vector-ext";
+#else
+  return "scalar";
+#endif
+}
+
+} // namespace icgkit::dsp

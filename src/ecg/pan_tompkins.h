@@ -8,6 +8,21 @@
 // missed beats. Detected peaks are finally refined to the local maximum
 // of the *input* signal so the reported indices are true R sample
 // positions.
+//
+// The detector is split along its data-parallelism boundary:
+//
+//   feature front   band-pass, 5-point derivative, squaring, MWI --
+//                   counter-driven control flow, identical across
+//                   sessions, so the SIMD batch backend can tick W
+//                   sessions in lockstep (BatchOnlinePanTompkins).
+//   decision tail   QrsDecisionTail: thresholds, candidate merging,
+//                   T-wave discrimination, search-back, refinement --
+//                   data-dependent branching that diverges per session,
+//                   so the batch detector fans out into W scalar tails.
+//
+// BasicOnlinePanTompkins composes one front with one tail and is
+// byte-for-byte the detector it was before the split (state layout in
+// checkpoints included).
 #pragma once
 
 #include "dsp/backend.h"
@@ -48,40 +63,23 @@ struct QrsDetection {
 dsp::FirCoefficients pan_tompkins_bandpass_kernel(dsp::SampleRate fs,
                                                   const PanTompkinsConfig& cfg);
 
-/// Online (sample-by-sample) Pan-Tompkins detector, generic over the
-/// numeric backend (dsp/backend.h).
+/// The decision half of the online detector: everything downstream of
+/// the integrated (MWI) feature stream, plus the raw-input history used
+/// for refinement. One instance per session; the batch detector owns W
+/// of these and feeds lane i's feature samples into tail i.
 ///
 /// All adaptive state -- signal/noise thresholds (SPKI/NPKI), the RR
 /// history driving search-back, the pending MWI candidate, and the
-/// refinement look-back buffers -- is carried across push() calls, so the
-/// detector does O(1) work per sample and its output is invariant to how
-/// the input is chunked.
-///
-/// The feature chain mirrors the batch one: the 5-15 Hz band-pass runs as
-/// a causal symmetric-kernel stage whose output equals the zero-phase
-/// filtfilt response (group delay absorbed internally; see
-/// StreamingZeroPhaseFir), followed by the aligned 5-point derivative,
-/// squaring and the 150 ms moving-window integration. Detection decisions
-/// are therefore made on (numerically) the same feature signal the batch
-/// detector sees, with a data-driven confirmation latency: an MWI
-/// candidate is final once the next MWI local maximum at least half a
-/// refractory later has been observed (or the stream ends).
-///
-/// Under Q31Backend every sample-domain value (band-pass output, squared
-/// feature, MWI, the SPKI/NPKI thresholds and the slopes they gate on) is
-/// a Q1.31 integer; the power-of-two threshold weights of the original
-/// paper (1/8, 1/4, 7/8) become arithmetic shifts, and the fs factors of
-/// the derivative stencils cancel out of every comparison, so they are
-/// absorbed into the (implicit) feature scale instead of multiplied per
-/// sample. Indices, RR statistics and search-back bookkeeping stay in
-/// integer/double exactly as in the reference.
+/// refinement look-back buffers -- is carried across calls, so the tail
+/// does O(1) amortized work per feature sample and its output is
+/// invariant to how the input is chunked.
 template <typename B>
-class BasicOnlinePanTompkins {
+class QrsDecisionTail {
  public:
   using sample_t = typename B::sample_t;
 
-  explicit BasicOnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {})
-      : fs_(fs), cfg_(cfg),
+  QrsDecisionTail(dsp::SampleRate fs, const PanTompkinsConfig& cfg)
+      : fs_(fs), searchback_rr_factor_(cfg.searchback_rr_factor),
         refractory_(static_cast<std::size_t>(cfg.refractory_s * fs)),
         min_sep_(std::max<std::size_t>(1, refractory_ / 2)),
         t_wave_win_(static_cast<std::size_t>(cfg.t_wave_window_s * fs)),
@@ -89,55 +87,36 @@ class BasicOnlinePanTompkins {
             1, static_cast<std::size_t>(cfg.integration_window_s * fs))),
         refine_(static_cast<std::size_t>(cfg.refine_window_s * fs)),
         learn_end_(static_cast<std::size_t>(2.0 * fs)),
-        bp_(pan_tompkins_bandpass_kernel(fs, cfg)),
-        mwi_(mwi_win_),
-        mwi_ring_(std::max<std::size_t>(learn_end_ + 2,
-                                        static_cast<std::size_t>(8.0 * fs)) +
-                  mwi_win_ + 2),
-        in_ring_(std::max<std::size_t>(learn_end_ + 2,
-                                       static_cast<std::size_t>(8.0 * fs)) +
-                 mwi_win_ + 2) {}
+        mwi_ring_(history_capacity(fs, learn_end_, mwi_win_)),
+        in_ring_(history_capacity(fs, learn_end_, mwi_win_)) {}
 
-  /// Feeds one cleaned-ECG sample; appends the indices (absolute, in the
-  /// fed sample timeline) of any R peaks confirmed by it to `out`.
-  void push(sample_t x, std::vector<std::size_t>& out) {
+  /// Records one raw input sample (the refinement look-back timeline).
+  /// Called once per detector input, before the feature chain runs.
+  void note_input(sample_t x) {
     in_ring_.push(x);
     ++in_count_;
-    bp_scratch_.clear();
-    bp_.push(x, bp_scratch_);
-    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
   }
 
-  /// Typed span: cross-backend container mixups fail to compile.
-  void push_chunk(std::span<const sample_t> x, std::vector<std::size_t>& out) {
-    for (const sample_t v : x) push(v, out);
-  }
-
-  /// End of stream: processes the pending candidate and flushes.
-  void finish(std::vector<std::size_t>& out) {
-    // Flush the band-pass stage, then the derivative tail with the batch
-    // edge fallbacks, then settle learning and the pending candidate.
-    bp_scratch_.clear();
-    bp_.finish(bp_scratch_);
-    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
-
-    const std::size_t n = bp_count_;
-    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
-    for (std::size_t i = d_emitted_; i < n; ++i) {
-      sample_t d{};
-      if (n == 1) {
-        d = sample_t{};
-      } else if (i == 0) {
-        d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
-      } else if (i + 1 < n) {
-        d = B::half(B::rescale(B::sub(h(i + 1), h(i - 1)), fs_, 0));
-      } else {
-        d = B::rescale(B::sub(h(n - 1), h(n - 2)), fs_, 0);
-      }
-      on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
+  /// Feeds one integrated feature sample; appends the indices of any R
+  /// peaks it confirms to `out`.
+  void on_feature_sample(sample_t v, std::vector<std::size_t>& out) {
+    mwi_ring_.push(v);
+    const std::size_t i = mwi_produced_++;
+    // A sample is a candidate once its right neighbour arrives: strictly
+    // above the left neighbour, at least the right one (plateaus keep the
+    // first sample), matching the batch local_maxima().
+    if (i >= 2 && mwi_at(i - 1) > mwi_at(i - 2) && mwi_at(i - 1) >= v)
+      on_local_max(i - 1, out);
+    if (!learned_ && mwi_produced_ >= learn_end_) {
+      learn_thresholds();
+      for (const std::size_t idx : prelearn_) process_candidate(idx, out);
+      prelearn_.clear();
     }
+  }
 
+  /// End of stream (after the feature front has flushed): settles
+  /// learning and the pending candidate.
+  void settle(std::vector<std::size_t>& out) {
     if (!learned_) learn_thresholds();
     for (const std::size_t idx : prelearn_) process_candidate(idx, out);
     prelearn_.clear();
@@ -151,7 +130,7 @@ class BasicOnlinePanTompkins {
   /// *adaptive* decision state — SPKI/NPKI thresholds, RR history,
   /// search-back bookkeeping, pending/unlearned candidates — and
   /// schedules a fresh 2 s threshold-learning window starting at the
-  /// current stream position, while keeping all filter state and sample
+  /// current stream position, while keeping the history rings and sample
   /// counters intact. Detection therefore resumes on a clean slate after
   /// an electrode dropout without disturbing the input/feature timeline
   /// alignment (indices keep counting; no output samples are lost), so
@@ -172,12 +151,6 @@ class BasicOnlinePanTompkins {
   }
 
   void reset() {
-    bp_.reset();
-    mwi_.reset();
-    bp_scratch_.clear();
-    std::fill(std::begin(bp_hist_), std::end(bp_hist_), sample_t{});
-    bp_count_ = 0;
-    d_emitted_ = 0;
     mwi_ring_.clear();
     mwi_produced_ = 0;
     in_ring_.clear();
@@ -199,19 +172,11 @@ class BasicOnlinePanTompkins {
   [[nodiscard]] std::size_t samples_consumed() const { return in_count_; }
   [[nodiscard]] std::size_t peaks_emitted() const { return peaks_emitted_; }
 
-  /// Serializes the full carried detector state — feature chain (band
-  /// pass, derivative history, MWI), the bounded feature/input history
-  /// rings, the adaptive thresholds (SPKI/NPKI), the RR/search-back
-  /// bookkeeping, and every pending/unlearned candidate — for
-  /// core::Checkpoint round trips. A restored detector continues the
-  /// stream bit-identically to one that was never interrupted.
+  /// Serializes the carried decision state. The byte sequence is exactly
+  /// the tail segment of the pre-split BasicOnlinePanTompkins layout, so
+  /// checkpoints remain wire-compatible.
   template <typename W>
   void save_state(W& w) const {
-    bp_.save_state(w);
-    for (const sample_t v : bp_hist_) w.value(v);
-    w.u64(bp_count_);
-    w.u64(d_emitted_);
-    mwi_.save_state(w);
     mwi_ring_.save_state(w);
     w.u64(mwi_produced_);
     in_ring_.save_state(w);
@@ -237,11 +202,6 @@ class BasicOnlinePanTompkins {
 
   template <typename R>
   void load_state(R& r) {
-    bp_.load_state(r);
-    for (sample_t& v : bp_hist_) v = r.template value<sample_t>();
-    bp_count_ = r.u64();
-    d_emitted_ = r.u64();
-    mwi_.load_state(r);
     mwi_ring_.load_state(r, "OnlinePanTompkins");
     mwi_produced_ = r.u64();
     in_ring_.load_state(r, "OnlinePanTompkins");
@@ -266,6 +226,13 @@ class BasicOnlinePanTompkins {
   }
 
  private:
+  static std::size_t history_capacity(dsp::SampleRate fs, std::size_t learn_end,
+                                      std::size_t mwi_win) {
+    return std::max<std::size_t>(learn_end + 2,
+                                 static_cast<std::size_t>(8.0 * fs)) +
+           mwi_win + 2;
+  }
+
   // -- checkpoint helpers ---------------------------------------------
   template <typename W>
   static void save_optional(W& w, const std::optional<std::size_t>& v) {
@@ -285,46 +252,6 @@ class BasicOnlinePanTompkins {
     v.clear();
     v.reserve(n);
     for (std::size_t i = 0; i < n; ++i) v.push_back(r.u64());
-  }
-
-  void on_bp_sample(sample_t v, std::vector<std::size_t>& out) {
-    bp_hist_[bp_count_ % 5] = v;
-    const std::size_t j = bp_count_++;
-    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
-    // Aligned 5-point derivative with the batch edge fallbacks (see
-    // five_point_derivative): d[0], d[1] use the one-sided/central forms,
-    // d[i] for i >= 2 the centered 5-point stencil once x[i+2] exists. The
-    // trailing d[n-2], d[n-1] are emitted by finish().
-    if (j == 1) {
-      const sample_t d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
-      on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
-    } else if (j == 2) {
-      const sample_t d = B::half(B::rescale(B::sub(h(2), h(0)), fs_, 0));
-      on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
-    } else if (j >= 4) {
-      const sample_t d = B::eighth(B::rescale(
-          B::sub(B::sub(B::add(B::twice(h(j)), h(j - 1)), h(j - 3)), B::twice(h(j - 4))),
-          fs_, 0));
-      on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
-    }
-  }
-
-  void on_feature_sample(sample_t v, std::vector<std::size_t>& out) {
-    mwi_ring_.push(v);
-    const std::size_t i = mwi_produced_++;
-    // A sample is a candidate once its right neighbour arrives: strictly
-    // above the left neighbour, at least the right one (plateaus keep the
-    // first sample), matching the batch local_maxima().
-    if (i >= 2 && mwi_at(i - 1) > mwi_at(i - 2) && mwi_at(i - 1) >= v)
-      on_local_max(i - 1, out);
-    if (!learned_ && mwi_produced_ >= learn_end_) {
-      learn_thresholds();
-      for (const std::size_t idx : prelearn_) process_candidate(idx, out);
-      prelearn_.clear();
-    }
   }
 
   void on_local_max(std::size_t idx, std::vector<std::size_t>& out) {
@@ -395,7 +322,7 @@ class BasicOnlinePanTompkins {
     // lower threshold.
     if (last_accepted_.has_value() && !rejected_since_.empty()) {
       const double gap = static_cast<double>(idx - *last_accepted_);
-      if (gap > cfg_.searchback_rr_factor * rr_average_samples()) {
+      if (gap > searchback_rr_factor_ * rr_average_samples()) {
         const sample_t threshold2 =
             B::half(B::add(npki_, B::quarter(B::sub(spki_, npki_))));
         std::size_t best = 0;
@@ -483,7 +410,7 @@ class BasicOnlinePanTompkins {
   }
 
   dsp::SampleRate fs_;
-  PanTompkinsConfig cfg_;
+  double searchback_rr_factor_;
   std::size_t refractory_, min_sep_, t_wave_win_, mwi_win_, refine_, learn_end_;
   /// Length of one threshold-learning window (2 s of feature samples);
   /// learn_end_ - learn_start_ whenever learning is pending.
@@ -491,15 +418,6 @@ class BasicOnlinePanTompkins {
   /// First feature sample eligible for the current learning window
   /// (0 from construction; the reset point after soft_reset()).
   std::size_t learn_start_ = 0;
-
-  // Feature chain (input timeline == feature timeline; the band-pass
-  // stage absorbs its own group delay).
-  dsp::BasicStreamingZeroPhaseFir<B> bp_;
-  std::vector<sample_t> bp_scratch_;
-  sample_t bp_hist_[5] = {};        ///< last 5 band-passed samples
-  std::size_t bp_count_ = 0;
-  std::size_t d_emitted_ = 0;       ///< derivative samples emitted so far
-  dsp::BasicStreamingMovingAverage<B> mwi_;
 
   // Feature history for thresholds, slopes and search-back.
   dsp::RingBuffer<sample_t> mwi_ring_;
@@ -523,7 +441,306 @@ class BasicOnlinePanTompkins {
   std::size_t peaks_emitted_ = 0;
 };
 
+/// Online (sample-by-sample) Pan-Tompkins detector, generic over the
+/// numeric backend (dsp/backend.h): the feature front (band-pass,
+/// derivative, squaring, MWI) composed with one QrsDecisionTail.
+///
+/// The feature chain mirrors the batch one: the 5-15 Hz band-pass runs as
+/// a causal symmetric-kernel stage whose output equals the zero-phase
+/// filtfilt response (group delay absorbed internally; see
+/// StreamingZeroPhaseFir), followed by the aligned 5-point derivative,
+/// squaring and the 150 ms moving-window integration. Detection decisions
+/// are therefore made on (numerically) the same feature signal the batch
+/// detector sees, with a data-driven confirmation latency: an MWI
+/// candidate is final once the next MWI local maximum at least half a
+/// refractory later has been observed (or the stream ends).
+///
+/// Under Q31Backend every sample-domain value (band-pass output, squared
+/// feature, MWI, the SPKI/NPKI thresholds and the slopes they gate on) is
+/// a Q1.31 integer; the power-of-two threshold weights of the original
+/// paper (1/8, 1/4, 7/8) become arithmetic shifts, and the fs factors of
+/// the derivative stencils cancel out of every comparison, so they are
+/// absorbed into the (implicit) feature scale instead of multiplied per
+/// sample. Indices, RR statistics and search-back bookkeeping stay in
+/// integer/double exactly as in the reference.
+template <typename B>
+class BasicOnlinePanTompkins {
+ public:
+  using sample_t = typename B::sample_t;
+
+  explicit BasicOnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {})
+      : fs_(fs),
+        mwi_win_(std::max<std::size_t>(
+            1, static_cast<std::size_t>(cfg.integration_window_s * fs))),
+        bp_(pan_tompkins_bandpass_kernel(fs, cfg)),
+        mwi_(mwi_win_),
+        tail_(fs, cfg) {}
+
+  /// Feeds one cleaned-ECG sample; appends the indices (absolute, in the
+  /// fed sample timeline) of any R peaks confirmed by it to `out`.
+  void push(sample_t x, std::vector<std::size_t>& out) {
+    tail_.note_input(x);
+    bp_scratch_.clear();
+    bp_.push(x, bp_scratch_);
+    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
+  }
+
+  /// Typed span: cross-backend container mixups fail to compile.
+  void push_chunk(std::span<const sample_t> x, std::vector<std::size_t>& out) {
+    for (const sample_t v : x) push(v, out);
+  }
+
+  /// End of stream: processes the pending candidate and flushes.
+  void finish(std::vector<std::size_t>& out) {
+    // Flush the band-pass stage, then the derivative tail with the batch
+    // edge fallbacks, then settle learning and the pending candidate.
+    bp_scratch_.clear();
+    bp_.finish(bp_scratch_);
+    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
+
+    const std::size_t n = bp_count_;
+    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    for (std::size_t i = d_emitted_; i < n; ++i) {
+      sample_t d{};
+      if (n == 1) {
+        d = sample_t{};
+      } else if (i == 0) {
+        d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
+      } else if (i + 1 < n) {
+        d = B::half(B::rescale(B::sub(h(i + 1), h(i - 1)), fs_, 0));
+      } else {
+        d = B::rescale(B::sub(h(n - 1), h(n - 2)), fs_, 0);
+      }
+      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    }
+
+    tail_.settle(out);
+  }
+
+  /// Quality-adaptive recovery hook (contact-gap resets): see
+  /// QrsDecisionTail::soft_reset. Filter state and sample counters are
+  /// kept; only the adaptive decision state restarts.
+  void soft_reset() { tail_.soft_reset(); }
+
+  void reset() {
+    bp_.reset();
+    mwi_.reset();
+    bp_scratch_.clear();
+    std::fill(std::begin(bp_hist_), std::end(bp_hist_), sample_t{});
+    bp_count_ = 0;
+    d_emitted_ = 0;
+    tail_.reset();
+  }
+
+  [[nodiscard]] std::size_t samples_consumed() const { return tail_.samples_consumed(); }
+  [[nodiscard]] std::size_t peaks_emitted() const { return tail_.peaks_emitted(); }
+
+  /// Serializes the full carried detector state — feature chain (band
+  /// pass, derivative history, MWI), then the decision tail — for
+  /// core::Checkpoint round trips. The byte layout is identical to the
+  /// pre-split detector (front fields, then tail fields, in the same
+  /// order), so existing checkpoints restore unchanged. A restored
+  /// detector continues the stream bit-identically to one that was never
+  /// interrupted.
+  template <typename W>
+  void save_state(W& w) const {
+    bp_.save_state(w);
+    for (const sample_t v : bp_hist_) w.value(v);
+    w.u64(bp_count_);
+    w.u64(d_emitted_);
+    mwi_.save_state(w);
+    tail_.save_state(w);
+  }
+
+  template <typename R>
+  void load_state(R& r) {
+    bp_.load_state(r);
+    for (sample_t& v : bp_hist_) v = r.template value<sample_t>();
+    bp_count_ = r.u64();
+    d_emitted_ = r.u64();
+    mwi_.load_state(r);
+    tail_.load_state(r);
+  }
+
+ private:
+  void on_bp_sample(sample_t v, std::vector<std::size_t>& out) {
+    bp_hist_[bp_count_ % 5] = v;
+    const std::size_t j = bp_count_++;
+    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    // Aligned 5-point derivative with the batch edge fallbacks (see
+    // five_point_derivative): d[0], d[1] use the one-sided/central forms,
+    // d[i] for i >= 2 the centered 5-point stencil once x[i+2] exists. The
+    // trailing d[n-2], d[n-1] are emitted by finish().
+    if (j == 1) {
+      const sample_t d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
+      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    } else if (j == 2) {
+      const sample_t d = B::half(B::rescale(B::sub(h(2), h(0)), fs_, 0));
+      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    } else if (j >= 4) {
+      const sample_t d = B::eighth(B::rescale(
+          B::sub(B::sub(B::add(B::twice(h(j)), h(j - 1)), h(j - 3)), B::twice(h(j - 4))),
+          fs_, 0));
+      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
+      ++d_emitted_;
+    }
+  }
+
+  dsp::SampleRate fs_;
+  std::size_t mwi_win_;
+
+  // Feature chain (input timeline == feature timeline; the band-pass
+  // stage absorbs its own group delay).
+  dsp::BasicStreamingZeroPhaseFir<B> bp_;
+  std::vector<sample_t> bp_scratch_;
+  sample_t bp_hist_[5] = {};        ///< last 5 band-passed samples
+  std::size_t bp_count_ = 0;
+  std::size_t d_emitted_ = 0;       ///< derivative samples emitted so far
+
+  dsp::BasicStreamingMovingAverage<B> mwi_;
+  QrsDecisionTail<B> tail_;
+};
+
 using OnlinePanTompkins = BasicOnlinePanTompkins<dsp::DoubleBackend>;
+
+/// Lockstep W-session Pan-Tompkins: the feature front runs once on the
+/// SIMD batch backend (each band-pass tap and derivative coefficient
+/// loaded once for all W sessions), then the integrated feature stream
+/// fans out into W scalar QrsDecisionTail<DoubleBackend> instances --
+/// the exact code the scalar detector runs, so lane i's emitted peaks
+/// are byte-identical to a scalar detector fed lane i's samples.
+///
+/// Divergence handling: the front has no data-dependent branches, so a
+/// lane inside a dropout gap or awaiting a soft reset simply keeps
+/// streaming its samples; only its own tail's decisions diverge
+/// (soft_reset_lane targets one tail without disturbing the others).
+///
+/// Checkpointing is per-lane through the lane adaptors
+/// (core::LaneStateWriter/Reader): the front's lane-uniform state is
+/// written to all W per-session blobs with lane i's values, and each
+/// tail writes lane i's blob alone -- producing exactly the scalar
+/// detector's wire layout per session.
+template <std::size_t W>
+class BatchOnlinePanTompkins {
+ public:
+  using backend_t = dsp::BatchBackend<W>;
+  using sample_t = typename backend_t::sample_t;
+  static constexpr std::size_t kLanes = W;
+
+  explicit BatchOnlinePanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg = {})
+      : fs_(fs),
+        mwi_win_(std::max<std::size_t>(
+            1, static_cast<std::size_t>(cfg.integration_window_s * fs))),
+        bp_(pan_tompkins_bandpass_kernel(fs, cfg)),
+        mwi_(mwi_win_) {
+    tails_.reserve(W);
+    for (std::size_t l = 0; l < W; ++l) tails_.emplace_back(fs, cfg);
+  }
+
+  /// Feeds one cleaned-ECG sample per lane; appends lane l's confirmed
+  /// R-peak indices to out[l]. `out` must point at W vectors.
+  void push(sample_t x, std::vector<std::size_t>* out) {
+    for (std::size_t l = 0; l < W; ++l) tails_[l].note_input(x.lane(l));
+    bp_scratch_.clear();
+    bp_.push(x, bp_scratch_);
+    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
+  }
+
+  /// End of stream for all lanes in lockstep.
+  void finish(std::vector<std::size_t>* out) {
+    bp_scratch_.clear();
+    bp_.finish(bp_scratch_);
+    for (const sample_t v : bp_scratch_) on_bp_sample(v, out);
+
+    const std::size_t n = bp_count_;
+    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    for (std::size_t i = d_emitted_; i < n; ++i) {
+      sample_t d{};
+      if (n == 1) {
+        d = sample_t{};
+      } else if (i == 0) {
+        d = backend_t::rescale(backend_t::sub(h(1), h(0)), fs_, 0);
+      } else if (i + 1 < n) {
+        d = backend_t::half(backend_t::rescale(backend_t::sub(h(i + 1), h(i - 1)), fs_, 0));
+      } else {
+        d = backend_t::rescale(backend_t::sub(h(n - 1), h(n - 2)), fs_, 0);
+      }
+      emit_feature(mwi_.tick(backend_t::square(d)), out);
+      ++d_emitted_;
+    }
+
+    for (std::size_t l = 0; l < W; ++l) tails_[l].settle(out[l]);
+  }
+
+  /// Contact-gap recovery for one lane (see QrsDecisionTail::soft_reset);
+  /// the shared feature front is untouched, so the other lanes are not
+  /// perturbed.
+  void soft_reset_lane(std::size_t lane) { tails_[lane].soft_reset(); }
+
+  /// Lane-adaptor serialization (see class comment). The resulting
+  /// per-session byte streams are exactly the scalar detector layout.
+  template <typename LW>
+  void save_state(LW& w) const {
+    bp_.save_state(w);
+    for (const sample_t v : bp_hist_) w.value(v);
+    w.u64(bp_count_);
+    w.u64(d_emitted_);
+    mwi_.save_state(w);
+    for (std::size_t l = 0; l < W; ++l) tails_[l].save_state(w.lane_writer(l));
+  }
+
+  template <typename LR>
+  void load_state(LR& r) {
+    bp_.load_state(r);
+    for (sample_t& v : bp_hist_) v = r.template value<sample_t>();
+    bp_count_ = r.u64();
+    d_emitted_ = r.u64();
+    mwi_.load_state(r);
+    for (std::size_t l = 0; l < W; ++l) tails_[l].load_state(r.lane_reader(l));
+  }
+
+ private:
+  void on_bp_sample(sample_t v, std::vector<std::size_t>* out) {
+    bp_hist_[bp_count_ % 5] = v;
+    const std::size_t j = bp_count_++;
+    auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    if (j == 1) {
+      const sample_t d = backend_t::rescale(backend_t::sub(h(1), h(0)), fs_, 0);
+      emit_feature(mwi_.tick(backend_t::square(d)), out);
+      ++d_emitted_;
+    } else if (j == 2) {
+      const sample_t d =
+          backend_t::half(backend_t::rescale(backend_t::sub(h(2), h(0)), fs_, 0));
+      emit_feature(mwi_.tick(backend_t::square(d)), out);
+      ++d_emitted_;
+    } else if (j >= 4) {
+      const sample_t d = backend_t::eighth(backend_t::rescale(
+          backend_t::sub(
+              backend_t::sub(backend_t::add(backend_t::twice(h(j)), h(j - 1)), h(j - 3)),
+              backend_t::twice(h(j - 4))),
+          fs_, 0));
+      emit_feature(mwi_.tick(backend_t::square(d)), out);
+      ++d_emitted_;
+    }
+  }
+
+  void emit_feature(sample_t f, std::vector<std::size_t>* out) {
+    for (std::size_t l = 0; l < W; ++l) tails_[l].on_feature_sample(f.lane(l), out[l]);
+  }
+
+  dsp::SampleRate fs_;
+  std::size_t mwi_win_;
+  dsp::BasicStreamingZeroPhaseFir<backend_t> bp_;
+  std::vector<sample_t> bp_scratch_;
+  sample_t bp_hist_[5] = {};
+  std::size_t bp_count_ = 0;
+  std::size_t d_emitted_ = 0;
+  dsp::BasicStreamingMovingAverage<backend_t> mwi_;
+  std::vector<QrsDecisionTail<dsp::DoubleBackend>> tails_; ///< one per lane
+};
 
 class PanTompkins {
  public:

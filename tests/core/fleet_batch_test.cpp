@@ -1,0 +1,231 @@
+// Lockstep batch mode of the fleet (FleetConfig::batch_width).
+//
+// The contract under test: a fleet running with batch_width = 4 or 8
+// emits per-session beat streams byte-identical to the scalar fleet
+// (and therefore to a directly-fed StreamingBeatPipeline), including
+// when groups dissolve mid-stream — on migration, on finish, or when
+// lanes receive mismatched chunk lengths. Sessions that don't fill a
+// whole group must silently run scalar.
+#include "core/fleet.h"
+
+#include "core/beat_serializer.h"
+#include "synth/recording.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using core::FleetBeat;
+using core::FleetConfig;
+using core::SessionManager;
+using core::serialize_beat;
+
+constexpr std::size_t kChunk = 64;
+
+std::vector<synth::Recording> test_workload(std::size_t distinct, double duration_s) {
+  synth::RecordingConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.session_seed = 21;
+  return synth::make_fleet_workload(distinct, cfg);
+}
+
+// Feeds `sessions` copies of the workload through a fleet and returns
+// each session's serialized beat stream plus its terminal summary beat
+// count (so callers can assert the quality aggregate survived batching).
+struct FleetRun {
+  std::vector<std::vector<unsigned char>> streams;
+  std::vector<std::uint64_t> summary_beats;
+};
+
+FleetRun run_fleet(const std::vector<synth::Recording>& workload, std::size_t sessions,
+                   std::size_t workers, std::size_t batch_width) {
+  FleetConfig cfg;
+  cfg.workers = workers;
+  cfg.max_chunk = kChunk;
+  cfg.batch_width = batch_width;
+  SessionManager fleet(workload[0].fs, cfg);
+  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  sink.reserve(1024);
+  const std::size_t n = workload[0].ecg_mv.size();
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    const std::size_t len = std::min(kChunk, n - i);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const synth::Recording& rec = workload[s % workload.size()];
+      fleet.submit(static_cast<std::uint32_t>(s),
+                   dsp::SignalView(rec.ecg_mv.data() + i, len),
+                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+    }
+  }
+  fleet.run_to_completion(sink);
+
+  FleetRun out;
+  out.streams.resize(sessions);
+  out.summary_beats.assign(sessions, 0);
+  for (const FleetBeat& fb : sink) {
+    if (fb.end_of_session) {
+      out.summary_beats[fb.session] = fb.session_summary.beats;
+      continue;
+    }
+    serialize_beat(fb.beat, out.streams[fb.session]);
+  }
+  return out;
+}
+
+void expect_same_run(const FleetRun& scalar, const FleetRun& batched) {
+  ASSERT_EQ(scalar.streams.size(), batched.streams.size());
+  for (std::size_t s = 0; s < scalar.streams.size(); ++s) {
+    EXPECT_FALSE(scalar.streams[s].empty()) << "session " << s << " produced no beats";
+    EXPECT_EQ(scalar.streams[s], batched.streams[s])
+        << "session " << s << ": scalar vs batched fleet mismatch";
+    EXPECT_EQ(scalar.summary_beats[s], batched.summary_beats[s])
+        << "session " << s << ": quality summary diverged";
+  }
+}
+
+TEST(FleetBatchTest, WidthFourMatchesScalarFleet) {
+  const auto workload = test_workload(3, 8.0);
+  constexpr std::size_t kSessions = 8;
+  expect_same_run(run_fleet(workload, kSessions, 2, /*batch_width=*/0),
+                  run_fleet(workload, kSessions, 2, /*batch_width=*/4));
+}
+
+TEST(FleetBatchTest, WidthEightMatchesScalarFleet) {
+  const auto workload = test_workload(2, 8.0);
+  constexpr std::size_t kSessions = 8;
+  expect_same_run(run_fleet(workload, kSessions, 1, /*batch_width=*/0),
+                  run_fleet(workload, kSessions, 1, /*batch_width=*/8));
+}
+
+TEST(FleetBatchTest, RemainderSessionsRunScalar) {
+  // 6 sessions on one worker with batch_width 4: one packed group of 4
+  // plus 2 scalar stragglers. All six must match the scalar fleet.
+  const auto workload = test_workload(2, 6.0);
+  expect_same_run(run_fleet(workload, 6, 1, /*batch_width=*/0),
+                  run_fleet(workload, 6, 1, /*batch_width=*/4));
+}
+
+// Placement is id % workers, so with 2 workers and 8 sessions the ids
+// {0,2,4,6} pack into a width-4 group on worker 0 (and {1,3,5,7} on
+// worker 1). Migrating session 2 mid-stream forces a CheckpointOut
+// through the packed group, which must dissolve it and keep every
+// stream — migrated and stay-behind lanes alike — byte-identical.
+TEST(FleetBatchTest, MigrationDissolvesPackedGroupMidStream) {
+  const auto workload = test_workload(3, 8.0);
+  constexpr std::size_t kSessions = 8;  // ids {0,2,4,6} pack on worker 0
+  const auto scalar = run_fleet(workload, kSessions, 2, /*batch_width=*/0);
+
+  FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.max_chunk = kChunk;
+  cfg.batch_width = 4;
+  SessionManager fleet(workload[0].fs, cfg);
+  for (std::size_t s = 0; s < kSessions; ++s) fleet.add_session();
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  sink.reserve(1024);
+  const std::size_t n = workload[0].ecg_mv.size();
+  bool migrated = false;
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    if (!migrated && i >= n / 2) {
+      // Rip session 2 out of worker 0's packed group mid-stream. The
+      // CheckpointOut dissolves the group; the remaining three lanes
+      // (and the migrated one, now scalar on worker 1) must still
+      // produce byte-identical streams.
+      fleet.migrate(2, 1, sink);
+      migrated = true;
+    }
+    const std::size_t len = std::min(kChunk, n - i);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const synth::Recording& rec = workload[s % workload.size()];
+      fleet.submit(static_cast<std::uint32_t>(s),
+                   dsp::SignalView(rec.ecg_mv.data() + i, len),
+                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+    }
+  }
+  ASSERT_TRUE(migrated);
+  fleet.run_to_completion(sink);
+
+  std::vector<std::vector<unsigned char>> streams(kSessions);
+  for (const FleetBeat& fb : sink) {
+    if (fb.end_of_session) continue;
+    serialize_beat(fb.beat, streams[fb.session]);
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_FALSE(scalar.streams[s].empty());
+    EXPECT_EQ(scalar.streams[s], streams[s])
+        << "session " << s << " diverged after mid-stream migration";
+  }
+}
+
+TEST(FleetBatchTest, MismatchedChunkLengthsDissolveCleanly) {
+  // Lane 0 gets its mid-stream chunk split 64 -> 32+32 while the other
+  // lanes stay on 64. The group cannot tick in lockstep past that point
+  // and must dissolve; chunking is semantically invisible, so the
+  // streams still match the scalar fleet fed uniform chunks.
+  const auto workload = test_workload(2, 6.0);
+  constexpr std::size_t kSessions = 4;
+  const auto scalar = run_fleet(workload, kSessions, 1, /*batch_width=*/0);
+
+  FleetConfig cfg;
+  cfg.workers = 1;
+  cfg.max_chunk = kChunk;
+  cfg.batch_width = 4;
+  SessionManager fleet(workload[0].fs, cfg);
+  for (std::size_t s = 0; s < kSessions; ++s) fleet.add_session();
+  fleet.start();
+
+  std::vector<FleetBeat> sink;
+  sink.reserve(1024);
+  const std::size_t n = workload[0].ecg_mv.size();
+  bool split_done = false;
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    const std::size_t len = std::min(kChunk, n - i);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const synth::Recording& rec = workload[s % workload.size()];
+      if (s == 0 && !split_done && i >= n / 2 && len == kChunk) {
+        const std::size_t half = kChunk / 2;
+        fleet.submit(0, dsp::SignalView(rec.ecg_mv.data() + i, half),
+                     dsp::SignalView(rec.z_ohm.data() + i, half), sink);
+        fleet.submit(0, dsp::SignalView(rec.ecg_mv.data() + i + half, half),
+                     dsp::SignalView(rec.z_ohm.data() + i + half, half), sink);
+        split_done = true;
+        continue;
+      }
+      fleet.submit(static_cast<std::uint32_t>(s),
+                   dsp::SignalView(rec.ecg_mv.data() + i, len),
+                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+    }
+  }
+  ASSERT_TRUE(split_done);
+  fleet.run_to_completion(sink);
+
+  std::vector<std::vector<unsigned char>> streams(kSessions);
+  for (const FleetBeat& fb : sink) {
+    if (fb.end_of_session) continue;
+    serialize_beat(fb.beat, streams[fb.session]);
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_FALSE(scalar.streams[s].empty());
+    EXPECT_EQ(scalar.streams[s], streams[s])
+        << "session " << s << " diverged after chunk-length dissolve";
+  }
+}
+
+TEST(FleetBatchTest, ValidatesBatchWidth) {
+  FleetConfig cfg;
+  cfg.batch_width = 3;
+  EXPECT_THROW(SessionManager fleet(250.0, cfg), std::invalid_argument);
+  cfg.batch_width = 1;  // explicit scalar is fine
+  EXPECT_NO_THROW(SessionManager fleet(250.0, cfg));
+}
+
+} // namespace
