@@ -11,7 +11,7 @@
 // batched outputs byte-identical to scalar before reporting speedups.
 //
 // Fleet leg: the same session count through SessionManager at a fixed
-// worker count, scalar (batch_width 0) vs batched (batch_width 8).
+// worker count, scalar (batch_width 1) vs batched (batch_width 8).
 //
 // Acceptance is ISA-aware: byte identity is gated everywhere; the W=4
 // floor arms on AVX2 or wider (one ymm per lane vector), the W=8 floor
@@ -227,7 +227,7 @@ int main() {
                     : "FAIL: batched beat streams differ from scalar\n");
 
   // Fleet leg: fixed worker count, scalar vs batch_width = 8.
-  const Leg fleet_scalar = run_fleet(workload, fleet_sessions, fleet_workers, 0);
+  const Leg fleet_scalar = run_fleet(workload, fleet_sessions, fleet_workers, 1);
   const Leg fleet_batched = run_fleet(workload, fleet_sessions, fleet_workers, 8);
   const bool fleet_identical = fleet_batched.streams == fleet_scalar.streams;
   const double fleet_speedup =

@@ -28,28 +28,40 @@ byte-identical round-trip and migrated-fleet output (deterministic, so
 unconditional) plus blob sizes under the committed ceiling; the
 save/restore latency and migration throughput are reported but not
 gated (wall-time floors are runner-dependent noise).
+
+The firmware-profile CI job runs `--only footprint` instead: it checks
+just BENCH_footprint.json (written by ci/extract_footprint.py over
+libicgkit_embedded.a) against the committed .text/.bss budgets, so a
+change that bloats the embedded library past its flash/RAM allowance
+fails that job without requiring the hosted benches to have run.
 """
+import argparse
 import json
 import pathlib
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-# Which bench executable is responsible for each expected input.
+# Which bench executable (or tool) is responsible for each expected input.
 BENCH_INPUTS = {
-    "BENCH_streaming.json": "bench_cpu_duty_cycle",
-    "BENCH_fleet.json": "bench_fleet_throughput",
-    "BENCH_fixed.json": "bench_fixed_pipeline",
-    "BENCH_scenarios.json": "bench_scenarios",
-    "BENCH_checkpoint.json": "bench_checkpoint",
-    "BENCH_batch.json": "bench_batch",
+    "BENCH_streaming.json": "./bench_cpu_duty_cycle",
+    "BENCH_fleet.json": "./bench_fleet_throughput",
+    "BENCH_fixed.json": "./bench_fixed_pipeline",
+    "BENCH_scenarios.json": "./bench_scenarios",
+    "BENCH_checkpoint.json": "./bench_checkpoint",
+    "BENCH_batch.json": "./bench_batch",
+    "BENCH_footprint.json": "ci/extract_footprint.py",
 }
 
+# The hosted-bench set the Release job gates; the footprint input comes
+# from the separate firmware-profile job (`--only footprint`).
+HOSTED_INPUTS = [n for n in BENCH_INPUTS if n != "BENCH_footprint.json"]
 
-def load_inputs():
-    """Loads the baselines plus every expected bench output, collecting
-    one clear message per missing/invalid file instead of stopping at
-    (or crashing on) the first."""
+
+def load_inputs(names):
+    """Loads the baselines plus the named bench outputs, collecting one
+    clear message per missing/invalid file instead of stopping at (or
+    crashing on) the first."""
     problems = []
     results = {}
 
@@ -67,9 +79,9 @@ def load_inputs():
     results["baselines"] = read_json(
         ROOT / "bench" / "bench_baselines.json",
         "the committed floors file must exist in the repo")
-    for name, bench in BENCH_INPUTS.items():
+    for name in names:
         results[name] = read_json(
-            ROOT / name, f"did ./{bench} run before the gate?")
+            ROOT / name, f"did {BENCH_INPUTS[name]} run before the gate?")
 
     if problems:
         print("BENCH GATE INPUTS MISSING OR INVALID:")
@@ -92,8 +104,57 @@ class Baselines:
         return self.data[key]
 
 
+def check_footprint(footprint, baselines):
+    """Gates the embedded library's .text/.bss totals against the
+    committed budget, reporting actual vs budget (and the headroom or
+    overshoot) so a failure says how far over it went."""
+    failures = []
+    text_kb = footprint.get("text_bytes", float("inf")) / 1024.0
+    bss_kb = footprint.get("bss_bytes", float("inf")) / 1024.0
+    data_kb = footprint.get("data_bytes", 0.0) / 1024.0
+    text_budget = baselines["footprint_max_text_kb"]
+    bss_budget = baselines["footprint_max_bss_kb"]
+
+    for label, actual, budget in (
+            (".text (flash)", text_kb, text_budget),
+            (".bss (static RAM)", bss_kb, bss_budget)):
+        delta = actual - budget
+        state = f"{-delta:.1f} KiB headroom" if delta <= 0 else f"{delta:.1f} KiB OVER"
+        print(f"embedded {label}: {actual:.1f} KiB (budget {budget} KiB, {state})")
+        if delta > 0:
+            failures.append(
+                f"embedded {label} {actual:.1f} KiB exceeds the {budget} KiB "
+                f"budget by {delta:.1f} KiB — trim it or justify a budget bump "
+                "in bench/bench_baselines.json")
+    print(f"embedded .data: {data_kb:.1f} KiB (reported, not gated); "
+          f"{footprint.get('members', 0)} objects, "
+          f"compiler: {footprint.get('compiler') or 'unrecorded'}")
+    worst = footprint.get("top_symbols", [])[:3]
+    if worst:
+        print("largest symbols: " + ", ".join(
+            f"{s['symbol']} ({s['bytes'] / 1024.0:.1f} KiB)" for s in worst))
+    return failures
+
+
 def main() -> int:
-    inputs = load_inputs()
+    ap = argparse.ArgumentParser(description="bench/footprint regression gate")
+    ap.add_argument("--only", choices=["footprint"],
+                    help="check a single gate instead of the hosted-bench set")
+    args = ap.parse_args()
+
+    if args.only == "footprint":
+        inputs = load_inputs(["BENCH_footprint.json"])
+        failures = check_footprint(inputs["BENCH_footprint.json"],
+                                   Baselines(inputs["baselines"]))
+        if failures:
+            print("\nFOOTPRINT GATE FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nfootprint gate: embedded library within budget")
+        return 0
+
+    inputs = load_inputs(HOSTED_INPUTS)
     baselines = Baselines(inputs["baselines"])
     streaming = inputs["BENCH_streaming.json"]
     fleet = inputs["BENCH_fleet.json"]

@@ -49,6 +49,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 /// Any structural violation of a checkpoint blob: bad magic/version,
@@ -109,14 +111,14 @@ class StateWriter {
   /// are patched in by end_section().
   void begin_section(const char (&tag)[5]) {
     if (section_start_ != kNone)
-      throw CheckpointError(std::string("section '") + tag + "' opened inside another");
+      ICGKIT_THROW(CheckpointError(std::string("section '") + tag + "' opened inside another"));
     buf_.insert(buf_.end(), tag, tag + 4);
     section_start_ = buf_.size();
     u32(0);  // length placeholder
   }
 
   void end_section() {
-    if (section_start_ == kNone) throw CheckpointError("end_section without a section");
+    if (section_start_ == kNone) ICGKIT_THROW(CheckpointError("end_section without a section"));
     const std::size_t payload_begin = section_start_ + 4;
     const std::size_t len = buf_.size() - payload_begin;
     for (int i = 0; i < 4; ++i)
@@ -129,7 +131,7 @@ class StateWriter {
   /// The finished blob (all sections must be closed). Moves the buffer
   /// out; the writer is spent afterwards.
   [[nodiscard]] std::vector<std::uint8_t> take() {
-    if (section_start_ != kNone) throw CheckpointError("take() inside an open section");
+    if (section_start_ != kNone) ICGKIT_THROW(CheckpointError("take() inside an open section"));
     return std::move(buf_);
   }
 
@@ -142,40 +144,40 @@ class StateWriter {
 /// Parses and validates a checkpoint blob. Construction checks the
 /// magic/version header; begin_section() validates the frame (tag,
 /// bounds, CRC) before any payload is readable; every primitive read is
-/// bounds-checked. All violations throw CheckpointError.
+/// bounds-checked. All violations raise CheckpointError.
 class StateReader {
  public:
   explicit StateReader(std::span<const std::uint8_t> blob) : blob_(blob) {
     if (u32_at_cursor("magic") != kCheckpointMagic)
-      throw CheckpointError("bad magic (not a checkpoint blob)");
+      ICGKIT_THROW(CheckpointError("bad magic (not a checkpoint blob)"));
     const std::uint32_t version = u32_at_cursor("version");
     if (version != kCheckpointVersion)
-      throw CheckpointError("unsupported format version " + std::to_string(version) +
-                            " (reader supports " + std::to_string(kCheckpointVersion) + ")");
+      ICGKIT_THROW(CheckpointError("unsupported format version " + std::to_string(version) +
+                            " (reader supports " + std::to_string(kCheckpointVersion) + ")"));
   }
 
   /// Opens the next section, which must carry exactly `tag`; validates
   /// the frame and the payload CRC before returning.
   void begin_section(const char (&tag)[5]) {
-    if (in_section_) throw CheckpointError(std::string("section '") + tag +
-                                           "' opened inside another");
+    if (in_section_) ICGKIT_THROW(CheckpointError(std::string("section '") + tag +
+                                           "' opened inside another"));
     if (blob_.size() - pos_ < 8)
-      throw CheckpointError(std::string("truncated before section '") + tag + "'");
+      ICGKIT_THROW(CheckpointError(std::string("truncated before section '") + tag + "'"));
     if (std::memcmp(blob_.data() + pos_, tag, 4) != 0)
-      throw CheckpointError(std::string("expected section '") + tag + "', found '" +
+      ICGKIT_THROW(CheckpointError(std::string("expected section '") + tag + "', found '" +
                             std::string(reinterpret_cast<const char*>(blob_.data() + pos_), 4) +
-                            "'");
+                            "'"));
     pos_ += 4;
     const std::uint32_t len = u32_at_cursor("section length");
     // Subtraction form: `len + 4` could wrap where size_t is 32 bits,
     // letting a corrupted length field slip past the bounds check.
     const std::size_t remaining = blob_.size() - pos_;
     if (remaining < 4 || len > remaining - 4)
-      throw CheckpointError(std::string("section '") + tag + "' truncated");
+      ICGKIT_THROW(CheckpointError(std::string("section '") + tag + "' truncated"));
     const std::uint32_t stored = le32(blob_.data() + pos_ + len);
     const std::uint32_t computed = checkpoint_crc32(blob_.data() + pos_, len);
     if (stored != computed)
-      throw CheckpointError(std::string("section '") + tag + "' CRC mismatch");
+      ICGKIT_THROW(CheckpointError(std::string("section '") + tag + "' CRC mismatch"));
     section_end_ = pos_ + len;
     in_section_ = true;
   }
@@ -183,10 +185,10 @@ class StateReader {
   /// Closes the current section; the loader must have consumed exactly
   /// its payload (missing state is as fatal as trailing state).
   void end_section() {
-    if (!in_section_) throw CheckpointError("end_section without a section");
+    if (!in_section_) ICGKIT_THROW(CheckpointError("end_section without a section"));
     if (pos_ != section_end_)
-      throw CheckpointError("section not fully consumed (" +
-                            std::to_string(section_end_ - pos_) + " bytes left)");
+      ICGKIT_THROW(CheckpointError("section not fully consumed (" +
+                            std::to_string(section_end_ - pos_) + " bytes left)"));
     pos_ += 4;  // the validated CRC
     in_section_ = false;
   }
@@ -231,7 +233,7 @@ class StateReader {
 
   /// Semantic-mismatch escape hatch for kernel loaders (ring capacity or
   /// kernel length differs from the restore target's construction).
-  [[noreturn]] void fail(const std::string& msg) const { throw CheckpointError(msg); }
+  [[noreturn]] void fail(const std::string& msg) const { ICGKIT_THROW(CheckpointError(msg)); }
 
  private:
   static std::uint32_t le32(const std::uint8_t* p) {
@@ -241,7 +243,7 @@ class StateReader {
   }
   std::uint32_t u32_at_cursor(const char* what) {
     if (blob_.size() - pos_ < 4)
-      throw CheckpointError(std::string("truncated reading ") + what);
+      ICGKIT_THROW(CheckpointError(std::string("truncated reading ") + what));
     const std::uint32_t v = le32(blob_.data() + pos_);
     pos_ += 4;
     return v;

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 namespace {
@@ -54,9 +56,9 @@ void DelineationScratch::reserve(std::size_t beat_samples) {
 
 IcgDelineator::IcgDelineator(dsp::SampleRate fs, const DelineationConfig& cfg)
     : fs_(fs), cfg_(cfg) {
-  if (fs <= 0.0) throw std::invalid_argument("IcgDelineator: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("IcgDelineator: fs must be positive"));
   if (!(cfg.b_line_low_frac < cfg.b_line_high_frac) || cfg.b_line_high_frac >= 1.0)
-    throw std::invalid_argument("IcgDelineator: bad line-fit fractions");
+    ICGKIT_THROW(std::invalid_argument("IcgDelineator: bad line-fit fractions"));
 }
 
 BeatDelineation IcgDelineator::delineate(dsp::SignalView icg, std::size_t r_idx,

@@ -4,17 +4,19 @@
 
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 EnsembleAverager::EnsembleAverager(dsp::SampleRate fs, const EnsembleConfig& cfg)
     : fs_(fs), cfg_(cfg),
       pre_samples_(static_cast<std::size_t>(cfg.pre_r_s * fs)),
       len_samples_(static_cast<std::size_t>((cfg.pre_r_s + cfg.post_r_s) * fs)) {
-  if (fs <= 0.0) throw std::invalid_argument("EnsembleAverager: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("EnsembleAverager: fs must be positive"));
   if (cfg.window_beats == 0)
-    throw std::invalid_argument("EnsembleAverager: window must be >= 1 beat");
+    ICGKIT_THROW(std::invalid_argument("EnsembleAverager: window must be >= 1 beat"));
   if (len_samples_ < 10)
-    throw std::invalid_argument("EnsembleAverager: segment too short");
+    ICGKIT_THROW(std::invalid_argument("EnsembleAverager: segment too short"));
 }
 
 bool EnsembleAverager::add_beat(dsp::SignalView icg, std::size_t r_idx) {

@@ -1,6 +1,7 @@
 #include "core/fleet.h"
 
 #include "dsp/denormal.h"
+#include "dsp/simd.h"
 
 #include <chrono>
 #include <cstring>
@@ -59,6 +60,10 @@ SessionManager::SessionManager(dsp::SampleRate fs, const FleetConfig& cfg)
     throw std::invalid_argument("SessionManager: chunk_slots_per_session must be >= 1");
   if (cfg.batch_width > 1 && !session_batch_width_supported(cfg.batch_width))
     throw std::invalid_argument("SessionManager: batch_width must be 0, 1, 4 or 8");
+  // 0 = auto: pick the width this build's ISA runs without register
+  // spills (see dsp::default_batch_width). Resolved once, here, so
+  // every later decision (group formation, stats) sees a concrete width.
+  if (cfg_.batch_width == 0) cfg_.batch_width = dsp::default_batch_width();
   workers_.reserve(cfg.workers);
   for (std::size_t i = 0; i < cfg.workers; ++i)
     workers_.push_back(std::make_unique<Worker>(cfg));

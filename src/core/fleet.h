@@ -75,7 +75,12 @@ struct FleetConfig {
   std::size_t latency_log_capacity = 1 << 16;
   /// Per-session look-back window, as in StreamingBeatPipeline.
   double window_s = 12.0;
-  /// SIMD batch mode (core::SessionBatch): 0 or 1 keeps every session on
+  /// SIMD batch mode (core::SessionBatch): 0 (the default) auto-selects
+  /// the widest lockstep width this build's ISA runs without register
+  /// spills — 4 on plain AVX2, 8 on AVX-512 or NEON, scalar on builds
+  /// whose lane vector lowers to SSE2 or scalar code (see
+  /// dsp::default_batch_width; the chosen value is readable via
+  /// SessionManager::resolved_batch_width). 1 forces every session onto
   /// its own scalar engine; 4 or 8 makes start() group that many
   /// same-worker sessions into lockstep SIMD batches. Per-session output
   /// is byte-identical either way (the batch identity contract); batching
@@ -126,6 +131,11 @@ class SessionManager {
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// The concrete lockstep width this manager runs: what
+  /// FleetConfig::batch_width = 0 resolved to for this build's ISA,
+  /// or the explicitly configured value otherwise. Always 1, 4 or 8.
+  [[nodiscard]] std::size_t resolved_batch_width() const { return cfg_.batch_width; }
 
   /// Spawns the worker pool. Call once.
   void start();

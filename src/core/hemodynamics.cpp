@@ -5,12 +5,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 BeatHemodynamics compute_beat_hemodynamics(const BeatDelineation& beat, double rr_s,
                                            double z0_ohm, dsp::SampleRate fs,
                                            const BodyParameters& body) {
-  if (fs <= 0.0) throw std::invalid_argument("compute_beat_hemodynamics: fs");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("compute_beat_hemodynamics: fs"));
   BeatHemodynamics h;
   if (!beat.valid || rr_s <= 0.0 || z0_ohm <= 0.0) return h;
 

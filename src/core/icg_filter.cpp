@@ -6,11 +6,13 @@
 
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 IcgFilter::IcgFilter(dsp::SampleRate fs, const IcgFilterConfig& cfg)
     : fs_(fs), lp_(dsp::butterworth_lowpass(cfg.order, cfg.cutoff_hz, fs)) {
-  if (fs <= 0.0) throw std::invalid_argument("IcgFilter: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("IcgFilter: fs must be positive"));
   if (cfg.highpass_hz > 0.0) {
     has_hp_ = true;
     hp_ = dsp::butterworth_highpass(cfg.highpass_order, cfg.highpass_hz, fs);

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 // The streaming engine is a backend template; these definitions back the
@@ -22,14 +24,14 @@ BeatPipeline::BeatPipeline(dsp::SampleRate fs, const PipelineConfig& cfg)
     : fs_(fs), cfg_(cfg) {
   // Cheap eager checks; anything subtler throws from the stage
   // constructors on the first process() call.
-  if (fs <= 0.0) throw std::invalid_argument("BeatPipeline: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("BeatPipeline: fs must be positive"));
   if (cfg.qrs.bandpass_low_hz >= cfg.qrs.bandpass_high_hz)
-    throw std::invalid_argument("BeatPipeline: QRS band-pass edges inverted");
+    ICGKIT_THROW(std::invalid_argument("BeatPipeline: QRS band-pass edges inverted"));
 }
 
 PipelineResult BeatPipeline::process(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) const {
   if (ecg_mv.size() != z_ohm.size())
-    throw std::invalid_argument("BeatPipeline: ECG and Z traces must be equal length");
+    ICGKIT_THROW(std::invalid_argument("BeatPipeline: ECG and Z traces must be equal length"));
 
   PipelineResult result;
   if (ecg_mv.empty()) return result;

@@ -60,6 +60,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 struct PipelineConfig {
@@ -461,7 +463,7 @@ class BeatAssembler {
 
   void enqueue_beat(std::size_t r, std::size_t r_next) {
     if (pending_beats_.full())
-      throw std::runtime_error("StreamingBeatPipeline: pending-beat ring overflow");
+      ICGKIT_THROW(std::runtime_error("StreamingBeatPipeline: pending-beat ring overflow"));
     pending_beats_.push({r, r_next});
   }
 
@@ -730,7 +732,7 @@ class BasicStreamingBeatPipeline {
   void push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
                  std::vector<BeatRecord>& out) {
     if (ecg_mv.size() != z_ohm.size())
-      throw std::invalid_argument("StreamingBeatPipeline: chunk length mismatch");
+      ICGKIT_THROW(std::invalid_argument("StreamingBeatPipeline: chunk length mismatch"));
     for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
   }
 
@@ -805,7 +807,7 @@ class BasicStreamingBeatPipeline {
   template <typename W>
   void save_state(W& w) const {
     if (capture_)
-      throw CheckpointError("StreamingBeatPipeline: cannot checkpoint with capture enabled");
+      ICGKIT_THROW(CheckpointError("StreamingBeatPipeline: cannot checkpoint with capture enabled"));
     w.begin_section("CFG ");
     w.u8(B::kFixed ? 1 : 0);
     w.f64(fs_);
@@ -916,7 +918,7 @@ class BasicStreamingBeatPipeline {
     StateReader r(blob);
     load_state(r);
     if (!r.at_end())
-      throw CheckpointError("StreamingBeatPipeline: trailing bytes after final section");
+      ICGKIT_THROW(CheckpointError("StreamingBeatPipeline: trailing bytes after final section"));
   }
 
  private:

@@ -5,6 +5,8 @@
 
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::core {
 
 dsp::FirCoefficients ecg_cleaner_fir_kernel(dsp::SampleRate fs,
@@ -15,7 +17,7 @@ dsp::FirCoefficients ecg_cleaner_fir_kernel(dsp::SampleRate fs,
 
 dsp::FirCoefficients icg_conditioner_lowpass_kernel(dsp::SampleRate fs,
                                                     const IcgFilterConfig& cfg) {
-  if (fs <= 0.0) throw std::invalid_argument("IcgConditionerStage: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("IcgConditionerStage: fs must be positive"));
   return dsp::zero_phase_sos_kernel(
       dsp::butterworth_lowpass(cfg.order, cfg.cutoff_hz, fs), 1e-6);
 }

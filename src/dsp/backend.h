@@ -38,6 +38,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// Double-precision backend: the reference arithmetic. All ops reduce to
@@ -149,7 +151,7 @@ struct Q31Backend {
   /// range, like the original FixedSosFilter quantizer.
   static coeff_t coeff(double c) {
     if (!(c >= -2.0 && c < 2.0))
-      throw std::invalid_argument("Q31Backend: coefficient outside Q2.30 range");
+      ICGKIT_THROW(std::invalid_argument("Q31Backend: coefficient outside Q2.30 range"));
     return static_cast<coeff_t>(std::llround(c * kCoeffOne));
   }
 

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// One second-order section, transfer function
@@ -63,7 +65,7 @@ class BasicStreamingSos {
   explicit BasicStreamingSos(SosFilter filter)
       : filter_(std::move(filter)), states_(filter_.sections.size()) {
     if (filter_.sections.empty())
-      throw std::invalid_argument("StreamingSos: empty cascade");
+      ICGKIT_THROW(std::invalid_argument("StreamingSos: empty cascade"));
     if constexpr (B::kFixed) {
       sections_.reserve(filter_.sections.size());
       for (std::size_t i = 0; i < filter_.sections.size(); ++i) {

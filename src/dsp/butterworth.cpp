@@ -4,16 +4,18 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 namespace {
 constexpr double kPi = std::numbers::pi;
 
 void check_args(std::size_t order, double cutoff_hz, SampleRate fs) {
-  if (order == 0) throw std::invalid_argument("butterworth: order must be >= 1");
-  if (fs <= 0.0) throw std::invalid_argument("butterworth: fs must be positive");
+  if (order == 0) ICGKIT_THROW(std::invalid_argument("butterworth: order must be >= 1"));
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("butterworth: fs must be positive"));
   if (cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0)
-    throw std::invalid_argument("butterworth: cutoff must lie in (0, fs/2)");
+    ICGKIT_THROW(std::invalid_argument("butterworth: cutoff must lie in (0, fs/2)"));
 }
 
 // Bilinear transform of an analog second-order section
@@ -95,7 +97,7 @@ SosFilter design(Kind kind, std::size_t order, double cutoff_hz, SampleRate fs) 
   // Exact unity passband gain: normalize at DC (low-pass) or Nyquist (high-pass).
   const double ref_hz = (kind == Kind::Lowpass) ? 0.0 : fs / 2.0;
   const double mag = sos_magnitude_at(filter, ref_hz, fs);
-  if (mag <= 0.0) throw std::logic_error("butterworth: degenerate design");
+  if (mag <= 0.0) ICGKIT_THROW(std::logic_error("butterworth: degenerate design"));
   filter.gain = 1.0 / mag;
   return filter;
 }
@@ -110,7 +112,7 @@ SosFilter butterworth_highpass(std::size_t order, double cutoff_hz, SampleRate f
 }
 
 SosFilter butterworth_bandpass(std::size_t order, double f1_hz, double f2_hz, SampleRate fs) {
-  if (!(f1_hz < f2_hz)) throw std::invalid_argument("butterworth: band-pass requires f1 < f2");
+  if (!(f1_hz < f2_hz)) ICGKIT_THROW(std::invalid_argument("butterworth: band-pass requires f1 < f2"));
   SosFilter hp = butterworth_highpass(order, f1_hz, fs);
   const SosFilter lp = butterworth_lowpass(order, f2_hz, fs);
   hp.sections.insert(hp.sections.end(), lp.sections.begin(), lp.sections.end());

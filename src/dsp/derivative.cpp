@@ -3,10 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 void derivative_into(SignalView x, SampleRate fs, Signal& y) {
-  if (fs <= 0.0) throw std::invalid_argument("derivative: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("derivative: fs must be positive"));
   const std::size_t n = x.size();
   y.assign(n, 0.0);
   if (n < 2) return;
@@ -16,7 +18,7 @@ void derivative_into(SignalView x, SampleRate fs, Signal& y) {
 }
 
 void second_derivative_into(SignalView x, SampleRate fs, Signal& y) {
-  if (fs <= 0.0) throw std::invalid_argument("second_derivative: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("second_derivative: fs must be positive"));
   const std::size_t n = x.size();
   y.assign(n, 0.0);
   if (n < 3) return;
@@ -51,7 +53,7 @@ Signal third_derivative(SignalView x, SampleRate fs) {
 }
 
 Signal five_point_derivative(SignalView x, SampleRate fs) {
-  if (fs <= 0.0) throw std::invalid_argument("five_point_derivative: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("five_point_derivative: fs must be positive"));
   const std::size_t n = x.size();
   if (n < 5) return derivative(x, fs);
   Signal y(n, 0.0);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 namespace {
@@ -33,7 +35,7 @@ Signal forward_backward(SignalView x, std::size_t pad, ApplyFn&& apply) {
 Signal odd_reflect_pad(SignalView x, std::size_t pad) {
   if (x.empty()) return {};
   if (pad >= x.size())
-    throw std::invalid_argument("odd_reflect_pad: pad must be < signal length");
+    ICGKIT_THROW(std::invalid_argument("odd_reflect_pad: pad must be < signal length"));
   Signal out;
   out.reserve(x.size() + 2 * pad);
   const double first = x.front();
@@ -61,7 +63,7 @@ Signal filtfilt_fir(const FirCoefficients& fir, SignalView x) {
 
 FirCoefficients zero_phase_fir_kernel(const FirCoefficients& fir) {
   const Signal& h = fir.taps;
-  if (h.empty()) throw std::invalid_argument("zero_phase_fir_kernel: empty taps");
+  if (h.empty()) ICGKIT_THROW(std::invalid_argument("zero_phase_fir_kernel: empty taps"));
   const std::size_t taps = h.size();
   Signal g(2 * taps - 1, 0.0);
   // Full convolution of h with its reverse: g[m] = sum_j h[j] h[taps-1-m+j].
@@ -77,9 +79,9 @@ FirCoefficients zero_phase_fir_kernel(const FirCoefficients& fir) {
 FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol,
                                       std::size_t max_half_len) {
   if (filter.sections.empty())
-    throw std::invalid_argument("zero_phase_sos_kernel: empty cascade");
+    ICGKIT_THROW(std::invalid_argument("zero_phase_sos_kernel: empty cascade"));
   if (tol <= 0.0 || tol >= 1.0)
-    throw std::invalid_argument("zero_phase_sos_kernel: tol must be in (0, 1)");
+    ICGKIT_THROW(std::invalid_argument("zero_phase_sos_kernel: tol must be in (0, 1)"));
   // Impulse response of the causal cascade (gain included once; the
   // autocorrelation below squares it, matching two filtfilt passes).
   StreamingSos sim(filter);
@@ -91,7 +93,7 @@ FirCoefficients zero_phase_sos_kernel(const SosFilter& filter, double tol,
   for (std::size_t n = 0; n < sim_cap; ++n) {
     const double v = sim.tick(n == 0 ? 1.0 : 0.0);
     if (!std::isfinite(v) || std::abs(v) > 1e9)
-      throw std::invalid_argument("zero_phase_sos_kernel: cascade is unstable");
+      ICGKIT_THROW(std::invalid_argument("zero_phase_sos_kernel: cascade is unstable"));
     h.push_back(v);
     peak = std::max(peak, std::abs(v));
     if (std::abs(v) < 0.01 * tol * peak) {

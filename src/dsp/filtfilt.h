@@ -23,6 +23,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// Zero-phase application of an SOS cascade. `pad` defaults to
@@ -89,12 +91,12 @@ class BasicStreamingZeroPhaseFir {
       : kernel_(std::move(kernel)) {
     const Signal& g = kernel_.taps;
     if (g.empty() || g.size() % 2 == 0)
-      throw std::invalid_argument("StreamingZeroPhaseFir: kernel length must be odd");
+      ICGKIT_THROW(std::invalid_argument("StreamingZeroPhaseFir: kernel length must be odd"));
     double peak = 0.0;
     for (const double v : g) peak = std::max(peak, std::abs(v));
     for (std::size_t i = 0; i < g.size() / 2; ++i)
       if (std::abs(g[i] - g[g.size() - 1 - i]) > 1e-9 * peak)
-        throw std::invalid_argument("StreamingZeroPhaseFir: kernel must be symmetric");
+        ICGKIT_THROW(std::invalid_argument("StreamingZeroPhaseFir: kernel must be symmetric"));
     if constexpr (B::kFixed) {
       taps_.reserve(g.size());
       for (const double c : g) taps_.push_back(B::coeff(c));

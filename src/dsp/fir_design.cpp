@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 namespace {
@@ -17,9 +19,9 @@ double sinc(double x) {
 
 // Raw (un-normalized) windowed-sinc low-pass taps.
 Signal lowpass_taps(std::size_t order, double cutoff_hz, SampleRate fs, WindowKind window) {
-  if (fs <= 0.0) throw std::invalid_argument("fir design: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("fir design: fs must be positive"));
   if (cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0)
-    throw std::invalid_argument("fir design: cutoff must lie in (0, fs/2)");
+    ICGKIT_THROW(std::invalid_argument("fir design: cutoff must lie in (0, fs/2)"));
   const std::size_t n = order + 1;
   const double fc = cutoff_hz / fs; // normalized cutoff, cycles/sample
   const double mid = static_cast<double>(order) / 2.0;
@@ -41,7 +43,7 @@ void normalize_gain_at(Signal& h, double freq_hz, SampleRate fs) {
     im -= h[i] * std::sin(omega * static_cast<double>(i));
   }
   const double mag = std::hypot(re, im);
-  if (mag <= 0.0) throw std::logic_error("fir design: zero gain at normalization frequency");
+  if (mag <= 0.0) ICGKIT_THROW(std::logic_error("fir design: zero gain at normalization frequency"));
   for (auto& tap : h) tap /= mag;
 }
 } // namespace
@@ -56,7 +58,7 @@ FirCoefficients design_lowpass(std::size_t order, double cutoff_hz, SampleRate f
 FirCoefficients design_highpass(std::size_t order, double cutoff_hz, SampleRate fs,
                                 WindowKind window) {
   if (order % 2 != 0)
-    throw std::invalid_argument("fir design: high-pass requires even order");
+    ICGKIT_THROW(std::invalid_argument("fir design: high-pass requires even order"));
   // Spectral inversion requires the low-pass to have *exactly* unity DC
   // gain, otherwise the inverted filter leaks DC.
   Signal h = lowpass_taps(order, cutoff_hz, fs, window);
@@ -72,9 +74,9 @@ FirCoefficients design_highpass(std::size_t order, double cutoff_hz, SampleRate 
 FirCoefficients design_bandpass(std::size_t order, double f1_hz, double f2_hz, SampleRate fs,
                                 WindowKind window) {
   if (order % 2 != 0)
-    throw std::invalid_argument("fir design: band-pass requires even order");
+    ICGKIT_THROW(std::invalid_argument("fir design: band-pass requires even order"));
   if (!(f1_hz < f2_hz))
-    throw std::invalid_argument("fir design: band-pass requires f1 < f2");
+    ICGKIT_THROW(std::invalid_argument("fir design: band-pass requires f1 < f2"));
   // Difference of two unity-DC low-passes: tap sum (= DC gain) is exactly 0.
   Signal lo = lowpass_taps(order, f1_hz, fs, window);
   normalize_gain_at(lo, 0.0, fs);

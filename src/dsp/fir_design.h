@@ -16,6 +16,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// Coefficients of a linear-phase FIR filter, h[0..order] (order+1 taps).
@@ -67,7 +69,7 @@ class BasicStreamingFir {
 
   explicit BasicStreamingFir(FirCoefficients coeffs)
       : coeffs_(std::move(coeffs)), delay_(coeffs_.taps.size(), sample_t{}) {
-    if (coeffs_.taps.empty()) throw std::invalid_argument("StreamingFir: empty taps");
+    if (coeffs_.taps.empty()) ICGKIT_THROW(std::invalid_argument("StreamingFir: empty taps"));
     if constexpr (B::kFixed) {
       taps_.reserve(coeffs_.taps.size());
       for (const double c : coeffs_.taps) taps_.push_back(B::coeff(c));

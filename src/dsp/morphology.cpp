@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 namespace {
@@ -14,7 +16,7 @@ enum class Extremum { Min, Max };
 // identity element).
 Signal sliding_extremum(SignalView x, std::size_t width, Extremum kind) {
   if (width % 2 == 0 || width == 0)
-    throw std::invalid_argument("morphology: structuring element width must be odd");
+    ICGKIT_THROW(std::invalid_argument("morphology: structuring element width must be odd"));
   const Index n = static_cast<Index>(x.size());
   const Index half = static_cast<Index>(width / 2);
   Signal out(x.size());
@@ -73,7 +75,7 @@ std::size_t baseline_width_w2(SampleRate fs, const BaselineEstimatorConfig& cfg)
 }
 
 Signal estimate_baseline(SignalView x, SampleRate fs, const BaselineEstimatorConfig& cfg) {
-  if (fs <= 0.0) throw std::invalid_argument("estimate_baseline: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("estimate_baseline: fs must be positive"));
   if (x.empty()) return {};
   const Signal opened = morph_open(x, baseline_width_w1(fs, cfg));
   return morph_close(opened, baseline_width_w2(fs, cfg));

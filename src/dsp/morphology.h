@@ -18,6 +18,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// Erosion with a flat structuring element of `width` samples (centered,
@@ -71,7 +73,7 @@ class BasicStreamingExtremum {
   BasicStreamingExtremum(std::size_t width, Kind kind)
       : half_(width / 2), kind_(kind), dq_(width + 1) {
     if (width % 2 == 0 || width == 0)
-      throw std::invalid_argument("StreamingExtremum: width must be odd");
+      ICGKIT_THROW(std::invalid_argument("StreamingExtremum: width must be odd"));
   }
 
   /// Feeds one sample; appends 0 or 1 newly completed outputs to `out`.
@@ -174,7 +176,7 @@ class BatchStreamingExtremum {
   BatchStreamingExtremum(std::size_t width, Kind kind)
       : half_(width / 2), kind_(kind), lanes_(kLanes, RingBuffer<Entry>(width + 1)) {
     if (width % 2 == 0 || width == 0)
-      throw std::invalid_argument("BatchStreamingExtremum: width must be odd");
+      ICGKIT_THROW(std::invalid_argument("BatchStreamingExtremum: width must be odd"));
   }
 
   void push(sample_t x, std::vector<sample_t>& out) {
@@ -306,7 +308,7 @@ class BasicStreamingBaselineRemover {
         close_erode_(w2_, Extremum::Kind::Min),
         raw_delay_(delay_ + 1) {
     if (fs <= 0.0)
-      throw std::invalid_argument("StreamingBaselineRemover: fs must be positive");
+      ICGKIT_THROW(std::invalid_argument("StreamingBaselineRemover: fs must be positive"));
   }
 
   /// Feeds one raw sample; appends newly completed cleaned samples.

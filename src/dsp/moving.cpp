@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 Signal moving_average(SignalView x, std::size_t width) {
   if (width == 0 || width % 2 == 0)
-    throw std::invalid_argument("moving_average: width must be odd");
+    ICGKIT_THROW(std::invalid_argument("moving_average: width must be odd"));
   const Index n = static_cast<Index>(x.size());
   const Index half = static_cast<Index>(width / 2);
   Signal y(x.size(), 0.0);
@@ -24,7 +26,7 @@ Signal moving_average(SignalView x, std::size_t width) {
 }
 
 Signal moving_window_integrate(SignalView x, std::size_t width) {
-  if (width == 0) throw std::invalid_argument("moving_window_integrate: width must be >= 1");
+  if (width == 0) ICGKIT_THROW(std::invalid_argument("moving_window_integrate: width must be >= 1"));
   Signal y(x.size(), 0.0);
   double sum = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -37,7 +39,7 @@ Signal moving_window_integrate(SignalView x, std::size_t width) {
 }
 
 Signal ema(SignalView x, double alpha) {
-  if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("ema: alpha in (0, 1]");
+  if (alpha <= 0.0 || alpha > 1.0) ICGKIT_THROW(std::invalid_argument("ema: alpha in (0, 1]"));
   Signal y(x.size());
   double state = x.empty() ? 0.0 : x[0];
   for (std::size_t i = 0; i < x.size(); ++i) {

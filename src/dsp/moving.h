@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// Centered moving average over `width` samples (odd width; shrinking
@@ -35,7 +37,7 @@ class BasicStreamingMovingAverage {
   using sample_t = typename B::sample_t;
 
   explicit BasicStreamingMovingAverage(std::size_t width) : buf_(width == 0 ? 1 : width) {
-    if (width == 0) throw std::invalid_argument("StreamingMovingAverage: width must be >= 1");
+    if (width == 0) ICGKIT_THROW(std::invalid_argument("StreamingMovingAverage: width must be >= 1"));
   }
 
   /// One sample in, one averaged sample out.

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 /// Fixed-capacity single-threaded FIFO with random access from the
@@ -19,7 +21,7 @@ template <typename T>
 class RingBuffer {
  public:
   explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
-    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity must be >= 1");
+    if (capacity == 0) ICGKIT_THROW(std::invalid_argument("RingBuffer: capacity must be >= 1"));
   }
 
   [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
@@ -40,7 +42,7 @@ class RingBuffer {
 
   /// Removes and returns the oldest element.
   T pop() {
-    if (empty()) throw std::out_of_range("RingBuffer: pop from empty");
+    if (empty()) ICGKIT_THROW(std::out_of_range("RingBuffer: pop from empty"));
     T v = buf_[head_];
     head_ = (head_ + 1) % buf_.size();
     --size_;
@@ -51,14 +53,14 @@ class RingBuffer {
   /// lets the streaming morphology kernels keep their monotonic deques in
   /// fixed storage instead of a heap-allocating std::deque).
   T pop_back() {
-    if (empty()) throw std::out_of_range("RingBuffer: pop_back from empty");
+    if (empty()) ICGKIT_THROW(std::out_of_range("RingBuffer: pop_back from empty"));
     --size_;
     return buf_[(head_ + size_) % buf_.size()];
   }
 
   /// Element i positions from the oldest (0 = oldest).
   [[nodiscard]] const T& at(std::size_t i) const {
-    if (i >= size_) throw std::out_of_range("RingBuffer: index out of range");
+    if (i >= size_) ICGKIT_THROW(std::out_of_range("RingBuffer: index out of range"));
     return buf_[(head_ + i) % buf_.size()];
   }
 

@@ -147,4 +147,26 @@ constexpr const char* lane_isa() {
 #endif
 }
 
+/// Default lockstep batch width for this build's ISA — what
+/// FleetConfig::batch_width = 0 resolves to.
+///
+/// Width guidance: a W-lane batch keeps W doubles of every kernel state
+/// variable live at once, so the right width is the widest the register
+/// file carries without spilling. W=8 spans two 4-lane YMM registers on
+/// plain AVX2 and the biquad/moving kernels spill to the stack, which
+/// measures *slower* than W=4 there; only a 512-bit register file
+/// (AVX-512) or NEON's 32-register file profits from W=8. Builds whose
+/// lane vector lowers to scalar or SSE2 code (e.g. generic x86-64
+/// without -march) gain nothing from lockstep batching, so the default
+/// keeps them scalar rather than paying the batch-group bookkeeping.
+constexpr std::size_t default_batch_width() {
+#if defined(__AVX512F__) || defined(__ARM_NEON)
+  return 8;
+#elif defined(__AVX2__)
+  return 4;
+#else
+  return 1;
+#endif
+}
+
 } // namespace icgkit::dsp

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 double mean(SignalView x) {
@@ -31,7 +33,7 @@ double rms(SignalView x) {
 }
 
 double pearson(SignalView x, SignalView y) {
-  if (x.size() != y.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (x.size() != y.size()) ICGKIT_THROW(std::invalid_argument("pearson: size mismatch"));
   if (x.size() < 2) return 0.0;
   const double mx = mean(x);
   const double my = mean(y);
@@ -74,7 +76,7 @@ double mad(SignalView x) {
 
 double percentile(SignalView x, double p) {
   if (x.empty()) return 0.0;
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p in [0,100]");
+  if (p < 0.0 || p > 100.0) ICGKIT_THROW(std::invalid_argument("percentile: p in [0,100]"));
   Signal tmp(x.begin(), x.end());
   std::sort(tmp.begin(), tmp.end());
   const double pos = p / 100.0 * static_cast<double>(tmp.size() - 1);
@@ -85,13 +87,13 @@ double percentile(SignalView x, double p) {
 }
 
 std::size_t argmax(SignalView x) {
-  if (x.empty()) throw std::invalid_argument("argmax: empty input");
+  if (x.empty()) ICGKIT_THROW(std::invalid_argument("argmax: empty input"));
   return static_cast<std::size_t>(
       std::distance(x.begin(), std::max_element(x.begin(), x.end())));
 }
 
 std::size_t argmin(SignalView x) {
-  if (x.empty()) throw std::invalid_argument("argmin: empty input");
+  if (x.empty()) ICGKIT_THROW(std::invalid_argument("argmin: empty input"));
   return static_cast<std::size_t>(
       std::distance(x.begin(), std::min_element(x.begin(), x.end())));
 }
@@ -102,8 +104,8 @@ std::optional<double> LineFit::zero_crossing() const {
 }
 
 LineFit fit_line(SignalView x, SignalView y) {
-  if (x.size() != y.size()) throw std::invalid_argument("fit_line: size mismatch");
-  if (x.size() < 2) throw std::invalid_argument("fit_line: need >= 2 points");
+  if (x.size() != y.size()) ICGKIT_THROW(std::invalid_argument("fit_line: size mismatch"));
+  if (x.size() < 2) ICGKIT_THROW(std::invalid_argument("fit_line: need >= 2 points"));
   const double mx = mean(x);
   const double my = mean(y);
   double sxy = 0.0, sxx = 0.0;

@@ -5,13 +5,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::dsp {
 
 std::size_t zero_phase_highpass_decimation(SampleRate fs,
                                            const ZeroPhaseHighpassConfig& cfg) {
-  if (fs <= 0.0) throw std::invalid_argument("StreamingZeroPhaseHighpass: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("StreamingZeroPhaseHighpass: fs must be positive"));
   if (cfg.cutoff_hz <= 0.0 || cfg.cutoff_hz >= fs / 2.0)
-    throw std::invalid_argument("StreamingZeroPhaseHighpass: cutoff must lie in (0, fs/2)");
+    ICGKIT_THROW(std::invalid_argument("StreamingZeroPhaseHighpass: cutoff must lie in (0, fs/2)"));
   if (cfg.decimation > 0) return cfg.decimation;
   const double want = fs / (16.0 * cfg.cutoff_hz);
   return std::max<std::size_t>(1, static_cast<std::size_t>(std::floor(want)));

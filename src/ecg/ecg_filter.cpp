@@ -4,12 +4,14 @@
 
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::ecg {
 
 EcgFilter::EcgFilter(dsp::SampleRate fs, const EcgFilterConfig& cfg)
     : fs_(fs), cfg_(cfg),
       fir_(dsp::design_bandpass(cfg.fir_order, cfg.f1_hz, cfg.f2_hz, fs)) {
-  if (fs <= 0.0) throw std::invalid_argument("EcgFilter: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("EcgFilter: fs must be positive"));
 }
 
 dsp::Signal EcgFilter::baseline_estimate(dsp::SignalView ecg) const {

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/contract.h"
+
 namespace icgkit::ecg {
 
 namespace {
@@ -18,9 +20,9 @@ constexpr double kBpKernelTol = 1e-5;
 
 dsp::FirCoefficients pan_tompkins_bandpass_kernel(dsp::SampleRate fs,
                                                   const PanTompkinsConfig& cfg) {
-  if (fs <= 0.0) throw std::invalid_argument("PanTompkins: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("PanTompkins: fs must be positive"));
   if (cfg.bandpass_low_hz >= cfg.bandpass_high_hz)
-    throw std::invalid_argument("PanTompkins: band-pass edges inverted");
+    ICGKIT_THROW(std::invalid_argument("PanTompkins: band-pass edges inverted"));
   return dsp::zero_phase_sos_kernel(
       dsp::butterworth_bandpass(2, cfg.bandpass_low_hz, cfg.bandpass_high_hz, fs),
       kBpKernelTol);
@@ -32,9 +34,9 @@ dsp::FirCoefficients pan_tompkins_bandpass_kernel(dsp::SampleRate fs,
 
 PanTompkins::PanTompkins(dsp::SampleRate fs, const PanTompkinsConfig& cfg)
     : fs_(fs), cfg_(cfg) {
-  if (fs <= 0.0) throw std::invalid_argument("PanTompkins: fs must be positive");
+  if (fs <= 0.0) ICGKIT_THROW(std::invalid_argument("PanTompkins: fs must be positive"));
   if (cfg.bandpass_low_hz >= cfg.bandpass_high_hz)
-    throw std::invalid_argument("PanTompkins: band-pass edges inverted");
+    ICGKIT_THROW(std::invalid_argument("PanTompkins: band-pass edges inverted"));
 }
 
 dsp::Signal PanTompkins::feature_signal(dsp::SignalView ecg) const {

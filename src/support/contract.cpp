@@ -1,0 +1,26 @@
+#include "support/contract.h"
+
+#if defined(ICGKIT_NO_EXCEPTIONS)
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icgkit {
+
+[[noreturn]] void contract_panic(const char* what) noexcept {
+  // stderr is available on the hosted CI build of the firmware profile;
+  // a real MCU port would route this to its fault handler instead.
+  std::fputs("icgkit: fatal contract violation: ", stderr);
+  std::fputs(what != nullptr ? what : "(null)", stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+} // namespace icgkit
+
+#else
+
+// The hosted build raises exceptions instead; this translation unit is
+// intentionally empty there (kept so the source list is profile-agnostic).
+
+#endif

@@ -1,0 +1,448 @@
+// The C ABI boundary (capi/icgkit.h).
+//
+// Two contracts under test:
+//
+//  1. Abuse safety: every misuse — NULL arguments, stale or forged
+//     handles, double destroy, ABI version mismatch, oversized chunks,
+//     wrong-backend checkpoint blobs, undersized buffers — returns a
+//     negative status code. Never UB: the ASan/UBSan CI entry runs this
+//     binary, so a pointer slip here fails loudly.
+//
+//  2. Parity: a session streamed through the C ABI emits beats
+//     byte-for-byte identical (in the serialize_beat canonical form) to
+//     the C++ pipeline fed the same samples, on both backends, and its
+//     checkpoint blobs interchange with the C++ API in both directions.
+#include "capi/icgkit.h"
+
+#include "core/beat_serializer.h"
+#include "core/pipeline.h"
+#include "synth/recording.h"
+#include "synth/subject.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using core::BeatRecord;
+using core::serialize_beat;
+
+constexpr std::uint32_t kChunk = 256;
+
+synth::Recording test_recording(double duration_s = 30.0) {
+  const auto roster = synth::paper_roster();
+  synth::RecordingConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.session_seed = 7;
+  const synth::SourceActivity source = generate_source(roster[0], cfg);
+  return measure_device(roster[0], source, 50e3, synth::Position::HoldToChest);
+}
+
+icg_config test_config(std::uint32_t backend) {
+  icg_config cfg;
+  EXPECT_EQ(icg_config_init(&cfg), ICG_OK);
+  cfg.backend = backend;
+  cfg.sample_rate_hz = 250.0;
+  return cfg;
+}
+
+// Reconstructs the serialize_beat-relevant fields of a BeatRecord from
+// its flat C mirror, so the two streams can be compared in the one
+// canonical byte form the whole project uses for beat identity.
+BeatRecord from_c_beat(const icg_beat& b) {
+  BeatRecord rec;
+  rec.points.r = b.r;
+  rec.points.b = b.b;
+  rec.points.c = b.c;
+  rec.points.x = b.x;
+  rec.points.b0 = b.b0;
+  rec.points.b_method = static_cast<core::BPointMethod>(b.b_method);
+  rec.points.c_amplitude = b.c_amplitude;
+  rec.points.valid = b.valid != 0;
+  rec.hemo.pep_s = b.pep_s;
+  rec.hemo.lvet_s = b.lvet_s;
+  rec.hemo.hr_bpm = b.hr_bpm;
+  rec.hemo.dzdt_max = b.dzdt_max;
+  rec.hemo.sv_kubicek_ml = b.sv_kubicek_ml;
+  rec.hemo.sv_sramek_ml = b.sv_sramek_ml;
+  rec.hemo.co_kubicek_l_min = b.co_kubicek_l_min;
+  rec.hemo.tfc_per_kohm = b.tfc_per_kohm;
+  rec.flaws = static_cast<core::BeatFlaw>(b.flaws);
+  rec.rr_s = b.rr_s;
+  return rec;
+}
+
+// Streams a recording through a C ABI session in fixed chunks and
+// returns the canonical bytes of every emitted beat.
+std::vector<unsigned char> run_c_session(const synth::Recording& rec,
+                                         std::uint32_t backend) {
+  const icg_config cfg = test_config(backend);
+  icg_session* s = icg_session_create(&cfg);
+  EXPECT_NE(s, nullptr) << icg_last_error();
+  std::vector<unsigned char> bytes;
+  icg_beat beat;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off < total; off += kChunk) {
+    const auto len = static_cast<std::uint32_t>(std::min<std::size_t>(kChunk, total - off));
+    EXPECT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, len), 0)
+        << icg_last_error();
+    while (icg_session_poll_beat(s, &beat) == 1)
+      serialize_beat(from_c_beat(beat), bytes);
+  }
+  EXPECT_GE(icg_session_finish(s), 0) << icg_last_error();
+  while (icg_session_poll_beat(s, &beat) == 1) serialize_beat(from_c_beat(beat), bytes);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+  return bytes;
+}
+
+// The same stream through the C++ API, same chunking.
+template <typename Pipeline>
+std::vector<unsigned char> run_cpp_session(const synth::Recording& rec) {
+  Pipeline engine(rec.fs);
+  std::vector<unsigned char> bytes;
+  std::vector<BeatRecord> emitted;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off < total; off += kChunk) {
+    const std::size_t len = std::min<std::size_t>(kChunk, total - off);
+    emitted.clear();
+    engine.push_into(dsp::SignalView(rec.ecg_mv.data() + off, len),
+                     dsp::SignalView(rec.z_ohm.data() + off, len), emitted);
+    for (const BeatRecord& b : emitted) serialize_beat(b, bytes);
+  }
+  emitted.clear();
+  engine.finish_into(emitted);
+  for (const BeatRecord& b : emitted) serialize_beat(b, bytes);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Parity
+// ---------------------------------------------------------------------------
+
+TEST(CApiParityTest, DoubleBackendMatchesCppByteForByte) {
+  const auto rec = test_recording();
+  const auto c_bytes = run_c_session(rec, ICG_BACKEND_DOUBLE);
+  const auto cpp_bytes = run_cpp_session<core::StreamingBeatPipeline>(rec);
+  ASSERT_FALSE(cpp_bytes.empty());
+  EXPECT_EQ(c_bytes, cpp_bytes);
+}
+
+TEST(CApiParityTest, Q31BackendMatchesCppByteForByte) {
+  const auto rec = test_recording();
+  const auto c_bytes = run_c_session(rec, ICG_BACKEND_Q31);
+  const auto cpp_bytes = run_cpp_session<core::FixedStreamingBeatPipeline>(rec);
+  ASSERT_FALSE(cpp_bytes.empty());
+  EXPECT_EQ(c_bytes, cpp_bytes);
+}
+
+TEST(CApiParityTest, QualitySummaryMatchesCpp) {
+  const auto rec = test_recording();
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  core::StreamingBeatPipeline engine(rec.fs);
+  std::vector<BeatRecord> emitted;
+  icg_beat beat;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off < total; off += kChunk) {
+    const auto len = static_cast<std::uint32_t>(std::min<std::size_t>(kChunk, total - off));
+    ASSERT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, len), 0);
+    while (icg_session_poll_beat(s, &beat) == 1) {
+    }
+    engine.push_into(dsp::SignalView(rec.ecg_mv.data() + off, len),
+                     dsp::SignalView(rec.z_ohm.data() + off, len), emitted);
+  }
+  ASSERT_GE(icg_session_finish(s), 0);
+  engine.finish_into(emitted);
+
+  icg_quality_summary q;
+  ASSERT_EQ(icg_session_quality(s, &q), ICG_OK);
+  const core::QualitySummary& ref = engine.quality_summary();
+  EXPECT_EQ(q.beats, ref.beats);
+  EXPECT_EQ(q.usable, ref.usable);
+  for (std::size_t i = 0; i < core::kBeatFlawCount; ++i)
+    EXPECT_EQ(q.flaw_counts[i], ref.flaw_counts[i]) << "flaw bit " << i;
+  EXPECT_EQ(q.ecg_dropouts, ref.ecg_dropouts);
+  EXPECT_EQ(q.z_dropouts, ref.z_dropouts);
+  EXPECT_EQ(q.detector_resets, ref.detector_resets);
+  EXPECT_EQ(q.snr_beats, ref.snr_beats);
+  EXPECT_DOUBLE_EQ(q.sum_snr_db, ref.sum_snr_db);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint interchange with the C++ API
+// ---------------------------------------------------------------------------
+
+TEST(CApiCheckpointTest, BlobInterchangesWithCppBothDirections) {
+  const auto rec = test_recording(24.0);
+  const std::size_t half = (rec.ecg_mv.size() / 2 / kChunk) * kChunk;
+
+  // C session streams the first half, checkpoints; a C++ pipeline
+  // restores that blob and finishes the stream. Reference: an
+  // uninterrupted C++ pipeline over the full stream.
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  icg_beat beat;
+  std::vector<unsigned char> c_head;
+  for (std::size_t off = 0; off < half; off += kChunk) {
+    ASSERT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, kChunk), 0);
+    while (icg_session_poll_beat(s, &beat) == 1) serialize_beat(from_c_beat(beat), c_head);
+  }
+  const std::uint32_t need = icg_session_checkpoint_size(s);
+  ASSERT_GT(need, 0u);
+  std::vector<std::uint8_t> blob(need);
+  std::uint32_t written = 0;
+  ASSERT_EQ(icg_session_checkpoint(s, blob.data(), need, &written), ICG_OK);
+  ASSERT_EQ(written, need);
+
+  core::StreamingBeatPipeline resumed(rec.fs);
+  resumed.restore(blob);
+  std::vector<unsigned char> tail_bytes = c_head;
+  std::vector<BeatRecord> emitted;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = half; off < total; off += kChunk) {
+    const std::size_t len = std::min<std::size_t>(kChunk, total - off);
+    emitted.clear();
+    resumed.push_into(dsp::SignalView(rec.ecg_mv.data() + off, len),
+                      dsp::SignalView(rec.z_ohm.data() + off, len), emitted);
+    for (const BeatRecord& b : emitted) serialize_beat(b, tail_bytes);
+  }
+  emitted.clear();
+  resumed.finish_into(emitted);
+  for (const BeatRecord& b : emitted) serialize_beat(b, tail_bytes);
+
+  EXPECT_EQ(tail_bytes, run_cpp_session<core::StreamingBeatPipeline>(rec));
+
+  // Opposite direction: the C session restores the *C++* pipeline's
+  // mid-stream blob (taken at the same split) and must finish the
+  // stream to the same bytes.
+  core::StreamingBeatPipeline source(rec.fs);
+  std::vector<unsigned char> cpp_head;
+  for (std::size_t off = 0; off < half; off += kChunk) {
+    emitted.clear();
+    source.push_into(dsp::SignalView(rec.ecg_mv.data() + off, kChunk),
+                     dsp::SignalView(rec.z_ohm.data() + off, kChunk), emitted);
+    for (const BeatRecord& b : emitted) serialize_beat(b, cpp_head);
+  }
+  EXPECT_EQ(cpp_head, c_head);
+  const auto cpp_blob = source.checkpoint();
+  ASSERT_EQ(icg_session_restore(s, cpp_blob.data(),
+                                static_cast<std::uint32_t>(cpp_blob.size())),
+            ICG_OK)
+      << icg_last_error();
+  std::vector<unsigned char> c_tail = cpp_head;
+  for (std::size_t off = half; off < total; off += kChunk) {
+    const auto len = static_cast<std::uint32_t>(std::min<std::size_t>(kChunk, total - off));
+    ASSERT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, len), 0);
+    while (icg_session_poll_beat(s, &beat) == 1) serialize_beat(from_c_beat(beat), c_tail);
+  }
+  ASSERT_GE(icg_session_finish(s), 0);
+  while (icg_session_poll_beat(s, &beat) == 1) serialize_beat(from_c_beat(beat), c_tail);
+  EXPECT_EQ(c_tail, tail_bytes);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+TEST(CApiCheckpointTest, WrongBackendBlobIsRefused) {
+  const icg_config q31_cfg = test_config(ICG_BACKEND_Q31);
+  icg_session* q31 = icg_session_create(&q31_cfg);
+  ASSERT_NE(q31, nullptr);
+  const std::uint32_t need = icg_session_checkpoint_size(q31);
+  ASSERT_GT(need, 0u);
+  std::vector<std::uint8_t> blob(need);
+  std::uint32_t written = 0;
+  ASSERT_EQ(icg_session_checkpoint(q31, blob.data(), need, &written), ICG_OK);
+
+  const icg_config dbl_cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* dbl = icg_session_create(&dbl_cfg);
+  ASSERT_NE(dbl, nullptr);
+  EXPECT_EQ(icg_session_restore(dbl, blob.data(), written), ICG_ERR_BAD_CHECKPOINT);
+  EXPECT_NE(std::strstr(icg_last_error(), "ICG_ERR_BAD_CHECKPOINT"), nullptr);
+  // The refused session must remain fully usable.
+  const double zeros[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_GE(icg_session_push(dbl, zeros, zeros, 8), 0);
+  EXPECT_EQ(icg_session_destroy(dbl), ICG_OK);
+  EXPECT_EQ(icg_session_destroy(q31), ICG_OK);
+}
+
+TEST(CApiCheckpointTest, CorruptAndTruncatedBlobsAreRefused) {
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  const std::uint32_t need = icg_session_checkpoint_size(s);
+  std::vector<std::uint8_t> blob(need);
+  std::uint32_t written = 0;
+  ASSERT_EQ(icg_session_checkpoint(s, blob.data(), need, &written), ICG_OK);
+
+  auto corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0xFF;  // payload bit flip -> CRC mismatch
+  EXPECT_EQ(icg_session_restore(s, corrupt.data(), written), ICG_ERR_BAD_CHECKPOINT);
+  EXPECT_EQ(icg_session_restore(s, blob.data(), written / 2), ICG_ERR_BAD_CHECKPOINT);
+  EXPECT_EQ(icg_session_restore(s, blob.data(), 3), ICG_ERR_BAD_CHECKPOINT);
+  // Intact blob still restores after all those refusals.
+  EXPECT_EQ(icg_session_restore(s, blob.data(), written), ICG_OK);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+TEST(CApiCheckpointTest, BufferTooSmallReportsRequiredSize) {
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  std::uint8_t tiny[16];
+  std::uint32_t written = 0;
+  EXPECT_EQ(icg_session_checkpoint(s, tiny, sizeof tiny, &written),
+            ICG_ERR_BUFFER_TOO_SMALL);
+  EXPECT_EQ(written, icg_session_checkpoint_size(s));
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+// ---------------------------------------------------------------------------
+// Abuse: config and handle lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(CApiAbuseTest, NullArgumentsAreRejected) {
+  EXPECT_EQ(icg_config_init(nullptr), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_create(nullptr), nullptr);
+
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  const double samples[4] = {0, 0, 0, 0};
+  EXPECT_EQ(icg_session_push(s, nullptr, samples, 4), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_push(s, samples, nullptr, 4), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_poll_beat(s, nullptr), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_quality(s, nullptr), ICG_ERR_NULL_ARG);
+  std::uint32_t written = 0;
+  EXPECT_EQ(icg_session_checkpoint(s, nullptr, 0, &written), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_restore(s, nullptr, 0), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+TEST(CApiAbuseTest, AbiVersionMismatchIsRefused) {
+  icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.abi_version = ICG_ABI_VERSION + 1;
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+  EXPECT_NE(std::strstr(icg_last_error(), "ICG_ERR_ABI_MISMATCH"), nullptr);
+  cfg.abi_version = 0;
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+}
+
+TEST(CApiAbuseTest, BadConfigValuesAreRefused) {
+  icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.backend = 42;
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+  cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.sample_rate_hz = -250.0;
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+  cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.window_s = 0.0;
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+  cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.max_chunk = 0;
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+  cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.reserved[2] = 1;  // reserved fields are part of the v1 contract
+  EXPECT_EQ(icg_session_create(&cfg), nullptr);
+}
+
+TEST(CApiAbuseTest, BadHandlesNeverDereference) {
+  icg_beat beat;
+  const double samples[4] = {0, 0, 0, 0};
+  // NULL, forged, and misaligned-garbage handles.
+  EXPECT_EQ(icg_session_push(nullptr, samples, samples, 4), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_poll_beat(nullptr, &beat), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_finish(nullptr), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_destroy(nullptr), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_checkpoint_size(nullptr), 0u);
+  auto* forged = reinterpret_cast<icg_session*>(static_cast<std::uintptr_t>(0xDEADBEEF));
+  EXPECT_EQ(icg_session_push(forged, samples, samples, 4), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_destroy(forged), ICG_ERR_BAD_HANDLE);
+}
+
+TEST(CApiAbuseTest, DoubleDestroyAndStaleUseAreErrors) {
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+  EXPECT_EQ(icg_session_destroy(s), ICG_ERR_BAD_HANDLE);
+  const double samples[4] = {0, 0, 0, 0};
+  EXPECT_EQ(icg_session_push(s, samples, samples, 4), ICG_ERR_BAD_HANDLE);
+  icg_beat beat;
+  EXPECT_EQ(icg_session_poll_beat(s, &beat), ICG_ERR_BAD_HANDLE);
+
+  // A new session may reuse the slot; the old handle must stay dead.
+  icg_session* fresh = icg_session_create(&cfg);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(icg_session_push(s, samples, samples, 4), ICG_ERR_BAD_HANDLE);
+  EXPECT_NE(s, fresh);
+  EXPECT_EQ(icg_session_destroy(fresh), ICG_OK);
+}
+
+TEST(CApiAbuseTest, OversizedChunkAndBadStateAreErrors) {
+  icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.max_chunk = 64;
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  std::vector<double> samples(65, 0.0);
+  EXPECT_EQ(icg_session_push(s, samples.data(), samples.data(), 65),
+            ICG_ERR_CHUNK_TOO_LARGE);
+  EXPECT_GE(icg_session_push(s, samples.data(), samples.data(), 64), 0);
+  EXPECT_GE(icg_session_finish(s), 0);
+  EXPECT_EQ(icg_session_push(s, samples.data(), samples.data(), 8), ICG_ERR_BAD_STATE);
+  EXPECT_EQ(icg_session_finish(s), ICG_ERR_BAD_STATE);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+TEST(CApiAbuseTest, BeatBacklogPoisonsSession) {
+  const auto rec = test_recording();
+  icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  cfg.beat_queue_capacity = 2;  // absurdly small on purpose
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  int rc = 0;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off + kChunk <= total && rc >= 0; off += kChunk)
+    rc = icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, kChunk);
+  ASSERT_EQ(rc, ICG_ERR_BEAT_BACKLOG) << "never polling must overflow a 2-beat queue";
+  // Poisoned: further pushes and finish keep reporting the overflow.
+  EXPECT_EQ(icg_session_push(s, rec.ecg_mv.data(), rec.z_ohm.data(), kChunk),
+            ICG_ERR_BEAT_BACKLOG);
+  EXPECT_EQ(icg_session_finish(s), ICG_ERR_BEAT_BACKLOG);
+  // Already-queued beats stay drainable, and destroy still works.
+  icg_beat beat;
+  EXPECT_EQ(icg_session_poll_beat(s, &beat), 1);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+TEST(CApiAbuseTest, LastErrorAndStatusNamesAreStable) {
+  EXPECT_EQ(icg_abi_version(), ICG_ABI_VERSION);
+  EXPECT_STREQ(icg_status_name(ICG_OK), "ICG_OK");
+  EXPECT_STREQ(icg_status_name(ICG_ERR_BAD_HANDLE), "ICG_ERR_BAD_HANDLE");
+  EXPECT_STREQ(icg_status_name(-9999), "ICG_ERR_?");
+  icg_session_destroy(nullptr);
+  EXPECT_NE(std::strstr(icg_last_error(), "ICG_ERR_BAD_HANDLE"), nullptr);
+}
+
+TEST(CApiAbuseTest, SessionTableExhaustionIsAnError) {
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  std::vector<icg_session*> sessions;
+  for (;;) {
+    icg_session* s = icg_session_create(&cfg);
+    if (s == nullptr) break;
+    sessions.push_back(s);
+    ASSERT_LE(sessions.size(), 256u) << "table should be bounded";
+  }
+  EXPECT_NE(std::strstr(icg_last_error(), "ICG_ERR_NO_RESOURCES"), nullptr);
+  for (icg_session* s : sessions) EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+  // The table is fully reusable after the mass destroy.
+  icg_session* again = icg_session_create(&cfg);
+  EXPECT_NE(again, nullptr);
+  EXPECT_EQ(icg_session_destroy(again), ICG_OK);
+}
+
+} // namespace

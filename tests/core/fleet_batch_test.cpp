@@ -8,13 +8,16 @@
 // whole group must silently run scalar.
 #include "core/fleet.h"
 
+#include "core/batch.h"
 #include "core/beat_serializer.h"
+#include "dsp/simd.h"
 #include "synth/recording.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace {
@@ -93,14 +96,14 @@ void expect_same_run(const FleetRun& scalar, const FleetRun& batched) {
 TEST(FleetBatchTest, WidthFourMatchesScalarFleet) {
   const auto workload = test_workload(3, 8.0);
   constexpr std::size_t kSessions = 8;
-  expect_same_run(run_fleet(workload, kSessions, 2, /*batch_width=*/0),
+  expect_same_run(run_fleet(workload, kSessions, 2, /*batch_width=*/1),
                   run_fleet(workload, kSessions, 2, /*batch_width=*/4));
 }
 
 TEST(FleetBatchTest, WidthEightMatchesScalarFleet) {
   const auto workload = test_workload(2, 8.0);
   constexpr std::size_t kSessions = 8;
-  expect_same_run(run_fleet(workload, kSessions, 1, /*batch_width=*/0),
+  expect_same_run(run_fleet(workload, kSessions, 1, /*batch_width=*/1),
                   run_fleet(workload, kSessions, 1, /*batch_width=*/8));
 }
 
@@ -108,7 +111,7 @@ TEST(FleetBatchTest, RemainderSessionsRunScalar) {
   // 6 sessions on one worker with batch_width 4: one packed group of 4
   // plus 2 scalar stragglers. All six must match the scalar fleet.
   const auto workload = test_workload(2, 6.0);
-  expect_same_run(run_fleet(workload, 6, 1, /*batch_width=*/0),
+  expect_same_run(run_fleet(workload, 6, 1, /*batch_width=*/1),
                   run_fleet(workload, 6, 1, /*batch_width=*/4));
 }
 
@@ -120,7 +123,7 @@ TEST(FleetBatchTest, RemainderSessionsRunScalar) {
 TEST(FleetBatchTest, MigrationDissolvesPackedGroupMidStream) {
   const auto workload = test_workload(3, 8.0);
   constexpr std::size_t kSessions = 8;  // ids {0,2,4,6} pack on worker 0
-  const auto scalar = run_fleet(workload, kSessions, 2, /*batch_width=*/0);
+  const auto scalar = run_fleet(workload, kSessions, 2, /*batch_width=*/1);
 
   FleetConfig cfg;
   cfg.workers = 2;
@@ -173,7 +176,7 @@ TEST(FleetBatchTest, MismatchedChunkLengthsDissolveCleanly) {
   // streams still match the scalar fleet fed uniform chunks.
   const auto workload = test_workload(2, 6.0);
   constexpr std::size_t kSessions = 4;
-  const auto scalar = run_fleet(workload, kSessions, 1, /*batch_width=*/0);
+  const auto scalar = run_fleet(workload, kSessions, 1, /*batch_width=*/1);
 
   FleetConfig cfg;
   cfg.workers = 1;
@@ -226,6 +229,34 @@ TEST(FleetBatchTest, ValidatesBatchWidth) {
   EXPECT_THROW(SessionManager fleet(250.0, cfg), std::invalid_argument);
   cfg.batch_width = 1;  // explicit scalar is fine
   EXPECT_NO_THROW(SessionManager fleet(250.0, cfg));
+}
+
+// The per-ISA auto width: batch_width = 0 must resolve to the width
+// this build's register file carries without spilling — W=8 only on a
+// 512-bit or 32-register file (AVX-512, NEON), W=4 on plain AVX2, and
+// scalar everywhere the lane vector lowers to SSE2/scalar code. Keeps
+// dsp::default_batch_width honest against dsp::lane_isa for whatever
+// -march this test was compiled with.
+TEST(FleetBatchTest, DefaultBatchWidthMatchesIsa) {
+  const std::string isa = dsp::lane_isa();
+  const std::size_t width = dsp::default_batch_width();
+  if (isa == "avx512" || isa == "neon") {
+    EXPECT_EQ(width, 8u);
+  } else if (isa == "avx2") {
+    EXPECT_EQ(width, 4u);
+  } else {
+    EXPECT_EQ(width, 1u) << "ISA " << isa << " should not auto-batch";
+  }
+  if (width > 1) EXPECT_TRUE(core::session_batch_width_supported(width));
+
+  FleetConfig cfg;
+  ASSERT_EQ(cfg.batch_width, 0u) << "auto must stay the FleetConfig default";
+  SessionManager fleet(250.0, cfg);
+  EXPECT_EQ(fleet.resolved_batch_width(), width);
+
+  cfg.batch_width = 1;
+  SessionManager scalar_fleet(250.0, cfg);
+  EXPECT_EQ(scalar_fleet.resolved_batch_width(), 1u);
 }
 
 } // namespace
