@@ -147,6 +147,22 @@ static int run_backend(uint32_t backend, const char* name) {
     }
     twin = icg_session_create(&cfg);
     if (twin == NULL) return -1;
+    /* A corrupt or truncated blob must come back as a negative status —
+     * never a panic/abort — even in the embedded build, whose core has
+     * no exceptions to unwind with.  This is the firmware CI's smoke
+     * check of the boundary's checked restore path. */
+    blob[written / 2] ^= 0xFFu;
+    rc = icg_session_restore(twin, blob, written);
+    if (rc != ICG_ERR_BAD_CHECKPOINT) {
+      fprintf(stderr, "[%s] corrupt blob not refused (rc=%d)\n", name, rc);
+      return -1;
+    }
+    blob[written / 2] ^= 0xFFu; /* undo the bit flip */
+    rc = icg_session_restore(twin, blob, written / 2);
+    if (rc != ICG_ERR_BAD_CHECKPOINT) {
+      fprintf(stderr, "[%s] truncated blob not refused (rc=%d)\n", name, rc);
+      return -1;
+    }
     rc = icg_session_restore(twin, blob, written);
     if (rc != ICG_OK) {
       fprintf(stderr, "[%s] restore failed: %s\n", name, icg_last_error());

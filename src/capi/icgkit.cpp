@@ -108,6 +108,7 @@ struct EngineIface {
   virtual void finish_into(std::vector<BeatRecord>& out) = 0;
   virtual const QualitySummary& quality() const = 0;
   virtual void checkpoint_into(std::vector<std::uint8_t>& blob) const = 0;
+  virtual bool restore_compatible(std::span<const std::uint8_t> blob) const noexcept = 0;
   virtual void restore(std::span<const std::uint8_t> blob) = 0;
 };
 
@@ -128,6 +129,9 @@ struct EngineOf final : EngineIface {
     // checkpoint_into replaces the blob but reuses its capacity, which
     // is what keeps the warmed-up checkpoint path allocation-free.
     engine.checkpoint_into(blob);
+  }
+  bool restore_compatible(std::span<const std::uint8_t> blob) const noexcept override {
+    return engine.restore_compatible(blob);
   }
   void restore(std::span<const std::uint8_t> blob) override { engine.restore(blob); }
 };
@@ -204,9 +208,15 @@ int enqueue_beats(SessionImpl& s) {
 
 constexpr std::size_t kMaxSessions = 64;
 
+// impl/generation are atomic because decode_handle validates handles
+// lock-free from any thread while create/destroy mutate the slot under
+// the table lock: checking a stale handle concurrently with a destroy
+// must stay a defined-behaviour "no" (the documented handle guarantee),
+// not a C++ data race. Writers store with release under the lock,
+// decode_handle loads with acquire.
 struct Slot {
-  SessionImpl* impl = nullptr;
-  std::uintptr_t generation = 1;
+  std::atomic<SessionImpl*> impl{nullptr};
+  std::atomic<std::uintptr_t> generation{1};
 };
 
 Slot g_slots[kMaxSessions];
@@ -220,9 +230,11 @@ struct TableLock {
   ~TableLock() { g_table_lock.clear(std::memory_order_release); }
 };
 
+// Callers hold the table lock (relaxed loads suffice under it).
 icg_session* encode_handle(std::size_t slot) {
   const std::uintptr_t v =
-      (g_slots[slot].generation << 8) | static_cast<std::uintptr_t>(slot + 1);
+      (g_slots[slot].generation.load(std::memory_order_relaxed) << 8) |
+      static_cast<std::uintptr_t>(slot + 1);
   return reinterpret_cast<icg_session*>(v);
 }
 
@@ -231,8 +243,9 @@ SessionImpl* decode_handle(icg_session* handle) {
   const std::uintptr_t low = v & 0xFF;
   if (low == 0 || low > kMaxSessions) return nullptr;
   const std::size_t slot = static_cast<std::size_t>(low - 1);
-  if (g_slots[slot].generation != (v >> 8)) return nullptr;
-  return g_slots[slot].impl;
+  if (g_slots[slot].generation.load(std::memory_order_acquire) != (v >> 8))
+    return nullptr;
+  return g_slots[slot].impl.load(std::memory_order_acquire);
 }
 
 int validate_config(const icg_config& cfg) {
@@ -331,8 +344,8 @@ icg_session* icg_session_create(const icg_config* cfg) {
 
   TableLock lock;
   for (std::size_t i = 0; i < kMaxSessions; ++i) {
-    if (g_slots[i].impl == nullptr) {
-      g_slots[i].impl = impl;
+    if (g_slots[i].impl.load(std::memory_order_relaxed) == nullptr) {
+      g_slots[i].impl.store(impl, std::memory_order_release);
       return encode_handle(i);
     }
   }
@@ -350,11 +363,13 @@ int icg_session_destroy(icg_session* session) {
     if (low == 0 || low > kMaxSessions)
       return set_error(ICG_ERR_BAD_HANDLE, "not a session handle");
     const std::size_t slot = static_cast<std::size_t>(low - 1);
-    if (g_slots[slot].generation != (v >> 8) || g_slots[slot].impl == nullptr)
+    if (g_slots[slot].generation.load(std::memory_order_relaxed) != (v >> 8) ||
+        g_slots[slot].impl.load(std::memory_order_relaxed) == nullptr)
       return set_error(ICG_ERR_BAD_HANDLE, "stale or destroyed handle");
-    impl = g_slots[slot].impl;
-    g_slots[slot].impl = nullptr;
-    ++g_slots[slot].generation;  // retire every outstanding handle to this slot
+    impl = g_slots[slot].impl.load(std::memory_order_relaxed);
+    g_slots[slot].impl.store(nullptr, std::memory_order_release);
+    // Retire every outstanding handle to this slot.
+    g_slots[slot].generation.fetch_add(1, std::memory_order_release);
   }
   delete impl;
   return ICG_OK;
@@ -464,6 +479,15 @@ int icg_session_restore(icg_session* session, const uint8_t* blob, uint32_t len)
   SessionImpl* s = decode_handle(session);
   if (s == nullptr) return set_error(ICG_ERR_BAD_HANDLE, "stale or destroyed handle");
   if (blob == nullptr) return set_error(ICG_ERR_NULL_ARG, "blob is NULL");
+  // Checked pre-validation of the whole frame (magic, version, section
+  // bounds, CRCs) and the blob's recorded configuration, *before* any
+  // loader runs. In the embedded profile this is what turns a corrupt,
+  // truncated, or wrong-backend blob into ICG_ERR_BAD_CHECKPOINT — the
+  // no-exceptions core below can only panic on it — and it runs in the
+  // hosted build too so the same path stays test-covered.
+  if (!s->engine->restore_compatible(std::span<const std::uint8_t>(blob, len)))
+    return set_error(ICG_ERR_BAD_CHECKPOINT,
+                     "corrupt, truncated, or configuration-mismatched blob");
   return guarded([&]() -> int {
     s->engine->restore(std::span<const std::uint8_t>(blob, len));
     // A restored session resumes the source's stream: pollable from a
@@ -495,6 +519,8 @@ int icg_demo_synth_recording(uint32_t subject_index, double duration_s,
     const synth::SourceActivity source = generate_source(subject, rcfg);
     const synth::Recording rec =
         measure_device(subject, source, 50e3, synth::Position::HoldToChest);
+    if (rec.z_ohm.size() != rec.ecg_mv.size())
+      return set_error(ICG_ERR_INTERNAL, "synth channels have unequal lengths");
     *written = static_cast<uint32_t>(rec.ecg_mv.size());
     if (rec.ecg_mv.size() > capacity)
       return set_error(ICG_ERR_BUFFER_TOO_SMALL, "recording exceeds capacity");

@@ -70,6 +70,30 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) of `n` bytes.
 std::uint32_t checkpoint_crc32(const std::uint8_t* data, std::size_t n);
 
+/// Result of probe_checkpoint(): the non-throwing structural verdict on
+/// a blob plus the construction parameters its leading "CFG " section
+/// carries (valid only when `valid` is true).
+struct CheckpointProbe {
+  /// Magic, version, and every section frame (tag, bounds, CRC) check
+  /// out, and the first section is a well-formed pipeline "CFG ".
+  bool valid = false;
+  bool backend_fixed = false;   ///< CFG: blob written by the Q31 backend
+  double fs = 0.0;              ///< CFG: source sample rate
+  std::uint64_t window_samples = 0;  ///< CFG: look-back window length
+  bool ensemble = false;        ///< CFG: ensemble stage present
+};
+
+/// Walks a pipeline checkpoint blob's entire frame — magic, version,
+/// every section's tag/length/CRC — and parses the leading "CFG "
+/// section, *without ever raising*: any violation just yields
+/// `valid == false`. This is the checked pre-validation the C ABI
+/// boundary runs before handing a blob to restore(), so that in the
+/// no-exceptions (firmware) profile a corrupt, truncated, or
+/// wrong-configuration blob is refused with an error code instead of
+/// reaching a StateReader panic.
+[[nodiscard]] CheckpointProbe probe_checkpoint(
+    std::span<const std::uint8_t> blob) noexcept;
+
 /// Serializes checkpoint state into the framed format above. Primitive
 /// puts append little-endian bytes to the current section; sections are
 /// opened/closed explicitly and may not nest. The magic/version header

@@ -911,6 +911,21 @@ class BasicStreamingBeatPipeline {
     return blob;
   }
 
+  /// Non-throwing pre-check for restore(): true iff `blob` is
+  /// structurally intact (magic, version, every section frame and CRC)
+  /// and its CFG section matches this pipeline's construction (backend,
+  /// sample rate, window, ensemble stage). The C ABI boundary runs this
+  /// before restore() so a corrupt or mismatched blob is refused with an
+  /// error code even in the no-exceptions firmware profile, where
+  /// restore() itself can only panic.
+  [[nodiscard]] bool restore_compatible(
+      std::span<const std::uint8_t> blob) const noexcept {
+    const CheckpointProbe p = probe_checkpoint(blob);
+    return p.valid && p.backend_fixed == B::kFixed && p.fs == fs_ &&
+           p.window_samples == window_samples_ &&
+           p.ensemble == cfg_.enable_ensemble;
+  }
+
   /// Restores a checkpoint() blob into this pipeline (same-configuration
   /// target; see load_state). Throws CheckpointError on any corruption,
   /// truncation, version or configuration mismatch.

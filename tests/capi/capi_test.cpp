@@ -289,6 +289,31 @@ TEST(CApiCheckpointTest, CorruptAndTruncatedBlobsAreRefused) {
   EXPECT_EQ(icg_session_destroy(s), ICG_OK);
 }
 
+TEST(CApiCheckpointTest, ConfigMismatchedAndGarbageBlobsAreRefused) {
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  const std::uint32_t need = icg_session_checkpoint_size(s);
+  std::vector<std::uint8_t> blob(need);
+  std::uint32_t written = 0;
+  ASSERT_EQ(icg_session_checkpoint(s, blob.data(), need, &written), ICG_OK);
+
+  // Same backend, different window: the blob's recorded configuration
+  // must be refused by the boundary's pre-restore validation.
+  icg_config other = test_config(ICG_BACKEND_DOUBLE);
+  other.window_s = 16.0;
+  icg_session* t = icg_session_create(&other);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(icg_session_restore(t, blob.data(), written), ICG_ERR_BAD_CHECKPOINT);
+
+  // Bytes that are not a checkpoint at all.
+  const std::uint8_t junk[32] = {0x13, 0x37, 0xBE, 0xEF};
+  EXPECT_EQ(icg_session_restore(t, junk, sizeof junk), ICG_ERR_BAD_CHECKPOINT);
+
+  EXPECT_EQ(icg_session_destroy(t), ICG_OK);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
 TEST(CApiCheckpointTest, BufferTooSmallReportsRequiredSize) {
   const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
   icg_session* s = icg_session_create(&cfg);

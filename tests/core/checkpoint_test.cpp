@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -404,6 +405,47 @@ TEST(CheckpointRejectionTest, MismatchedTargetIsRefused) {
     StreamingBeatPipeline wrong_stages(kFs, ens_cfg);
     EXPECT_THROW(wrong_stages.restore(blob), CheckpointError);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Non-throwing probe: the C ABI's pre-restore validation (the only
+// corruption defence available to the no-exceptions firmware profile)
+// must agree with the throwing reader on every rejection class.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointProbeTest, IntactBlobProbesValidWithItsConfig) {
+  const std::vector<std::uint8_t> blob = half_stream_blob();
+  const core::CheckpointProbe p = core::probe_checkpoint(blob);
+  ASSERT_TRUE(p.valid);
+  EXPECT_FALSE(p.backend_fixed);
+  EXPECT_EQ(p.fs, kFs);
+  EXPECT_FALSE(p.ensemble);
+  StreamingBeatPipeline match(kFs);
+  EXPECT_TRUE(match.restore_compatible(blob));
+}
+
+TEST(CheckpointProbeTest, CorruptionAndTruncationProbeInvalid) {
+  const std::vector<std::uint8_t> blob = half_stream_blob();
+  const std::size_t stride = std::max<std::size_t>(1, blob.size() / 97);
+  for (std::size_t pos = 0; pos < blob.size(); pos += stride) {
+    std::vector<std::uint8_t> bad = blob;
+    bad[pos] ^= 0xA5u;
+    EXPECT_FALSE(core::probe_checkpoint(bad).valid) << "flipped byte " << pos;
+  }
+  for (std::size_t len = 0; len < blob.size(); len += stride) {
+    const std::span<const std::uint8_t> head(blob.data(), len);
+    EXPECT_FALSE(core::probe_checkpoint(head).valid) << "truncated to " << len;
+  }
+}
+
+TEST(CheckpointProbeTest, MismatchedTargetIsIncompatible) {
+  const std::vector<std::uint8_t> blob = half_stream_blob();
+  EXPECT_FALSE(FixedStreamingBeatPipeline(kFs).restore_compatible(blob));
+  EXPECT_FALSE(StreamingBeatPipeline(500.0).restore_compatible(blob));
+  EXPECT_FALSE(StreamingBeatPipeline(kFs, {}, 8.0).restore_compatible(blob));
+  PipelineConfig ens_cfg;
+  ens_cfg.enable_ensemble = true;
+  EXPECT_FALSE(StreamingBeatPipeline(kFs, ens_cfg).restore_compatible(blob));
 }
 
 // ---------------------------------------------------------------------------

@@ -247,7 +247,9 @@ TEST(FleetBatchTest, DefaultBatchWidthMatchesIsa) {
   } else {
     EXPECT_EQ(width, 1u) << "ISA " << isa << " should not auto-batch";
   }
-  if (width > 1) EXPECT_TRUE(core::session_batch_width_supported(width));
+  if (width > 1) {
+    EXPECT_TRUE(core::session_batch_width_supported(width));
+  }
 
   FleetConfig cfg;
   ASSERT_EQ(cfg.batch_width, 0u) << "auto must stay the FleetConfig default";
