@@ -14,11 +14,15 @@
 // worker count, scalar (batch_width 1) vs batched (batch_width 8).
 //
 // Acceptance is ISA-aware: byte identity is gated everywhere; the W=4
-// floor arms on AVX2 or wider (one ymm per lane vector), the W=8 floor
-// only on AVX-512 (one zmm — under plain AVX2 a W=8 value is two ymm
-// registers and state-heavy kernels spill, see dsp/simd.h). Floors are
+// floor and the relative W=8 >= W=4 floor arm on AVX2 or wider (the
+// two-half PairLanes64 lowering keeps W=8 register-resident on plain
+// AVX2, see dsp/simd.h), the absolute W=8 floor on AVX-512. Floors are
 // end-to-end pipeline speedups, Amdahl-limited by the per-lane scalar
 // beat tail; per-kernel lane wins are measured in bench_micro_kernels.
+// A separate instrumented pass (SessionBatchBase::enable_profiling)
+// measures the front-vs-tail wall-time split so the Amdahl denominator
+// is reported, not inferred — the gated speedups come from the
+// uninstrumented runs.
 #include "core/batch.h"
 #include "core/beat_serializer.h"
 #include "core/fleet.h"
@@ -60,6 +64,8 @@ std::size_t env_size(const char* name, std::size_t fallback) {
 struct Leg {
   double wall_s = 0.0;
   std::uint64_t samples = 0;
+  std::uint64_t beats = 0;
+  std::uint64_t front_ns = 0, tail_ns = 0;  ///< instrumented runs only
   std::vector<std::vector<unsigned char>> streams;  ///< per-session bytes
   [[nodiscard]] double sps() const {
     return wall_s > 0.0 ? static_cast<double>(samples) / wall_s : 0.0;
@@ -97,8 +103,11 @@ Leg run_scalar(const std::vector<synth::Recording>& workload, std::size_t sessio
 }
 
 // (b)/(c) batched: sessions grouped into lockstep SessionBatch<W> lanes.
+// With `profile`, each batch accumulates its front/tail wall-time split
+// (never combined with a gated throughput run — the clock reads perturb
+// the numbers).
 Leg run_batched(const std::vector<synth::Recording>& workload, std::size_t sessions,
-                std::size_t width) {
+                std::size_t width, bool profile = false) {
   const std::size_t groups = sessions / width;
   std::vector<std::unique_ptr<core::SessionBatchBase>> batches;
   std::vector<std::vector<std::uint8_t>> blobs(width);
@@ -110,6 +119,7 @@ Leg run_batched(const std::vector<synth::Recording>& workload, std::size_t sessi
       blobs[l] = fresh.checkpoint();
     }
     b->pack(blobs);
+    b->enable_profiling(profile);
     batches.push_back(std::move(b));
   }
   std::vector<std::vector<BeatRecord>> beats(sessions);
@@ -136,9 +146,15 @@ Leg run_batched(const std::vector<synth::Recording>& workload, std::size_t sessi
   const auto t1 = std::chrono::steady_clock::now();
   leg.wall_s = std::chrono::duration<double>(t1 - t0).count();
 
+  for (const auto& b : batches) {
+    leg.front_ns += b->front_ns();
+    leg.tail_ns += b->tail_ns();
+  }
   leg.streams.resize(sessions);
-  for (std::size_t s = 0; s < sessions; ++s)
+  for (std::size_t s = 0; s < sessions; ++s) {
+    leg.beats += beats[s].size();
     for (const BeatRecord& b : beats[s]) serialize_beat(b, leg.streams[s]);
+  }
   return leg;
 }
 
@@ -188,7 +204,8 @@ int main() {
   const std::size_t sessions = env_size("ICGKIT_BATCH_SESSIONS", 8);  // multiple of 8
   const std::size_t fleet_sessions = env_size("ICGKIT_BATCH_FLEET_SESSIONS", 64);
   const std::size_t fleet_workers = env_size("ICGKIT_BATCH_FLEET_WORKERS", 2);
-  const double duration_s = 20.0;
+  const double duration_s =
+      static_cast<double>(env_size("ICGKIT_BATCH_DURATION_S", 20));
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
   report::banner(std::cout, "SIMD batch backend: lockstep lanes vs scalar sessions");
@@ -249,28 +266,56 @@ int main() {
                     ? "identity: batched fleet byte-identical to scalar fleet\n"
                     : "FAIL: batched fleet output differs from scalar fleet\n");
 
+  // Instrumented pass: front-vs-tail wall-time split of the W=8 batched
+  // leg (separate run so the clock reads never land in the gated
+  // numbers above).
+  const Leg prof8 = run_batched(workload, sessions, 8, /*profile=*/true);
+  const double front_s = static_cast<double>(prof8.front_ns) * 1e-9;
+  const double tail_s = static_cast<double>(prof8.tail_ns) * 1e-9;
+  const double phase_s = front_s + tail_s;
+  const double front_fraction = phase_s > 0.0 ? front_s / phase_s : 0.0;
+  const double tail_us_per_beat =
+      prof8.beats > 0 ? tail_s * 1e6 / static_cast<double>(prof8.beats) : 0.0;
+  report::Table ptable({"phase (W=8)", "wall s", "fraction"});
+  ptable.row().add(std::string("lockstep front")).add(front_s, 3).add(front_fraction, 3);
+  ptable.row().add("per-lane tail").add(tail_s, 3).add(1.0 - front_fraction, 3);
+  ptable.print(std::cout);
+  std::cout << "tail cost: " << tail_us_per_beat << " us/beat over " << prof8.beats
+            << " beats\n";
+
   // Speedup floors are an ISA property. W=4 is one AVX2 register, so any
-  // AVX2+ build is held to its floor. W=8 needs one AVX-512 register per
-  // lane vector — on plain AVX2 it spills (see dsp/simd.h) and is
-  // recorded but not gated. The floors are end-to-end pipeline numbers,
-  // Amdahl-limited by the per-lane scalar beat tail; the batched filter
-  // front itself measures ~4x (W=4, AVX2) to ~6x (W=8, AVX-512) in
-  // bench_micro_kernels.
+  // AVX2+ build is held to its floor. The two-half PairLanes64 lowering
+  // keeps W=8 register-resident on plain AVX2 too, so the relative
+  // W=8 >= W=4 floor arms on every AVX2+ build; the absolute W=8 floor
+  // arms on AVX-512 (one zmm per lane vector). The floors are end-to-end
+  // pipeline numbers, Amdahl-limited by the per-lane scalar beat tail;
+  // the batched filter front itself measures ~4x (W=4, AVX2) to ~6x
+  // (W=8, AVX-512) in bench_micro_kernels.
+  // The W=4 floor is tiered: the fused front sped the SCALAR baseline up
+  // on plain AVX2 too (the denominator moved), so the ratio floor there
+  // is lower than on AVX-512 even though absolute batched throughput is
+  // comparable.
   const std::string isa = dsp::lane_isa();
   const bool w4_enforced = isa == "avx2" || isa == "avx512";
   const bool w8_enforced = isa == "avx512";
-  constexpr double kMinSpeedupW4 = 1.5, kMinSpeedupW8 = 2.0;
+  const bool w8_rel_enforced = isa == "avx2" || isa == "avx512";
+  const double kMinSpeedupW4 = isa == "avx512" ? 3.0 : 2.5;
+  constexpr double kMinSpeedupW8 = 3.0, kMinW8OverW4 = 1.0;
+  const double w8_over_w4 = speedup_w4 > 0.0 ? speedup_w8 / speedup_w4 : 0.0;
   const bool w4_ok = speedup_w4 >= kMinSpeedupW4;
   const bool w8_ok = speedup_w8 >= kMinSpeedupW8;
+  const bool w8_rel_ok = w8_over_w4 >= kMinW8OverW4;
   std::cout << "speedup acceptance: W=4 >= " << kMinSpeedupW4 << "x "
             << (w4_enforced ? (w4_ok ? "met" : "NOT MET") : "not enforced") << ", W=8 >= "
             << kMinSpeedupW8 << "x "
             << (w8_enforced ? (w8_ok ? "met" : "NOT MET")
                             : "not enforced (lane ISA: " + isa + ")")
+            << ", W=8/W=4 >= " << kMinW8OverW4 << "x "
+            << (w8_rel_enforced ? (w8_rel_ok ? "met" : "NOT MET") : "not enforced")
             << "\n";
 
   const bool pass = identical && fleet_identical && (w4_ok || !w4_enforced) &&
-                    (w8_ok || !w8_enforced);
+                    (w8_ok || !w8_enforced) && (w8_rel_ok || !w8_rel_enforced);
 
   std::ofstream json("BENCH_batch.json");
   json << "{\n  \"simd\": \"" << isa << "\",\n  \"hardware_threads\": " << hw
@@ -281,11 +326,19 @@ int main() {
        << ",\n  \"w8_samples_per_sec\": " << w8.sps()
        << ",\n  \"speedup_w4\": " << speedup_w4
        << ",\n  \"speedup_w8\": " << speedup_w8
+       << ",\n  \"w8_over_w4\": " << w8_over_w4
        << ",\n  \"acceptance_min_speedup_w4\": " << kMinSpeedupW4
        << ",\n  \"acceptance_min_speedup_w8\": " << kMinSpeedupW8
+       << ",\n  \"acceptance_min_w8_over_w4\": " << kMinW8OverW4
        << ",\n  \"w4_enforced\": " << (w4_enforced ? "true" : "false")
        << ",\n  \"w8_enforced\": " << (w8_enforced ? "true" : "false")
+       << ",\n  \"w8_rel_enforced\": " << (w8_rel_enforced ? "true" : "false")
        << ",\n  \"batch_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"profile\": {\"width\": 8, \"front_s\": " << front_s
+       << ", \"tail_s\": " << tail_s << ", \"front_fraction\": " << front_fraction
+       << ", \"tail_fraction\": " << 1.0 - front_fraction
+       << ", \"beats\": " << prof8.beats
+       << ", \"tail_us_per_beat\": " << tail_us_per_beat << "}"
        << ",\n  \"fleet\": {\"sessions\": " << fleet_sessions
        << ", \"workers\": " << fleet_workers
        << ", \"scalar_samples_per_sec\": " << fleet_scalar.sps()

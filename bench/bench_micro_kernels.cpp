@@ -5,7 +5,11 @@
 // the analytic cycle model in platform/mcu.h.
 #include <benchmark/benchmark.h>
 
+#include "core/delineator.h"
+#include "core/ensemble.h"
+#include "core/hemodynamics.h"
 #include "core/pipeline.h"
+#include "core/quality.h"
 #include "dsp/backend.h"
 #include "dsp/biquad.h"
 #include "dsp/butterworth.h"
@@ -176,6 +180,127 @@ void BM_StreamingBaselineRemoverPush(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_StreamingBaselineRemoverPush, dsp::DoubleBackend)->Arg(7500);
 BENCHMARK_TEMPLATE(BM_StreamingBaselineRemoverPush, dsp::BatchBackend<4>)->Arg(7500);
 BENCHMARK_TEMPLATE(BM_StreamingBaselineRemoverPush, dsp::BatchBackend<8>)->Arg(7500);
+
+// ---------------------------------------------------------------------------
+// Per-beat tail stages. These are the Amdahl denominator of the batch
+// backend: the filter front runs in lockstep lanes, but delineation,
+// quality screening, hemodynamics, and the ensemble fold stay per-lane
+// scalar work drained after each front tick (see core/batch.h). Items
+// are beats, so items/sec inverts to the us/beat each stage costs; the
+// end-to-end tail figure gated in CI is BENCH_batch.json's
+// profile.tail_us_per_beat, which these rows decompose.
+// ---------------------------------------------------------------------------
+
+struct TailWorkload {
+  dsp::Signal icg;                ///< filtered ICG trace
+  std::vector<std::size_t> r;     ///< R-peak sample indices
+  std::vector<double> rr_s;       ///< per-beat R-R intervals
+  double z0_ohm = 0.0;
+};
+
+const TailWorkload& tail_workload() {
+  static const TailWorkload w = [] {
+    const auto roster = synth::paper_roster();
+    synth::RecordingConfig cfg;
+    cfg.duration_s = 60.0;
+    const auto src = generate_source(roster[0], cfg);
+    const auto rec = measure_device(roster[0], src, 50e3, synth::Position::ArmsOutstretched);
+    const core::BeatPipeline pipeline(kFs);
+    auto result = pipeline.process(rec.ecg_mv, rec.z_ohm);
+    TailWorkload out;
+    out.icg = std::move(result.filtered_icg);
+    out.z0_ohm = result.z0_mean_ohm;
+    for (const auto& beat : result.beats) {
+      out.r.push_back(beat.points.r);
+      out.rr_s.push_back(beat.rr_s);
+    }
+    return out;
+  }();
+  return w;
+}
+
+void BM_DelineateBeat(benchmark::State& state) {
+  const TailWorkload& w = tail_workload();
+  const core::IcgDelineator delineator(kFs);
+  core::DelineationScratch scratch;
+  scratch.reserve(static_cast<std::size_t>(2.0 * kFs));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < w.r.size(); ++i)
+      benchmark::DoNotOptimize(
+          delineator.delineate(w.icg, w.r[i], w.r[i + 1], scratch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.r.size() - 1));
+}
+BENCHMARK(BM_DelineateBeat);
+
+void BM_AssessBeatQuality(benchmark::State& state) {
+  const TailWorkload& w = tail_workload();
+  const core::IcgDelineator delineator(kFs);
+  core::DelineationScratch scratch;
+  scratch.reserve(static_cast<std::size_t>(2.0 * kFs));
+  std::vector<core::BeatDelineation> points;
+  for (std::size_t i = 0; i + 1 < w.r.size(); ++i)
+    points.push_back(delineator.delineate(w.icg, w.r[i], w.r[i + 1], scratch));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      benchmark::DoNotOptimize(core::assess_beat(points[i], w.rr_s[i], kFs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_AssessBeatQuality);
+
+void BM_BeatHemodynamics(benchmark::State& state) {
+  const TailWorkload& w = tail_workload();
+  const core::IcgDelineator delineator(kFs);
+  core::DelineationScratch scratch;
+  scratch.reserve(static_cast<std::size_t>(2.0 * kFs));
+  std::vector<core::BeatDelineation> points;
+  for (std::size_t i = 0; i + 1 < w.r.size(); ++i)
+    points.push_back(delineator.delineate(w.icg, w.r[i], w.r[i + 1], scratch));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      benchmark::DoNotOptimize(
+          core::compute_beat_hemodynamics(points[i], w.rr_s[i], w.z0_ohm, kFs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_BeatHemodynamics);
+
+void BM_EnsembleFold(benchmark::State& state) {
+  const TailWorkload& w = tail_workload();
+  for (auto _ : state) {
+    core::EnsembleAverager ens(kFs);
+    std::size_t accepted = 0;
+    for (const std::size_t r : w.r) accepted += ens.add_beat(w.icg, r) ? 1 : 0;
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(w.r.size()));
+}
+BENCHMARK(BM_EnsembleFold);
+
+void BM_BeatTailFull(benchmark::State& state) {
+  // The whole per-beat tail in stage order — delineate, screen, compute
+  // hemodynamics — matching what SessionBatch drains per lane after a
+  // front tick. items/sec inverts to the composite us/beat.
+  const TailWorkload& w = tail_workload();
+  const core::IcgDelineator delineator(kFs);
+  core::DelineationScratch scratch;
+  scratch.reserve(static_cast<std::size_t>(2.0 * kFs));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < w.r.size(); ++i) {
+      const auto points = delineator.delineate(w.icg, w.r[i], w.r[i + 1], scratch);
+      benchmark::DoNotOptimize(core::assess_beat(points, w.rr_s[i], kFs));
+      benchmark::DoNotOptimize(
+          core::compute_beat_hemodynamics(points, w.rr_s[i], w.z0_ohm, kFs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.r.size() - 1));
+}
+BENCHMARK(BM_BeatTailFull);
 
 void BM_Synthesis30s(benchmark::State& state) {
   const auto roster = synth::paper_roster();

@@ -274,11 +274,17 @@ def main() -> int:
     isa = batch.get("simd", "?")
     w4 = batch.get("speedup_w4", 0.0)
     w8 = batch.get("speedup_w8", 0.0)
-    # The W=4 floor arms on any AVX2+ build (one ymm per lane vector);
-    # the W=8 floor only under AVX-512 (one zmm — W=8 on plain AVX2
-    # spills registers and is recorded, not gated; see dsp/simd.h).
-    w4_floor = baselines["batch_min_speedup_w4"]
+    w8_over_w4 = batch.get("w8_over_w4", 0.0)
+    # Floors are ISA-tiered. The W=4 floor arms on any AVX2+ build (one
+    # ymm per lane vector) but is lower on plain AVX2, where the fused
+    # front sped the scalar BASELINE up too. The absolute W=8 floor arms
+    # only under AVX-512 (one zmm per lane vector); on plain AVX2 the
+    # two-half PairLanes64 lowering (see dsp/simd.h) is instead held to
+    # the relative floor: W=8 must not lose to W=4.
+    w4_floor = (baselines["batch_min_speedup_w4"] if isa == "avx512"
+                else baselines["batch_min_speedup_w4_avx2"])
     w8_floor = baselines["batch_min_speedup_w8"]
+    w8_rel_floor = baselines["batch_min_w8_over_w4"]
     if batch.get("w4_enforced", False):
         print(f"batch speedup W=4 [{isa}]: {w4:.2f}x (floor {w4_floor}x)")
         if w4 < w4_floor:
@@ -293,6 +299,31 @@ def main() -> int:
     else:
         print(f"batch speedup W=8 [{isa}]: {w8:.2f}x (gate skipped: lane ISA "
               f"is {isa}, floor arms on avx512)")
+    if batch.get("w8_rel_enforced", False):
+        print(f"batch W=8/W=4 ratio [{isa}]: {w8_over_w4:.2f}x "
+              f"(floor {w8_rel_floor}x)")
+        if w8_over_w4 < w8_rel_floor:
+            failures.append(
+                f"batch W=8 loses to W=4 ({w8_over_w4:.2f}x < {w8_rel_floor}x) — "
+                "the wide lowering regressed (dsp/simd.h PairLanes64)")
+    else:
+        print(f"batch W=8/W=4 ratio [{isa}]: {w8_over_w4:.2f}x (gate skipped: "
+              f"lane ISA is {isa}, floor arms on avx2 or wider)")
+    profile = batch.get("profile", {})
+    tail_us = profile.get("tail_us_per_beat", 0.0)
+    front_frac = profile.get("front_fraction", 0.0)
+    tail_ceiling = baselines["batch_max_tail_us_per_beat"]
+    if batch.get("w4_enforced", False):
+        print(f"batch tail cost (W={profile.get('width', '?')}): "
+              f"{tail_us:.1f} us/beat (ceiling {tail_ceiling}), "
+              f"front fraction {front_frac:.2f}")
+        if tail_us > tail_ceiling:
+            failures.append(
+                f"batched beat tail {tail_us:.1f} us/beat exceeds ceiling "
+                f"{tail_ceiling} — the deferred-tail drain regressed")
+    else:
+        print(f"batch tail cost: {tail_us:.1f} us/beat (gate skipped: lane ISA "
+              f"is {isa}, ceiling arms on avx2 or wider)")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:")

@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -186,6 +187,17 @@ class SessionBatchBase {
   [[nodiscard]] virtual bool lane_in_dropout(std::size_t lane) const = 0;
   /// Samples consumed per lane (identical across lanes, by lockstep).
   [[nodiscard]] virtual std::size_t samples_consumed() const = 0;
+
+  /// Opt-in front-vs-tail wall-time instrumentation for push(): when
+  /// enabled, each push accumulates the lockstep-front phase (SoA input
+  /// packing + fused filter/feature chains) into front_ns() and the
+  /// per-lane scalar replay (gap machine, decision tails, assemblers)
+  /// into tail_ns(). Off by default — the clock reads would perturb the
+  /// gated throughput numbers, so benches measure speedups with it off
+  /// and take the breakdown from a separate instrumented pass.
+  virtual void enable_profiling(bool) {}
+  [[nodiscard]] virtual std::uint64_t front_ns() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t tail_ns() const { return 0; }
 };
 
 /// W lockstep sessions through one BatchBackend<W> stage front; see the
@@ -218,17 +230,81 @@ class SessionBatch final : public SessionBatchBase {
 
   [[nodiscard]] std::size_t width() const override { return W; }
 
+  /// Two-phase lockstep advance. Phase 1 packs the W input streams into
+  /// SoA lane vectors and runs the fused fronts (ICG conditioner, ECG
+  /// cleaner, QRS feature chain) over the whole chunk — the only part
+  /// whose work is W-wide SIMD. Phase 2 replays the chunk lane-major
+  /// through the scalar tails: each lane's pending beats queue up during
+  /// the front tick and drain here, per raw sample, in exactly the
+  /// scalar engine's ingest order. Lanes share no tail state, so
+  /// lane-major replay emits byte-identical BeatRecords to the
+  /// sample-major interleaving (and to W scalar sessions).
   void push(const double* const* ecg_mv, const double* const* z_ohm, std::size_t len,
             std::vector<BeatRecord>* out) override {
+    if (len == 0) return;
+    const bool prof = profile_;
+    std::chrono::steady_clock::time_point t0, t1;
+    if (prof) t0 = std::chrono::steady_clock::now();
+
+    e_arena_.clear();
+    z_arena_.clear();
     for (std::size_t i = 0; i < len; ++i) {
       sample_t e{}, z{};
       for (std::size_t l = 0; l < W; ++l) {
         e.set_lane(l, ecg_mv[l][i]);
         z.set_lane(l, z_ohm[l][i]);
       }
-      ingest(e, z, out);
+      e_arena_.push_back(e);
+      z_arena_.push_back(z);
+    }
+    icg_scratch_.clear();
+    icg_cum_.clear();
+    icg_stage_.process_chunk(z_arena_, icg_scratch_, icg_cum_);
+    ecg_scratch_.clear();
+    ecg_cum_.clear();
+    ecg_stage_.process_chunk(e_arena_, ecg_scratch_, ecg_cum_);
+    feat_out_.clear();
+    feat_cum_.clear();
+    qrs_.front_chunk(ecg_scratch_, feat_out_, feat_cum_);
+
+    if (prof) t1 = std::chrono::steady_clock::now();
+
+    for (std::size_t l = 0; l < W; ++l) {
+      auto& a = assemblers_[l];
+      auto& tail = qrs_.decision_tail(l);
+      auto& rs = r_scratch_[l];
+      std::uint32_t icg_lo = 0, ecg_lo = 0;
+      for (std::size_t i = 0; i < len; ++i) {
+        a.on_raw_sample(ecg_mv[l][i], z_ohm[l][i], z_arena_[i].lane(l),
+                        [this, l] { qrs_.soft_reset_lane(l); });
+        for (std::uint32_t k = icg_lo; k < icg_cum_[i]; ++k)
+          a.on_icg_sample(icg_scratch_[k].lane(l));
+        icg_lo = icg_cum_[i];
+        a.maybe_drain_ensemble();
+
+        rs.clear();
+        for (std::uint32_t k = ecg_lo; k < ecg_cum_[i]; ++k) {
+          tail.note_input(ecg_scratch_[k].lane(l));
+          const std::uint32_t f_lo = k > 0 ? feat_cum_[k - 1] : 0;
+          for (std::uint32_t f = f_lo; f < feat_cum_[k]; ++f)
+            tail.on_feature_sample(feat_out_[f].lane(l), rs);
+        }
+        ecg_lo = ecg_cum_[i];
+        for (const std::size_t r : rs) a.on_r_peak(r);
+        a.drain_ready(out[l]);
+      }
+    }
+
+    if (prof) {
+      const auto t2 = std::chrono::steady_clock::now();
+      front_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+      tail_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1).count();
     }
   }
+
+  void enable_profiling(bool on) override { profile_ = on; }
+  [[nodiscard]] std::uint64_t front_ns() const override { return front_ns_; }
+  [[nodiscard]] std::uint64_t tail_ns() const override { return tail_ns_; }
 
   void finish(std::vector<BeatRecord>* out) override {
     icg_scratch_.clear();
@@ -359,31 +435,6 @@ class SessionBatch final : public SessionBatchBase {
   }
 
  private:
-  /// One lockstep sample. Mirrors BasicStreamingBeatPipeline::ingest
-  /// stage for stage — each lane must observe the exact scalar order of
-  /// operations, which is what makes the per-lane streams byte-identical
-  /// to scalar sessions.
-  void ingest(sample_t e, sample_t z, std::vector<BeatRecord>* out) {
-    for (std::size_t l = 0; l < W; ++l)
-      assemblers_[l].on_raw_sample(e.lane(l), z.lane(l), z.lane(l),
-                                   [this, l] { qrs_.soft_reset_lane(l); });
-
-    icg_scratch_.clear();
-    icg_stage_.push(z, icg_scratch_);
-    for (const sample_t v : icg_scratch_)
-      for (std::size_t l = 0; l < W; ++l) assemblers_[l].on_icg_sample(v.lane(l));
-    for (std::size_t l = 0; l < W; ++l) assemblers_[l].maybe_drain_ensemble();
-
-    ecg_scratch_.clear();
-    ecg_stage_.push(e, ecg_scratch_);
-    for (auto& rs : r_scratch_) rs.clear();
-    for (const sample_t v : ecg_scratch_) qrs_.push(v, r_scratch_.data());
-    for (std::size_t l = 0; l < W; ++l) {
-      for (const std::size_t r : r_scratch_[l]) assemblers_[l].on_r_peak(r);
-      assemblers_[l].drain_ready(out[l]);
-    }
-  }
-
   dsp::SampleRate fs_;
   PipelineConfig cfg_;
   std::size_t window_samples_;
@@ -395,6 +446,15 @@ class SessionBatch final : public SessionBatchBase {
 
   std::vector<sample_t> ecg_scratch_, icg_scratch_;
   std::array<std::vector<std::size_t>, W> r_scratch_;
+  // Two-phase push arenas: SoA-packed inputs, the QRS front's feature
+  // stream, and each front's per-input cumulative-output counts. Reused
+  // across chunks.
+  std::vector<sample_t> e_arena_, z_arena_;
+  std::vector<sample_t> feat_out_;
+  std::vector<std::uint32_t> icg_cum_, ecg_cum_, feat_cum_;
+
+  bool profile_ = false;
+  std::uint64_t front_ns_ = 0, tail_ns_ = 0;
 };
 
 // Compiled once in batch.cpp (same pattern as the scalar engine).

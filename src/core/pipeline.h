@@ -486,10 +486,14 @@ class BeatAssembler {
     // The one per-beat numeric boundary: the R-R window of conditioned
     // ICG leaves the backend's sample domain here (identity for the
     // double backend, counts -> Ohm/s for Q31) and the shared double
-    // delineation/quality/hemodynamics tail takes over.
+    // delineation/quality/hemodynamics tail takes over. The zero-copy
+    // segment view keeps the fill a flat (auto-vectorizable) pass — the
+    // conversion runs exactly once per beat, and both delineation and
+    // the SNR measurement read the converted window from beat_scratch_.
     beat_scratch_.clear();
-    for (std::size_t i = r; i < r_next; ++i)
-      beat_scratch_.push_back(icg_real(icg_ring_.at(i - oldest_icg)));
+    const auto beat_seg = icg_ring_.segments(r - oldest_icg, r_next - oldest_icg);
+    for (const sample_t v : beat_seg.first) beat_scratch_.push_back(icg_real(v));
+    for (const sample_t v : beat_seg.second) beat_scratch_.push_back(icg_real(v));
     rec.points = delineator_.delineate(beat_scratch_, 0, beat_scratch_.size(), delin_scratch_);
     rec.points.r += r;
     rec.points.b += r;
@@ -519,10 +523,12 @@ class BeatAssembler {
     const std::size_t hi = std::min(r_next, consumed_);
     if (lo < hi) {
       std::size_t flat = 0, sat = 0;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::uint8_t m = marks_.at(i - oldest_mark);
-        if ((m & (detail::kEcgFlat | detail::kZFlat)) != 0) ++flat;
-        if ((m & (detail::kEcgSat | detail::kZSat)) != 0) ++sat;
+      const auto seg = marks_.segments(lo - oldest_mark, hi - oldest_mark);
+      for (const std::span<const std::uint8_t> s : {seg.first, seg.second}) {
+        for (const std::uint8_t m : s) {
+          if ((m & (detail::kEcgFlat | detail::kZFlat)) != 0) ++flat;
+          if ((m & (detail::kEcgSat | detail::kZSat)) != 0) ++sat;
+        }
       }
       const auto n = static_cast<double>(hi - lo);
       q.flatline_fraction = static_cast<double>(flat) / n;
@@ -596,8 +602,10 @@ class BeatAssembler {
       return true;
     }
     ens_scratch_.clear();
-    for (std::size_t i = r - pre; i < r - pre + len; ++i)
-      ens_scratch_.push_back(icg_real(icg_ring_.at(i - oldest_icg)));
+    const auto seg =
+        icg_ring_.segments(r - pre - oldest_icg, r - pre + len - oldest_icg);
+    for (const sample_t v : seg.first) ens_scratch_.push_back(icg_real(v));
+    for (const sample_t v : seg.second) ens_scratch_.push_back(icg_real(v));
     ensemble_->add_beat(ens_scratch_, pre);
     return true;
   }
@@ -611,7 +619,9 @@ class BeatAssembler {
     const std::size_t hi = std::min(r_next, consumed_);
     if (lo >= hi) return z_mean_ohm();
     typename B::acc_t acc = B::acc_zero();
-    for (std::size_t i = lo; i < hi; ++i) acc = B::acc_add(acc, z_ring_.at(i - oldest_z));
+    const auto seg = z_ring_.segments(lo - oldest_z, hi - oldest_z);
+    for (const sample_t v : seg.first) acc = B::acc_add(acc, v);
+    for (const sample_t v : seg.second) acc = B::acc_add(acc, v);
     if constexpr (B::kFixed)
       return B::to_real(B::mean(acc, hi - lo)) * z_scale_;
     else
@@ -729,11 +739,78 @@ class BasicStreamingBeatPipeline {
   /// (which is not cleared). With a caller-reused `out`, a warmed-up
   /// session does zero heap allocation per push — the property the fleet
   /// hot path relies on (verified by the allocation-probe test).
+  ///
+  /// Two-phase per chunk: the sample-rate fronts (ICG conditioner, ECG
+  /// cleaner, QRS feature chain) each run as one fused flat pass over
+  /// the whole chunk first, then a per-raw-sample replay drives the
+  /// scalar tails (gap machine, decision tail, assembler) in exactly the
+  /// per-sample ingest order. The fronts depend only on their own raw
+  /// inputs — never on tail state (soft_reset touches only the decision
+  /// tail's adaptive state) — so splitting the phases is byte-identical
+  /// to interleaving them sample by sample.
   void push_into(dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
                  std::vector<BeatRecord>& out) {
     if (ecg_mv.size() != z_ohm.size())
       ICGKIT_THROW(std::invalid_argument("StreamingBeatPipeline: chunk length mismatch"));
-    for (std::size_t i = 0; i < ecg_mv.size(); ++i) ingest(ecg_mv[i], z_ohm[i], out);
+    const std::size_t n = ecg_mv.size();
+    if (n == 0) return;
+
+    // Phase 1: fused fronts over the whole chunk. Under Q31 the raw
+    // doubles are quantized exactly once per sample into the input
+    // arenas; the double backend feeds the caller's buffers directly.
+    std::span<const sample_t> e, z;
+    if constexpr (B::kFixed) {
+      e_arena_.clear();
+      z_arena_.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        e_arena_.push_back(ecg_from(ecg_mv[i]));
+        z_arena_.push_back(z_from(z_ohm[i]));
+      }
+      e = e_arena_;
+      z = z_arena_;
+    } else {
+      e = std::span<const sample_t>(ecg_mv.data(), n);
+      z = std::span<const sample_t>(z_ohm.data(), n);
+    }
+    icg_scratch_.clear();
+    icg_cum_.clear();
+    icg_stage_.process_chunk(z, icg_scratch_, icg_cum_);
+    ecg_scratch_.clear();
+    ecg_cum_.clear();
+    ecg_stage_.process_chunk(e, ecg_scratch_, ecg_cum_);
+    feat_out_.clear();
+    feat_cum_.clear();
+    qrs_.front_chunk(ecg_scratch_, feat_out_, feat_cum_);
+
+    // Phase 2: per-raw-sample replay of the scalar tails, consuming each
+    // front's per-input output range [cum[i-1], cum[i]).
+    auto& tail = qrs_.decision_tail();
+    std::uint32_t icg_lo = 0, ecg_lo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      assembler_.on_raw_sample(ecg_mv[i], z_ohm[i], z[i],
+                               [this] { qrs_.soft_reset(); });
+      for (std::uint32_t k = icg_lo; k < icg_cum_[i]; ++k) {
+        assembler_.on_icg_sample(icg_scratch_[k]);
+        if (capture_) captured_icg_.push_back(icg_real(icg_scratch_[k]));
+      }
+      icg_lo = icg_cum_[i];
+      assembler_.maybe_drain_ensemble();
+
+      r_scratch_.clear();
+      for (std::uint32_t k = ecg_lo; k < ecg_cum_[i]; ++k) {
+        if (capture_) captured_ecg_.push_back(ecg_real(ecg_scratch_[k]));
+        tail.note_input(ecg_scratch_[k]);
+        const std::uint32_t f_lo = k > 0 ? feat_cum_[k - 1] : 0;
+        for (std::uint32_t f = f_lo; f < feat_cum_[k]; ++f)
+          tail.on_feature_sample(feat_out_[f], r_scratch_);
+      }
+      ecg_lo = ecg_cum_[i];
+      for (const std::size_t r : r_scratch_) assembler_.on_r_peak(r);
+      // Emit every beat whose aligned ICG is now complete -- done per
+      // sample so the emission point (and thus the ring-buffer state it
+      // reads) is identical however the input was chunked.
+      assembler_.drain_ready(out);
+    }
   }
 
   /// Flushes the stage tails and any pending beats (end of recording).
@@ -957,32 +1034,6 @@ class BasicStreamingBeatPipeline {
     else return v;
   }
 
-  void ingest(double ecg_mv, double z_ohm, std::vector<BeatRecord>& out) {
-    assembler_.on_raw_sample(ecg_mv, z_ohm, z_from(z_ohm),
-                             [this] { qrs_.soft_reset(); });
-
-    icg_scratch_.clear();
-    icg_stage_.push(z_from(z_ohm), icg_scratch_);
-    for (const sample_t v : icg_scratch_) {
-      assembler_.on_icg_sample(v);
-      if (capture_) captured_icg_.push_back(icg_real(v));
-    }
-    assembler_.maybe_drain_ensemble();
-
-    ecg_scratch_.clear();
-    ecg_stage_.push(ecg_from(ecg_mv), ecg_scratch_);
-    r_scratch_.clear();
-    for (const sample_t v : ecg_scratch_) {
-      if (capture_) captured_ecg_.push_back(ecg_real(v));
-      qrs_.push(v, r_scratch_);
-    }
-    for (const std::size_t r : r_scratch_) assembler_.on_r_peak(r);
-    // Emit every beat whose aligned ICG is now complete -- done per sample
-    // so the emission point (and thus the ring-buffer state it reads) is
-    // identical however the input was chunked.
-    assembler_.drain_ready(out);
-  }
-
   dsp::SampleRate fs_;
   PipelineConfig cfg_;
   std::size_t window_samples_;
@@ -997,6 +1048,12 @@ class BasicStreamingBeatPipeline {
   dsp::Signal captured_ecg_, captured_icg_;
   std::vector<sample_t> ecg_scratch_, icg_scratch_;
   std::vector<std::size_t> r_scratch_;
+  // Two-phase push arenas: quantized input copies (Q31 backend only),
+  // the QRS front's feature stream, and the per-input cumulative-output
+  // counts of each front. All reused across chunks.
+  std::vector<sample_t> e_arena_, z_arena_;
+  std::vector<sample_t> feat_out_;
+  std::vector<std::uint32_t> icg_cum_, ecg_cum_, feat_cum_;
 };
 
 /// The double-precision reference engine.

@@ -26,7 +26,9 @@
 #include "ecg/ecg_filter.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace icgkit::core {
@@ -68,6 +70,47 @@ class BasicEcgCleanerStage {
     scratch_.clear();
     morph_->push(x, scratch_);
     for (const sample_t v : scratch_) fir_->push(v, out);
+  }
+
+  /// Fused per-chunk form of push(): one pass per sub-stage over the
+  /// whole chunk instead of a per-sample morph->FIR dispatch chain. For
+  /// every input sample appends one entry to `cum`: the absolute size of
+  /// `out` after that sample's outputs (callers slice per-input output
+  /// ranges as [cum[i-1], cum[i])). Byte-identical to calling push() per
+  /// sample — each sub-stage sees the identical input sequence, only the
+  /// interleaving of *stage* work changes, never the order within a
+  /// stage.
+  void process_chunk(std::span<const sample_t> x, std::vector<sample_t>& out,
+                     std::vector<std::uint32_t>& cum) {
+    if (!morph_.has_value()) {
+      if (fir_.has_value()) {
+        fir_->process_chunk_counted(x, out, cum);
+      } else {
+        for (const sample_t v : x) {
+          out.push_back(v);
+          cum.push_back(static_cast<std::uint32_t>(out.size()));
+        }
+      }
+      return;
+    }
+    if (!fir_.has_value()) {
+      for (const sample_t v : x) {
+        morph_->push(v, out);
+        cum.push_back(static_cast<std::uint32_t>(out.size()));
+      }
+      return;
+    }
+    morph_arena_.clear();
+    morph_cum_.clear();
+    for (const sample_t v : x) {
+      morph_->push(v, morph_arena_);
+      morph_cum_.push_back(static_cast<std::uint32_t>(morph_arena_.size()));
+    }
+    const auto base = static_cast<std::uint32_t>(out.size());
+    fir_cum_.clear();
+    fir_->process_chunk_counted(morph_arena_, out, fir_cum_);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      cum.push_back(morph_cum_[i] > 0 ? fir_cum_[morph_cum_[i] - 1] : base);
   }
 
   void finish(std::vector<sample_t>& out) {
@@ -117,6 +160,12 @@ class BasicEcgCleanerStage {
   std::optional<dsp::BasicStreamingBaselineRemover<B>> morph_;
   std::optional<dsp::BasicStreamingZeroPhaseFir<B>> fir_;
   std::vector<sample_t> scratch_;
+  // process_chunk arenas: intermediate morph outputs and per-stage
+  // cumulative-output snapshots, reused across chunks (no steady-state
+  // allocation once grown).
+  std::vector<sample_t> morph_arena_;
+  std::vector<std::uint32_t> morph_cum_;
+  std::vector<std::uint32_t> fir_cum_;
 };
 
 using EcgCleanerStage = BasicEcgCleanerStage<dsp::DoubleBackend>;
@@ -162,6 +211,51 @@ class BasicIcgConditionerStage {
                     out);
     prev_[0] = prev_[1];
     prev_[1] = x;
+  }
+
+  /// Fused per-chunk form of push(): derivative stencil, low-pass FIR
+  /// and baseline high-pass each run as one flat pass over the chunk
+  /// instead of a per-sample lambda dispatch chain. Appends one `cum`
+  /// entry per input sample: the absolute size of `out` after that
+  /// sample's outputs. Byte-identical to the per-sample path — every
+  /// sub-stage consumes the identical sample sequence in the identical
+  /// order.
+  void process_chunk(std::span<const sample_t> x, std::vector<sample_t>& out,
+                     std::vector<std::uint32_t>& cum) {
+    d_arena_.clear();
+    d_cum_.clear();
+    for (const sample_t v : x) {
+      const std::size_t j = z_count_++;
+      if (j == 1)
+        d_arena_.push_back(B::rescale(B::neg(B::sub(v, prev_[1])), fs_, gain_log2_));
+      else if (j >= 2)
+        d_arena_.push_back(
+            B::half(B::rescale(B::neg(B::sub(v, prev_[0])), fs_, gain_log2_)));
+      prev_[0] = prev_[1];
+      prev_[1] = v;
+      d_cum_.push_back(static_cast<std::uint32_t>(d_arena_.size()));
+    }
+    lp_arena_.clear();
+    lp_cum_.clear();
+    lp_.process_chunk_counted(d_arena_, lp_arena_, lp_cum_);
+    const auto base = static_cast<std::uint32_t>(out.size());
+    hp_cum_.clear();
+    if (hp_.has_value()) {
+      for (const sample_t v : lp_arena_) {
+        hp_->push(v, out);
+        hp_cum_.push_back(static_cast<std::uint32_t>(out.size()));
+      }
+    } else {
+      for (const sample_t v : lp_arena_) {
+        out.push_back(v);
+        hp_cum_.push_back(static_cast<std::uint32_t>(out.size()));
+      }
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const std::uint32_t nd = d_cum_[i];
+      const std::uint32_t nlp = nd > 0 ? lp_cum_[nd - 1] : 0;
+      cum.push_back(nlp > 0 ? hp_cum_[nlp - 1] : base);
+    }
   }
 
   void finish(std::vector<sample_t>& out) {
@@ -232,6 +326,13 @@ class BasicIcgConditionerStage {
   std::vector<sample_t> lp_scratch_;
   sample_t prev_[2] = {};        ///< last two impedance samples
   std::size_t z_count_ = 0;
+  // process_chunk arenas: derivative and low-pass intermediates plus the
+  // per-stage cumulative-output snapshots, reused across chunks.
+  std::vector<sample_t> d_arena_;
+  std::vector<sample_t> lp_arena_;
+  std::vector<std::uint32_t> d_cum_;
+  std::vector<std::uint32_t> lp_cum_;
+  std::vector<std::uint32_t> hp_cum_;
 };
 
 using IcgConditionerStage = BasicIcgConditionerStage<dsp::DoubleBackend>;

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -102,7 +103,7 @@ class BasicStreamingZeroPhaseFir {
       for (const double c : g) taps_.push_back(B::coeff(c));
     }
     half_ = (g.size() - 1) / 2;
-    line_.assign(g.size(), sample_t{});
+    line_.assign(2 * g.size(), sample_t{});
     tail_.assign(half_ + 1, sample_t{});
   }
 
@@ -185,6 +186,19 @@ class BasicStreamingZeroPhaseFir {
     warm_ = false;
   }
 
+  /// Feeds a chunk, recording the cumulative output count after each
+  /// input: cum[k] - (entry count) outputs exist once x[0..k] has been
+  /// consumed. The counts are what lets a caller that batches the stage
+  /// front re-associate each emitted sample with the input that produced
+  /// it (core's fused per-chunk front).
+  void process_chunk_counted(std::span<const sample_t> x, std::vector<sample_t>& out,
+                             std::vector<std::uint32_t>& cum) {
+    for (const sample_t v : x) {
+      push(v, out);
+      cum.push_back(static_cast<std::uint32_t>(out.size()));
+    }
+  }
+
   /// Serializes the carried stream state — delay line, warm-up prefix
   /// buffer, suffix-synthesis tail and the counters that align them —
   /// for core::Checkpoint round trips. The kernel taps are construction
@@ -192,8 +206,12 @@ class BasicStreamingZeroPhaseFir {
   /// length.
   template <typename W>
   void save_state(W& w) const {
-    w.u64(line_.size());
-    for (const sample_t v : line_) w.value(v);
+    // The wire layout predates the doubled (mirrored) delay line: it
+    // carries one kernel-length window, slot order. The mirror copy is
+    // reconstructed on load, so v1 blobs stay byte-identical.
+    const std::size_t len = kernel_.taps.size();
+    w.u64(len);
+    for (std::size_t i = 0; i < len; ++i) w.value(line_[i]);
     w.u64(head_);
     w.u64(fed_);
     w.u64(raw_count_);
@@ -205,10 +223,15 @@ class BasicStreamingZeroPhaseFir {
 
   template <typename R>
   void load_state(R& r) {
-    if (r.u64() != line_.size()) r.fail("StreamingZeroPhaseFir: kernel length mismatch");
-    for (sample_t& v : line_) v = r.template value<sample_t>();
+    const std::size_t len = kernel_.taps.size();
+    if (r.u64() != len) r.fail("StreamingZeroPhaseFir: kernel length mismatch");
+    for (std::size_t i = 0; i < len; ++i) {
+      const sample_t v = r.template value<sample_t>();
+      line_[i] = v;
+      line_[i + len] = v;
+    }
     head_ = r.u64();
-    if (head_ >= line_.size()) r.fail("StreamingZeroPhaseFir: head index out of range");
+    if (head_ >= len) r.fail("StreamingZeroPhaseFir: head index out of range");
     fed_ = r.u64();
     raw_count_ = r.u64();
     const std::size_t warm_n = r.u64();
@@ -227,17 +250,24 @@ class BasicStreamingZeroPhaseFir {
 
  private:
   void feed_extended(sample_t z, std::vector<sample_t>& out) {
+    const std::size_t len = kernel_.taps.size();
+    // Mirrored write: slot head_ and its +len twin always hold the same
+    // sample, so the newest len samples are contiguous ending at
+    // head_ + len - 1 (post-increment) and the convolution below is a
+    // branch-free flat loop instead of a per-tap wrap test. Same (tap,
+    // sample) pairing and summation order as the circular walk it
+    // replaced — bit-identical output.
     line_[head_] = z;
-    const std::size_t len = line_.size();
-    head_ = (head_ + 1) % len;
+    line_[head_ + len] = z;
+    head_ = (head_ + 1 == len) ? 0 : head_ + 1;
     ++fed_;
     if (fed_ < len) return;
     typename B::acc_t acc = B::acc_zero();
-    std::size_t idx = head_ == 0 ? len - 1 : head_ - 1; // newest sample
-    for (const auto tap : taps()) {
-      acc = B::mac(acc, tap, line_[idx]);
-      idx = (idx == 0) ? len - 1 : idx - 1;
-    }
+    const sample_t* newest = line_.data() + head_ + len - 1;
+    const auto& g_taps = taps();
+    const auto* tap = g_taps.data();
+    for (std::size_t j = 0; j < len; ++j)
+      acc = B::mac(acc, tap[j], newest[-static_cast<std::ptrdiff_t>(j)]);
     out.push_back(B::narrow(acc));
   }
 
@@ -252,7 +282,10 @@ class BasicStreamingZeroPhaseFir {
   FirCoefficients kernel_;                 ///< the double-precision design
   std::vector<typename B::coeff_t> taps_;  ///< Q2.30 taps (fixed backend only)
   std::size_t half_;          ///< (len - 1) / 2 == group delay
-  std::vector<sample_t> line_;///< circular delay line, size == kernel length
+  /// Mirrored delay line, size == 2 * kernel length: slots [i] and
+  /// [i + len] carry the same sample so the newest window is always
+  /// contiguous (see feed_extended). Checkpoints serialize one window.
+  std::vector<sample_t> line_;
   std::size_t head_ = 0;      ///< next write slot in line_
   std::size_t fed_ = 0;       ///< extended-stream samples consumed
   std::size_t raw_count_ = 0; ///< raw input samples consumed

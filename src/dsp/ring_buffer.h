@@ -5,7 +5,9 @@
 // element types expected.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -72,6 +74,24 @@ class RingBuffer {
   void clear() {
     head_ = 0;
     size_ = 0;
+  }
+
+  /// Zero-copy view of the logical range [lo, hi) (indices from the
+  /// oldest, like at()): at most two contiguous spans — the range up to
+  /// the physical wrap point, then the remainder. Lets window consumers
+  /// (the per-beat tail) run flat pointer loops instead of a per-element
+  /// modulo through at(). Spans are invalidated by any mutation.
+  struct Segments {
+    std::span<const T> first, second;
+  };
+  [[nodiscard]] Segments segments(std::size_t lo, std::size_t hi) const {
+    if (lo > hi || hi > size_)
+      ICGKIT_THROW(std::out_of_range("RingBuffer: segment range out of range"));
+    const std::size_t start = (head_ + lo) % buf_.size();
+    const std::size_t len = hi - lo;
+    const std::size_t first_len = std::min(len, buf_.size() - start);
+    return {std::span<const T>(buf_.data() + start, first_len),
+            std::span<const T>(buf_.data(), len - first_len)};
   }
 
   /// Copies the content oldest-to-newest into a vector.

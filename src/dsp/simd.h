@@ -39,22 +39,69 @@ template <>
 struct NativeLanes<32> {
   typedef double type __attribute__((vector_size(32)));
 };
+
+#if defined(__AVX2__) && !defined(__AVX512F__)
+// 64-byte lane vectors on a 32-byte ISA. A generic vector_size(64) type
+// makes GCC treat each W=8 value as one indivisible 64-byte object: the
+// register allocator must find two *paired* ymm registers per value, and
+// state-heavy kernels (an SOS section carries s1+s2, a batch FIR the
+// accumulator plus the tap broadcast) run out of pairs and spill every
+// tick. Splitting the value into two explicit 32-byte halves gives the
+// allocator eight independent ymm values to juggle instead of four
+// pairs, which is what lets W=8 *beat* W=4 on plain AVX2 instead of
+// losing to it. Elementwise semantics are unchanged: every operator
+// applies the identical IEEE double expression per lane, half by half,
+// with no cross-half (horizontal) operations.
+struct PairLanes64 {
+  typedef double half_t __attribute__((vector_size(32)));
+  half_t lo{}, hi{};
+
+  double& operator[](std::size_t i) { return i < 4 ? lo[i] : hi[i - 4]; }
+  double operator[](std::size_t i) const { return i < 4 ? lo[i] : hi[i - 4]; }
+
+  friend PairLanes64 operator+(PairLanes64 a, PairLanes64 b) {
+    return PairLanes64{a.lo + b.lo, a.hi + b.hi};
+  }
+  friend PairLanes64 operator-(PairLanes64 a, PairLanes64 b) {
+    return PairLanes64{a.lo - b.lo, a.hi - b.hi};
+  }
+  friend PairLanes64 operator*(PairLanes64 a, PairLanes64 b) {
+    return PairLanes64{a.lo * b.lo, a.hi * b.hi};
+  }
+  friend PairLanes64 operator*(double c, PairLanes64 a) {
+    return PairLanes64{c * a.lo, c * a.hi};
+  }
+  friend PairLanes64 operator*(PairLanes64 a, double c) {
+    return PairLanes64{a.lo * c, a.hi * c};
+  }
+  friend PairLanes64 operator/(PairLanes64 a, double c) {
+    return PairLanes64{a.lo / c, a.hi / c};
+  }
+  friend PairLanes64 operator-(PairLanes64 a) { return PairLanes64{-a.lo, -a.hi}; }
+};
+template <>
+struct NativeLanes<64> {
+  using type = PairLanes64;
+};
+#else
 template <>
 struct NativeLanes<64> {
   typedef double type __attribute__((vector_size(64)));
 };
+#endif
 } // namespace detail
 #endif
 
 /// W double lanes advancing in lockstep. W must be a power of two so the
 /// native vector extension applies (4 and 8 are the supported widths).
 ///
-/// Width guidance: W=4 is one AVX2 register and the sweet spot on
-/// x86-64-v3. W=8 wants AVX-512 (one zmm) — on AVX2 it is legal but each
-/// value occupies two ymm registers, and register-hungry kernels (the
-/// 4-section SOS cascade carries 8 lane vectors of state) spill every
-/// tick, costing most of the lane win. Pick W=4 unless the build targets
-/// x86-64-v4.
+/// Width guidance: W=8 is one zmm on AVX-512 and, on plain AVX2, two
+/// *independent* ymm halves (detail::PairLanes64) — the split keeps the
+/// register allocator free to schedule eight 32-byte values instead of
+/// four paired 64-byte ones, so the 4-section SOS cascade's state stays
+/// in registers and W=8 beats W=4 on both ISAs. W=4 remains the fallback
+/// for register files that cannot hold the doubled state (SSE2-only
+/// builds, where every lane vector is already emulated).
 template <std::size_t W>
 struct LaneVec {
   static_assert(W >= 2 && W <= 8 && (W & (W - 1)) == 0,
@@ -152,18 +199,19 @@ constexpr const char* lane_isa() {
 ///
 /// Width guidance: a W-lane batch keeps W doubles of every kernel state
 /// variable live at once, so the right width is the widest the register
-/// file carries without spilling. W=8 spans two 4-lane YMM registers on
-/// plain AVX2 and the biquad/moving kernels spill to the stack, which
-/// measures *slower* than W=4 there; only a 512-bit register file
-/// (AVX-512) or NEON's 32-register file profits from W=8. Builds whose
-/// lane vector lowers to scalar or SSE2 code (e.g. generic x86-64
-/// without -march) gain nothing from lockstep batching, so the default
-/// keeps them scalar rather than paying the batch-group bookkeeping.
+/// file carries without spilling. On AVX-512 and NEON that is trivially
+/// W=8 (one zmm / the 32-register file). On plain AVX2, W=8 used to
+/// spill — a monolithic 64-byte vector needs paired ymm registers — but
+/// the two-half lowering (detail::PairLanes64) splits each value into
+/// two independently-allocatable ymm halves, so W=8 now amortizes the
+/// per-sample batch bookkeeping over twice the lanes and beats W=4
+/// there too. Builds whose lane vector lowers to scalar or SSE2 code
+/// (e.g. generic x86-64 without -march) gain nothing from lockstep
+/// batching, so the default keeps them scalar rather than paying the
+/// batch-group bookkeeping.
 constexpr std::size_t default_batch_width() {
-#if defined(__AVX512F__) || defined(__ARM_NEON)
+#if defined(__AVX512F__) || defined(__ARM_NEON) || defined(__AVX2__)
   return 8;
-#elif defined(__AVX2__)
-  return 4;
 #else
   return 1;
 #endif

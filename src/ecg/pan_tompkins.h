@@ -33,6 +33,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -490,6 +491,33 @@ class BasicOnlinePanTompkins {
     for (const sample_t v : x) push(v, out);
   }
 
+  /// Feature front only, fused per chunk: band-pass, derivative,
+  /// squaring and MWI run as flat passes, appending the integrated
+  /// feature samples to `feat` and one `cum` entry per input sample (the
+  /// absolute size of `feat` after that sample). The decision tail is
+  /// NOT driven and note_input() is NOT called — the caller replays the
+  /// features through decision_tail() itself, calling note_input(x[i])
+  /// before consuming sample i's feature range. That replay order is
+  /// exactly push()'s interleaving, so the result is byte-identical.
+  void front_chunk(std::span<const sample_t> x, std::vector<sample_t>& feat,
+                   std::vector<std::uint32_t>& cum) {
+    bp_arena_.clear();
+    bp_cum_.clear();
+    bp_.process_chunk_counted(x, bp_arena_, bp_cum_);
+    const auto base = static_cast<std::uint32_t>(feat.size());
+    feat_cum_.clear();
+    for (const sample_t v : bp_arena_) {
+      sample_t f{};
+      if (bp_feature_step(v, f)) feat.push_back(f);
+      feat_cum_.push_back(static_cast<std::uint32_t>(feat.size()));
+    }
+    for (std::size_t i = 0; i < x.size(); ++i)
+      cum.push_back(bp_cum_[i] > 0 ? feat_cum_[bp_cum_[i] - 1] : base);
+  }
+
+  /// The decision half, for callers driving the front via front_chunk().
+  [[nodiscard]] QrsDecisionTail<B>& decision_tail() { return tail_; }
+
   /// End of stream: processes the pending candidate and flushes.
   void finish(std::vector<std::size_t>& out) {
     // Flush the band-pass stage, then the derivative tail with the batch
@@ -564,29 +592,36 @@ class BasicOnlinePanTompkins {
   }
 
  private:
-  void on_bp_sample(sample_t v, std::vector<std::size_t>& out) {
+  /// One band-passed sample through the derivative/square/MWI chain.
+  /// Returns true and sets `f` when a feature sample is produced.
+  /// Aligned 5-point derivative with the batch edge fallbacks (see
+  /// five_point_derivative): d[0], d[1] use the one-sided/central forms,
+  /// d[i] for i >= 2 the centered 5-point stencil once x[i+2] exists. The
+  /// trailing d[n-2], d[n-1] are emitted by finish().
+  bool bp_feature_step(sample_t v, sample_t& f) {
     bp_hist_[bp_count_ % 5] = v;
     const std::size_t j = bp_count_++;
     auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
-    // Aligned 5-point derivative with the batch edge fallbacks (see
-    // five_point_derivative): d[0], d[1] use the one-sided/central forms,
-    // d[i] for i >= 2 the centered 5-point stencil once x[i+2] exists. The
-    // trailing d[n-2], d[n-1] are emitted by finish().
+    sample_t d{};
     if (j == 1) {
-      const sample_t d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
-      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
+      d = B::rescale(B::sub(h(1), h(0)), fs_, 0);
     } else if (j == 2) {
-      const sample_t d = B::half(B::rescale(B::sub(h(2), h(0)), fs_, 0));
-      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
+      d = B::half(B::rescale(B::sub(h(2), h(0)), fs_, 0));
     } else if (j >= 4) {
-      const sample_t d = B::eighth(B::rescale(
+      d = B::eighth(B::rescale(
           B::sub(B::sub(B::add(B::twice(h(j)), h(j - 1)), h(j - 3)), B::twice(h(j - 4))),
           fs_, 0));
-      tail_.on_feature_sample(mwi_.tick(B::square(d)), out);
-      ++d_emitted_;
+    } else {
+      return false;
     }
+    f = mwi_.tick(B::square(d));
+    ++d_emitted_;
+    return true;
+  }
+
+  void on_bp_sample(sample_t v, std::vector<std::size_t>& out) {
+    sample_t f{};
+    if (bp_feature_step(v, f)) tail_.on_feature_sample(f, out);
   }
 
   dsp::SampleRate fs_;
@@ -599,6 +634,12 @@ class BasicOnlinePanTompkins {
   sample_t bp_hist_[5] = {};        ///< last 5 band-passed samples
   std::size_t bp_count_ = 0;
   std::size_t d_emitted_ = 0;       ///< derivative samples emitted so far
+
+  // front_chunk arenas: band-pass intermediates and the per-stage
+  // cumulative-output snapshots, reused across chunks.
+  std::vector<sample_t> bp_arena_;
+  std::vector<std::uint32_t> bp_cum_;
+  std::vector<std::uint32_t> feat_cum_;
 
   dsp::BasicStreamingMovingAverage<B> mwi_;
   QrsDecisionTail<B> tail_;
@@ -675,6 +716,33 @@ class BatchOnlinePanTompkins {
     for (std::size_t l = 0; l < W; ++l) tails_[l].settle(out[l]);
   }
 
+  /// Feature front only, fused per chunk (see the scalar detector's
+  /// front_chunk): all W lanes' band-pass/derivative/square/MWI run in
+  /// lockstep over the whole chunk; `feat` receives the lane-vector
+  /// feature samples and `cum` one entry per input sample. The caller
+  /// replays lane l's features through decision_tail(l), calling
+  /// note_input per lane first — push()'s exact interleaving.
+  void front_chunk(std::span<const sample_t> x, std::vector<sample_t>& feat,
+                   std::vector<std::uint32_t>& cum) {
+    bp_arena_.clear();
+    bp_cum_.clear();
+    bp_.process_chunk_counted(x, bp_arena_, bp_cum_);
+    const auto base = static_cast<std::uint32_t>(feat.size());
+    feat_cum_.clear();
+    for (const sample_t v : bp_arena_) {
+      sample_t f{};
+      if (bp_feature_step(v, f)) feat.push_back(f);
+      feat_cum_.push_back(static_cast<std::uint32_t>(feat.size()));
+    }
+    for (std::size_t i = 0; i < x.size(); ++i)
+      cum.push_back(bp_cum_[i] > 0 ? feat_cum_[bp_cum_[i] - 1] : base);
+  }
+
+  /// Lane l's decision tail, for callers driving front_chunk().
+  [[nodiscard]] QrsDecisionTail<dsp::DoubleBackend>& decision_tail(std::size_t lane) {
+    return tails_[lane];
+  }
+
   /// Contact-gap recovery for one lane (see QrsDecisionTail::soft_reset);
   /// the shared feature front is untouched, so the other lanes are not
   /// perturbed.
@@ -703,28 +771,34 @@ class BatchOnlinePanTompkins {
   }
 
  private:
-  void on_bp_sample(sample_t v, std::vector<std::size_t>* out) {
+  /// One band-passed lane vector through the derivative/square/MWI
+  /// chain; mirrors the scalar bp_feature_step lane for lane.
+  bool bp_feature_step(sample_t v, sample_t& f) {
     bp_hist_[bp_count_ % 5] = v;
     const std::size_t j = bp_count_++;
     auto h = [&](std::size_t i) { return bp_hist_[i % 5]; };
+    sample_t d{};
     if (j == 1) {
-      const sample_t d = backend_t::rescale(backend_t::sub(h(1), h(0)), fs_, 0);
-      emit_feature(mwi_.tick(backend_t::square(d)), out);
-      ++d_emitted_;
+      d = backend_t::rescale(backend_t::sub(h(1), h(0)), fs_, 0);
     } else if (j == 2) {
-      const sample_t d =
-          backend_t::half(backend_t::rescale(backend_t::sub(h(2), h(0)), fs_, 0));
-      emit_feature(mwi_.tick(backend_t::square(d)), out);
-      ++d_emitted_;
+      d = backend_t::half(backend_t::rescale(backend_t::sub(h(2), h(0)), fs_, 0));
     } else if (j >= 4) {
-      const sample_t d = backend_t::eighth(backend_t::rescale(
+      d = backend_t::eighth(backend_t::rescale(
           backend_t::sub(
               backend_t::sub(backend_t::add(backend_t::twice(h(j)), h(j - 1)), h(j - 3)),
               backend_t::twice(h(j - 4))),
           fs_, 0));
-      emit_feature(mwi_.tick(backend_t::square(d)), out);
-      ++d_emitted_;
+    } else {
+      return false;
     }
+    f = mwi_.tick(backend_t::square(d));
+    ++d_emitted_;
+    return true;
+  }
+
+  void on_bp_sample(sample_t v, std::vector<std::size_t>* out) {
+    sample_t f{};
+    if (bp_feature_step(v, f)) emit_feature(f, out);
   }
 
   void emit_feature(sample_t f, std::vector<std::size_t>* out) {
@@ -738,6 +812,9 @@ class BatchOnlinePanTompkins {
   sample_t bp_hist_[5] = {};
   std::size_t bp_count_ = 0;
   std::size_t d_emitted_ = 0;
+  std::vector<sample_t> bp_arena_;       ///< front_chunk band-pass arena
+  std::vector<std::uint32_t> bp_cum_;
+  std::vector<std::uint32_t> feat_cum_;
   dsp::BasicStreamingMovingAverage<backend_t> mwi_;
   std::vector<QrsDecisionTail<dsp::DoubleBackend>> tails_; ///< one per lane
 };
