@@ -3,12 +3,13 @@
 
 Compares the JSON the benches just wrote (BENCH_streaming.json,
 BENCH_fleet.json, BENCH_fixed.json, BENCH_scenarios.json,
-BENCH_checkpoint.json) against the committed floors in
-bench/bench_baselines.json and exits non-zero on any regression, so a
-change that silently erodes the streaming speedup, fleet scaling, the
-fixed-point pipeline's beat-level accuracy, the corruption robustness,
-or the checkpoint subsystem's blob economy fails the build instead of
-landing.
+BENCH_checkpoint.json, BENCH_batch.json, BENCH_replay.json) against
+the committed floors in bench/bench_baselines.json and exits non-zero
+on any regression, so a change that silently erodes the streaming
+speedup, fleet scaling, the fixed-point pipeline's beat-level
+accuracy, the corruption robustness, the checkpoint subsystem's blob
+economy, or the flight recorder's replay fidelity fails the build
+instead of landing.
 
 Every expected input is checked up front: a missing or unparseable
 BENCH_*.json (or baseline key) produces one clear per-file/per-key
@@ -27,7 +28,13 @@ and PPV floors on BOTH backends. The checkpoint gate requires
 byte-identical round-trip and migrated-fleet output (deterministic, so
 unconditional) plus blob sizes under the committed ceiling; the
 save/restore latency and migration throughput are reported but not
-gated (wall-time floors are runner-dependent noise).
+gated (wall-time floors are runner-dependent noise). The replay gate
+requires byte-identical verify and seek replays, recording overhead on
+the push hot path under the committed ceiling on both backends, and —
+the one deliberate exception to the no-wall-time rule — seek latency
+under a budget DERIVED from BENCH_checkpoint.json's own measured
+restore time plus a committed suffix allowance, so the two benches
+share one floor instead of drifting apart.
 
 The firmware-profile CI job runs `--only footprint` instead: it checks
 just BENCH_footprint.json (written by ci/extract_footprint.py over
@@ -50,6 +57,7 @@ BENCH_INPUTS = {
     "BENCH_scenarios.json": "./bench_scenarios",
     "BENCH_checkpoint.json": "./bench_checkpoint",
     "BENCH_batch.json": "./bench_batch",
+    "BENCH_replay.json": "./bench_replay",
     "BENCH_footprint.json": "ci/extract_footprint.py",
 }
 
@@ -92,15 +100,23 @@ def load_inputs(names):
 
 
 class Baselines:
-    """Keyed access to the committed floors with a clear per-key error."""
+    """Keyed access to the committed floors with a clear per-key error
+    that names the bench binary whose gate needed the key."""
 
-    def __init__(self, data):
+    def __init__(self, data, owner=None):
         self.data = data
+        self.owner = owner
+
+    def owned_by(self, binary):
+        """A view whose missing-key errors blame `binary`'s gate."""
+        return Baselines(self.data, binary)
 
     def __getitem__(self, key):
         if key not in self.data:
-            sys.exit(f"FAIL: bench/bench_baselines.json has no key '{key}' — "
-                     "add the committed floor the gate expects")
+            blame = (f" (needed by the {self.owner} gate)"
+                     if self.owner else "")
+            sys.exit(f"FAIL: bench/bench_baselines.json has no key '{key}'"
+                     f"{blame} — add the committed floor the gate expects")
         return self.data[key]
 
 
@@ -144,8 +160,10 @@ def main() -> int:
 
     if args.only == "footprint":
         inputs = load_inputs(["BENCH_footprint.json"])
-        failures = check_footprint(inputs["BENCH_footprint.json"],
-                                   Baselines(inputs["baselines"]))
+        failures = check_footprint(
+            inputs["BENCH_footprint.json"],
+            Baselines(inputs["baselines"]).owned_by(
+                BENCH_INPUTS["BENCH_footprint.json"]))
         if failures:
             print("\nFOOTPRINT GATE FAILED:")
             for f in failures:
@@ -155,7 +173,15 @@ def main() -> int:
         return 0
 
     inputs = load_inputs(HOSTED_INPUTS)
-    baselines = Baselines(inputs["baselines"])
+    base = Baselines(inputs["baselines"])
+    # Per-gate views: a missing baseline key names the bench it belongs to.
+    b_stream = base.owned_by(BENCH_INPUTS["BENCH_streaming.json"])
+    b_fleet = base.owned_by(BENCH_INPUTS["BENCH_fleet.json"])
+    b_fixed = base.owned_by(BENCH_INPUTS["BENCH_fixed.json"])
+    b_scen = base.owned_by(BENCH_INPUTS["BENCH_scenarios.json"])
+    b_ckpt = base.owned_by(BENCH_INPUTS["BENCH_checkpoint.json"])
+    b_batch = base.owned_by(BENCH_INPUTS["BENCH_batch.json"])
+    b_replay = base.owned_by(BENCH_INPUTS["BENCH_replay.json"])
     streaming = inputs["BENCH_streaming.json"]
     fleet = inputs["BENCH_fleet.json"]
     fixed = inputs["BENCH_fixed.json"]
@@ -164,13 +190,13 @@ def main() -> int:
     failures = []
 
     speedup = streaming.get("speedup_at_64", 0.0)
-    floor = baselines["streaming_speedup_at_64_min"]
+    floor = b_stream["streaming_speedup_at_64_min"]
     print(f"streaming speedup at 64-sample chunks: {speedup:.1f}x (floor {floor}x)")
     if speedup < floor:
         failures.append(f"streaming speedup {speedup:.1f}x below floor {floor}x")
 
     sessions = fleet.get("sessions", 0)
-    min_sessions = baselines["fleet_min_sessions"]
+    min_sessions = b_fleet["fleet_min_sessions"]
     print(f"fleet sessions: {sessions} (floor {min_sessions})")
     if sessions < min_sessions:
         failures.append(f"fleet bench ran {sessions} sessions, floor is {min_sessions}")
@@ -181,7 +207,7 @@ def main() -> int:
         print("fleet determinism: byte-identical across worker counts")
 
     scaling = fleet.get("scaling_1_to_4", 0.0)
-    scaling_floor = baselines["fleet_scaling_1_to_4_min"]
+    scaling_floor = b_fleet["fleet_scaling_1_to_4_min"]
     if fleet.get("scaling_enforced", False):
         print(f"fleet scaling 1->4 workers: {scaling:.2f}x (floor {scaling_floor}x)")
         if scaling < scaling_floor:
@@ -203,8 +229,8 @@ def main() -> int:
             f"fixed pipeline quality gate disagrees on {flaw_mismatches} beats")
     pep_dev = fixed.get("worst_pep_dev_ms", float("inf"))
     lvet_dev = fixed.get("worst_lvet_dev_ms", float("inf"))
-    pep_ceiling = baselines["fixed_max_pep_dev_ms"]
-    lvet_ceiling = baselines["fixed_max_lvet_dev_ms"]
+    pep_ceiling = b_fixed["fixed_max_pep_dev_ms"]
+    lvet_ceiling = b_fixed["fixed_max_lvet_dev_ms"]
     print(f"fixed pipeline worst dev: PEP {pep_dev:.3f} ms (ceiling {pep_ceiling}), "
           f"LVET {lvet_dev:.3f} ms (ceiling {lvet_ceiling})")
     if pep_dev >= pep_ceiling:
@@ -212,7 +238,7 @@ def main() -> int:
     if lvet_dev >= lvet_ceiling:
         failures.append(f"fixed LVET deviation {lvet_dev:.3f} ms >= ceiling {lvet_ceiling}")
     duty_ratio = fixed.get("duty_ratio", 0.0)
-    duty_floor = baselines["fixed_min_duty_ratio"]
+    duty_floor = b_fixed["fixed_min_duty_ratio"]
     print(f"fixed pipeline modeled duty-cycle ratio double/Q31: {duty_ratio:.2f}x "
           f"(floor {duty_floor}x)")
     if duty_ratio < duty_floor:
@@ -223,8 +249,8 @@ def main() -> int:
         failures.append("scenario clean tier altered the recording (must be a no-op)")
     if not scenarios.get("clean_beat_parity", False):
         failures.append("scenario clean tier lost double/Q31 beat parity")
-    sens_floor = baselines["scenario_min_sensitivity_moderate"]
-    ppv_floor = baselines["scenario_min_ppv_moderate"]
+    sens_floor = b_scen["scenario_min_sensitivity_moderate"]
+    ppv_floor = b_scen["scenario_min_ppv_moderate"]
     for backend in ("double", "q31"):
         sens = scenarios.get(f"moderate_sensitivity_{backend}", 0.0)
         ppv = scenarios.get(f"moderate_ppv_{backend}", 0.0)
@@ -247,7 +273,7 @@ def main() -> int:
     else:
         print(f"fleet migration: {checkpoint.get('migrations', 0)} live migrations, "
               "byte-identical to the pinned fleet")
-    blob_ceiling_kb = baselines["checkpoint_max_blob_kb"]
+    blob_ceiling_kb = b_ckpt["checkpoint_max_blob_kb"]
     for backend in ("double", "q31"):
         blob_kb = checkpoint.get(f"blob_bytes_{backend}", float("inf")) / 1024.0
         print(f"checkpoint blob [{backend}]: {blob_kb:.1f} KiB "
@@ -281,10 +307,10 @@ def main() -> int:
     # only under AVX-512 (one zmm per lane vector); on plain AVX2 the
     # two-half PairLanes64 lowering (see dsp/simd.h) is instead held to
     # the relative floor: W=8 must not lose to W=4.
-    w4_floor = (baselines["batch_min_speedup_w4"] if isa == "avx512"
-                else baselines["batch_min_speedup_w4_avx2"])
-    w8_floor = baselines["batch_min_speedup_w8"]
-    w8_rel_floor = baselines["batch_min_w8_over_w4"]
+    w4_floor = (b_batch["batch_min_speedup_w4"] if isa == "avx512"
+                else b_batch["batch_min_speedup_w4_avx2"])
+    w8_floor = b_batch["batch_min_speedup_w8"]
+    w8_rel_floor = b_batch["batch_min_w8_over_w4"]
     if batch.get("w4_enforced", False):
         print(f"batch speedup W=4 [{isa}]: {w4:.2f}x (floor {w4_floor}x)")
         if w4 < w4_floor:
@@ -312,7 +338,7 @@ def main() -> int:
     profile = batch.get("profile", {})
     tail_us = profile.get("tail_us_per_beat", 0.0)
     front_frac = profile.get("front_fraction", 0.0)
-    tail_ceiling = baselines["batch_max_tail_us_per_beat"]
+    tail_ceiling = b_batch["batch_max_tail_us_per_beat"]
     if batch.get("w4_enforced", False):
         print(f"batch tail cost (W={profile.get('width', '?')}): "
               f"{tail_us:.1f} us/beat (ceiling {tail_ceiling}), "
@@ -324,6 +350,44 @@ def main() -> int:
     else:
         print(f"batch tail cost: {tail_us:.1f} us/beat (gate skipped: lane ISA "
               f"is {isa}, ceiling arms on avx2 or wider)")
+
+    # --- flight recorder: record overhead + replay fidelity ---------------
+    replay = inputs["BENCH_replay.json"]
+    if not replay.get("verify_identical", False):
+        failures.append(
+            "flight-record replay is not byte-identical (determinism bug)")
+    else:
+        print(f"replay verify: byte-identical on both backends, "
+              f"{replay.get('replay_speed_vs_realtime', 0.0):.0f}x realtime "
+              "(speed reported, not gated)")
+    if not replay.get("seek_identical", False):
+        failures.append(
+            "flight-record seek suffix diverged from straight-through replay")
+    overhead_ceiling = b_replay["replay_max_record_overhead_pct"]
+    for backend in ("double", "q31"):
+        pct = replay.get(f"record_overhead_pct_{backend}", float("inf"))
+        print(f"record overhead [{backend}]: {pct:.2f}% of push cost "
+              f"(ceiling {overhead_ceiling}%)")
+        if pct > overhead_ceiling:
+            failures.append(
+                f"recording overhead [{backend}] {pct:.2f}% exceeds the "
+                f"{overhead_ceiling}% ceiling — the recorder tap is no longer "
+                "cheap enough to leave on in production")
+    # Seek latency budget is DERIVED, not committed: a seek is one
+    # checkpoint restore (measured by bench_checkpoint on this same
+    # runner, so runner speed cancels out) plus a bounded suffix replay
+    # with its own committed allowance.
+    restore_ms = max(checkpoint.get("restore_us_double", 0.0),
+                     checkpoint.get("restore_us_q31", 0.0)) / 1000.0
+    seek_budget_ms = restore_ms + b_replay["replay_seek_suffix_budget_ms"]
+    seek_ms = replay.get("seek_ms", float("inf"))
+    print(f"seek latency: {seek_ms:.2f} ms (budget {seek_budget_ms:.2f} ms = "
+          f"{restore_ms:.2f} ms measured restore + "
+          f"{b_replay['replay_seek_suffix_budget_ms']} ms suffix allowance)")
+    if seek_ms > seek_budget_ms:
+        failures.append(
+            f"flight-record seek {seek_ms:.2f} ms exceeds the derived budget "
+            f"{seek_budget_ms:.2f} ms (checkpoint restore + suffix allowance)")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:")

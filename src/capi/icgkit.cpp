@@ -41,8 +41,11 @@
 #include <vector>
 
 #if !defined(ICGKIT_CAPI_MINIMAL)
+#include "core/flight_recorder.h"
 #include "synth/recording.h"
 #include "synth/subject.h"
+
+#include <memory>
 #endif
 
 namespace {
@@ -110,20 +113,54 @@ struct EngineIface {
   virtual void checkpoint_into(std::vector<std::uint8_t>& blob) const = 0;
   virtual bool restore_compatible(std::span<const std::uint8_t> blob) const noexcept = 0;
   virtual void restore(std::span<const std::uint8_t> blob) = 0;
+#if !defined(ICGKIT_CAPI_MINIMAL)
+  // Flight-record taps (hosted profile only: flight_recorder.cpp is not
+  // part of libicgkit_embedded.a).
+  virtual void record_start(const char* path, std::uint64_t interval) = 0;
+  virtual void record_stop() = 0;
+  virtual bool recording() const noexcept = 0;
+#endif
 };
 
 template <typename B>
 struct EngineOf final : EngineIface {
   BasicStreamingBeatPipeline<B> engine;
+#if !defined(ICGKIT_CAPI_MINIMAL)
+  double window_s;
+  // Sink declared before the recorder so the recorder (which holds a
+  // reference to it) is destroyed first.
+  std::unique_ptr<icgkit::core::RecorderSink> rec_sink;
+  std::unique_ptr<icgkit::core::FlightRecorder> recorder;
+#endif
 
-  EngineOf(double fs, const PipelineConfig& cfg, double window_s)
-      : engine(fs, cfg, window_s) {}
+  EngineOf(double fs, const PipelineConfig& cfg, double window_s_arg)
+      : engine(fs, cfg, window_s_arg)
+#if !defined(ICGKIT_CAPI_MINIMAL)
+        ,
+        window_s(window_s_arg)
+#endif
+  {
+  }
 
   void push_into(icgkit::dsp::SignalView ecg, icgkit::dsp::SignalView z,
                  std::vector<BeatRecord>& out) override {
     engine.push_into(ecg, z, out);
+#if !defined(ICGKIT_CAPI_MINIMAL)
+    // The tap runs after the engine so the recorded beats are exactly
+    // this chunk's emissions (the capi push clears `out` per call).
+    if (recorder) recorder->on_chunk(engine, ecg, z, out);
+#endif
   }
-  void finish_into(std::vector<BeatRecord>& out) override { engine.finish_into(out); }
+  void finish_into(std::vector<BeatRecord>& out) override {
+    engine.finish_into(out);
+#if !defined(ICGKIT_CAPI_MINIMAL)
+    if (recorder) {
+      recorder->on_finish(engine, out);
+      recorder.reset();
+      rec_sink.reset();
+    }
+#endif
+  }
   const QualitySummary& quality() const override { return engine.quality_summary(); }
   void checkpoint_into(std::vector<std::uint8_t>& blob) const override {
     // checkpoint_into replaces the blob but reuses its capacity, which
@@ -134,6 +171,24 @@ struct EngineOf final : EngineIface {
     return engine.restore_compatible(blob);
   }
   void restore(std::span<const std::uint8_t> blob) override { engine.restore(blob); }
+#if !defined(ICGKIT_CAPI_MINIMAL)
+  void record_start(const char* path, std::uint64_t interval) override {
+    auto sink = std::make_unique<icgkit::core::FileRecorderSink>(path);
+    icgkit::core::FlightRecorderConfig rcfg;
+    if (interval != 0) rcfg.checkpoint_interval = interval;
+    rcfg.window_s = window_s;
+    rcfg.note = "capi icg_session_record_start";
+    recorder = std::make_unique<icgkit::core::FlightRecorder>(*sink, engine, rcfg);
+    rec_sink = std::move(sink);
+  }
+  void record_stop() override {
+    if (!recorder) return;
+    recorder->on_stop(engine);
+    recorder.reset();
+    rec_sink.reset();
+  }
+  bool recording() const noexcept override { return recorder != nullptr; }
+#endif
 };
 
 // ---------------------------------------------------------------------------
@@ -489,6 +544,12 @@ int icg_session_restore(icg_session* session, const uint8_t* blob, uint32_t len)
     return set_error(ICG_ERR_BAD_CHECKPOINT,
                      "corrupt, truncated, or configuration-mismatched blob");
   return guarded([&]() -> int {
+#if !defined(ICGKIT_CAPI_MINIMAL)
+    // Samples pushed after a restore no longer follow from the recorded
+    // state, so an active flight recording is finalized (as stopped,
+    // not finished) before the jump.
+    s->engine->record_stop();
+#endif
     s->engine->restore(std::span<const std::uint8_t>(blob, len));
     // A restored session resumes the source's stream: pollable from a
     // clean queue, accepting pushes again.
@@ -500,6 +561,53 @@ int icg_session_restore(icg_session* session, const uint8_t* blob, uint32_t len)
 }
 
 #if !defined(ICGKIT_CAPI_MINIMAL)
+
+int icg_session_record_start(icg_session* session, const char* path,
+                             uint64_t checkpoint_interval_samples) {
+  SessionImpl* s = decode_handle(session);
+  if (s == nullptr) return set_error(ICG_ERR_BAD_HANDLE, "stale or destroyed handle");
+  if (path == nullptr) return set_error(ICG_ERR_NULL_ARG, "path is NULL");
+  if (s->state != SessionState::Streaming)
+    return set_error(ICG_ERR_BAD_STATE, "record_start after finish");
+  if (s->engine->recording())
+    return set_error(ICG_ERR_BAD_STATE, "session is already recording");
+  return guarded([&]() -> int {
+    s->engine->record_start(path, checkpoint_interval_samples);
+    return ICG_OK;
+  });
+}
+
+int icg_session_record_stop(icg_session* session) {
+  SessionImpl* s = decode_handle(session);
+  if (s == nullptr) return set_error(ICG_ERR_BAD_HANDLE, "stale or destroyed handle");
+  if (!s->engine->recording())
+    return set_error(ICG_ERR_BAD_STATE, "session is not recording");
+  return guarded([&]() -> int {
+    s->engine->record_stop();
+    return ICG_OK;
+  });
+}
+
+int icg_flight_probe(const uint8_t* data, uint32_t len, uint32_t* backend,
+                     double* sample_rate_hz, uint64_t* chunks,
+                     uint64_t* checkpoints, uint64_t* beats,
+                     uint32_t* finished) {
+  if (data == nullptr && len != 0)
+    return set_error(ICG_ERR_NULL_ARG, "data is NULL");
+  const icgkit::core::FlightProbe probe =
+      icgkit::core::probe_flight(std::span<const std::uint8_t>(data, len));
+  if (!probe.valid)
+    return set_error(ICG_ERR_BAD_CHECKPOINT,
+                     "corrupt, truncated, or non-flight-record buffer");
+  if (backend != nullptr)
+    *backend = probe.header.backend_fixed ? ICG_BACKEND_Q31 : ICG_BACKEND_DOUBLE;
+  if (sample_rate_hz != nullptr) *sample_rate_hz = probe.header.fs;
+  if (chunks != nullptr) *chunks = probe.chunks;
+  if (checkpoints != nullptr) *checkpoints = probe.checkpoints;
+  if (beats != nullptr) *beats = probe.beats;
+  if (finished != nullptr) *finished = probe.finished ? 1u : 0u;
+  return ICG_OK;
+}
 
 int icg_demo_synth_recording(uint32_t subject_index, double duration_s,
                              double sample_rate_hz, double* ecg_mv, double* z_ohm,

@@ -279,6 +279,46 @@ int icg_session_restore(icg_session* session, const uint8_t* blob,
 int icg_session_destroy(icg_session* session);
 
 /* ------------------------------------------------------------------ */
+/* Flight recording (not part of the embedded profile)                 */
+/* ------------------------------------------------------------------ */
+
+/* Starts flight-recording this session to `path` in the engine's .icgr
+ * format (docs/ARCHITECTURE.md, "Flight record wire format"): every
+ * pushed chunk, every emitted beat, and periodic full-state checkpoints,
+ * replayable byte-for-byte with tools/replay. Recording taps the push
+ * path without perturbing the session's outputs.
+ * checkpoint_interval_samples sets the periodic checkpoint cadence in
+ * samples; 0 selects the library default. icg_session_finish finalizes
+ * an active recording automatically (writes the end marker and closes
+ * the file); icg_session_restore stops an active recording first, since
+ * samples pushed after a restore no longer follow from the recorded
+ * state. Returns ICG_OK, ICG_ERR_BAD_STATE (already recording, or after
+ * finish), or ICG_ERR_BAD_CHECKPOINT (file cannot be created/written).
+ * Absent from libicgkit_embedded.a. */
+int icg_session_record_start(icg_session* session, const char* path,
+                             uint64_t checkpoint_interval_samples);
+
+/* Stops an active recording: writes the end marker (flagged as stopped,
+ * not finished) and closes the file. The session keeps streaming.
+ * Returns ICG_OK, or ICG_ERR_BAD_STATE when the session is not
+ * recording (including after icg_session_finish already finalized the
+ * file). Absent from libicgkit_embedded.a. */
+int icg_session_record_stop(icg_session* session);
+
+/* Non-throwing structural probe of an in-memory .icgr flight record
+ * (header + every section frame and CRC walked end to end). On a valid
+ * record writes the requested facts through any non-NULL out pointers
+ * (`finished` is 1 only when the record ends with a finish marker — a
+ * mid-stream stop or a crash-truncated-but-frame-clean record reports
+ * 0) and returns ICG_OK. A corrupt, truncated, or non-.icgr buffer
+ * returns ICG_ERR_BAD_CHECKPOINT — never undefined behaviour. Absent
+ * from libicgkit_embedded.a. */
+int icg_flight_probe(const uint8_t* data, uint32_t len, uint32_t* backend,
+                     double* sample_rate_hz, uint64_t* chunks,
+                     uint64_t* checkpoints, uint64_t* beats,
+                     uint32_t* finished);
+
+/* ------------------------------------------------------------------ */
 /* Demo input generator (not part of the embedded profile)             */
 /* ------------------------------------------------------------------ */
 

@@ -109,6 +109,16 @@ class StateWriter {
     u32(kCheckpointVersion);
   }
 
+  /// A headerless writer that emits framed sections only, for appending
+  /// to a stream whose magic/version header was already written (the
+  /// flight recorder frames each incremental section into a reused
+  /// scratch buffer and flushes it to a sink). Same reuse semantics as
+  /// the normal constructor: `buf`'s capacity is recycled.
+  [[nodiscard]] static StateWriter continuation(std::vector<std::uint8_t> buf = {}) {
+    StateWriter w(std::move(buf), /*header=*/false);
+    return w;
+  }
+
   // -- primitives (little-endian) --
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v) {
@@ -120,7 +130,24 @@ class StateWriter {
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// Appends `n` doubles in wire order (LE u64 bit patterns). On a
+  /// little-endian host the in-memory array already IS the wire layout,
+  /// so this is one bulk copy — the flight recorder's per-chunk hot
+  /// path, where an element-wise loop would dominate recording cost.
+  void f64_array(const double* p, std::size_t n) {
+    if (n == 0) return;
+    if constexpr (std::endian::native == std::endian::little) {
+      const auto* raw = reinterpret_cast<const std::uint8_t*>(p);
+      buf_.insert(buf_.end(), raw, raw + n * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) f64(p[i]);
+    }
+  }
   void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Appends `n` raw bytes verbatim — the escape hatch for embedding an
+  /// already-serialized blob (a nested pipeline checkpoint inside a
+  /// flight-record section) without re-framing it element by element.
+  void bytes(const std::uint8_t* p, std::size_t n) { buf_.insert(buf_.end(), p, p + n); }
 
   // -- generic overloads, the targets the backend-templated kernels and
   //    dsp::RingBuffer write sample_t / acc_t / mark / index values
@@ -160,6 +187,14 @@ class StateWriter {
   }
 
  private:
+  StateWriter(std::vector<std::uint8_t> buf, bool header) : buf_(std::move(buf)) {
+    buf_.clear();
+    if (header) {
+      u32(kCheckpointMagic);
+      u32(kCheckpointVersion);
+    }
+  }
+
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::uint8_t> buf_;
   std::size_t section_start_ = kNone;
@@ -219,6 +254,22 @@ class StateReader {
 
   [[nodiscard]] bool at_end() const { return !in_section_ && pos_ == blob_.size(); }
 
+  /// Copies the next section's 4-character tag into `out` (NUL-padded)
+  /// without consuming it, so a reader of a heterogeneous stream (the
+  /// flight-record file interleaves chunk and checkpoint sections) can
+  /// dispatch before committing to begin_section(). Returns false at a
+  /// clean end of the blob; throws if bytes remain but too few for a
+  /// section header.
+  [[nodiscard]] bool peek_tag(char (&out)[5]) {
+    if (in_section_) ICGKIT_THROW(CheckpointError("peek_tag inside a section"));
+    if (pos_ == blob_.size()) return false;
+    if (blob_.size() - pos_ < 8)
+      ICGKIT_THROW(CheckpointError("truncated section header"));
+    std::memcpy(out, blob_.data() + pos_, 4);
+    out[4] = '\0';
+    return true;
+  }
+
   // -- primitives --
   std::uint8_t u8() { return take_bytes(1)[0]; }
   std::uint32_t u32() { return le32(take_bytes(4)); }
@@ -231,10 +282,31 @@ class StateReader {
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64() { return std::bit_cast<double>(u64()); }
+  /// Bounds-checked bulk read of `n` doubles (counterpart of
+  /// StateWriter::f64_array): one memcpy on a little-endian host.
+  void f64_array(double* out, std::size_t n) {
+    if (n == 0) return;
+    const std::uint8_t* p = take_bytes(n * sizeof(double));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, p, n * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t v = 0;
+        for (int b = 7; b >= 0; --b) v = (v << 8) | p[i * 8 + b];
+        out[i] = std::bit_cast<double>(v);
+      }
+    }
+  }
   bool boolean() {
     const std::uint8_t v = u8();
     if (v > 1) fail("boolean byte is neither 0 nor 1");
     return v == 1;
+  }
+  /// A bounds-checked view of the next `n` raw payload bytes (the
+  /// counterpart of StateWriter::bytes). The span aliases the blob — it
+  /// stays valid only as long as the blob the reader was built over.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    return {take_bytes(n), n};
   }
 
   /// Typed read for backend-templated kernels (sample_t / acc_t) and

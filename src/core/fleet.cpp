@@ -250,6 +250,76 @@ void SessionManager::migrate(std::uint32_t session, std::uint32_t target_worker,
   ++migrations_;
 }
 
+void SessionManager::start_recording(std::uint32_t session,
+                                     std::unique_ptr<RecorderSink> sink,
+                                     std::vector<FleetBeat>& drained,
+                                     FlightRecorderConfig rcfg) {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  if (!started_) throw std::logic_error("SessionManager: start_recording() before start()");
+  if (sink == nullptr)
+    throw std::invalid_argument("SessionManager: start_recording() needs a sink");
+  Session& s = *sessions_[session];
+  if (s.finished) throw std::logic_error("SessionManager: start_recording() after finish");
+  if (s.is_recording)
+    throw std::logic_error("SessionManager: session is already being recorded");
+
+  // The fields below are published to the worker by the work-queue push
+  // inside enqueue_item (SPSC release/acquire), read there, and not
+  // touched again by the pilot until the stop/finish acknowledgement.
+  rcfg.window_s = cfg_.window_s;
+  s.recorder_cfg = rcfg;
+  s.recorder_sink = std::move(sink);
+  s.record_ack.store(false, std::memory_order_relaxed);
+
+  Backoff backoff;
+  while (!enqueue_item(s, {}, {}, SessionOp::RecordStart)) {
+    if (poll(drained) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  backoff.reset();
+  while (!s.record_ack.load(std::memory_order_acquire)) {
+    if (poll(drained) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  s.is_recording = true;
+}
+
+std::unique_ptr<RecorderSink> SessionManager::stop_recording(
+    std::uint32_t session, std::vector<FleetBeat>& drained) {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  Session& s = *sessions_[session];
+  if (!s.is_recording)
+    throw std::logic_error("SessionManager: session is not being recorded");
+  if (s.finished)
+    throw std::logic_error(
+        "SessionManager: recording was already finalized by finish_session");
+
+  s.record_ack.store(false, std::memory_order_relaxed);
+  Backoff backoff;
+  while (!enqueue_item(s, {}, {}, SessionOp::RecordStop)) {
+    if (poll(drained) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  backoff.reset();
+  while (!s.record_ack.load(std::memory_order_acquire)) {
+    if (poll(drained) == 0) backoff.pause();
+    else backoff.reset();
+  }
+  // The acquire above covers the worker's final writes; handing the
+  // sink back lets the pilot read its bytes, and dropping it closes a
+  // file sink deterministically at the cut.
+  s.is_recording = false;
+  return std::move(s.recorder_sink);
+}
+
+bool SessionManager::recording(std::uint32_t session) const {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return sessions_[session]->is_recording;
+}
+
 std::uint32_t SessionManager::session_worker(std::uint32_t session) const {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
@@ -432,6 +502,13 @@ void SessionManager::worker_loop(Worker& w) {
     switch (item.op) {
       case SessionOp::Finish:
         s.engine.finish_into(s.beat_scratch);
+        if (s.recorder) {
+          // A recorded session that runs to completion finalizes its own
+          // file: tail beats + terminal summary, then the recorder goes
+          // away (the pilot releases the sink when the manager dies).
+          s.recorder->on_finish(s.engine, s.beat_scratch);
+          s.recorder.reset();
+        }
         break;
       case SessionOp::CheckpointOut:
         // Serialize after everything submitted ahead of this item; the
@@ -451,6 +528,25 @@ void SessionManager::worker_loop(Worker& w) {
         s.completed.fetch_add(1, std::memory_order_release);
         w.chunks.fetch_add(1, std::memory_order_relaxed);
         continue;
+      case SessionOp::RecordStart:
+        // Writes the file header and the initial checkpoint at this
+        // exact cut (serialized behind every prior chunk). The ack is
+        // released only after those bytes reached the sink.
+        s.recorder = std::make_unique<FlightRecorder>(*s.recorder_sink, s.engine,
+                                                      s.recorder_cfg);
+        s.completed.fetch_add(1, std::memory_order_release);
+        s.record_ack.store(true, std::memory_order_release);
+        w.chunks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      case SessionOp::RecordStop:
+        if (s.recorder) {
+          s.recorder->on_stop(s.engine);
+          s.recorder.reset();
+        }
+        s.completed.fetch_add(1, std::memory_order_release);
+        s.record_ack.store(true, std::memory_order_release);
+        w.chunks.fetch_add(1, std::memory_order_relaxed);
+        continue;
       case SessionOp::Chunk: {
         const std::size_t slot =
             s.completed.load(std::memory_order_relaxed) % cfg_.chunk_slots_per_session;
@@ -466,6 +562,10 @@ void SessionManager::worker_loop(Worker& w) {
           w.push_latency_us.push_back(
               std::chrono::duration<double, std::micro>(t1 - t0).count());
         }
+        if (s.recorder)
+          s.recorder->on_chunk(s.engine, dsp::SignalView(base, item.len),
+                               dsp::SignalView(base + cfg_.max_chunk, item.len),
+                               s.beat_scratch);
         w.samples.fetch_add(item.len, std::memory_order_relaxed);
         break;
       }

@@ -49,6 +49,7 @@
 #pragma once
 
 #include "core/batch.h"
+#include "core/flight_recorder.h"
 #include "core/pipeline.h"
 #include "core/spsc_queue.h"
 #include "dsp/types.h"
@@ -183,6 +184,42 @@ class SessionManager {
   /// Completed migrate() calls so far.
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
 
+  /// Starts flight-recording a live session into `sink` (see
+  /// core/flight_recorder.h): the owning worker writes the file header
+  /// plus an initial checkpoint at the exact cut point (serialized
+  /// behind every chunk submitted so far), then taps each subsequent
+  /// chunk purely observationally — the recorder never feeds the
+  /// engine, so recording cannot perturb the session's beat stream
+  /// (pinned by the recorded-vs-twin fleet test). Blocking
+  /// control-plane call in the migrate() mold: drains results into
+  /// `drained` while waiting for the worker's acknowledgement; when it
+  /// returns, the header and initial checkpoint are in the sink. In
+  /// batch mode the session's lockstep group is dissolved first (a
+  /// recorded session runs scalar). `rcfg` carries the checkpoint
+  /// cadence and seed provenance; its window_s is overridden with the
+  /// fleet's configured window. The recorder rides the session across
+  /// migrate() — the recording continues seamlessly on the new worker.
+  void start_recording(std::uint32_t session, std::unique_ptr<RecorderSink> sink,
+                       std::vector<FleetBeat>& drained,
+                       FlightRecorderConfig rcfg = {});
+
+  /// Cuts a live recording mid-stream: the owning worker writes the
+  /// FINI trailer (finished=0, summary-so-far), the sink is flushed,
+  /// and ownership of the sink returns to the caller — dropping it
+  /// closes a file sink at the cut; keeping it lets the pilot read a
+  /// BufferRecorderSink's bytes. The file replays up to the cut.
+  /// Unnecessary for a session that reaches finish_session() while
+  /// recording — its file is finalized with the finish() tail beats
+  /// automatically (the sink is then released when the manager is
+  /// destroyed). Blocking, pilot thread only; illegal once the session
+  /// finished.
+  std::unique_ptr<RecorderSink> stop_recording(std::uint32_t session,
+                                               std::vector<FleetBeat>& drained);
+
+  /// True while the session has an active recording the pilot has not
+  /// stopped (stays true after a finish_session finalized the file).
+  [[nodiscard]] bool recording(std::uint32_t session) const;
+
   /// Moves up to max_items completed beats into `out` (appended, not
   /// cleared). Pilot thread only. Returns the number moved.
   std::size_t poll(std::vector<FleetBeat>& out,
@@ -235,6 +272,8 @@ class SessionManager {
     Finish,         ///< end-of-stream flush + end-of-session record
     CheckpointOut,  ///< serialize the engine into the migration blob
     RestoreIn,      ///< deserialize the migration blob into the engine
+    RecordStart,    ///< open a flight recorder over the installed sink
+    RecordStop,     ///< finalize the flight recorder mid-stream
   };
 
   struct BatchGroup;
@@ -256,6 +295,19 @@ class SessionManager {
     /// across migrations.
     std::vector<std::uint8_t> migration_blob;
     std::atomic<bool> checkpoint_ready{false};
+    /// Flight recording: the sink is installed by the pilot before the
+    /// RecordStart op; the recorder is created, driven and destroyed
+    /// exclusively by the owning worker (the work-queue handoffs give it
+    /// the same happens-before edges as the engine, so it rides the
+    /// session across migrations). Declared sink-before-recorder so the
+    /// recorder is destroyed first. record_ack is the worker -> pilot
+    /// acknowledgement for RecordStart/RecordStop, released only after
+    /// the corresponding file sections are in the sink.
+    std::unique_ptr<RecorderSink> recorder_sink;
+    std::unique_ptr<FlightRecorder> recorder;
+    FlightRecorderConfig recorder_cfg;  ///< pilot-written before RecordStart
+    std::atomic<bool> record_ack{false};
+    bool is_recording = false;  ///< pilot side
     /// Batch mode: the lockstep group this session rides in, or nullptr
     /// when it runs its own scalar engine. Set by start(), cleared by the
     /// owning worker when the group dissolves (while the session is

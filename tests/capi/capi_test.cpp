@@ -15,14 +15,18 @@
 #include "capi/icgkit.h"
 
 #include "core/beat_serializer.h"
+#include "core/flight_recorder.h"
 #include "core/pipeline.h"
 #include "synth/recording.h"
 #include "synth/subject.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 namespace {
@@ -468,6 +472,182 @@ TEST(CApiAbuseTest, SessionTableExhaustionIsAnError) {
   icg_session* again = icg_session_create(&cfg);
   EXPECT_NE(again, nullptr);
   EXPECT_EQ(icg_session_destroy(again), ICG_OK);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recording through the C ABI
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Streams a recording through a C session with flight recording on and
+/// returns the .icgr bytes. `stop_mid_stream` exercises record_stop
+/// instead of the finish-finalized path.
+std::vector<std::uint8_t> record_c_session(const synth::Recording& rec,
+                                           std::uint32_t backend,
+                                           bool stop_mid_stream) {
+  const std::string path = ::testing::TempDir() + "capi_flight_" +
+                           std::to_string(backend) +
+                           (stop_mid_stream ? "_stopped" : "_finished") + ".icgr";
+  const icg_config cfg = test_config(backend);
+  icg_session* s = icg_session_create(&cfg);
+  EXPECT_NE(s, nullptr) << icg_last_error();
+  EXPECT_EQ(icg_session_record_start(s, path.c_str(), 1500), ICG_OK)
+      << icg_last_error();
+  icg_beat beat;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off < total; off += kChunk) {
+    const auto len =
+        static_cast<std::uint32_t>(std::min<std::size_t>(kChunk, total - off));
+    EXPECT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, len),
+              0)
+        << icg_last_error();
+    while (icg_session_poll_beat(s, &beat) == 1) {
+    }
+    if (stop_mid_stream && off >= total / 2) {
+      EXPECT_EQ(icg_session_record_stop(s), ICG_OK) << icg_last_error();
+      stop_mid_stream = false;  // keep streaming, unrecorded
+    }
+  }
+  EXPECT_GE(icg_session_finish(s), 0) << icg_last_error();
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+  return read_file_bytes(path);
+}
+
+TEST(CApiFlightRecordTest, FinishFinalizedRecordingVerifiesOnBothBackends) {
+  const auto rec = test_recording(20.0);
+  for (const std::uint32_t backend : {ICG_BACKEND_DOUBLE, ICG_BACKEND_Q31}) {
+    const std::vector<std::uint8_t> file = record_c_session(rec, backend, false);
+    uint32_t probed_backend = 99, finished = 0;
+    double fs = 0.0;
+    uint64_t chunks = 0, checkpoints = 0, beats = 0;
+    ASSERT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(file.size()),
+                               &probed_backend, &fs, &chunks, &checkpoints, &beats,
+                               &finished),
+              ICG_OK)
+        << icg_last_error();
+    EXPECT_EQ(probed_backend, backend);
+    EXPECT_EQ(fs, 250.0);
+    EXPECT_GT(chunks, 0u);
+    EXPECT_GT(beats, 0u);
+    EXPECT_EQ(finished, 1u);
+    // The file replays byte-identically through the C++ replay engine —
+    // the recording taps the exact samples the C caller pushed.
+    const core::FlightVerifyReport rep = core::flight_verify(file);
+    EXPECT_TRUE(rep.ok) << "backend " << backend << ": first divergent chunk "
+                        << rep.first_divergent_chunk;
+    EXPECT_TRUE(rep.finished);
+  }
+}
+
+TEST(CApiFlightRecordTest, RecordStopWritesAStoppedButReplayableFile) {
+  const auto rec = test_recording(20.0);
+  const std::vector<std::uint8_t> file =
+      record_c_session(rec, ICG_BACKEND_DOUBLE, true);
+  uint32_t finished = 99;
+  ASSERT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(file.size()),
+                             nullptr, nullptr, nullptr, nullptr, nullptr, &finished),
+            ICG_OK);
+  EXPECT_EQ(finished, 0u);
+  EXPECT_TRUE(core::flight_verify(file).ok);
+}
+
+TEST(CApiFlightRecordTest, RestoreStopsAnActiveRecording) {
+  const auto rec = test_recording(20.0);
+  const std::string path = ::testing::TempDir() + "capi_flight_restore.icgr";
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(icg_session_record_start(s, path.c_str(), 0), ICG_OK);
+  icg_beat beat;
+  ASSERT_GE(icg_session_push(s, rec.ecg_mv.data(), rec.z_ohm.data(), kChunk), 0);
+  while (icg_session_poll_beat(s, &beat) == 1) {
+  }
+  std::vector<std::uint8_t> blob(icg_session_checkpoint_size(s));
+  uint32_t written = 0;
+  ASSERT_EQ(icg_session_checkpoint(s, blob.data(),
+                                   static_cast<uint32_t>(blob.size()), &written),
+            ICG_OK);
+  // Restoring rewinds the stream, so the active recording is finalized
+  // (as stopped) before the jump; a second stop is then a state error.
+  ASSERT_EQ(icg_session_restore(s, blob.data(), written), ICG_OK);
+  EXPECT_EQ(icg_session_record_stop(s), ICG_ERR_BAD_STATE);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+  const std::vector<std::uint8_t> file = read_file_bytes(path);
+  uint32_t finished = 99;
+  EXPECT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(file.size()), nullptr,
+                             nullptr, nullptr, nullptr, nullptr, &finished),
+            ICG_OK);
+  EXPECT_EQ(finished, 0u);
+}
+
+TEST(CApiFlightRecordTest, RecordMisuseIsRejected) {
+  const std::string path = ::testing::TempDir() + "capi_flight_misuse.icgr";
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(icg_session_record_start(nullptr, path.c_str(), 0), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_record_stop(nullptr), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_record_start(s, nullptr, 0), ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_record_stop(s), ICG_ERR_BAD_STATE);  // not recording
+  EXPECT_EQ(icg_session_record_start(s, "/nonexistent-dir/x.icgr", 0),
+            ICG_ERR_BAD_CHECKPOINT);  // unopenable sink
+  ASSERT_EQ(icg_session_record_start(s, path.c_str(), 0), ICG_OK);
+  EXPECT_EQ(icg_session_record_start(s, path.c_str(), 0),
+            ICG_ERR_BAD_STATE);  // already recording
+  ASSERT_GE(icg_session_finish(s), 0);
+  EXPECT_EQ(icg_session_record_stop(s), ICG_ERR_BAD_STATE);  // finish finalized it
+  EXPECT_EQ(icg_session_record_start(s, path.c_str(), 0),
+            ICG_ERR_BAD_STATE);  // after finish
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
+TEST(CApiFlightRecordTest, CorruptFlightRecordsProbeAsBadCheckpoint) {
+  const auto rec = test_recording(15.0);
+  const std::vector<std::uint8_t> file =
+      record_c_session(rec, ICG_BACKEND_Q31, false);
+  ASSERT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(file.size()), nullptr,
+                             nullptr, nullptr, nullptr, nullptr, nullptr),
+            ICG_OK);
+  // Flip sweep: every corrupted variant is refused, never UB (this
+  // binary runs under the ASan/UBSan CI entry).
+  const std::size_t stride = std::max<std::size_t>(1, file.size() / 53);
+  for (std::size_t pos = 0; pos < file.size(); pos += stride) {
+    std::vector<std::uint8_t> bad = file;
+    bad[pos] ^= 0xA5u;
+    EXPECT_EQ(icg_flight_probe(bad.data(), static_cast<uint32_t>(bad.size()), nullptr,
+                               nullptr, nullptr, nullptr, nullptr, nullptr),
+              ICG_ERR_BAD_CHECKPOINT)
+        << "flipped byte " << pos;
+  }
+  // Hard-truncation sweep (cut below the header: always refused).
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                                std::size_t{8}, std::size_t{12}, std::size_t{16}}) {
+    EXPECT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(len), nullptr,
+                               nullptr, nullptr, nullptr, nullptr, nullptr),
+              ICG_ERR_BAD_CHECKPOINT)
+        << "truncated to " << len;
+  }
+  EXPECT_EQ(icg_flight_probe(nullptr, 5, nullptr, nullptr, nullptr, nullptr, nullptr,
+                             nullptr),
+            ICG_ERR_NULL_ARG);
+  // A plain checkpoint blob is not a flight record.
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  std::vector<std::uint8_t> blob(icg_session_checkpoint_size(s));
+  uint32_t written = 0;
+  ASSERT_EQ(icg_session_checkpoint(s, blob.data(),
+                                   static_cast<uint32_t>(blob.size()), &written),
+            ICG_OK);
+  EXPECT_EQ(icg_flight_probe(blob.data(), written, nullptr, nullptr, nullptr, nullptr,
+                             nullptr, nullptr),
+            ICG_ERR_BAD_CHECKPOINT);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
 }
 
 } // namespace

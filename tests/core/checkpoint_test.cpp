@@ -142,6 +142,35 @@ void expect_roundtrip_identity(const synth::Recording& rec, std::size_t chunk,
 }
 
 // ---------------------------------------------------------------------------
+// CRC-32 implementation parity
+// ---------------------------------------------------------------------------
+
+// checkpoint_crc32 dispatches between a carry-less-multiply kernel
+// (long 16-byte-aligned spans), slice-by-8, and a plain table walk for
+// tails. All of them must agree with the textbook bit-at-a-time IEEE
+// CRC-32 on every length, or old blobs stop validating — so sweep
+// lengths across all dispatch boundaries against an independent
+// bitwise reference.
+TEST(CheckpointCrcTest, AllDispatchPathsMatchTheBitwiseReference) {
+  const auto bitwise = [](const std::uint8_t* data, std::size_t n) {
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i) {
+      crc ^= data[i];
+      for (int k = 0; k < 8; ++k)
+        crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+    }
+    return crc ^ 0xFFFFFFFFu;
+  };
+  synth::Rng rng(4242);
+  std::vector<std::uint8_t> buf(513);
+  for (auto& b : buf)
+    b = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  for (std::size_t len = 0; len <= buf.size(); ++len)
+    ASSERT_EQ(core::checkpoint_crc32(buf.data(), len), bitwise(buf.data(), len))
+        << "length " << len;
+}
+
+// ---------------------------------------------------------------------------
 // Kernel-level round trips
 // ---------------------------------------------------------------------------
 

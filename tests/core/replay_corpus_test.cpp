@@ -1,0 +1,78 @@
+// The committed replay corpus: every .icgr fixture under
+// tests/data/replay_corpus must verify byte-for-byte on the current
+// build. The corpus is the cross-build determinism contract — a fixture
+// recorded by an older build that stops replaying identically is a
+// behavioural regression of the engine, not a test flake. The
+// checkpoint-fuzz CI job grows this corpus with every divergence it
+// finds (each failure is emitted as a replayable .icgr), so a bug found
+// once stays covered forever.
+#include "core/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  const std::filesystem::path dir =
+      std::filesystem::path(ICGKIT_TEST_DATA_DIR) / "replay_corpus";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".icgr") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReplayCorpusTest, CorpusIsCommittedAndNonEmpty) {
+  // Both backends and both end shapes (finished / stopped) are seeded.
+  EXPECT_GE(corpus_files().size(), 3u);
+}
+
+TEST(ReplayCorpusTest, EveryFixtureProbesValid) {
+  for (const auto& path : corpus_files()) {
+    const std::vector<std::uint8_t> file = read_file(path);
+    const core::FlightProbe probe = core::probe_flight(file);
+    EXPECT_TRUE(probe.valid) << path;
+    EXPECT_GT(probe.chunks, 0u) << path;
+  }
+}
+
+TEST(ReplayCorpusTest, EveryFixtureReplaysByteIdentical) {
+  for (const auto& path : corpus_files()) {
+    const std::vector<std::uint8_t> file = read_file(path);
+    const core::FlightVerifyReport rep = core::flight_verify(file);
+    EXPECT_TRUE(rep.ok) << path << ": first divergent chunk "
+                        << rep.first_divergent_chunk << ", checkpoint "
+                        << rep.first_divergent_checkpoint;
+    EXPECT_TRUE(rep.summary_match) << path;
+    EXPECT_TRUE(rep.tail_match) << path;
+  }
+}
+
+TEST(ReplayCorpusTest, EveryFixtureSeeksByteIdentical) {
+  for (const auto& path : corpus_files()) {
+    const std::vector<std::uint8_t> file = read_file(path);
+    const core::FlightProbe probe = core::probe_flight(file);
+    ASSERT_TRUE(probe.valid) << path;
+    const core::FlightSeekReport rep =
+        core::flight_seek(file, (probe.header.start_samples + probe.samples) / 2);
+    EXPECT_TRUE(rep.ok) << path << ": first divergent chunk "
+                        << rep.first_divergent_chunk;
+  }
+}
+
+}  // namespace

@@ -12,12 +12,22 @@
 // non-zero.
 //
 //   ./fuzz_checkpoint_roundtrip [--rounds N] [--seed BASE] [--report PATH]
+//                               [--corpus-dir DIR]
 //
 // Defaults: 24 rounds, seed 1, report FUZZ_checkpoint_repro.json. A
 // repro: rerun with --seed <reported seed> --rounds 1 after offsetting
 // the base so the failing round is round 0 (the report lists the exact
 // per-round seed).
+//
+// With --corpus-dir, every divergence is additionally emitted as a
+// replayable flight record (.icgr): the uninterrupted reference run is
+// re-recorded with the checkpoint cadence set to the failing cut, so
+// `replay --verify` on the emitted file re-executes the exact
+// checkpoint-at-cut comparison that diverged — no fuzzer or synth stack
+// needed to reproduce, and the file can be committed straight into
+// tests/data/replay_corpus to pin the regression forever.
 #include "core/beat_serializer.h"
+#include "core/flight_recorder.h"
 #include "core/pipeline.h"
 #include "synth/recording.h"
 #include "synth/rng.h"
@@ -25,6 +35,7 @@
 #include "synth/subject.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -93,6 +104,42 @@ bool summaries_equal(const core::QualitySummary& a, const core::QualitySummary& 
   return true;
 }
 
+/// Re-records the uninterrupted run of a diverged round as a replayable
+/// .icgr whose periodic checkpoint cadence equals the failing cut, and
+/// returns the file path. `replay --verify` on it re-runs the exact
+/// restore-at-cut comparison that diverged.
+template <typename Pipeline>
+std::string emit_corpus(const synth::Recording& rec, const RoundSpec& spec,
+                        const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/diverged_seed" + std::to_string(spec.seed) +
+                           (spec.q31 ? "_q31" : "_double") + ".icgr";
+  Pipeline p(rec.fs);
+  core::FileRecorderSink sink(path);
+  core::FlightRecorderConfig rcfg;
+  rcfg.checkpoint_interval = spec.cut;
+  rcfg.seed = spec.seed;
+  rcfg.tier = spec.tier;
+  rcfg.subject = spec.subject;
+  rcfg.note = "fuzz_checkpoint_roundtrip divergence, cut " + std::to_string(spec.cut) +
+              ", chunk " + std::to_string(spec.chunk);
+  core::FlightRecorder recorder(sink, p, rcfg);
+  const std::size_t n = rec.ecg_mv.size();
+  std::vector<core::BeatRecord> emitted;
+  for (std::size_t i = 0; i < n; i += spec.chunk) {
+    const std::size_t len = std::min(spec.chunk, n - i);
+    emitted.clear();
+    p.push_into(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                dsp::SignalView(rec.z_ohm.data() + i, len), emitted);
+    recorder.on_chunk(p, dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), emitted);
+  }
+  emitted.clear();
+  p.finish_into(emitted);
+  recorder.on_finish(p, emitted);
+  return path;
+}
+
 template <typename Pipeline>
 bool run_round(const synth::Recording& rec, const RoundSpec& spec) {
   const std::size_t n = rec.ecg_mv.size();
@@ -123,9 +170,10 @@ int main(int argc, char** argv) {
   std::size_t rounds = 24;
   std::uint64_t base_seed = 1;
   std::string report_path = "FUZZ_checkpoint_repro.json";
+  std::string corpus_dir;
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
-              << " [--rounds N] [--seed BASE] [--report PATH]\n";
+              << " [--rounds N] [--seed BASE] [--report PATH] [--corpus-dir DIR]\n";
     return 2;
   };
   for (int i = 1; i < argc; i += 2) {
@@ -138,6 +186,7 @@ int main(int argc, char** argv) {
       if (flag == "--rounds") rounds = std::stoull(argv[i + 1]);
       else if (flag == "--seed") base_seed = std::stoull(argv[i + 1]);
       else if (flag == "--report") report_path = argv[i + 1];
+      else if (flag == "--corpus-dir") corpus_dir = argv[i + 1];
       else {
         std::cerr << "unknown flag " << flag << "\n";
         return usage();
@@ -150,6 +199,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<RoundSpec> failures;
+  std::vector<std::string> corpus_files;
   const std::size_t chunks[] = {1, 7, 64, 1024};
   for (std::size_t round = 0; round < rounds; ++round) {
     RoundSpec spec;
@@ -169,7 +219,17 @@ int main(int argc, char** argv) {
               << " subject " << spec.subject << " chunk " << spec.chunk << " cut "
               << spec.cut << " backend " << (spec.q31 ? "q31" : "double") << " -> "
               << (ok ? "identical" : "DIVERGED") << "\n";
-    if (!ok) failures.push_back(spec);
+    if (!ok) {
+      failures.push_back(spec);
+      if (!corpus_dir.empty()) {
+        const std::string path =
+            spec.q31
+                ? emit_corpus<core::FixedStreamingBeatPipeline>(rec, spec, corpus_dir)
+                : emit_corpus<core::StreamingBeatPipeline>(rec, spec, corpus_dir);
+        corpus_files.push_back(path);
+        std::cerr << "  emitted replayable corpus file " << path << "\n";
+      }
+    }
   }
 
   if (!failures.empty()) {
@@ -180,8 +240,10 @@ int main(int argc, char** argv) {
       report << "    {\"seed\": " << f.seed << ", \"cut\": " << f.cut
              << ", \"chunk\": " << f.chunk << ", \"tier\": " << f.tier
              << ", \"subject\": " << f.subject << ", \"backend\": \""
-             << (f.q31 ? "q31" : "double") << "\"}" << (i + 1 < failures.size() ? "," : "")
-             << "\n";
+             << (f.q31 ? "q31" : "double") << "\"";
+      if (i < corpus_files.size())
+        report << ", \"corpus\": \"" << corpus_files[i] << "\"";
+      report << "}" << (i + 1 < failures.size() ? "," : "") << "\n";
     }
     report << "  ]\n}\n";
     std::cerr << "FUZZ FAILED: " << failures.size() << "/" << rounds
