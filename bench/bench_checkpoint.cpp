@@ -105,7 +105,9 @@ MigrationResult bench_migration(const std::vector<synth::Recording>& workload,
     cfg.workers = 2;
     cfg.max_chunk = kChunk;
     core::SessionManager fleet(workload[0].fs, cfg);
-    for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+    std::vector<core::SessionHandle> handles;
+    handles.reserve(sessions);
+    for (std::size_t s = 0; s < sessions; ++s) handles.push_back(fleet.open());
     fleet.start();
     std::vector<core::FleetBeat> sink;
     sink.reserve(1 << 16);
@@ -115,14 +117,13 @@ MigrationResult bench_migration(const std::vector<synth::Recording>& workload,
       if (migrate_continuously && chunk_index % 4 == 3) {
         // One session moves per migration window, cycling the roster.
         const auto s = static_cast<std::uint32_t>((chunk_index / 4) % sessions);
-        fleet.migrate(s, 1 - fleet.session_worker(s) % 2, sink);
+        handles[s].migrate_to(1 - handles[s].worker() % 2, sink);
       }
       const std::size_t len = std::min(kChunk, n - i);
       for (std::size_t s = 0; s < sessions; ++s) {
         const synth::Recording& rec = workload[s % workload.size()];
-        fleet.submit(static_cast<std::uint32_t>(s),
-                     dsp::SignalView(rec.ecg_mv.data() + i, len),
-                     dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+        handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                        dsp::SignalView(rec.z_ohm.data() + i, len), sink);
       }
     }
     fleet.run_to_completion(sink);

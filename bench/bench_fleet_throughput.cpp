@@ -29,6 +29,7 @@ namespace {
 using namespace icgkit;
 using core::FleetBeat;
 using core::FleetConfig;
+using core::SessionHandle;
 using core::SessionManager;
 using core::serialize_beat;
 
@@ -64,7 +65,9 @@ FleetRunResult run_fleet(const std::vector<synth::Recording>& workload,
   cfg.latency_log_capacity = pushes_total;
 
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  std::vector<SessionHandle> handles;
+  handles.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) handles.push_back(fleet.open());
 
   std::vector<FleetBeat> sink;
   sink.reserve(1 << 16);
@@ -75,9 +78,8 @@ FleetRunResult run_fleet(const std::vector<synth::Recording>& workload,
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < sessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   fleet.run_to_completion(sink);

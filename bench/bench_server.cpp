@@ -1,0 +1,390 @@
+// Network fleet soak: the loopback proof that the wire front-end adds
+// zero divergence and explicit-only backpressure on top of the fleet.
+//
+// Phase 1 (soak): ICGKIT_SERVER_SESSIONS sessions (default 10000; the
+// CI matrix entry scales this down) cycled through one FleetServer in
+// bounded-concurrency waves over a single loopback connection. Every
+// chunk is windowed against the server's CACK stream at the advertised
+// max_inflight, so a correct client must never be shed — the bench
+// fails if a single SHED arrives. Per-chunk round-trip latency is the
+// send-to-covering-CACK time; every session's BEAT bytes are compared
+// against a directly-fed in-process StreamingBeatPipeline.
+//
+// Phase 2 (skew): a small fleet on 2 workers with rebalancing armed;
+// the streams homed on worker 0 close immediately, leaving the load
+// skewed onto one worker. The periodic rebalancer must migrate at
+// least one survivor — and the migrated streams' bytes must still
+// match the direct feed.
+//
+// Writes BENCH_server.json for ci/check_bench_regression.py --only
+// server (the server CI matrix entry): beat_bytes_identical,
+// shed_chunks == 0 and skew_migrations > 0 gate unconditionally;
+// samples/s and p99 gate against committed floors.
+#include "core/beat_serializer.h"
+#include "core/pipeline.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "report/table.h"
+#include "synth/recording.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using net::ClientEvent;
+using net::FleetClient;
+using net::FleetServer;
+using net::ServerConfig;
+using net::ServerStatus;
+
+constexpr std::size_t kChunk = 64;
+using Clock = std::chrono::steady_clock;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+// Reference beat bytes: the same full-chunk schedule fed straight into
+// an in-process pipeline with the server fleet's (default) config.
+std::vector<unsigned char> direct_stream(const synth::Recording& rec) {
+  core::StreamingBeatPipeline direct(rec.fs, {});
+  std::vector<core::BeatRecord> beats;
+  const std::size_t n = rec.ecg_mv.size();
+  for (std::size_t i = 0; i + kChunk <= n; i += kChunk) {
+    direct.push_into(dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                     dsp::SignalView(rec.z_ohm.data() + i, kChunk), beats);
+  }
+  direct.finish_into(beats);
+  std::vector<unsigned char> bytes;
+  for (const core::BeatRecord& b : beats) core::serialize_beat(b, bytes);
+  return bytes;
+}
+
+struct WaveStream {
+  std::uint32_t id = 0;
+  const synth::Recording* rec = nullptr;
+  std::size_t ref = 0;           ///< index into the direct reference streams
+  std::uint64_t chunks = 0;      ///< full chunks this recording yields
+  std::uint64_t sent = 0;
+  std::uint64_t acked = 0;
+  bool closed = false;
+  bool done = false;             ///< terminal QUAL arrived
+  std::vector<unsigned char> bytes;
+  std::vector<Clock::time_point> send_ts;
+};
+
+struct SoakResult {
+  std::uint64_t sessions = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t divergent = 0;
+  double wall_s = 0.0;
+  std::vector<double> latency_ms;
+  net::ServerStats stats{};
+  [[nodiscard]] double samples_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(samples) / wall_s : 0.0;
+  }
+};
+
+// Feeds `wave` to completion on `client`: windowed sends against the
+// CACK stream, per-chunk latency capture, BEAT byte collection, and a
+// byte-compare against `refs` at each terminal QUAL.
+void play_wave(FleetClient& client, std::vector<WaveStream>& wave,
+               std::uint64_t window,
+               const std::vector<std::vector<unsigned char>>& refs,
+               SoakResult& out, bool open_streams = true) {
+  if (open_streams)
+    for (WaveStream& ws : wave) client.open_stream(ws.id);
+
+  std::vector<ClientEvent> events;
+  std::size_t done = 0;
+  while (done < wave.size() && client.connected()) {
+    bool progressed = false;
+    for (WaveStream& ws : wave) {
+      while (ws.sent < ws.chunks && ws.sent - ws.acked < window) {
+        const std::size_t off = static_cast<std::size_t>(ws.sent) * kChunk;
+        ws.send_ts.push_back(Clock::now());
+        client.send_chunk(ws.id,
+                          std::span<const double>(ws.rec->ecg_mv.data() + off, kChunk),
+                          std::span<const double>(ws.rec->z_ohm.data() + off, kChunk));
+        ++ws.sent;
+        progressed = true;
+      }
+      if (ws.sent == ws.chunks && !ws.closed) {
+        client.close_stream(ws.id);
+        ws.closed = true;
+        progressed = true;
+      }
+    }
+    events.clear();
+    client.poll_events(events, progressed ? 0 : 1);
+    for (const ClientEvent& ev : events) {
+      WaveStream* ws = nullptr;
+      for (WaveStream& cand : wave)
+        if (cand.id == ev.stream) { ws = &cand; break; }
+      switch (ev.type) {
+        case ClientEvent::Type::ChunkAck: {
+          if (ws == nullptr) break;
+          const auto now = Clock::now();
+          for (std::uint64_t k = ws->acked; k < ev.count && k < ws->send_ts.size(); ++k)
+            out.latency_ms.push_back(
+                std::chrono::duration<double, std::milli>(now - ws->send_ts[k]).count());
+          ws->acked = std::max(ws->acked, ev.count);
+          break;
+        }
+        case ClientEvent::Type::Beat:
+          if (ws != nullptr) core::serialize_beat(ev.beat, ws->bytes);
+          break;
+        case ClientEvent::Type::Quality:
+          if (ws != nullptr && !ws->done) {
+            ws->done = true;
+            ++done;
+            ++out.sessions;
+            out.chunks += ws->chunks;
+            out.samples += ws->chunks * kChunk;
+            if (ws->bytes != refs[ws->ref]) ++out.divergent;
+          }
+          break;
+        case ClientEvent::Type::Shed:
+          ++out.shed;
+          break;
+        case ClientEvent::Type::Error:
+          ++out.errors;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+SoakResult run_soak(const std::vector<synth::Recording>& workload,
+                    const std::vector<std::vector<unsigned char>>& refs,
+                    std::size_t total_sessions, std::size_t wave_width,
+                    std::size_t workers) {
+  ServerConfig cfg;
+  cfg.fleet.workers = workers;
+  cfg.rebalance_period_chunks = 0;  // phase 2 owns the rebalance story
+  FleetServer server(cfg);
+  SoakResult out;
+  if (server.bind() != ServerStatus::Ok) {
+    ++out.errors;
+    return out;
+  }
+  server.start();
+
+  FleetClient client;
+  if (!client.connect_loopback(server.port(), /*want_acks=*/true)) {
+    ++out.errors;
+    return out;
+  }
+  const std::uint64_t window = client.server_hello().max_inflight;
+  out.latency_ms.reserve(total_sessions *
+                         (workload[0].ecg_mv.size() / kChunk + 1));
+
+  const auto t0 = Clock::now();
+  std::uint32_t next_id = 1;
+  std::size_t launched = 0;
+  while (launched < total_sessions && client.connected()) {
+    const std::size_t n = std::min(wave_width, total_sessions - launched);
+    std::vector<WaveStream> wave(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      WaveStream& ws = wave[i];
+      ws.id = next_id++;
+      ws.ref = (launched + i) % workload.size();
+      ws.rec = &workload[ws.ref];
+      ws.chunks = ws.rec->ecg_mv.size() / kChunk;
+      ws.send_ts.reserve(ws.chunks);
+    }
+    play_wave(client, wave, window, refs, out);
+    launched += n;
+  }
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  client.request_stats();
+  std::vector<ClientEvent> events;
+  const std::size_t at = client.wait_for(ClientEvent::Type::Stats, events);
+  if (at != static_cast<std::size_t>(-1)) out.stats = events[at].stats;
+  client.bye();
+  server.stop();
+  return out;
+}
+
+struct SkewResult {
+  std::uint64_t migrations = 0;
+  std::uint64_t divergent = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t sessions = 0;
+};
+
+// Skewed-load rebalance proof: close every stream homed on worker 0,
+// keep feeding the rest, and let the periodic rebalancer move load.
+SkewResult run_skew(const std::vector<synth::Recording>& workload,
+                    const std::vector<std::vector<unsigned char>>& refs) {
+  ServerConfig cfg;
+  cfg.fleet.workers = 2;
+  cfg.rebalance_period_chunks = 32;
+  cfg.rebalance_min_gap = 2;
+  SkewResult out;
+  FleetServer server(cfg);
+  if (server.bind() != ServerStatus::Ok) return out;
+  server.start();
+
+  FleetClient client;
+  if (!client.connect_loopback(server.port(), /*want_acks=*/true)) return out;
+  const std::uint64_t window = client.server_hello().max_inflight;
+
+  constexpr std::size_t kStreams = 16;
+  std::vector<WaveStream> wave(kStreams);
+  std::vector<std::uint32_t> homes(kStreams + 1, 0);
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    WaveStream& ws = wave[i];
+    ws.id = static_cast<std::uint32_t>(i + 1);
+    ws.ref = i % workload.size();
+    ws.rec = &workload[ws.ref];
+    ws.chunks = ws.rec->ecg_mv.size() / kChunk;
+    ws.send_ts.reserve(ws.chunks);
+    client.open_stream(ws.id);
+  }
+  std::vector<ClientEvent> events;
+  std::size_t acked_opens = 0;
+  while (acked_opens < kStreams) {
+    const std::size_t at = client.wait_for(ClientEvent::Type::OpenAck, events);
+    if (at == static_cast<std::size_t>(-1)) return out;
+    for (std::size_t i = at; i < events.size(); ++i)
+      if (events[i].type == ClientEvent::Type::OpenAck) {
+        homes[events[i].stream] = events[i].worker;
+        ++acked_opens;
+      }
+  }
+
+  // Skew: every worker-0 stream leaves at once; the survivors keep
+  // streaming so worker 1 is now carrying all the load.
+  std::vector<WaveStream> survivors;
+  std::size_t closed_early = 0;
+  for (WaveStream& ws : wave) {
+    if (homes[ws.id] == 0) {
+      client.close_stream(ws.id);
+      ++closed_early;
+    } else {
+      survivors.push_back(std::move(ws));
+    }
+  }
+  SoakResult fed;
+  play_wave(client, survivors, window, refs, fed, /*open_streams=*/false);
+  out.divergent = fed.divergent;
+  out.shed = fed.shed;
+  out.sessions = fed.sessions + closed_early;
+
+  client.request_stats();
+  const std::size_t at = client.wait_for(ClientEvent::Type::Stats, events);
+  if (at != static_cast<std::size_t>(-1)) out.migrations = events[at].stats.migrations;
+  client.bye();
+  server.stop();
+  return out;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, static_cast<std::size_t>(
+                                      static_cast<double>(v.size()) * p))];
+}
+
+} // namespace
+
+int main() {
+  using namespace icgkit;
+
+  const std::size_t total_sessions = env_size("ICGKIT_SERVER_SESSIONS", 10000);
+  const std::size_t wave_width = env_size("ICGKIT_SERVER_WAVE", 64);
+  const std::size_t distinct = 4;
+  const double duration_s = 6.0;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min<std::size_t>(4, hw);
+
+  report::banner(std::cout, "Fleet server loopback soak: " +
+                                std::to_string(total_sessions) + " sessions");
+  std::cout << "hardware threads: " << hw << ", fleet workers: " << workers
+            << ", wave width: " << wave_width << ", recording: " << duration_s
+            << " s @ 250 Hz, chunk: " << kChunk << " samples\n";
+
+  synth::RecordingConfig rcfg;
+  rcfg.duration_s = duration_s;
+  rcfg.session_seed = 42;
+  const std::vector<synth::Recording> workload =
+      synth::make_fleet_workload(distinct, rcfg);
+  std::vector<std::vector<unsigned char>> refs;
+  refs.reserve(distinct);
+  for (const synth::Recording& rec : workload) refs.push_back(direct_stream(rec));
+
+  SoakResult soak = run_soak(workload, refs, total_sessions, wave_width, workers);
+  const double p50 = percentile(soak.latency_ms, 0.50);
+  const double p99 = percentile(soak.latency_ms, 0.99);
+
+  report::Table table({"sessions", "chunks", "samples/s", "p50 ms", "p99 ms",
+                       "shed", "divergent"});
+  table.row()
+      .add(static_cast<double>(soak.sessions), 0)
+      .add(static_cast<double>(soak.chunks), 0)
+      .add(soak.samples_per_sec(), 0)
+      .add(p50, 3)
+      .add(p99, 3)
+      .add(static_cast<double>(soak.shed), 0)
+      .add(static_cast<double>(soak.divergent), 0);
+  table.print(std::cout);
+
+  const bool soak_complete = soak.sessions == total_sessions && soak.errors == 0;
+  const bool identical = soak.divergent == 0 && soak_complete;
+  std::cout << (identical
+                    ? "beat bytes: every session byte-identical to the direct feed\n"
+                    : "FAIL: sessions diverged from the direct in-process feed\n");
+  if (soak.shed != 0)
+    std::cout << "FAIL: " << soak.shed
+              << " SHEDs against a CACK-windowed client (flow-control bug)\n";
+
+  SkewResult skew = run_skew(workload, refs);
+  std::cout << "skewed-load rebalance: " << skew.migrations << " migrations, "
+            << skew.divergent << " divergent post-migration streams, " << skew.shed
+            << " sheds\n";
+
+  const bool pass = identical && soak.shed == 0 && skew.migrations > 0 &&
+                    skew.divergent == 0 && skew.shed == 0;
+
+  std::ofstream json("BENCH_server.json");
+  json << "{\n  \"sessions\": " << soak.sessions
+       << ",\n  \"chunks\": " << soak.chunks
+       << ",\n  \"samples\": " << soak.samples
+       << ",\n  \"wall_s\": " << soak.wall_s
+       << ",\n  \"samples_per_sec\": " << soak.samples_per_sec()
+       << ",\n  \"latency_p50_ms\": " << p50
+       << ",\n  \"latency_p99_ms\": " << p99
+       << ",\n  \"shed_chunks\": " << soak.shed
+       << ",\n  \"wire_errors\": " << soak.errors
+       << ",\n  \"beat_bytes_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"server_shed_total\": " << soak.stats.shed_chunks
+       << ",\n  \"server_sessions_closed\": " << soak.stats.sessions_closed
+       << ",\n  \"skew_migrations\": " << skew.migrations
+       << ",\n  \"skew_divergent\": " << skew.divergent
+       << ",\n  \"skew_shed\": " << skew.shed
+       << ",\n  \"hardware_threads\": " << hw
+       << ",\n  \"fleet_workers\": " << workers
+       << ",\n  \"wave_width\": " << wave_width
+       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "(written to BENCH_server.json)\n";
+
+  return pass ? 0 : 1;
+}

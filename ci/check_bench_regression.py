@@ -59,11 +59,14 @@ BENCH_INPUTS = {
     "BENCH_batch.json": "./bench_batch",
     "BENCH_replay.json": "./bench_replay",
     "BENCH_footprint.json": "ci/extract_footprint.py",
+    "BENCH_server.json": "./bench_server",
 }
 
-# The hosted-bench set the Release job gates; the footprint input comes
-# from the separate firmware-profile job (`--only footprint`).
-HOSTED_INPUTS = [n for n in BENCH_INPUTS if n != "BENCH_footprint.json"]
+# The hosted-bench set the Release job gates; the footprint and server
+# inputs come from their own matrix jobs (`--only footprint`,
+# `--only server`).
+HOSTED_INPUTS = [n for n in BENCH_INPUTS
+                 if n not in ("BENCH_footprint.json", "BENCH_server.json")]
 
 
 def load_inputs(names):
@@ -152,11 +155,84 @@ def check_footprint(footprint, baselines):
     return failures
 
 
+def check_server(server, baselines):
+    """Gates the loopback soak: zero beat-byte divergence and explicit-
+    only backpressure are unconditional correctness contracts; the
+    skewed-load phase must actually migrate; throughput and ack p99
+    hold committed floors (deliberately loose — the soak runs on the
+    scaled-down CI matrix entry, often a small runner)."""
+    failures = []
+    sessions = server.get("sessions", 0)
+    min_sessions = baselines["server_min_sessions"]
+    print(f"server soak sessions: {sessions} (floor {min_sessions})")
+    if sessions < min_sessions:
+        failures.append(
+            f"server soak ran {sessions} sessions, floor is {min_sessions}")
+
+    if not server.get("beat_bytes_identical", False):
+        failures.append(
+            "server-delivered beat bytes diverged from the direct in-process "
+            "feed (wire/fleet determinism bug)")
+    else:
+        print("server determinism: every session's beat bytes identical to "
+              "the direct feed")
+
+    shed = server.get("shed_chunks", 1)
+    if shed != 0:
+        failures.append(
+            f"{shed} chunks shed against a CACK-windowed client — a correct "
+            "client must never be shed (flow-control contract)")
+    else:
+        print("server backpressure: zero sheds against the windowed client")
+
+    migrations = server.get("skew_migrations", 0)
+    if migrations < 1:
+        failures.append(
+            "skewed-load phase produced no migrations — the periodic "
+            "rebalancer is not rebalancing")
+    else:
+        print(f"server rebalancing: {migrations} migrations under skewed load, "
+              f"{server.get('skew_divergent', '?')} divergent post-migration "
+              "streams")
+    if server.get("skew_divergent", 1) != 0:
+        failures.append("post-migration streams diverged from the direct feed")
+
+    throughput = server.get("samples_per_sec", 0.0)
+    throughput_floor = baselines["server_min_samples_per_sec"]
+    print(f"server ingest: {throughput:.0f} samples/s (floor {throughput_floor:.0f})")
+    if throughput < throughput_floor:
+        failures.append(
+            f"server ingest {throughput:.0f} samples/s below floor "
+            f"{throughput_floor:.0f}")
+
+    p99 = server.get("latency_p99_ms", float("inf"))
+    p99_ceiling = baselines["server_max_p99_ms"]
+    print(f"server chunk->CACK p99: {p99:.1f} ms (ceiling {p99_ceiling})")
+    if p99 > p99_ceiling:
+        failures.append(
+            f"server chunk->CACK p99 {p99:.1f} ms exceeds ceiling {p99_ceiling} ms")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description="bench/footprint regression gate")
-    ap.add_argument("--only", choices=["footprint"],
+    ap.add_argument("--only", choices=["footprint", "server"],
                     help="check a single gate instead of the hosted-bench set")
     args = ap.parse_args()
+
+    if args.only == "server":
+        inputs = load_inputs(["BENCH_server.json"])
+        failures = check_server(
+            inputs["BENCH_server.json"],
+            Baselines(inputs["baselines"]).owned_by(
+                BENCH_INPUTS["BENCH_server.json"]))
+        if failures:
+            print("\nSERVER GATE FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nserver gate: loopback soak within all floors")
+        return 0
 
     if args.only == "footprint":
         inputs = load_inputs(["BENCH_footprint.json"])

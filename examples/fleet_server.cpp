@@ -46,7 +46,12 @@ int main() {
   // noise-robust timing estimate a monitoring backend would chart.
   cfg.pipeline.enable_ensemble = true;
   core::SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < kSessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(kSessions);
+  // open() homes each session on the least-loaded worker — which for a
+  // fresh fleet opened back-to-back is exactly the historical id %
+  // workers spread, so the numbers below are unchanged.
+  for (std::size_t s = 0; s < kSessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   report::banner(std::cout, "fleet_server: " + std::to_string(kSessions) +
@@ -75,18 +80,18 @@ int main() {
       // blob; the beat streams are byte-identical to a pinned fleet.
       std::size_t moved = 0;
       for (std::uint32_t s = 0; s < kSessions; ++s)
-        if (fleet.session_worker(s) == 0) {
+        if (handles[s].worker() == 0) {
           // Spread the evacuees across the surviving workers.
           const auto target =
               1 + static_cast<std::uint32_t>(moved % (cfg.workers - 1));
-          fleet.migrate(s, target, sink);
+          handles[s].migrate_to(target, sink);
           ++moved;
         }
       std::cout << "[rebalance] drained worker 0 at t=" << static_cast<double>(i) / fs
                 << " s: " << moved << " sessions migrated live\n";
       for (std::uint32_t s = 0; s < kSessions; ++s)
-        if (s % cfg.workers != fleet.session_worker(s))
-          fleet.migrate(s, s % static_cast<std::uint32_t>(cfg.workers), sink);
+        if (s % cfg.workers != handles[s].worker())
+          handles[s].migrate_to(s % static_cast<std::uint32_t>(cfg.workers), sink);
       std::cout << "[rebalance] fleet re-spread across " << cfg.workers << " workers ("
                 << fleet.migrations() << " total migrations)\n";
       rebalanced = true;
@@ -94,9 +99,8 @@ int main() {
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < kSessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   fleet.run_to_completion(sink);

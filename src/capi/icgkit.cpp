@@ -117,6 +117,12 @@ struct EngineIface {
   // Flight-record taps (hosted profile only: flight_recorder.cpp is not
   // part of libicgkit_embedded.a).
   virtual void record_start(const char* path, std::uint64_t interval) = 0;
+  virtual void record_start_mem(std::uint64_t interval) = 0;
+  // Stops an in-memory recording (if still live) and exposes its bytes;
+  // nullptr when no memory-backed recording exists. The bytes stay
+  // owned by the engine until record_mem_discard().
+  virtual const std::vector<std::uint8_t>* record_mem_bytes() = 0;
+  virtual void record_mem_discard() = 0;
   virtual void record_stop() = 0;
   virtual bool recording() const noexcept = 0;
 #endif
@@ -131,6 +137,7 @@ struct EngineOf final : EngineIface {
   // reference to it) is destroyed first.
   std::unique_ptr<icgkit::core::RecorderSink> rec_sink;
   std::unique_ptr<icgkit::core::FlightRecorder> recorder;
+  bool rec_sink_is_mem = false;
 #endif
 
   EngineOf(double fs, const PipelineConfig& cfg, double window_s_arg)
@@ -157,7 +164,9 @@ struct EngineOf final : EngineIface {
     if (recorder) {
       recorder->on_finish(engine, out);
       recorder.reset();
-      rec_sink.reset();
+      // A file sink closes here; a memory sink keeps the finalized
+      // bytes retrievable through record_take_mem.
+      if (!rec_sink_is_mem) rec_sink.reset();
     }
 #endif
   }
@@ -180,12 +189,36 @@ struct EngineOf final : EngineIface {
     rcfg.note = "capi icg_session_record_start";
     recorder = std::make_unique<icgkit::core::FlightRecorder>(*sink, engine, rcfg);
     rec_sink = std::move(sink);
+    rec_sink_is_mem = false;
+  }
+  void record_start_mem(std::uint64_t interval) override {
+    auto sink = std::make_unique<icgkit::core::BufferRecorderSink>();
+    icgkit::core::FlightRecorderConfig rcfg;
+    if (interval != 0) rcfg.checkpoint_interval = interval;
+    rcfg.window_s = window_s;
+    rcfg.note = "capi icg_session_record_start_mem";
+    recorder = std::make_unique<icgkit::core::FlightRecorder>(*sink, engine, rcfg);
+    rec_sink = std::move(sink);
+    rec_sink_is_mem = true;
+  }
+  const std::vector<std::uint8_t>* record_mem_bytes() override {
+    if (!rec_sink_is_mem || !rec_sink) return nullptr;
+    if (recorder) {  // finalize (end marker) exactly once
+      recorder->on_stop(engine);
+      recorder.reset();
+    }
+    return &static_cast<icgkit::core::BufferRecorderSink&>(*rec_sink).bytes();
+  }
+  void record_mem_discard() override {
+    rec_sink.reset();
+    rec_sink_is_mem = false;
   }
   void record_stop() override {
     if (!recorder) return;
     recorder->on_stop(engine);
     recorder.reset();
     rec_sink.reset();
+    rec_sink_is_mem = false;
   }
   bool recording() const noexcept override { return recorder != nullptr; }
 #endif
@@ -584,6 +617,42 @@ int icg_session_record_stop(icg_session* session) {
     return set_error(ICG_ERR_BAD_STATE, "session is not recording");
   return guarded([&]() -> int {
     s->engine->record_stop();
+    return ICG_OK;
+  });
+}
+
+int icg_session_record_start_mem(icg_session* session,
+                                 uint64_t checkpoint_interval_samples) {
+  SessionImpl* s = decode_handle(session);
+  if (s == nullptr) return set_error(ICG_ERR_BAD_HANDLE, "stale or destroyed handle");
+  if (s->state != SessionState::Streaming)
+    return set_error(ICG_ERR_BAD_STATE, "record_start after finish");
+  if (s->engine->recording())
+    return set_error(ICG_ERR_BAD_STATE, "session is already recording");
+  return guarded([&]() -> int {
+    s->engine->record_start_mem(checkpoint_interval_samples);
+    return ICG_OK;
+  });
+}
+
+int icg_session_record_stop_mem(icg_session* session, uint8_t* buf, uint32_t cap,
+                                uint32_t* written) {
+  SessionImpl* s = decode_handle(session);
+  if (s == nullptr) return set_error(ICG_ERR_BAD_HANDLE, "stale or destroyed handle");
+  if (written == nullptr) return set_error(ICG_ERR_NULL_ARG, "written is NULL");
+  if (buf == nullptr && cap != 0) return set_error(ICG_ERR_NULL_ARG, "buf is NULL");
+  return guarded([&]() -> int {
+    // Stops the recorder (idempotent) but leaves the bytes in the sink
+    // until they are actually delivered, so ICG_ERR_BUFFER_TOO_SMALL is
+    // a retryable size probe rather than data loss.
+    const std::vector<std::uint8_t>* blob = s->engine->record_mem_bytes();
+    if (blob == nullptr)
+      return set_error(ICG_ERR_BAD_STATE, "no in-memory recording to take");
+    *written = static_cast<uint32_t>(blob->size());
+    if (blob->size() > cap)
+      return set_error(ICG_ERR_BUFFER_TOO_SMALL, "flight record exceeds capacity");
+    std::memcpy(buf, blob->data(), blob->size());
+    s->engine->record_mem_discard();
     return ICG_OK;
   });
 }

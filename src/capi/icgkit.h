@@ -305,6 +305,24 @@ int icg_session_record_start(icg_session* session, const char* path,
  * file). Absent from libicgkit_embedded.a. */
 int icg_session_record_stop(icg_session* session);
 
+/* Starts flight-recording this session into an in-process memory
+ * buffer instead of a file — the live-session tap a host uses when the
+ * .icgr bytes are destined for a socket or a blob store rather than a
+ * local disk (the network fleet server's RECS command rides this same
+ * mechanism). Cadence and state rules are identical to
+ * icg_session_record_start. Absent from libicgkit_embedded.a. */
+int icg_session_record_start_mem(icg_session* session,
+                                 uint64_t checkpoint_interval_samples);
+
+/* Stops an in-memory recording and copies the finished .icgr bytes
+ * into buf (capacity `cap`), writing the byte count to *written. If
+ * icg_session_finish already finalized the recording, the bytes remain
+ * retrievable here exactly once. On ICG_ERR_BUFFER_TOO_SMALL, *written
+ * receives the required size and the recording stays retrievable.
+ * Returns ICG_ERR_BAD_STATE when no in-memory recording exists. */
+int icg_session_record_stop_mem(icg_session* session, uint8_t* buf,
+                                uint32_t cap, uint32_t* written);
+
 /* Non-throwing structural probe of an in-memory .icgr flight record
  * (header + every section frame and CRC walked end to end). On a valid
  * record writes the requested facts through any non-NULL out pointers

@@ -38,12 +38,12 @@ class Backoff {
 // touch is sized here, once.
 // ---------------------------------------------------------------------------
 
-SessionManager::Session::Session(std::uint32_t id_, dsp::SampleRate fs,
-                                 const FleetConfig& cfg)
+SessionManager::Session::Session(std::uint32_t id_, std::uint32_t worker_,
+                                 dsp::SampleRate fs, const FleetConfig& cfg)
     : id(id_),
       engine(fs, cfg.pipeline, cfg.window_s),
       slab(cfg.chunk_slots_per_session * cfg.max_chunk * 2),
-      worker(id_ % static_cast<std::uint32_t>(cfg.workers)) {
+      worker(worker_) {
   beat_scratch.reserve(64);
 }
 
@@ -79,10 +79,39 @@ SessionManager::~SessionManager() {
 // Pilot-side API
 // ---------------------------------------------------------------------------
 
-std::uint32_t SessionManager::add_session() {
+std::uint32_t SessionManager::do_add_session() {
+  // Historical static placement, kept for the deprecated wrapper only.
+  return do_add_session_on(
+      static_cast<std::uint32_t>(sessions_.size() % cfg_.workers));
+}
+
+std::uint32_t SessionManager::do_add_session_on(std::uint32_t worker) {
+  if (worker >= workers_.size())
+    throw std::out_of_range("SessionManager: unknown worker");
   const auto id = static_cast<std::uint32_t>(sessions_.size());
-  sessions_.push_back(std::make_unique<Session>(id, fs_, cfg_));
+  sessions_.push_back(std::make_unique<Session>(id, worker, fs_, cfg_));
   return id;
+}
+
+SessionHandle SessionManager::open() {
+  return SessionHandle(this, do_add_session_on(least_loaded_worker()));
+}
+
+SessionHandle SessionManager::open_on(std::uint32_t worker) {
+  return SessionHandle(this, do_add_session_on(worker));
+}
+
+SessionManager::Session& SessionManager::checked_session(std::uint32_t session) {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return *sessions_[session];
+}
+
+const SessionManager::Session& SessionManager::checked_session(
+    std::uint32_t session) const {
+  if (session >= sessions_.size())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return *sessions_[session];
 }
 
 void SessionManager::start() {
@@ -167,7 +196,7 @@ bool SessionManager::enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::Signa
   return true;
 }
 
-bool SessionManager::try_submit(std::uint32_t session, dsp::SignalView ecg_mv,
+bool SessionManager::do_try_submit(std::uint32_t session, dsp::SignalView ecg_mv,
                                 dsp::SignalView z_ohm) {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
@@ -179,30 +208,30 @@ bool SessionManager::try_submit(std::uint32_t session, dsp::SignalView ecg_mv,
   return enqueue_item(*sessions_[session], ecg_mv, z_ohm, SessionOp::Chunk);
 }
 
-void SessionManager::submit(std::uint32_t session, dsp::SignalView ecg_mv,
+void SessionManager::do_submit(std::uint32_t session, dsp::SignalView ecg_mv,
                             dsp::SignalView z_ohm, std::vector<FleetBeat>& sink) {
   Backoff backoff;
-  while (!try_submit(session, ecg_mv, z_ohm)) {
+  while (!do_try_submit(session, ecg_mv, z_ohm)) {
     if (poll(sink) == 0) backoff.pause();
     else backoff.reset();
   }
 }
 
-bool SessionManager::try_finish_session(std::uint32_t session) {
+bool SessionManager::do_try_finish(std::uint32_t session) {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
   return enqueue_item(*sessions_[session], {}, {}, SessionOp::Finish);
 }
 
-void SessionManager::finish_session(std::uint32_t session, std::vector<FleetBeat>& sink) {
+void SessionManager::do_finish(std::uint32_t session, std::vector<FleetBeat>& sink) {
   Backoff backoff;
-  while (!try_finish_session(session)) {
+  while (!do_try_finish(session)) {
     if (poll(sink) == 0) backoff.pause();
     else backoff.reset();
   }
 }
 
-void SessionManager::migrate(std::uint32_t session, std::uint32_t target_worker,
+void SessionManager::do_migrate(std::uint32_t session, std::uint32_t target_worker,
                              std::vector<FleetBeat>& sink) {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
@@ -250,7 +279,7 @@ void SessionManager::migrate(std::uint32_t session, std::uint32_t target_worker,
   ++migrations_;
 }
 
-void SessionManager::start_recording(std::uint32_t session,
+void SessionManager::do_start_recording(std::uint32_t session,
                                      std::unique_ptr<RecorderSink> sink,
                                      std::vector<FleetBeat>& drained,
                                      FlightRecorderConfig rcfg) {
@@ -285,7 +314,7 @@ void SessionManager::start_recording(std::uint32_t session,
   s.is_recording = true;
 }
 
-std::unique_ptr<RecorderSink> SessionManager::stop_recording(
+std::unique_ptr<RecorderSink> SessionManager::do_stop_recording(
     std::uint32_t session, std::vector<FleetBeat>& drained) {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
@@ -314,13 +343,13 @@ std::unique_ptr<RecorderSink> SessionManager::stop_recording(
   return std::move(s.recorder_sink);
 }
 
-bool SessionManager::recording(std::uint32_t session) const {
+bool SessionManager::do_recording(std::uint32_t session) const {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
   return sessions_[session]->is_recording;
 }
 
-std::uint32_t SessionManager::session_worker(std::uint32_t session) const {
+std::uint32_t SessionManager::do_session_worker(std::uint32_t session) const {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
   return sessions_[session]->worker;
@@ -336,9 +365,57 @@ std::uint32_t SessionManager::least_loaded_worker() const {
   return best;
 }
 
+void SessionManager::worker_queue_depths(std::vector<std::size_t>& out) const {
+  out.assign(workers_.size(), 0);
+  for (const auto& s : sessions_)
+    out[s->worker] += static_cast<std::size_t>(
+        s->submitted - s->completed.load(std::memory_order_acquire));
+}
+
+void SessionManager::worker_resident_sessions(std::vector<std::size_t>& out) const {
+  out.assign(workers_.size(), 0);
+  for (const auto& s : sessions_)
+    if (!s->finished) ++out[s->worker];
+}
+
+bool SessionManager::do_session_finished(std::uint32_t session) const {
+  return checked_session(session).finished;
+}
+
+std::uint64_t SessionManager::do_session_processed(std::uint32_t session) const {
+  return checked_session(session).chunks_done.load(std::memory_order_acquire);
+}
+
+bool SessionManager::do_poll_beat(std::uint32_t session, FleetBeat& out) {
+  Session& s = checked_session(session);
+  if (s.inbox_pos == s.inbox.size()) {
+    // Nothing parked for this session: drain the worker queues once and
+    // route everything to the producing sessions' inboxes. The vectors
+    // involved keep their capacity, so the steady state allocates only
+    // while an inbox grows to its high-water mark.
+    route_scratch_.clear();
+    poll(route_scratch_);
+    for (const FleetBeat& fb : route_scratch_) {
+      Session& t = checked_session(fb.session);
+      if (t.inbox_pos == t.inbox.size()) {
+        t.inbox.clear();
+        t.inbox_pos = 0;
+      }
+      t.inbox.push_back(fb);
+    }
+  }
+  if (s.inbox_pos == s.inbox.size()) return false;
+  out = s.inbox[s.inbox_pos++];
+  if (s.inbox_pos == s.inbox.size()) {
+    s.inbox.clear();
+    s.inbox_pos = 0;
+  }
+  return true;
+}
+
 void SessionManager::run_to_completion(std::vector<FleetBeat>& sink) {
   for (const auto& s : sessions_)
-    if (!s->finished) finish_session(s->id, sink);
+    if (!s->finished) do_finish(s->id, sink);
   close();
   Backoff backoff;
   while (!idle()) {
@@ -424,7 +501,7 @@ const std::vector<FleetWorkerStats>& SessionManager::worker_stats() const {
   return stats_cache_;
 }
 
-const QualitySummary& SessionManager::session_quality(std::uint32_t session) const {
+const QualitySummary& SessionManager::do_session_quality(std::uint32_t session) const {
   if (session >= sessions_.size())
     throw std::out_of_range("SessionManager: unknown session id");
   const Session& s = *sessions_[session];
@@ -567,6 +644,7 @@ void SessionManager::worker_loop(Worker& w) {
                                dsp::SignalView(base + cfg_.max_chunk, item.len),
                                s.beat_scratch);
         w.samples.fetch_add(item.len, std::memory_order_relaxed);
+        s.chunks_done.fetch_add(1, std::memory_order_release);
         break;
       }
     }
@@ -618,6 +696,7 @@ void SessionManager::stash_chunk(BatchGroup& g, Session& s, const WorkItem& item
   g.stash_len[s.lane * g.slots + stash_slot] = item.len;
   ++g.count[s.lane];
   s.completed.fetch_add(1, std::memory_order_release);
+  s.chunks_done.fetch_add(1, std::memory_order_release);
   w.chunks.fetch_add(1, std::memory_order_relaxed);
   w.samples.fetch_add(item.len, std::memory_order_relaxed);
   process_batch_ready(g, w);

@@ -3,25 +3,33 @@
 //
 // The paper's firmware serves one wearer; the ROADMAP north star is a
 // backend serving millions of streams. This subsystem is the host-side
-// concurrency layer for that: a SessionManager owns N sessions keyed by
-// id and shards them across a fixed pool of worker threads, round-robin
-// by id (worker = id % workers). Because a session lives on exactly one
-// worker and its chunks are processed in submission order, every
-// session's hot path stays single-threaded and lock-free — per-session
-// output is byte-identical whatever the worker count, which is the
-// determinism contract the fleet tests pin down.
+// concurrency layer for that: a SessionManager owns N sessions and
+// shards them across a fixed pool of worker threads. Because a session
+// lives on exactly one worker and its chunks are processed in
+// submission order, every session's hot path stays single-threaded and
+// lock-free — per-session output is byte-identical whatever the worker
+// count, which is the determinism contract the fleet tests pin down.
+//
+// Session-facing API (PR 10): `open()` returns a `SessionHandle`, an
+// RAII façade whose verb set matches the C ABI
+// (open/push/poll_beat/finish/quality). Placement is load-aware —
+// open() homes the session on `least_loaded_worker()` instead of the
+// historical static `id % workers` (for sequential opens on a fresh
+// fleet the two are identical, which is why the determinism fixtures
+// did not move). The raw-id methods remain as thin [[deprecated]]
+// wrappers for one PR; new code should not touch ids.
 //
 // Threading model (strict, by construction):
-//   - ONE pilot thread calls add_session / try_submit / finish_session /
-//     poll / close. All cross-thread channels are SPSC queues whose
-//     producer/consumer roles follow from that: pilot -> worker for work
-//     items, worker -> pilot for completed beats.
+//   - ONE pilot thread calls open / push / finish / poll / close. All
+//     cross-thread channels are SPSC queues whose producer/consumer
+//     roles follow from that: pilot -> worker for work items, worker ->
+//     pilot for completed beats.
 //   - Workers never touch the session table, only the Session* carried
 //     by their work items.
 //
 // Memory pooling (zero steady-state allocation on the hot path):
 //   - each session pre-sizes its StreamingBeatPipeline (ring buffers,
-//     delineation scratch) at add_session time;
+//     delineation scratch) at open time;
 //   - submitted chunks are copied into a per-session slab of
 //     chunk_slots_per_session fixed slots, recycled in FIFO order — the
 //     producer claims slot (submitted % slots) only when
@@ -31,21 +39,24 @@
 //     pre-sized result queues.
 //
 // Backpressure is explicit and bounded end to end: no free chunk slot or
-// a full work queue fails try_submit (the pilot drains results and
+// a full work queue fails try_push (the pilot drains results and
 // retries); a full result queue parks the worker until the pilot polls.
 //
 // Elastic rebalancing (core::Checkpoint subsystem): a session is no
-// longer pinned for life to the worker that created it. migrate()
-// checkpoints the session's full engine state on its current worker,
-// hands the blob off, and restores it on the target worker, after which
-// every subsequent chunk is processed there — with byte-identical
-// per-session output to the never-migrated run, at any cut point. The
-// control messages ride the existing SPSC work queues (a CheckpointOut
-// item to the source, a RestoreIn item to the target); the blob itself
-// lives in the session's pilot-owned buffer, published source -> pilot
-// by an acquire/release flag and pilot -> target through the target's
-// work queue, so every handoff has a happens-before edge (the TSan CI
-// entry runs the migration tests to keep it that way).
+// longer pinned for life to the worker that created it.
+// SessionHandle::migrate_to() checkpoints the session's full engine
+// state on its current worker, hands the blob off, and restores it on
+// the target worker, after which every subsequent chunk is processed
+// there — with byte-identical per-session output to the never-migrated
+// run, at any cut point. The control messages ride the existing SPSC
+// work queues (a CheckpointOut item to the source, a RestoreIn item to
+// the target); the blob itself lives in the session's pilot-owned
+// buffer, published source -> pilot by an acquire/release flag and
+// pilot -> target through the target's work queue, so every handoff has
+// a happens-before edge (the TSan CI entry runs the migration tests to
+// keep it that way). `worker_queue_depths()` exposes the live
+// submitted-minus-completed depth per worker — the load signal the
+// network server's periodic rebalancer feeds back into migrate_to().
 #pragma once
 
 #include "core/batch.h"
@@ -61,6 +72,8 @@
 #include <vector>
 
 namespace icgkit::core {
+
+class SessionHandle;
 
 struct FleetConfig {
   std::size_t workers = 1;
@@ -125,13 +138,30 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Registers a new session and pre-allocates everything it will ever
-  /// need (pipeline state, chunk slab, beat scratch). Returns its id.
-  /// Pilot thread only; legal before or after start().
-  std::uint32_t add_session();
+  /// Opens a new session and pre-allocates everything it will ever need
+  /// (pipeline state, chunk slab, beat scratch), homing it on
+  /// `least_loaded_worker()` — the load-aware placement that replaced
+  /// static `id % workers`. For sequential opens on a fresh fleet the
+  /// two policies pick identical workers (lowest index wins ties), so
+  /// the cross-worker-count determinism fixtures hold unchanged.
+  /// Returns the RAII façade; the handle's destructor finishes a
+  /// still-streaming session (discarding its tail beats) unless the
+  /// pool was already closed. Pilot thread only; legal before or after
+  /// start().
+  [[nodiscard]] SessionHandle open();
+
+  /// open() with explicit placement (tests and repack tooling).
+  [[nodiscard]] SessionHandle open_on(std::uint32_t worker);
+
+  /// \deprecated Raw-id session registration, kept as a thin wrapper for
+  /// one PR. Placement is the historical `id % workers`. Use open().
+  [[deprecated("use SessionManager::open() and SessionHandle")]]
+  std::uint32_t add_session() { return do_add_session(); }
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool closed() const { return closed_; }
 
   /// The concrete lockstep width this manager runs: what
   /// FleetConfig::batch_width = 0 resolved to for this build's ISA,
@@ -141,87 +171,87 @@ class SessionManager {
   /// Spawns the worker pool. Call once.
   void start();
 
-  /// Copies one synchronized chunk into the session's slab and hands it
-  /// to the owning worker. Returns false when backpressured (no free
-  /// slot or full work queue) — drain with poll() and retry. Chunks are
-  /// processed strictly in submission order per session.
-  bool try_submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+  /// \deprecated Use SessionHandle::try_push().
+  [[deprecated("use SessionHandle::try_push()")]]
+  bool try_submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm) {
+    return do_try_submit(session, ecg_mv, z_ohm);
+  }
 
-  /// Blocking submit for callers with a separate drain loop or enough
-  /// result-queue headroom: spins on try_submit, appending any beats
-  /// drained while waiting to `sink` so the wait can always make
-  /// progress.
+  /// \deprecated Use SessionHandle::push().
+  [[deprecated("use SessionHandle::push()")]]
   void submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
-              std::vector<FleetBeat>& sink);
+              std::vector<FleetBeat>& sink) {
+    do_submit(session, ecg_mv, z_ohm, sink);
+  }
 
-  /// Enqueues the end-of-stream flush for a session (emits its tail
-  /// beats). The session accepts no further submits.
-  bool try_finish_session(std::uint32_t session);
-  void finish_session(std::uint32_t session, std::vector<FleetBeat>& sink);
+  /// \deprecated Use SessionHandle::try_finish().
+  [[deprecated("use SessionHandle::try_finish()")]]
+  bool try_finish_session(std::uint32_t session) { return do_try_finish(session); }
 
-  /// Moves a live session to another worker: checkpoints the engine on
-  /// its current worker (after every chunk submitted so far), transfers
-  /// the blob, and restores on `target_worker`; subsequent submits are
-  /// processed there. Blocking control-plane call (drains results into
-  /// `sink` while it waits), pilot thread only, legal any time between
-  /// start() and close() for an unfinished session. Guarantees: chunks
-  /// are never reordered or dropped across the move, the session's beat
-  /// stream (including its eventual end-of-session QualitySummary) is
-  /// byte-identical to the never-migrated run, and `sink` holds every
-  /// pre-migration beat of the session when the call returns.
-  /// Migrating a session onto the worker it already occupies is legal
-  /// and still performs the full checkpoint/restore round trip.
+  /// \deprecated Use SessionHandle::finish().
+  [[deprecated("use SessionHandle::finish()")]]
+  void finish_session(std::uint32_t session, std::vector<FleetBeat>& sink) {
+    do_finish(session, sink);
+  }
+
+  /// \deprecated Use SessionHandle::migrate_to().
+  [[deprecated("use SessionHandle::migrate_to()")]]
   void migrate(std::uint32_t session, std::uint32_t target_worker,
-               std::vector<FleetBeat>& sink);
+               std::vector<FleetBeat>& sink) {
+    do_migrate(session, target_worker, sink);
+  }
 
-  /// The worker currently owning a session's engine (pilot thread only).
-  [[nodiscard]] std::uint32_t session_worker(std::uint32_t session) const;
+  /// \deprecated Use SessionHandle::worker().
+  [[deprecated("use SessionHandle::worker()")]]
+  std::uint32_t session_worker(std::uint32_t session) const {
+    return do_session_worker(session);
+  }
 
-  /// Worker with the fewest resident sessions (pilot thread only) — the
-  /// natural migrate() target when draining or rebalancing.
+  /// Worker with the fewest resident unfinished sessions (pilot thread
+  /// only) — open()'s placement policy and the natural migrate_to()
+  /// target when draining or rebalancing. Ties break to the lowest
+  /// worker index.
   [[nodiscard]] std::uint32_t least_loaded_worker() const;
 
-  /// Completed migrate() calls so far.
+  /// Live submitted-but-not-yet-completed work items per worker (pilot
+  /// thread only; the workers' completed counters are read with acquire
+  /// loads). This is the queue-depth signal the network server's
+  /// periodic rebalancer uses to pick migration donors and targets.
+  /// Appends nothing — `out` is assigned, its capacity reused.
+  void worker_queue_depths(std::vector<std::size_t>& out) const;
+
+  /// Resident unfinished sessions per worker (pilot thread only) — the
+  /// static component of worker load, complementing the instantaneous
+  /// worker_queue_depths().
+  void worker_resident_sessions(std::vector<std::size_t>& out) const;
+
+  /// Completed migrations so far (SessionHandle::migrate_to() calls).
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
 
-  /// Starts flight-recording a live session into `sink` (see
-  /// core/flight_recorder.h): the owning worker writes the file header
-  /// plus an initial checkpoint at the exact cut point (serialized
-  /// behind every chunk submitted so far), then taps each subsequent
-  /// chunk purely observationally — the recorder never feeds the
-  /// engine, so recording cannot perturb the session's beat stream
-  /// (pinned by the recorded-vs-twin fleet test). Blocking
-  /// control-plane call in the migrate() mold: drains results into
-  /// `drained` while waiting for the worker's acknowledgement; when it
-  /// returns, the header and initial checkpoint are in the sink. In
-  /// batch mode the session's lockstep group is dissolved first (a
-  /// recorded session runs scalar). `rcfg` carries the checkpoint
-  /// cadence and seed provenance; its window_s is overridden with the
-  /// fleet's configured window. The recorder rides the session across
-  /// migrate() — the recording continues seamlessly on the new worker.
+  /// \deprecated Use SessionHandle::record_start().
+  [[deprecated("use SessionHandle::record_start()")]]
   void start_recording(std::uint32_t session, std::unique_ptr<RecorderSink> sink,
                        std::vector<FleetBeat>& drained,
-                       FlightRecorderConfig rcfg = {});
+                       FlightRecorderConfig rcfg = {}) {
+    do_start_recording(session, std::move(sink), drained, rcfg);
+  }
 
-  /// Cuts a live recording mid-stream: the owning worker writes the
-  /// FINI trailer (finished=0, summary-so-far), the sink is flushed,
-  /// and ownership of the sink returns to the caller — dropping it
-  /// closes a file sink at the cut; keeping it lets the pilot read a
-  /// BufferRecorderSink's bytes. The file replays up to the cut.
-  /// Unnecessary for a session that reaches finish_session() while
-  /// recording — its file is finalized with the finish() tail beats
-  /// automatically (the sink is then released when the manager is
-  /// destroyed). Blocking, pilot thread only; illegal once the session
-  /// finished.
+  /// \deprecated Use SessionHandle::record_stop().
+  [[deprecated("use SessionHandle::record_stop()")]]
   std::unique_ptr<RecorderSink> stop_recording(std::uint32_t session,
-                                               std::vector<FleetBeat>& drained);
+                                               std::vector<FleetBeat>& drained) {
+    return do_stop_recording(session, drained);
+  }
 
-  /// True while the session has an active recording the pilot has not
-  /// stopped (stays true after a finish_session finalized the file).
-  [[nodiscard]] bool recording(std::uint32_t session) const;
+  /// \deprecated Use SessionHandle::recording().
+  [[deprecated("use SessionHandle::recording()")]]
+  bool recording(std::uint32_t session) const { return do_recording(session); }
 
   /// Moves up to max_items completed beats into `out` (appended, not
-  /// cleared). Pilot thread only. Returns the number moved.
+  /// cleared). Pilot thread only. Returns the number moved. This is the
+  /// fan-in drain every blocking verb spins on; per-session delivery is
+  /// SessionHandle::poll_beat() (the two may be mixed — each beat is
+  /// delivered exactly once, through whichever path claims it first).
   std::size_t poll(std::vector<FleetBeat>& out,
                    std::size_t max_items = static_cast<std::size_t>(-1));
 
@@ -232,8 +262,8 @@ class SessionManager {
   void run_to_completion(std::vector<FleetBeat>& sink);
 
   /// Signals end of input: workers exit once their queues drain. Safe to
-  /// call once after the last submit/finish_session. Drains results into
-  /// an internal overflow (re-pollable) if it must wait for queue space.
+  /// call once after the last submit/finish. Drains results into an
+  /// internal overflow (re-pollable) if it must wait for queue space.
   void close();
 
   /// Waits for all workers to exit (close() first), draining results
@@ -247,17 +277,14 @@ class SessionManager {
   /// Per-worker counters; stable after join().
   [[nodiscard]] const std::vector<FleetWorkerStats>& worker_stats() const;
 
-  /// One session's running QualitySummary, read from its engine (or,
-  /// while the session is packed into a SIMD batch, from its lane of the
-  /// batch). The state lives on its owning worker, so call this only
-  /// when that worker is quiescent: after join() (in batch mode, only
-  /// after join() or after the session finished — a batch may still be
-  /// draining stashed chunks at idle()). The authoritative end-of-stream
-  /// snapshot is the end_of_session FleetBeat the finish emits.
-  [[nodiscard]] const QualitySummary& session_quality(std::uint32_t session) const;
+  /// \deprecated Use SessionHandle::quality().
+  [[deprecated("use SessionHandle::quality()")]]
+  const QualitySummary& session_quality(std::uint32_t session) const {
+    return do_session_quality(session);
+  }
 
   /// Sum of every session's QualitySummary (same caveat as
-  /// session_quality: meaningful after join() or at idle()).
+  /// SessionHandle::quality(): meaningful after join() or at idle()).
   [[nodiscard]] QualitySummary fleet_quality() const;
 
   /// Running totals, safe to read from any thread while workers run
@@ -266,6 +293,8 @@ class SessionManager {
   [[nodiscard]] std::uint64_t total_beats() const;
 
  private:
+  friend class SessionHandle;
+
   /// What a work item asks the owning worker to do with the session.
   enum class SessionOp : std::uint8_t {
     Chunk,          ///< push one slab chunk through the engine
@@ -279,13 +308,19 @@ class SessionManager {
   struct BatchGroup;
 
   struct Session {
-    Session(std::uint32_t id, dsp::SampleRate fs, const FleetConfig& cfg);
+    Session(std::uint32_t id, std::uint32_t worker, dsp::SampleRate fs,
+            const FleetConfig& cfg);
 
     std::uint32_t id;
     StreamingBeatPipeline engine;
     std::vector<dsp::Sample> slab;      ///< slots * max_chunk * 2 samples
     std::uint64_t submitted = 0;        ///< pilot side
-    std::atomic<std::uint64_t> completed{0};  ///< worker side
+    std::atomic<std::uint64_t> completed{0};  ///< worker side: all work items
+    /// Worker side: Chunk items only. `completed` also counts control
+    /// ops (checkpoint/restore/record start/stop), so it is the slab and
+    /// queue bookkeeping counter; this one is the flow-control counter a
+    /// CACK may expose — a migration must not inflate a client's ack.
+    std::atomic<std::uint64_t> chunks_done{0};
     bool finished = false;              ///< pilot side
     std::uint32_t worker = 0;           ///< pilot side: current owner
     std::vector<BeatRecord> beat_scratch;     ///< worker side, reused
@@ -308,6 +343,11 @@ class SessionManager {
     FlightRecorderConfig recorder_cfg;  ///< pilot-written before RecordStart
     std::atomic<bool> record_ack{false};
     bool is_recording = false;  ///< pilot side
+    /// Per-session delivery buffer for SessionHandle::poll_beat():
+    /// beats drained from the worker queues are routed here when the
+    /// pilot polls by session instead of by fleet. Pilot side only.
+    std::vector<FleetBeat> inbox;
+    std::size_t inbox_pos = 0;
     /// Batch mode: the lockstep group this session rides in, or nullptr
     /// when it runs its own scalar engine. Set by start(), cleared by the
     /// owning worker when the group dissolves (while the session is
@@ -359,7 +399,32 @@ class SessionManager {
     std::thread thread;
   };
 
+  // The real implementations behind both the SessionHandle verbs and
+  // the deprecated raw-id wrappers (which must not call their warning-
+  // bearing public twins).
+  std::uint32_t do_add_session();
+  std::uint32_t do_add_session_on(std::uint32_t worker);
+  bool do_try_submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm);
+  void do_submit(std::uint32_t session, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
+                 std::vector<FleetBeat>& sink);
+  bool do_try_finish(std::uint32_t session);
+  void do_finish(std::uint32_t session, std::vector<FleetBeat>& sink);
+  void do_migrate(std::uint32_t session, std::uint32_t target_worker,
+                  std::vector<FleetBeat>& sink);
+  void do_start_recording(std::uint32_t session, std::unique_ptr<RecorderSink> sink,
+                          std::vector<FleetBeat>& drained, FlightRecorderConfig rcfg);
+  std::unique_ptr<RecorderSink> do_stop_recording(std::uint32_t session,
+                                                  std::vector<FleetBeat>& drained);
+  [[nodiscard]] bool do_recording(std::uint32_t session) const;
+  [[nodiscard]] std::uint32_t do_session_worker(std::uint32_t session) const;
+  [[nodiscard]] const QualitySummary& do_session_quality(std::uint32_t session) const;
+  [[nodiscard]] bool do_session_finished(std::uint32_t session) const;
+  [[nodiscard]] std::uint64_t do_session_processed(std::uint32_t session) const;
+  bool do_poll_beat(std::uint32_t session, FleetBeat& out);
+
   [[nodiscard]] Worker& worker_of(const Session& s) { return *workers_[s.worker]; }
+  Session& checked_session(std::uint32_t session);
+  const Session& checked_session(std::uint32_t session) const;
   bool enqueue_item(Session& s, dsp::SignalView ecg_mv, dsp::SignalView z_ohm,
                     SessionOp op);
   std::size_t drain_queues(std::vector<FleetBeat>& out, std::size_t max_items);
@@ -381,11 +446,165 @@ class SessionManager {
   /// of the live queues to preserve per-session order.
   std::vector<FleetBeat> overflow_;
   std::size_t overflow_pos_ = 0;
+  /// Scratch for poll_beat()'s route-to-inbox drain (capacity reused).
+  std::vector<FleetBeat> route_scratch_;
   mutable std::vector<FleetWorkerStats> stats_cache_;
   std::uint64_t migrations_ = 0;  ///< pilot side
   bool started_ = false;
   bool closed_ = false;
   bool joined_ = false;
+};
+
+/// RAII façade over one fleet session — the canonical session API since
+/// PR 10, with the verb set the C ABI committed to: open (via
+/// SessionManager::open()), push, poll_beat, finish, quality. A handle
+/// is movable, not copyable; the pilot-thread-only discipline of
+/// SessionManager applies to every verb. Destroying a handle whose
+/// session is still streaming finishes it (tail beats are discarded),
+/// unless the pool was already closed — so a scope exit can never leak
+/// an unfinished session into close().
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+  SessionHandle(SessionHandle&& o) noexcept : mgr_(o.mgr_), id_(o.id_) {
+    o.mgr_ = nullptr;
+  }
+  SessionHandle& operator=(SessionHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      mgr_ = o.mgr_;
+      id_ = o.id_;
+      o.mgr_ = nullptr;
+    }
+    return *this;
+  }
+  SessionHandle(const SessionHandle&) = delete;
+  SessionHandle& operator=(const SessionHandle&) = delete;
+  ~SessionHandle() { reset(); }
+
+  /// True when the handle refers to a session (default-constructed and
+  /// moved-from handles are invalid; every verb below requires valid()).
+  [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  /// The session's fleet id — stable for the session's lifetime, used
+  /// in FleetBeat::session to route fan-in poll() results.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  /// The worker currently owning the session's engine.
+  [[nodiscard]] std::uint32_t worker() const { return mgr_->do_session_worker(id_); }
+
+  /// True once finish()/try_finish() was accepted.
+  [[nodiscard]] bool finished() const { return mgr_->do_session_finished(id_); }
+
+  /// Chunks the owning worker has accepted and consumed for this
+  /// session so far (acquire read of the worker's counter). Control
+  /// ops — migration checkpoints/restores, recording start/stop — are
+  /// deliberately not counted: this is the cumulative count the
+  /// server's CACK records report, and clients window their sends
+  /// against it, so it must advance once per submitted chunk, exactly.
+  [[nodiscard]] std::uint64_t processed() const {
+    return mgr_->do_session_processed(id_);
+  }
+
+  /// Copies one synchronized chunk into the session's slab and hands it
+  /// to the owning worker. Returns false when backpressured (no free
+  /// slot or full work queue) — drain with poll_beat()/poll() and
+  /// retry. Chunks are processed strictly in submission order.
+  bool try_push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm) {
+    return mgr_->do_try_submit(id_, ecg_mv, z_ohm);
+  }
+
+  /// Blocking push: spins on try_push, appending any beats drained
+  /// while waiting to `sink` so the wait can always make progress.
+  void push(dsp::SignalView ecg_mv, dsp::SignalView z_ohm, std::vector<FleetBeat>& sink) {
+    mgr_->do_submit(id_, ecg_mv, z_ohm, sink);
+  }
+
+  /// Per-session delivery: moves this session's next completed beat (or
+  /// its end_of_session terminal record) into `out`. Returns false when
+  /// none is ready yet. Beats of *other* sessions drained while looking
+  /// are parked in their sessions' inboxes, not lost — poll_beat and
+  /// the fleet-level SessionManager::poll() deliver each beat exactly
+  /// once, through whichever is called first.
+  bool poll_beat(FleetBeat& out) { return mgr_->do_poll_beat(id_, out); }
+
+  /// Enqueues the end-of-stream flush (emits tail beats, then the
+  /// end_of_session QualitySummary record). No further pushes are
+  /// accepted. Returns false when backpressured.
+  bool try_finish() { return mgr_->do_try_finish(id_); }
+
+  /// Blocking finish (drains into `sink` while waiting).
+  void finish(std::vector<FleetBeat>& sink) { mgr_->do_finish(id_, sink); }
+
+  /// The session's running QualitySummary, read from its engine (or its
+  /// batch lane). The state lives on the owning worker, so call this
+  /// only when that worker is quiescent: after join() (in batch mode,
+  /// only after join() or after the session finished). The
+  /// authoritative end-of-stream snapshot is the end_of_session
+  /// FleetBeat the finish emits.
+  [[nodiscard]] const QualitySummary& quality() const {
+    return mgr_->do_session_quality(id_);
+  }
+
+  /// Moves the live session to another worker (see the migration notes
+  /// on SessionManager): blocking control-plane call, byte-identical
+  /// output guaranteed, `sink` holds every pre-migration beat when it
+  /// returns.
+  void migrate_to(std::uint32_t worker, std::vector<FleetBeat>& sink) {
+    mgr_->do_migrate(id_, worker, sink);
+  }
+
+  /// Starts flight-recording the live session into `sink` (see
+  /// core/flight_recorder.h): header + initial checkpoint at the exact
+  /// cut point, then every subsequent chunk, purely observationally.
+  /// Blocking control-plane call; drains into `drained` while waiting.
+  void record_start(std::unique_ptr<RecorderSink> sink, std::vector<FleetBeat>& drained,
+                    FlightRecorderConfig rcfg = {}) {
+    mgr_->do_start_recording(id_, std::move(sink), drained, rcfg);
+  }
+
+  /// Cuts a live recording mid-stream and hands the sink back (see
+  /// SessionManager notes). The file replays up to the cut.
+  std::unique_ptr<RecorderSink> record_stop(std::vector<FleetBeat>& drained) {
+    return mgr_->do_stop_recording(id_, drained);
+  }
+
+  /// True while the session has an active recording.
+  [[nodiscard]] bool recording() const { return mgr_->do_recording(id_); }
+
+  /// Detaches the handle from the session without finishing it: the
+  /// session stays alive under its raw id (deprecated-wrapper interop
+  /// and the manager-level run_to_completion() sweep). Returns the id;
+  /// the handle becomes invalid.
+  std::uint32_t release() {
+    const std::uint32_t id = id_;
+    mgr_ = nullptr;
+    return id;
+  }
+
+ private:
+  friend class SessionManager;
+  SessionHandle(SessionManager* mgr, std::uint32_t id) : mgr_(mgr), id_(id) {}
+
+  /// Destructor/assignment guard: finish a still-streaming session so a
+  /// dropped handle cannot leak un-flushed state — but only when the
+  /// pool can still process the flush (started, not closed). Tail beats
+  /// surface through poll(); this handle no longer claims them.
+  void reset() {
+    if (mgr_ == nullptr) return;
+    if (mgr_->started() && !mgr_->closed() && !mgr_->do_session_finished(id_)) {
+      std::vector<FleetBeat> drained;
+      mgr_->do_finish(id_, drained);
+      // Route what we drained so SessionManager::poll()/poll_beat()
+      // callers still see it.
+      for (const FleetBeat& fb : drained) mgr_->overflow_.push_back(fb);
+    }
+    mgr_ = nullptr;
+  }
+
+  SessionManager* mgr_ = nullptr;
+  std::uint32_t id_ = 0;
 };
 
 /// The subsystem's working name in prose and benches.

@@ -606,6 +606,115 @@ TEST(CApiFlightRecordTest, RecordMisuseIsRejected) {
   EXPECT_EQ(icg_session_destroy(s), ICG_OK);
 }
 
+TEST(CApiFlightRecordTest, InMemoryRecordingRoundTripsThroughStopMem) {
+  const auto rec = test_recording(20.0);
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(icg_session_record_start_mem(s, 1500), ICG_OK) << icg_last_error();
+  EXPECT_EQ(icg_session_record_start_mem(s, 0), ICG_ERR_BAD_STATE);  // already on
+  icg_beat beat;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off < total; off += kChunk) {
+    const auto len =
+        static_cast<std::uint32_t>(std::min<std::size_t>(kChunk, total - off));
+    ASSERT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, len),
+              0);
+    while (icg_session_poll_beat(s, &beat) == 1) {
+    }
+  }
+  // Size probe first: an undersized buffer reports the requirement and
+  // keeps the recording retrievable.
+  uint32_t written = 0;
+  std::uint8_t tiny = 0;
+  ASSERT_EQ(icg_session_record_stop_mem(s, &tiny, 1, &written),
+            ICG_ERR_BUFFER_TOO_SMALL);
+  ASSERT_GT(written, 1u);
+  std::vector<std::uint8_t> file(written);
+  ASSERT_EQ(icg_session_record_stop_mem(s, file.data(),
+                                        static_cast<uint32_t>(file.size()), &written),
+            ICG_OK)
+      << icg_last_error();
+  file.resize(written);
+  // Taken exactly once: a second take is a state error.
+  EXPECT_EQ(icg_session_record_stop_mem(s, file.data(),
+                                        static_cast<uint32_t>(file.size()), &written),
+            ICG_ERR_BAD_STATE);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+
+  uint32_t finished = 99;
+  uint64_t beats = 0;
+  ASSERT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(file.size()), nullptr,
+                             nullptr, nullptr, nullptr, &beats, &finished),
+            ICG_OK);
+  EXPECT_EQ(finished, 0u);  // stopped mid-stream, not finish-finalized
+  EXPECT_GT(beats, 0u);
+  // Replay-verified round trip: the in-memory .icgr bytes re-run
+  // byte-identically through the C++ replay engine.
+  EXPECT_TRUE(core::flight_verify(file).ok);
+}
+
+TEST(CApiFlightRecordTest, FinishFinalizedMemRecordingStaysRetrievable) {
+  const auto rec = test_recording(15.0);
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(icg_session_record_start_mem(s, 0), ICG_OK);
+  icg_beat beat;
+  const std::size_t total = rec.ecg_mv.size();
+  for (std::size_t off = 0; off < total; off += kChunk) {
+    const auto len =
+        static_cast<std::uint32_t>(std::min<std::size_t>(kChunk, total - off));
+    ASSERT_GE(icg_session_push(s, rec.ecg_mv.data() + off, rec.z_ohm.data() + off, len),
+              0);
+    while (icg_session_poll_beat(s, &beat) == 1) {
+    }
+  }
+  ASSERT_GE(icg_session_finish(s), 0);  // finalizes the recording (FINI)
+  while (icg_session_poll_beat(s, &beat) == 1) {
+  }
+  uint32_t written = 0;
+  ASSERT_EQ(icg_session_record_stop_mem(s, nullptr, 0, &written),
+            ICG_ERR_BUFFER_TOO_SMALL);
+  std::vector<std::uint8_t> file(written);
+  ASSERT_EQ(icg_session_record_stop_mem(s, file.data(),
+                                        static_cast<uint32_t>(file.size()), &written),
+            ICG_OK)
+      << icg_last_error();
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+  uint32_t finished = 0;
+  ASSERT_EQ(icg_flight_probe(file.data(), static_cast<uint32_t>(file.size()), nullptr,
+                             nullptr, nullptr, nullptr, nullptr, &finished),
+            ICG_OK);
+  EXPECT_EQ(finished, 1u);
+  const core::FlightVerifyReport rep = core::flight_verify(file);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.finished);
+}
+
+TEST(CApiFlightRecordTest, StopMemMisuseIsRejected) {
+  const icg_config cfg = test_config(ICG_BACKEND_DOUBLE);
+  icg_session* s = icg_session_create(&cfg);
+  ASSERT_NE(s, nullptr);
+  uint32_t written = 0;
+  std::uint8_t buf[16];
+  EXPECT_EQ(icg_session_record_start_mem(nullptr, 0), ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_record_stop_mem(nullptr, buf, sizeof buf, &written),
+            ICG_ERR_BAD_HANDLE);
+  EXPECT_EQ(icg_session_record_stop_mem(s, buf, sizeof buf, nullptr),
+            ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_record_stop_mem(s, nullptr, 16, &written),
+            ICG_ERR_NULL_ARG);
+  EXPECT_EQ(icg_session_record_stop_mem(s, buf, sizeof buf, &written),
+            ICG_ERR_BAD_STATE);  // nothing recording
+  // A file recording is not retrievable through the memory verb.
+  const std::string path = ::testing::TempDir() + "capi_flight_mem_misuse.icgr";
+  ASSERT_EQ(icg_session_record_start(s, path.c_str(), 0), ICG_OK);
+  EXPECT_EQ(icg_session_record_stop_mem(s, buf, sizeof buf, &written),
+            ICG_ERR_BAD_STATE);
+  EXPECT_EQ(icg_session_destroy(s), ICG_OK);
+}
+
 TEST(CApiFlightRecordTest, CorruptFlightRecordsProbeAsBadCheckpoint) {
   const auto rec = test_recording(15.0);
   const std::vector<std::uint8_t> file =

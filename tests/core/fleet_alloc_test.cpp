@@ -192,8 +192,8 @@ TEST(FleetAllocTest, WarmFleetPathIsAllocationFree) {
   cfg.workers = 2;
   cfg.max_chunk = kChunk;
   core::SessionManager fleet(rec.fs, cfg);
-  const std::uint32_t a = fleet.add_session();
-  const std::uint32_t b = fleet.add_session();
+  core::SessionHandle a = fleet.open();
+  core::SessionHandle b = fleet.open();
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -203,9 +203,9 @@ TEST(FleetAllocTest, WarmFleetPathIsAllocationFree) {
 
   auto feed = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i + kChunk <= hi; i += kChunk) {
-      for (const std::uint32_t s : {a, b})
-        fleet.submit(s, dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
-                     dsp::SignalView(rec.z_ohm.data() + i, kChunk), sink);
+      for (core::SessionHandle* s : {&a, &b})
+        s->push(dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                dsp::SignalView(rec.z_ohm.data() + i, kChunk), sink);
     }
     while (!fleet.idle()) fleet.poll(sink);
   };

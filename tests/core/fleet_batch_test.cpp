@@ -25,6 +25,7 @@ namespace {
 using namespace icgkit;
 using core::FleetBeat;
 using core::FleetConfig;
+using core::SessionHandle;
 using core::SessionManager;
 using core::serialize_beat;
 
@@ -52,7 +53,9 @@ FleetRun run_fleet(const std::vector<synth::Recording>& workload, std::size_t se
   cfg.max_chunk = kChunk;
   cfg.batch_width = batch_width;
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -62,9 +65,8 @@ FleetRun run_fleet(const std::vector<synth::Recording>& workload, std::size_t se
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < sessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   fleet.run_to_completion(sink);
@@ -130,7 +132,9 @@ TEST(FleetBatchTest, MigrationDissolvesPackedGroupMidStream) {
   cfg.max_chunk = kChunk;
   cfg.batch_width = 4;
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < kSessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -143,15 +147,14 @@ TEST(FleetBatchTest, MigrationDissolvesPackedGroupMidStream) {
       // CheckpointOut dissolves the group; the remaining three lanes
       // (and the migrated one, now scalar on worker 1) must still
       // produce byte-identical streams.
-      fleet.migrate(2, 1, sink);
+      handles[2].migrate_to(1, sink);
       migrated = true;
     }
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < kSessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   ASSERT_TRUE(migrated);
@@ -183,7 +186,9 @@ TEST(FleetBatchTest, MismatchedChunkLengthsDissolveCleanly) {
   cfg.max_chunk = kChunk;
   cfg.batch_width = 4;
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < kSessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -196,16 +201,15 @@ TEST(FleetBatchTest, MismatchedChunkLengthsDissolveCleanly) {
       const synth::Recording& rec = workload[s % workload.size()];
       if (s == 0 && !split_done && i >= n / 2 && len == kChunk) {
         const std::size_t half = kChunk / 2;
-        fleet.submit(0, dsp::SignalView(rec.ecg_mv.data() + i, half),
-                     dsp::SignalView(rec.z_ohm.data() + i, half), sink);
-        fleet.submit(0, dsp::SignalView(rec.ecg_mv.data() + i + half, half),
-                     dsp::SignalView(rec.z_ohm.data() + i + half, half), sink);
+        handles[0].push(dsp::SignalView(rec.ecg_mv.data() + i, half),
+                        dsp::SignalView(rec.z_ohm.data() + i, half), sink);
+        handles[0].push(dsp::SignalView(rec.ecg_mv.data() + i + half, half),
+                        dsp::SignalView(rec.z_ohm.data() + i + half, half), sink);
         split_done = true;
         continue;
       }
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   ASSERT_TRUE(split_done);

@@ -44,7 +44,9 @@ std::vector<std::vector<unsigned char>> run_fleet(
   cfg.max_chunk = kChunk;
   cfg.result_queue_capacity = result_queue_capacity;
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -54,9 +56,8 @@ std::vector<std::vector<unsigned char>> run_fleet(
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < sessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   fleet.run_to_completion(sink);
@@ -133,26 +134,26 @@ TEST(FleetTest, ValidatesSubmissions) {
   FleetConfig cfg;
   cfg.max_chunk = 32;
   SessionManager fleet(250.0, cfg);
-  const std::uint32_t id = fleet.add_session();
+  core::SessionHandle h = fleet.open();
   fleet.start();
 
   const std::vector<double> a(16, 0.0), b(8, 0.0), big(64, 0.0);
-  EXPECT_THROW(fleet.try_submit(id + 1, a, a), std::out_of_range);
-  EXPECT_THROW(fleet.try_submit(id, a, b), std::invalid_argument);
-  EXPECT_THROW(fleet.try_submit(id, big, big), std::invalid_argument);
+  EXPECT_THROW(h.try_push(a, b), std::invalid_argument);
+  EXPECT_THROW(h.try_push(big, big), std::invalid_argument);
 
   std::vector<FleetBeat> sink;
-  fleet.finish_session(id, sink);
-  EXPECT_THROW(fleet.try_submit(id, a, a), std::logic_error);
-  EXPECT_THROW(fleet.try_finish_session(id), std::logic_error);
+  h.finish(sink);
+  EXPECT_THROW(h.try_push(a, a), std::logic_error);
+  EXPECT_THROW(h.try_finish(), std::logic_error);
 
   // Work enqueued behind the shutdown sentinel would never be processed
   // (idle() would hang), so submission after close() must throw.
-  const std::uint32_t open_id = fleet.add_session();
+  core::SessionHandle open_h = fleet.open();
   fleet.close();
-  EXPECT_THROW(fleet.try_submit(open_id, a, a), std::logic_error);
-  EXPECT_THROW(fleet.try_finish_session(open_id), std::logic_error);
+  EXPECT_THROW(open_h.try_push(a, a), std::logic_error);
+  EXPECT_THROW(open_h.try_finish(), std::logic_error);
   fleet.join();
+  // open_h's destructor sees the closed fleet and stands down.
 }
 
 TEST(FleetTest, DestructorShutsDownCleanly) {
@@ -162,15 +163,19 @@ TEST(FleetTest, DestructorShutsDownCleanly) {
   cfg.max_chunk = kChunk;
   cfg.result_queue_capacity = 2;  // force backpressure at teardown
   SessionManager fleet(workload[0].fs, cfg);
-  for (int s = 0; s < 3; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  for (int s = 0; s < 3; ++s) handles.push_back(fleet.open());
   fleet.start();
   std::vector<FleetBeat> sink;
   const synth::Recording& rec = workload[0];
   for (std::size_t i = 0; i + kChunk <= rec.ecg_mv.size(); i += kChunk)
     for (std::uint32_t s = 0; s < 3; ++s)
-      fleet.submit(s, dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
-                   dsp::SignalView(rec.z_ohm.data() + i, kChunk), sink);
-  // No close/join: the destructor must drain and stop the pool itself.
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, kChunk),
+                      dsp::SignalView(rec.z_ohm.data() + i, kChunk), sink);
+  // Detach the handles so the sessions are still live at teardown: the
+  // manager destructor itself (no close/join) must drain and stop the
+  // pool.
+  for (auto& h : handles) h.release();
 }
 
 } // namespace

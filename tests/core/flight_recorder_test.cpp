@@ -311,7 +311,9 @@ std::vector<FleetOutputs> run_fleet(const std::vector<synth::Recording>& workloa
   cfg.workers = workers;
   cfg.max_chunk = 64;
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -322,19 +324,18 @@ std::vector<FleetOutputs> run_fleet(const std::vector<synth::Recording>& workloa
     buffer = owned.get();
     FlightRecorderConfig rcfg;
     rcfg.checkpoint_interval = 1000;
-    fleet.start_recording(0, std::move(owned), sink, rcfg);
+    handles[0].record_start(std::move(owned), sink, rcfg);
   }
   const std::size_t n = workload[0].ecg_mv.size();
   std::size_t chunk_index = 0;
   for (std::size_t i = 0; i < n; i += 64, ++chunk_index) {
     if (migrate_mid_recording && chunk_index == 20)
-      fleet.migrate(0, 1, sink);
+      handles[0].migrate_to(1, sink);
     const std::size_t len = std::min<std::size_t>(64, n - i);
     for (std::size_t s = 0; s < sessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   fleet.run_to_completion(sink);  // finish_session finalizes the recording
@@ -400,27 +401,27 @@ TEST(FleetRecordingTest, StopRecordingLeavesAVerifiableFileAndSessionRuns) {
   fcfg.workers = 1;
   fcfg.max_chunk = 64;
   SessionManager fleet(workload[0].fs, fcfg);
-  fleet.add_session();
+  core::SessionHandle h = fleet.open();
   fleet.start();
   std::vector<FleetBeat> sink;
 
   FlightRecorderConfig rcfg;
   rcfg.checkpoint_interval = 500;
-  fleet.start_recording(0, std::make_unique<BufferRecorderSink>(), sink, rcfg);
-  EXPECT_TRUE(fleet.recording(0));
+  h.record_start(std::make_unique<BufferRecorderSink>(), sink, rcfg);
+  EXPECT_TRUE(h.recording());
 
   const synth::Recording& rec = workload[0];
   const std::size_t n = rec.ecg_mv.size();
   std::vector<std::uint8_t> file;
   for (std::size_t i = 0; i < n; i += 64) {
     const std::size_t len = std::min<std::size_t>(64, n - i);
-    fleet.submit(0, dsp::SignalView(rec.ecg_mv.data() + i, len),
-                 dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+    h.push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+           dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     if (file.empty() && i >= n / 2) {
       // stop_recording hands the sink back to the pilot.
-      std::unique_ptr<core::RecorderSink> returned = fleet.stop_recording(0, sink);
+      std::unique_ptr<core::RecorderSink> returned = h.record_stop(sink);
       file = static_cast<BufferRecorderSink&>(*returned).take();
-      EXPECT_FALSE(fleet.recording(0));
+      EXPECT_FALSE(h.recording());
     }
   }
   fleet.run_to_completion(sink);

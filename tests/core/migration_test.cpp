@@ -56,7 +56,9 @@ std::vector<SessionStream> run_fleet(const std::vector<synth::Recording>& worklo
   cfg.workers = workers;
   cfg.max_chunk = kChunk;
   SessionManager fleet(workload[0].fs, cfg);
-  for (std::size_t s = 0; s < sessions; ++s) fleet.add_session();
+  std::vector<core::SessionHandle> handles;
+  handles.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) handles.push_back(fleet.open());
   fleet.start();
 
   std::vector<FleetBeat> sink;
@@ -65,13 +67,12 @@ std::vector<SessionStream> run_fleet(const std::vector<synth::Recording>& worklo
   std::size_t chunk_index = 0;
   for (std::size_t i = 0; i < n; i += kChunk, ++chunk_index) {
     for (const MigrationPlan& m : plan)
-      if (m.at_chunk == chunk_index) fleet.migrate(m.session, m.target_worker, sink);
+      if (m.at_chunk == chunk_index) handles[m.session].migrate_to(m.target_worker, sink);
     const std::size_t len = std::min(kChunk, n - i);
     for (std::size_t s = 0; s < sessions; ++s) {
       const synth::Recording& rec = workload[s % workload.size()];
-      fleet.submit(static_cast<std::uint32_t>(s),
-                   dsp::SignalView(rec.ecg_mv.data() + i, len),
-                   dsp::SignalView(rec.z_ohm.data() + i, len), sink);
+      handles[s].push(dsp::SignalView(rec.ecg_mv.data() + i, len),
+                      dsp::SignalView(rec.z_ohm.data() + i, len), sink);
     }
   }
   fleet.run_to_completion(sink);
@@ -165,16 +166,16 @@ TEST(MigrationTest, SessionWorkerTracksMoves) {
   cfg.workers = 3;
   cfg.max_chunk = kChunk;
   SessionManager fleet(workload[0].fs, cfg);
-  const std::uint32_t a = fleet.add_session();
-  const std::uint32_t b = fleet.add_session();
-  EXPECT_EQ(fleet.session_worker(a), 0u);
-  EXPECT_EQ(fleet.session_worker(b), 1u);
+  core::SessionHandle a = fleet.open();
+  core::SessionHandle b = fleet.open();
+  EXPECT_EQ(a.worker(), 0u);
+  EXPECT_EQ(b.worker(), 1u);
   EXPECT_EQ(fleet.least_loaded_worker(), 2u);
   fleet.start();
 
   std::vector<FleetBeat> sink;
-  fleet.migrate(a, 2, sink);
-  EXPECT_EQ(fleet.session_worker(a), 2u);
+  a.migrate_to(2, sink);
+  EXPECT_EQ(a.worker(), 2u);
   EXPECT_EQ(fleet.least_loaded_worker(), 0u);
   fleet.run_to_completion(sink);
 }
@@ -185,14 +186,13 @@ TEST(MigrationTest, InvalidMigrationsThrow) {
   cfg.workers = 2;
   cfg.max_chunk = kChunk;
   SessionManager fleet(workload[0].fs, cfg);
-  const std::uint32_t s = fleet.add_session();
+  core::SessionHandle s = fleet.open();
   std::vector<FleetBeat> sink;
-  EXPECT_THROW(fleet.migrate(s, 0, sink), std::logic_error);  // before start()
+  EXPECT_THROW(s.migrate_to(0, sink), std::logic_error);  // before start()
   fleet.start();
-  EXPECT_THROW(fleet.migrate(7, 0, sink), std::out_of_range);  // unknown session
-  EXPECT_THROW(fleet.migrate(s, 9, sink), std::out_of_range);  // unknown worker
-  fleet.finish_session(s, sink);
-  EXPECT_THROW(fleet.migrate(s, 1, sink), std::logic_error);  // already finished
+  EXPECT_THROW(s.migrate_to(9, sink), std::out_of_range);  // unknown worker
+  s.finish(sink);
+  EXPECT_THROW(s.migrate_to(1, sink), std::logic_error);  // already finished
   fleet.run_to_completion(sink);
 }
 

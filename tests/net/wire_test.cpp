@@ -1,0 +1,299 @@
+// Hostile wire input: the FrameDecoder/PayloadReader refusal contract.
+//
+// Every structurally invalid byte stream — truncated frames, flipped
+// CRC bytes, oversized length prefixes, bad magic, wrong versions,
+// malformed payloads — must raise WireError, never UB. This binary
+// runs under the Debug ASan/UBSan CI entry, which is what turns "reads
+// past the buffer" from a latent bug into a test failure.
+#include "net/wire.h"
+
+#include "core/beat_serializer.h"
+#include "core/flight_recorder.h"
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using namespace icgkit;
+using net::Frame;
+using net::FrameDecoder;
+using net::PayloadReader;
+using net::RecordBuilder;
+using net::WireError;
+
+constexpr std::size_t kBound = 1 << 16;
+
+/// One framed HELO record preceded by the stream header.
+std::vector<std::uint8_t> hello_stream() {
+  std::vector<std::uint8_t> out;
+  net::write_stream_header(out);
+  RecordBuilder rb;
+  net::Hello h;
+  h.flags = net::kHelloWantAcks;
+  h.max_chunk = 64;
+  h.fs_hz = 250.0;
+  net::encode_hello(rb.begin(net::kTagHello), h);
+  rb.finish(out);
+  return out;
+}
+
+TEST(WireTest, RoundTripsAFrame) {
+  const auto bytes = hello_stream();
+  FrameDecoder dec(kBound);
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_STREQ(f.tag, net::kTagHello);
+  PayloadReader r(f.payload);
+  const net::Hello h = net::decode_hello(r);
+  EXPECT_EQ(h.version, net::kWireVersion);
+  EXPECT_EQ(h.flags, net::kHelloWantAcks);
+  EXPECT_EQ(h.max_chunk, 64u);
+  EXPECT_EQ(h.fs_hz, 250.0);
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(WireTest, ByteAtATimeFeedingReassembles) {
+  const auto bytes = hello_stream();
+  FrameDecoder dec(kBound);
+  Frame f;
+  std::size_t frames = 0;
+  for (const std::uint8_t b : bytes) {
+    dec.feed(&b, 1);
+    while (dec.next(f)) ++frames;
+  }
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST(WireTest, TruncatedFrameIsSimplyIncomplete) {
+  const auto bytes = hello_stream();
+  // Every proper prefix yields no frame and no error — a connection
+  // dying mid-frame is a non-event, not a parse.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder dec(kBound);
+    dec.feed(bytes.data(), cut);
+    Frame f;
+    EXPECT_FALSE(dec.next(f)) << "cut at " << cut;
+  }
+}
+
+TEST(WireTest, FlippedBytesAreRefused) {
+  const auto pristine = hello_stream();
+  // Flip one bit in every byte position past the stream header: either
+  // the tag/length header no longer parses into a valid frame, the CRC
+  // refuses it, or (length bytes) the bound refuses it. Never UB.
+  std::size_t crc_refusals = 0;
+  for (std::size_t i = 8; i < pristine.size(); ++i) {
+    auto bytes = pristine;
+    bytes[i] ^= 0x40;
+    FrameDecoder dec(kBound);
+    Frame f;
+    try {
+      dec.feed(bytes.data(), bytes.size());
+      if (dec.next(f)) {
+        // A corrupted tag byte still frames correctly (the tag is
+        // opaque to the decoder); everything else must not.
+        EXPECT_LT(i, 12u) << "undetected flip at offset " << i;
+      }
+    } catch (const WireError&) {
+      ++crc_refusals;
+    }
+  }
+  EXPECT_GT(crc_refusals, 0u);
+}
+
+TEST(WireTest, FlippedCrcByteIsRefused) {
+  auto bytes = hello_stream();
+  bytes.back() ^= 0x01;  // last byte of the trailing CRC-32
+  FrameDecoder dec(kBound);
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_THROW(dec.next(f), WireError);
+}
+
+TEST(WireTest, OversizedLengthPrefixIsRefusedBeforeBuffering) {
+  std::vector<std::uint8_t> bytes;
+  net::write_stream_header(bytes);
+  bytes.insert(bytes.end(), {'C', 'H', 'N', 'K'});
+  // 4 GiB length prefix: must be refused from the 8-byte header alone,
+  // without waiting for (or allocating toward) the payload.
+  for (const std::uint8_t b : {0xFF, 0xFF, 0xFF, 0xFF}) bytes.push_back(b);
+  FrameDecoder dec(kBound);
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_THROW(dec.next(f), WireError);
+}
+
+TEST(WireTest, BadMagicIsRefused) {
+  auto bytes = hello_stream();
+  bytes[0] = 'X';
+  FrameDecoder dec(kBound);
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_THROW(dec.next(f), WireError);
+}
+
+TEST(WireTest, WrongStreamVersionIsRefused) {
+  auto bytes = hello_stream();
+  bytes[4] = 99;  // stream-header version field
+  FrameDecoder dec(kBound);
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_THROW(dec.next(f), WireError);
+}
+
+TEST(WireTest, PayloadReaderBoundsEveryRead) {
+  const std::vector<std::uint8_t> four = {1, 2, 3, 4};
+  PayloadReader r{{four.data(), four.size()}};
+  EXPECT_EQ(r.u32(), 0x04030201u);
+  EXPECT_THROW(r.u8(), WireError);  // exhausted
+
+  PayloadReader r2{{four.data(), four.size()}};
+  EXPECT_THROW(r2.u64(), WireError);  // 8 > 4
+  double d[2];
+  PayloadReader r3{{four.data(), four.size()}};
+  EXPECT_THROW(r3.f64_array(d, 2), WireError);
+
+  PayloadReader r4{{four.data(), four.size()}};
+  r4.u8();
+  EXPECT_THROW(r4.expect_end(), WireError);  // 3 trailing bytes
+}
+
+TEST(WireTest, MalformedBeatPayloadIsRefused) {
+  // A structurally valid frame whose BEAT payload lies about its enum
+  // and bool fields must be refused by the codec, not cast blindly.
+  core::BeatRecord rec;
+  rec.points.valid = true;
+  RecordBuilder rb;
+  std::vector<std::uint8_t> out;
+
+  {
+    core::StateWriter& w = rb.begin(net::kTagBeat);
+    net::encode_beat(w, rec);
+    rb.finish(out);
+  }
+  FrameDecoder dec(kBound);
+  // Records after the stream header only; build a full stream.
+  std::vector<std::uint8_t> stream;
+  net::write_stream_header(stream);
+  stream.insert(stream.end(), out.begin(), out.end());
+  dec.feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  {
+    PayloadReader r(f.payload);
+    const core::BeatRecord back = net::decode_beat(r);
+    r.expect_end();
+    EXPECT_TRUE(back.points.valid);
+  }
+
+  // Corrupt the b_method u32 (offset 40 in the payload: five u64s).
+  std::vector<std::uint8_t> evil(f.payload.begin(), f.payload.end());
+  evil[40] = 7;
+  PayloadReader r(std::span<const std::uint8_t>(evil.data(), evil.size()));
+  EXPECT_THROW(net::decode_beat(r), WireError);
+}
+
+TEST(WireTest, TruncatedErrorMessageIsRefused) {
+  RecordBuilder rb;
+  std::vector<std::uint8_t> out;
+  net::encode_error(rb.begin(net::kTagError), net::WireErrorCode::BadFrame,
+                    net::kNoStream, "boom");
+  rb.finish(out);
+  std::vector<std::uint8_t> stream;
+  net::write_stream_header(stream);
+  stream.insert(stream.end(), out.begin(), out.end());
+  FrameDecoder dec(kBound);
+  dec.feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  // Claim a message longer than the payload carries.
+  std::vector<std::uint8_t> evil(f.payload.begin(), f.payload.end());
+  evil[8] = 0xFF;  // message-length u32 low byte (code u32 + stream u32 first)
+  PayloadReader r(std::span<const std::uint8_t>(evil.data(), evil.size()));
+  EXPECT_THROW(net::decode_error(r), WireError);
+}
+
+TEST(WireTest, BeatCodecPreservesSerializeBeatBytes) {
+  // The wire BEAT codec carries exactly the canonical determinism
+  // fields: encode -> decode -> serialize_beat must be byte-identical
+  // to serialize_beat on the original.
+  core::BeatRecord rec;
+  rec.points = {101, 113, 127, 160, 110, core::BPointMethod::ZeroCrossing, -0.25, true};
+  rec.hemo = {0.1, 0.3, 62.5, 1.5, 80.0, 75.0, 5.0, 25.0};
+  rec.flaws = static_cast<core::BeatFlaw>(0b101);
+  rec.rr_s = 0.96;
+
+  RecordBuilder rb;
+  std::vector<std::uint8_t> framed;
+  net::write_stream_header(framed);
+  net::encode_beat(rb.begin(net::kTagBeat), rec);
+  rb.finish(framed);
+
+  FrameDecoder dec(kBound);
+  dec.feed(framed.data(), framed.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  PayloadReader r(f.payload);
+  const core::BeatRecord back = net::decode_beat(r);
+  r.expect_end();
+
+  std::vector<unsigned char> a, b;
+  core::serialize_beat(rec, a);
+  core::serialize_beat(back, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WireTest, QualityAndStatsCodecsRoundTrip) {
+  core::QualitySummary q;
+  q.beats = 120;
+  q.usable = 100;
+  q.flaw_counts[2] = 7;
+  q.snr_beats = 90;
+  q.sum_snr_db = 1234.5;
+  q.min_snr_db = 3.25;
+
+  net::ServerStats st;
+  st.sessions_open = 3;
+  st.sessions_closed = 97;
+  st.migrations = 5;
+  st.shed_chunks = 11;
+  st.total_samples = 1u << 20;
+  st.total_beats = 4242;
+
+  RecordBuilder rb;
+  std::vector<std::uint8_t> framed;
+  net::write_stream_header(framed);
+  net::encode_quality(rb.begin(net::kTagQuality), q);
+  rb.finish(framed);
+  net::encode_stats(rb.begin(net::kTagStatReply), st);
+  rb.finish(framed);
+
+  FrameDecoder dec(kBound);
+  dec.feed(framed.data(), framed.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  {
+    PayloadReader r(f.payload);
+    const core::QualitySummary back = net::decode_quality(r);
+    r.expect_end();
+    EXPECT_TRUE(core::summaries_identical(q, back));
+  }
+  ASSERT_TRUE(dec.next(f));
+  {
+    PayloadReader r(f.payload);
+    const net::ServerStats back = net::decode_stats(r);
+    EXPECT_EQ(back.sessions_closed, 97u);
+    EXPECT_EQ(back.migrations, 5u);
+    EXPECT_EQ(back.shed_chunks, 11u);
+    EXPECT_EQ(back.total_samples, 1u << 20);
+    EXPECT_EQ(back.total_beats, 4242u);
+  }
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+// Fleet server daemon: terminates icgkit wire-protocol streams on TCP.
+//
+//   ./serverd [--port P] [--workers N] [--fs HZ] [--max-chunk N]
+//             [--max-connections N] [--max-sessions N] [--pending N]
+//             [--rebalance-period CHUNKS] [--rebalance-gap N]
+//             [--ensemble] [--lan] [--stats-every S]
+//
+// Binds 127.0.0.1 (or all interfaces with --lan), prints the bound
+// port, and serves until SIGINT/SIGTERM, reporting live counters every
+// --stats-every seconds (0 = quiet). The client side of the protocol
+// is examples/net_client.cpp; the wire format is src/net/wire.h.
+//
+// Exit codes: 0 clean shutdown, 2 usage error, 3 bind refused (the
+// ServerStatus name is printed — the config was rejected or the OS
+// refused the socket).
+#include "net/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: serverd [--port P] [--workers N] [--fs HZ] [--max-chunk N]\n"
+         "               [--max-connections N] [--max-sessions N] [--pending N]\n"
+         "               [--rebalance-period CHUNKS] [--rebalance-gap N]\n"
+         "               [--ensemble] [--lan] [--stats-every S]\n";
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace icgkit;
+
+  net::ServerConfig cfg;
+  double stats_every_s = 5.0;
+
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--port") == 0)
+      cfg.port = static_cast<std::uint16_t>(std::stoul(need(i++)));
+    else if (std::strcmp(a, "--workers") == 0)
+      cfg.fleet.workers = std::stoul(need(i++));
+    else if (std::strcmp(a, "--fs") == 0)
+      cfg.fs_hz = std::stod(need(i++));
+    else if (std::strcmp(a, "--max-chunk") == 0)
+      cfg.fleet.max_chunk = std::stoul(need(i++));
+    else if (std::strcmp(a, "--max-connections") == 0)
+      cfg.max_connections = std::stoul(need(i++));
+    else if (std::strcmp(a, "--max-sessions") == 0)
+      cfg.max_sessions = std::stoul(need(i++));
+    else if (std::strcmp(a, "--pending") == 0)
+      cfg.tenant_pending_chunks = std::stoul(need(i++));
+    else if (std::strcmp(a, "--rebalance-period") == 0)
+      cfg.rebalance_period_chunks = std::stoul(need(i++));
+    else if (std::strcmp(a, "--rebalance-gap") == 0)
+      cfg.rebalance_min_gap = std::stoul(need(i++));
+    else if (std::strcmp(a, "--ensemble") == 0)
+      cfg.fleet.pipeline.enable_ensemble = true;
+    else if (std::strcmp(a, "--lan") == 0)
+      cfg.loopback_only = false;
+    else if (std::strcmp(a, "--stats-every") == 0)
+      stats_every_s = std::stod(need(i++));
+    else
+      usage();
+  }
+  // A CHNK frame must fit through the decoder bound.
+  const std::size_t chunk_frame = 8 + 16 * cfg.fleet.max_chunk;
+  if (cfg.max_frame_bytes < chunk_frame) cfg.max_frame_bytes = chunk_frame;
+
+  net::FleetServer server(cfg);
+  const net::ServerStatus verdict = server.bind();
+  if (verdict != net::ServerStatus::Ok) {
+    std::cerr << "serverd: bind refused: " << net::server_status_name(verdict)
+              << "\n";
+    return 3;
+  }
+  server.start();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::cout << "serverd: listening on " << (cfg.loopback_only ? "127.0.0.1" : "0.0.0.0")
+            << ":" << server.port() << " (" << cfg.fleet.workers << " workers, fs "
+            << cfg.fs_hz << " Hz, max_chunk " << cfg.fleet.max_chunk << ")\n";
+
+  auto last_stats = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto now = std::chrono::steady_clock::now();
+    if (stats_every_s > 0.0 &&
+        std::chrono::duration<double>(now - last_stats).count() >= stats_every_s) {
+      last_stats = now;
+      const net::ServerStats s = server.stats();
+      std::cout << "[stats] open=" << s.sessions_open << " closed=" << s.sessions_closed
+                << " samples=" << s.total_samples << " beats=" << s.total_beats
+                << " shed=" << s.shed_chunks << " migrations=" << s.migrations
+                << std::endl;
+    }
+  }
+  std::cout << "serverd: shutting down\n";
+  server.stop();
+  const net::ServerStats s = server.stats();
+  std::cout << "serverd: served " << s.sessions_closed << " sessions, "
+            << s.total_samples << " samples, " << s.total_beats << " beats ("
+            << s.shed_chunks << " shed, " << s.migrations << " migrations)\n";
+  return 0;
+}
